@@ -1,0 +1,1036 @@
+//! The experiment harness: regenerates every experiment in DESIGN.md's
+//! per-experiment index (E1..E15). The paper itself is an experience paper
+//! with no measurement figures — these experiments realize the scenarios of
+//! its Figures 1-4 and the evaluation agenda of §5.1 (fault injection,
+//! MTTF/MTTR, behaviour at low load, management-operation cost).
+//!
+//! Usage:
+//!   cargo run -p replimid-bench --bin experiments --release            # all
+//!   cargo run -p replimid-bench --bin experiments --release -- E3 E9  # some
+
+use rand::SeedableRng;
+use replimid_bench::{aggregate, mm_statement_cfg, run_and_drain, tps, SeqInsert, Table};
+use replimid_core::{
+    AdminCmd, BackendId, Cluster, ClusterConfig, Mode, NondetPolicy, PartitionScheme,
+    Partitioner, Policy, ReplayMode, ScriptSource,
+};
+use replimid_gcs::{
+    Action, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol,
+};
+use replimid_simnet::{dur, LinkSpec, NetworkModel, NodeId, SimTime};
+use replimid_workload::{micro, FaultSchedule};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = [
+        "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+        "E14", "E15",
+    ];
+    let selected: Vec<&str> = if args.is_empty() {
+        all.to_vec()
+    } else {
+        all.iter().copied().filter(|e| args.iter().any(|a| a.eq_ignore_ascii_case(e))).collect()
+    };
+    for e in selected {
+        match e {
+            "E1" => e1_read_scaleout(),
+            "E2" => e2_partitioned_writes(),
+            "E3" => e3_hot_standby(),
+            "E4" => e4_wan(),
+            "E5" => e5_multimaster_saturation(),
+            "E6" => e6_statement_vs_writeset(),
+            "E7" => e7_load_balancing(),
+            "E8" => e8_low_load_overhead(),
+            "E9" => e9_recovery(),
+            "E10" => e10_consistency_spectrum(),
+            "E11" => e11_failure_detection(),
+            "E12" => e12_availability_campaign(),
+            "E13" => e13_backup(),
+            "E14" => e14_group_communication(),
+            "E15" => e15_slave_lag(),
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------------
+// E1 — Fig. 1: master-slave read scale-out (ticket-broker 95/5 mix)
+// ---------------------------------------------------------------------
+
+fn e1_read_scaleout() {
+    banner("E1", "master-slave read scale-out, 95/5 broker mix (Fig. 1)");
+    let mut t = Table::new(&["slaves", "clients", "read tps", "write tps", "total tps"]);
+    for slaves in [1usize, 2, 4, 6] {
+        let mut cfg = ClusterConfig::new(
+            Mode::MasterSlave {
+                two_safe: false,
+                ship_interval_us: 20_000,
+                use_writesets: false,
+                parallel_apply: false,
+                read_master: false,
+            },
+            replimid_workload::broker::schema("bench", 200),
+            "bench",
+        );
+        cfg.backends_per_mw = slaves + 1;
+        let mut cluster = Cluster::build(cfg);
+        // Scaled load, as the papers the authors criticize do: clients grow
+        // with the replica count so the cluster runs near capacity.
+        let clients: Vec<NodeId> = (0..slaves * 8)
+            .map(|i| {
+                cluster.add_client(
+                    replimid_workload::Broker::new(200, 0.05, i as u64 + 1),
+                    |cc| cc.think_time_us = 300,
+                )
+            })
+            .collect();
+        let secs = 5;
+        run_and_drain(&mut cluster, secs);
+        let agg = aggregate(&mut cluster, &clients);
+        let mw = cluster.mw_metrics(0);
+        let reads = mw.counters.reads;
+        let writes = mw.counters.writes;
+        t.row(&[
+            slaves.to_string(),
+            clients.len().to_string(),
+            format!("{:.0}", tps(reads, secs as u64)),
+            format!("{:.0}", tps(writes, secs as u64)),
+            format!("{:.0}", tps(agg.committed, secs as u64)),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E2 — Fig. 2: partitioning for write scalability
+// ---------------------------------------------------------------------
+
+fn e2_partitioned_writes() {
+    banner("E2", "hash partitioning for write throughput (Fig. 2)");
+    let mut t = Table::new(&["partitions", "write tps", "speedup"]);
+    let mut base_tps = 0.0;
+    for parts in [1usize, 2, 4, 8] {
+        let mut partitioner = Partitioner::new();
+        partitioner.add_table(
+            "bench",
+            PartitionScheme::Hash { column: "k".into(), partitions: parts },
+        );
+        let groups: Vec<Vec<BackendId>> = (0..parts).map(|p| vec![BackendId(p)]).collect();
+        let schema = vec![
+            "CREATE DATABASE bench".to_string(),
+            "USE bench".to_string(),
+            "CREATE TABLE bench (k INT PRIMARY KEY, v INT NOT NULL)".to_string(),
+        ];
+        let mut cfg = ClusterConfig::new(
+            Mode::PartitionedStatement { partitioner, groups },
+            schema,
+            "bench",
+        );
+        cfg.backends_per_mw = parts;
+        let mut cluster = Cluster::build(cfg);
+        let clients: Vec<NodeId> = (0..parts * 6)
+            .map(|i| {
+                cluster.add_client(SeqInsert::new(1_000_000 * (i as i64 + 1)), |cc| {
+                    cc.think_time_us = 100
+                })
+            })
+            .collect();
+        let secs = 4;
+        run_and_drain(&mut cluster, secs);
+        let agg = aggregate(&mut cluster, &clients);
+        let this_tps = tps(agg.committed, secs as u64);
+        if parts == 1 {
+            base_tps = this_tps;
+        }
+        t.row(&[
+            parts.to_string(),
+            format!("{this_tps:.0}"),
+            format!("{:.2}x", this_tps / base_tps),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E3 — Fig. 3: hot standby failover; 1-safe vs 2-safe
+// ---------------------------------------------------------------------
+
+fn e3_hot_standby() {
+    banner("E3", "hot standby failover: 1-safe vs 2-safe (Fig. 3, §2.2)");
+    let mut t = Table::new(&[
+        "safety", "commit p50 us", "commit p99 us", "failover ms", "lost txns", "MTTR ms",
+        "availability",
+    ]);
+    for two_safe in [false, true] {
+        let mut cfg = ClusterConfig::new(
+            Mode::MasterSlave {
+                two_safe,
+                ship_interval_us: 20_000,
+                use_writesets: false,
+                parallel_apply: false,
+                read_master: true,
+            },
+            micro::schema("bench", 100),
+            "bench",
+        );
+        cfg.backends_per_mw = 2;
+        let mut cluster = Cluster::build(cfg);
+        let c = cluster.add_client(SeqInsert::new(1_000), |cc| {
+            cc.think_time_us = 1_000;
+            cc.request_timeout_us = 400_000;
+            cc.tx_limit = 5_000;
+        });
+        let crash_at = SimTime::from_secs(3);
+        cluster.crash_backend_at(crash_at, 0, 0);
+        run_and_drain(&mut cluster, 8);
+        let m = cluster.client_metrics(c);
+        let mw = cluster.mw_metrics(0);
+        let failover_ms = mw
+            .failover_times
+            .first()
+            .map(|&t| (t.saturating_sub(crash_at.micros())) as f64 / 1_000.0)
+            .unwrap_or(0.0);
+        t.row(&[
+            if two_safe { "2-safe" } else { "1-safe" }.to_string(),
+            m.stmt_latency.quantile_us(0.5).to_string(),
+            m.stmt_latency.quantile_us(0.99).to_string(),
+            format!("{failover_ms:.0}"),
+            mw.counters.lost_transactions.to_string(),
+            format!("{:.0}", mw.availability.mttr_us() / 1_000.0),
+            format!("{:.5}", mw.availability.availability()),
+        ]);
+    }
+    t.print();
+    println!("  (2-safe: zero loss, higher commit latency — the §2.2 tradeoff)\n");
+}
+
+// ---------------------------------------------------------------------
+// E4 — Fig. 4: WAN replication
+// ---------------------------------------------------------------------
+
+fn wan_overrides(cluster: &mut Cluster, sites: usize, backends_per_site: usize) {
+    // Node layout: db nodes grouped per middleware, then middlewares, then
+    // clients. Site i owns db group i, middleware i, client i.
+    let total_db = sites * backends_per_site;
+    let site_of = move |n: NodeId| -> usize {
+        if n.0 < total_db {
+            n.0 / backends_per_site
+        } else if n.0 < total_db + sites {
+            n.0 - total_db
+        } else {
+            (n.0 - total_db - sites) % sites
+        }
+    };
+    let all: Vec<NodeId> = (0..cluster.sim.node_count()).map(NodeId).collect();
+    for &a in &all {
+        for &b in &all {
+            if a != b && site_of(a) != site_of(b) {
+                cluster.sim.net.set_link(a, b, LinkSpec::wan());
+            }
+        }
+    }
+}
+
+fn e4_wan() {
+    banner("E4", "WAN multi-site replication (Fig. 4, §4.3.4.1)");
+    let schema = vec![
+        "CREATE DATABASE bench".to_string(),
+        "USE bench".to_string(),
+        "CREATE TABLE bench (k INT PRIMARY KEY, v INT NOT NULL)".to_string(),
+    ];
+    let mut t = Table::new(&["configuration", "write p50 us", "write p99 us", "tps"]);
+
+    // (a) Synchronous multi-master over LAN vs WAN: total order pays the
+    // intercontinental RTT on every write.
+    for wan in [false, true] {
+        let mut cfg = ClusterConfig::new(
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            schema.clone(),
+            "bench",
+        );
+        cfg.middlewares = 3;
+        cfg.backends_per_mw = 1;
+        let mut cluster = Cluster::build(cfg);
+        if wan {
+            wan_overrides(&mut cluster, 3, 1);
+        }
+        let clients: Vec<NodeId> = (0..3)
+            .map(|i| {
+                cluster.add_client(SeqInsert::new(10_000_000 * (i + 1)), |cc| {
+                    cc.think_time_us = 2_000;
+                    cc.tx_limit = 400;
+                })
+            })
+            .collect();
+        let secs = 20;
+        run_and_drain(&mut cluster, secs);
+        let agg = aggregate(&mut cluster, &clients);
+        t.row(&[
+            format!("sync multi-master, {}", if wan { "WAN" } else { "LAN" }),
+            format!("{:.0}", agg.mean_stmt_us),
+            agg.p99_tx_us.to_string(),
+            format!("{:.0}", tps(agg.committed, secs as u64)),
+        ]);
+    }
+
+    // (b) Geo-local master with asynchronous WAN slaves (the practical
+    // deployment the paper says everyone converges on): local-latency
+    // commits; remote copies trail by the shipping interval + WAN hop.
+    {
+        let mut cfg = ClusterConfig::new(
+            Mode::MasterSlave {
+                two_safe: false,
+                ship_interval_us: 50_000,
+                use_writesets: false,
+                parallel_apply: false,
+                read_master: true,
+            },
+            schema.clone(),
+            "bench",
+        );
+        cfg.backends_per_mw = 3; // master local, 2 slaves "overseas"
+        let mut cluster = Cluster::build(cfg);
+        // Slaves (db nodes 1, 2) are across the WAN from everything else.
+        let all: Vec<NodeId> = (0..cluster.sim.node_count()).map(NodeId).collect();
+        for &a in &all {
+            for &b in &all {
+                let remote =
+                    |n: NodeId| n.0 == 1 || n.0 == 2;
+                if a != b && remote(a) != remote(b) {
+                    cluster.sim.net.set_link(a, b, LinkSpec::wan());
+                }
+            }
+        }
+        let c = cluster.add_client(SeqInsert::new(50_000_000), |cc| {
+            cc.think_time_us = 2_000;
+            cc.tx_limit = 2_000;
+        });
+        let secs = 8;
+        run_and_drain(&mut cluster, secs);
+        let agg = aggregate(&mut cluster, &[c]);
+        t.row(&[
+            "async geo master-slave (1-safe)".to_string(),
+            format!("{:.0}", agg.mean_stmt_us),
+            agg.p99_tx_us.to_string(),
+            format!("{:.0}", tps(agg.committed, secs as u64)),
+        ]);
+        let mw = cluster.mw_metrics(0);
+        let max_lag = mw.lag_samples.iter().map(|&(_, l)| l).max().unwrap_or(0);
+        println!("  async mode peak staleness: {max_lag} unshipped commits (bounded loss window)");
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E5 — multi-master update saturation (Gray's warning)
+// ---------------------------------------------------------------------
+
+fn e5_multimaster_saturation() {
+    banner("E5", "multi-master scaling flattens with write fraction (§2.1, Gray [18])");
+    let mut t = Table::new(&["replicas", "5% writes tps", "20% writes tps", "50% writes tps", "100% writes tps"]);
+    for replicas in [1usize, 2, 4, 6] {
+        let mut cells = vec![replicas.to_string()];
+        for wf in [0.05, 0.2, 0.5, 1.0] {
+            let mut cfg = mm_statement_cfg(500);
+            cfg.backends_per_mw = replicas;
+            let mut cluster = Cluster::build(cfg);
+            let clients: Vec<NodeId> = (0..replicas * 8)
+                .map(|_| {
+                    cluster.add_client(
+                        micro::ReadWriteMix { total_keys: 500, write_fraction: wf },
+                        |cc| cc.think_time_us = 150,
+                    )
+                })
+                .collect();
+            let secs = 4;
+            run_and_drain(&mut cluster, secs);
+            let agg = aggregate(&mut cluster, &clients);
+            cells.push(format!("{:.0}", tps(agg.committed, secs as u64)));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!("  (read-heavy mixes scale with replicas; at 100% writes every replica\n   applies every update and adding replicas stops helping)\n");
+}
+
+// ---------------------------------------------------------------------
+// E6 — statement vs writeset replication
+// ---------------------------------------------------------------------
+
+fn e6_statement_vs_writeset() {
+    banner("E6", "statement vs writeset replication (§4.3.2)");
+
+    // (a) Non-determinism: naive statement broadcast diverges; rewriting
+    // fixes time macros; writeset replication is immune.
+    let mut t = Table::new(&["mode", "policy", "now() safe", "rand()-per-row safe"]);
+    let diverged = |cluster: &mut Cluster| {
+        let sums = cluster.backend_checksums();
+        let flat: Vec<u64> = sums.iter().flatten().copied().collect();
+        flat.windows(2).any(|w| w[0] != w[1])
+    };
+    for (label, mode) in [
+        ("statement", Mode::MultiMasterStatement { nondet: NondetPolicy::Ignore }),
+        ("statement", Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteBestEffort }),
+        ("writeset", Mode::MultiMasterWriteset),
+    ] {
+        let policy = match &mode {
+            Mode::MultiMasterStatement { nondet } => format!("{nondet:?}"),
+            _ => "n/a (row images)".to_string(),
+        };
+        let mut results = Vec::new();
+        for sql in [
+            "UPDATE bench SET v = now() WHERE k < 50",
+            "UPDATE bench SET v = floor(rand() * 1000)",
+        ] {
+            let mut schema = micro::schema("bench", 100);
+            // now() writes a TIMESTAMP into an INT column; give v a wide type.
+            schema[2] = "CREATE TABLE bench (k INT PRIMARY KEY, v INT)".to_string();
+            let cfg = ClusterConfig::new(mode.clone(), schema, "bench");
+            let mut cluster = Cluster::build(cfg);
+            let src = ScriptSource::new(vec![vec![sql.to_string()]]);
+            let c = cluster.add_client(src, |cc| {
+                cc.tx_limit = 5;
+                cc.think_time_us = 3_000;
+            });
+            run_and_drain(&mut cluster, 2);
+            let _ = cluster.client_metrics(c);
+            results.push(if diverged(&mut cluster) { "DIVERGED" } else { "ok" });
+        }
+        t.row(&[label.to_string(), policy, results[0].to_string(), results[1].to_string()]);
+    }
+    t.print();
+
+    // (b) Throughput crossover: a one-row update ships cheaply as a
+    // statement or a writeset; a fat range update is one short statement
+    // but a large writeset.
+    let mut t = Table::new(&["workload", "statement tps", "writeset tps"]);
+    for (label, sql) in [
+        ("1-row update", "UPDATE bench SET v = v + 1 WHERE k = 7".to_string()),
+        ("500-row update", "UPDATE bench SET v = v + 1 WHERE k >= 0".to_string()),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for mode in [
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            Mode::MultiMasterWriteset,
+        ] {
+            let cfg = ClusterConfig::new(mode, micro::schema("bench", 500), "bench");
+            let mut cluster = Cluster::build(cfg);
+            let src = ScriptSource::new(vec![vec![sql.clone()]]);
+            let c = cluster.add_client(src, |cc| cc.think_time_us = 200);
+            let secs = 4;
+            run_and_drain(&mut cluster, secs);
+            let m = cluster.client_metrics(c);
+            cells.push(format!("{:.0}", tps(m.committed, secs as u64)));
+        }
+        t.row(&cells);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E7 — load balancing policies on a heterogeneous cluster
+// ---------------------------------------------------------------------
+
+fn e7_load_balancing() {
+    banner("E7", "load balancing: granularity x policy, one 4x-slow replica (§3.2, §4.1.3)");
+    let mut t = Table::new(&["granularity", "policy", "read tps", "p99 us"]);
+    use replimid_core::Granularity;
+    for (glabel, gran) in [
+        ("connection", Granularity::Connection),
+        ("transaction", Granularity::Transaction),
+        ("query", Granularity::Query),
+    ] {
+        for (plabel, policy) in [
+            ("round-robin", Policy::RoundRobin),
+            ("LPRF", Policy::Lprf),
+            ("weighted 4:4:1", Policy::Weighted(vec![4, 4, 1])),
+        ] {
+            let mut cfg = mm_statement_cfg(300);
+            cfg.backends_per_mw = 3;
+            cfg.backend_speed = vec![1.0, 1.0, 4.0];
+            cfg.mw.granularity = gran;
+            cfg.mw.policy = policy;
+            let mut cluster = Cluster::build(cfg);
+            let clients: Vec<NodeId> = (0..10)
+                .map(|_| {
+                    cluster.add_client(micro::PointReads { total_keys: 300 }, |cc| {
+                        cc.think_time_us = 200
+                    })
+                })
+                .collect();
+            let secs = 4;
+            run_and_drain(&mut cluster, secs);
+            let agg = aggregate(&mut cluster, &clients);
+            t.row(&[
+                glabel.to_string(),
+                plabel.to_string(),
+                format!("{:.0}", tps(agg.committed, secs as u64)),
+                agg.p99_tx_us.to_string(),
+            ]);
+        }
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E8 — latency overhead at low load (§4.4.5)
+// ---------------------------------------------------------------------
+
+fn e8_low_load_overhead() {
+    banner("E8", "replication overhead at low load; sequential batch jobs (§4.4.5)");
+    let mut t = Table::new(&["configuration", "write p50 us", "batch of 2000 (ms)"]);
+    // Modeled direct access: one LAN round trip + statement cost, no
+    // middleware hop. (What the customer had before buying replication.)
+    let direct_p50 = 2.0 * 125.0 + 60.0;
+    let batch_n = 2_000u64;
+    t.row(&[
+        "direct to single DB (modeled)".to_string(),
+        format!("{direct_p50:.0}"),
+        format!("{:.0}", batch_n as f64 * (direct_p50 + 1.0) / 1_000.0),
+    ]);
+    for (label, mode, backends) in [
+        (
+            "middleware, 1 replica",
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            1usize,
+        ),
+        (
+            "statement repl, 3 replicas",
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            3,
+        ),
+        ("writeset repl, 3 replicas", Mode::MultiMasterWriteset, 3),
+    ] {
+        let mut cfg = ClusterConfig::new(mode, micro::schema("bench", batch_n as usize), "bench");
+        cfg.backends_per_mw = backends;
+        let mut cluster = Cluster::build(cfg);
+        // One single-threaded batch client: pure latency exposure.
+        let c = cluster.add_client(replimid_workload::BatchUpdate::new(batch_n as i64), |cc| {
+            cc.think_time_us = 1;
+            cc.tx_limit = batch_n;
+        });
+        let start = cluster.now();
+        cluster.run_for(dur::secs(60));
+        let m = cluster.client_metrics(c);
+        // Time to finish the batch: last commit second observed.
+        let done_at = m
+            .commits_per_sec
+            .keys()
+            .next_back()
+            .map(|&s| (s + 1) * 1_000_000)
+            .unwrap_or(start.micros());
+        let batch_ms = m.tx_latency.mean_us() * m.committed as f64 / 1_000.0;
+        let _ = done_at;
+        t.row(&[
+            label.to_string(),
+            m.stmt_latency.quantile_us(0.5).to_string(),
+            format!("{batch_ms:.0}"),
+        ]);
+    }
+    t.print();
+    println!("  (sub-millisecond statements pay the largest *relative* latency tax;\n   a strictly sequential batch multiplies it by its length)\n");
+}
+
+// ---------------------------------------------------------------------
+// E9 — replica rejoin: serial vs parallel replay; catch-up under load
+// ---------------------------------------------------------------------
+
+fn e9_recovery() {
+    banner("E9", "rejoin via recovery log: outage length x replay mode (§4.4.2)");
+    let mut t = Table::new(&["outage ms", "replay", "log entries", "rejoin ms"]);
+    for outage_ms in [500u64, 1_500, 3_000] {
+        for (rlabel, rmode) in [("serial", ReplayMode::Serial), ("parallel", ReplayMode::Parallel)] {
+            let mut schema = vec![
+                "CREATE DATABASE bench".to_string(),
+                "USE bench".to_string(),
+            ];
+            // 4 disjoint tables give parallel replay room to win.
+            for i in 0..4 {
+                schema.push(format!("CREATE TABLE t{i} (k INT PRIMARY KEY, v INT)"));
+            }
+            let mut cfg = ClusterConfig::new(
+                Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+                schema,
+                "bench",
+            );
+            cfg.mw.replay_mode = rmode;
+            cfg.mw.recovery_batch = 256;
+            let mut cluster = Cluster::build(cfg);
+            struct MultiTable {
+                next: i64,
+            }
+            impl replimid_core::TxSource for MultiTable {
+                fn next_tx(&mut self, _r: &mut rand::rngs::StdRng) -> Vec<String> {
+                    let k = self.next;
+                    self.next += 1;
+                    vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 4)]
+                }
+            }
+            for i in 0..4 {
+                cluster.add_client(MultiTable { next: 10_000_000 * (i + 1) }, |cc| {
+                    cc.think_time_us = 400;
+                });
+            }
+            cluster.crash_backend_at(SimTime::from_secs(1), 0, 2);
+            cluster.restart_backend_at(SimTime::from_millis(1_000 + outage_ms), 0, 2);
+            cluster.run_for(dur::secs(12));
+            let mw = cluster.mw_metrics(0);
+            let head = cluster.with_middleware(0, |m| m.log.head());
+            let rejoin = mw
+                .recoveries
+                .iter()
+                .find(|&&(b, _, _)| b == 2)
+                .map(|&(_, s, e)| format!("{:.0}", (e - s) as f64 / 1e3))
+                .unwrap_or_else(|| "STUCK".into());
+            t.row(&[
+                outage_ms.to_string(),
+                rlabel.to_string(),
+                head.to_string(),
+                rejoin,
+            ]);
+        }
+    }
+    t.print();
+
+    // Quantified replay-cost model (the §4.4.2 serial-vs-parallel gap) on a
+    // synthetic log.
+    let mut log = replimid_core::RecoveryLog::new();
+    for i in 0..10_000u64 {
+        log.append_sql(
+            Some("bench".into()),
+            format!("UPDATE t{} SET v = v + 1 WHERE k = {i}", i % 4),
+            vec![format!("t{}", i % 4)],
+        );
+    }
+    let entries = log.read_after(0, 20_000).unwrap();
+    let serial = replimid_core::RecoveryLog::replay_cost_us(entries, ReplayMode::Serial, 80);
+    let parallel = replimid_core::RecoveryLog::replay_cost_us(entries, ReplayMode::Parallel, 80);
+    println!(
+        "  modeled replay of 10k entries over 4 disjoint tables: serial {} ms, parallel {} ms ({:.1}x)\n",
+        serial / 1_000,
+        parallel / 1_000,
+        serial as f64 / parallel as f64
+    );
+}
+
+// ---------------------------------------------------------------------
+// E10 — consistency spectrum: abort rates vs conflict rate
+// ---------------------------------------------------------------------
+
+fn e10_consistency_spectrum() {
+    banner("E10", "consistency spectrum: aborts/tps vs conflict rate (§3.3)");
+    let mut t = Table::new(&["conflict", "scheme", "tps", "abort ratio"]);
+    for (clabel, hot_keys, hot_frac) in [
+        ("low", 400i64, 0.1f64),
+        ("medium", 20, 0.5),
+        ("high", 4, 0.9),
+    ] {
+        for (slabel, mode, isolation) in [
+            (
+                "statement+RC",
+                Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+                None,
+            ),
+            ("writeset+SI", Mode::MultiMasterWriteset, Some("SNAPSHOT")),
+            ("writeset+1SR", Mode::MultiMasterWriteset, Some("SERIALIZABLE")),
+        ] {
+            let cfg = ClusterConfig::new(mode, micro::schema("bench", 400), "bench");
+            let mut cluster = Cluster::build(cfg);
+            let clients: Vec<NodeId> = (0..6)
+                .map(|_| {
+                    let mut w = micro::KeyedUpdates::contended(400, hot_keys, hot_frac);
+                    w.isolation = isolation;
+                    cluster.add_client(w, |cc| {
+                        cc.think_time_us = 500;
+                        cc.max_retries = 20;
+                    })
+                })
+                .collect();
+            let secs = 4;
+            run_and_drain(&mut cluster, secs);
+            let agg = aggregate(&mut cluster, &clients);
+            let total = agg.committed + agg.aborted;
+            t.row(&[
+                clabel.to_string(),
+                slabel.to_string(),
+                format!("{:.0}", tps(agg.committed, secs as u64)),
+                format!("{:.3}", agg.aborted as f64 / total.max(1) as f64),
+            ]);
+        }
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E11 — failure detection timeout tradeoff
+// ---------------------------------------------------------------------
+
+fn e11_failure_detection() {
+    banner("E11", "failure detector timeouts: detection time vs false positives (§4.3.4.2)");
+    let mut t = Table::new(&["timeout", "detection ms", "false positives under load"]);
+    for (label, timeout_us) in [
+        ("50 ms", 50_000u64),
+        ("100 ms", 100_000),
+        ("500 ms", 500_000),
+        ("2 s", 2_000_000),
+        ("75 s (TCP default)", 75_000_000),
+    ] {
+        // (a) Detection time after a real crash.
+        let mut cfg = ClusterConfig::new(
+            Mode::MasterSlave {
+                two_safe: false,
+                ship_interval_us: 50_000,
+                use_writesets: false,
+                parallel_apply: false,
+                read_master: true,
+            },
+            micro::schema("bench", 50),
+            "bench",
+        );
+        cfg.backends_per_mw = 2;
+        cfg.mw.heartbeat = HeartbeatConfig { interval_us: 20_000, timeout_us };
+        cfg.mw.op_timeout_us = timeout_us.max(1_000_000) * 2;
+        let mut cluster = Cluster::build(cfg);
+        cluster.add_client(SeqInsert::new(1_000), |cc| {
+            cc.think_time_us = 2_000;
+            cc.request_timeout_us = timeout_us.max(200_000) * 2;
+        });
+        let crash_at = SimTime::from_secs(2);
+        cluster.crash_backend_at(crash_at, 0, 0);
+        cluster.run_for(dur::secs(2) + timeout_us * 2 + dur::secs(1));
+        let mw = cluster.mw_metrics(0);
+        let detection = mw
+            .failover_times
+            .first()
+            .map(|&t| (t.saturating_sub(crash_at.micros())) as f64 / 1_000.0);
+
+        // (b) False positives: no crash, but one replica saturated by a hot
+        // backup (load-induced silence — the §4.3.4.2 hazard).
+        let mut cfg = mm_statement_cfg(4_000);
+        cfg.mw.heartbeat = HeartbeatConfig { interval_us: 20_000, timeout_us };
+        cfg.mw.op_timeout_us = timeout_us.max(2_000_000) * 4;
+        let mut cluster = Cluster::build(cfg);
+        for i in 0..6 {
+            cluster.add_client(SeqInsert::new(1_000_000 * (i + 1)), |cc| {
+                cc.think_time_us = 150;
+            });
+        }
+        // Repeated hot backups keep backend 1 busy for long stretches.
+        for k in 0..8 {
+            cluster.admin_at(
+                SimTime::from_millis(500 + k * 400),
+                0,
+                AdminCmd::Backup { backend: BackendId(1), hot: true },
+            );
+        }
+        cluster.run_for(dur::secs(5));
+        let mw2 = cluster.mw_metrics(0);
+        t.row(&[
+            label.to_string(),
+            detection.map(|d| format!("{d:.0}")).unwrap_or_else(|| "not detected".into()),
+            mw2.counters.failovers.to_string(),
+        ]);
+    }
+    t.print();
+    println!("  (short timeouts detect fast but fail healthy-but-slow replicas;\n   the TCP default never notices within the run — §4.3.4.2)\n");
+}
+
+// ---------------------------------------------------------------------
+// E12 — availability campaign with Poisson fault injection
+// ---------------------------------------------------------------------
+
+fn e12_availability_campaign() {
+    banner("E12", "availability campaign: Poisson faults, MTTF/MTTR/nines (§5.1)");
+    let mut t = Table::new(&[
+        "replicas", "faults", "outages", "MTTF s", "MTTR ms", "availability", "nines", "tps",
+    ]);
+    for replicas in [1usize, 2, 3] {
+        let mut cfg = mm_statement_cfg(200);
+        cfg.backends_per_mw = replicas;
+        let mut cluster = Cluster::build(cfg);
+        let clients: Vec<NodeId> = (0..4)
+            .map(|i| {
+                cluster.add_client(SeqInsert::new(1_000_000 * (i as i64 + 1)), |cc| {
+                    cc.think_time_us = 1_000;
+                    cc.request_timeout_us = 250_000;
+                })
+            })
+            .collect();
+        // Accelerated fault process: compress ~months of the paper's
+        // 1/day/200-CPU rate into 30 virtual seconds.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7 + replicas as u64);
+        let horizon = dur::secs(30);
+        let schedule =
+            FaultSchedule::poisson(&mut rng, replicas, horizon, 3_000_000.0, dur::millis(800));
+        let fault_count = schedule.len();
+        for f in &schedule.faults {
+            cluster.crash_backend_at(f.crash_at, 0, f.node);
+            cluster.restart_backend_at(f.restart_at, 0, f.node);
+        }
+        cluster.run_for(horizon);
+        cluster.run_for(dur::secs(2));
+        let agg = aggregate(&mut cluster, &clients);
+        let mw = cluster.mw_metrics(0);
+        t.row(&[
+            replicas.to_string(),
+            fault_count.to_string(),
+            mw.availability.outage_count().to_string(),
+            format!("{:.1}", mw.availability.mttf_us() / 1e6),
+            format!("{:.0}", mw.availability.mttr_us() / 1e3),
+            format!("{:.6}", mw.availability.availability()),
+            format!("{:.2}", mw.availability.nines()),
+            format!("{:.0}", tps(agg.committed, 30)),
+        ]);
+    }
+    t.print();
+    println!("  (replication converts node faults into brief degraded periods; a\n   single replica turns every fault into client-visible downtime)\n");
+}
+
+// ---------------------------------------------------------------------
+// E13 — backup: cold vs hot
+// ---------------------------------------------------------------------
+
+fn e13_backup() {
+    banner("E13", "backup: cold (remove+rejoin) vs hot (degrade in place) (§4.4.1)");
+    let mut t = Table::new(&["mode", "backup ms", "tps before", "tps during", "tps after"]);
+    for hot in [false, true] {
+        let mut cfg = mm_statement_cfg(5_000);
+        let mut cluster = Cluster::build(cfg.clone());
+        let clients: Vec<NodeId> = (0..6)
+            .map(|i| {
+                cluster.add_client(SeqInsert::new(1_000_000 * (i as i64 + 1)), |cc| {
+                    cc.think_time_us = 300;
+                })
+            })
+            .collect();
+        cluster.admin_at(SimTime::from_secs(2), 0, AdminCmd::Backup { backend: BackendId(1), hot });
+        cluster.run_for(dur::secs(6));
+        let mw = cluster.mw_metrics(0);
+        let (start, end) = mw
+            .backups
+            .first()
+            .map(|&(s, e, _, _)| (s, e))
+            .unwrap_or((2_000_000, 2_000_000));
+        // Throughput before/during/after from per-second commit series.
+        let mut before = 0u64;
+        let mut during = 0u64;
+        let mut after = 0u64;
+        let (s_sec, e_sec) = (start / 1_000_000, end / 1_000_000 + 1);
+        for &c in &clients {
+            let m = cluster.client_metrics(c);
+            for (&sec, &n) in &m.commits_per_sec {
+                if sec < s_sec {
+                    before += n;
+                } else if sec <= e_sec {
+                    during += n;
+                } else {
+                    after += n;
+                }
+            }
+        }
+        let before_secs = s_sec.max(1);
+        let during_secs = (e_sec - s_sec + 1).max(1);
+        let after_secs = (6u64.saturating_sub(e_sec + 1)).max(1);
+        t.row(&[
+            if hot { "hot" } else { "cold" }.to_string(),
+            format!("{:.0}", (end - start) as f64 / 1e3),
+            format!("{:.0}", before as f64 / before_secs as f64),
+            format!("{:.0}", during as f64 / during_secs as f64),
+            format!("{:.0}", after as f64 / after_secs as f64),
+        ]);
+        let _ = &mut cfg;
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E14 — group communication: sequencer vs token ring
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GMsg {
+    Gcs(replimid_gcs::GcsMsg<u64>),
+    Publish(u64),
+}
+
+struct GNode {
+    member: GroupMember<u64>,
+    delivered: Vec<(u64, u64)>, // (publish time, deliver time) keyed by payload order
+    sent_at: std::collections::HashMap<u64, u64>,
+}
+
+impl GNode {
+    fn act(&mut self, ctx: &mut replimid_simnet::Ctx<'_, GMsg>, actions: Vec<Action<u64>>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => ctx.send(NodeId(to.0), GMsg::Gcs(msg)),
+                Action::SetTimer { delay_us, tag } => ctx.set_timer(delay_us, tag),
+                Action::Deliver { payload, .. } => {
+                    let now = ctx.now().micros();
+                    let sent = self.sent_at.get(&payload).copied().unwrap_or(now);
+                    self.delivered.push((sent, now));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl replimid_simnet::Actor<GMsg> for GNode {
+    fn on_start(&mut self, ctx: &mut replimid_simnet::Ctx<'_, GMsg>) {
+        let a = self.member.start(ctx.now().micros());
+        self.act(ctx, a);
+    }
+    fn on_message(&mut self, ctx: &mut replimid_simnet::Ctx<'_, GMsg>, from: NodeId, msg: GMsg) {
+        let now = ctx.now().micros();
+        let actions = match msg {
+            GMsg::Gcs(m) => self.member.on_message(MemberId(from.0), m, now),
+            GMsg::Publish(p) => {
+                self.sent_at.insert(p, now);
+                self.member.publish(p, now)
+            }
+        };
+        self.act(ctx, actions);
+    }
+    fn on_timer(&mut self, ctx: &mut replimid_simnet::Ctx<'_, GMsg>, tag: u64) {
+        let a = self.member.on_timer(tag, ctx.now().micros());
+        self.act(ctx, a);
+    }
+}
+
+fn e14_group_communication() {
+    banner("E14", "total order: fixed sequencer vs token ring, LAN vs WAN (§4.3.4.1)");
+    let mut t = Table::new(&["net", "protocol", "group", "deliver p50 us", "deliver p99 us"]);
+    for (nlabel, link) in [("LAN", LinkSpec::lan()), ("WAN", LinkSpec::wan())] {
+        for (plabel, proto) in [
+            ("sequencer", OrderProtocol::FixedSequencer),
+            ("token ring", OrderProtocol::TokenRing),
+        ] {
+            for group in [2usize, 4, 8] {
+                let mut sim: replimid_simnet::Sim<GMsg> =
+                    replimid_simnet::Sim::new(NetworkModel::new(link), 99);
+                let members: Vec<MemberId> = (0..group).map(MemberId).collect();
+                let cfg = GcsConfig {
+                    heartbeat: if matches!(nlabel, "WAN") {
+                        HeartbeatConfig { interval_us: 100_000, timeout_us: 1_000_000 }
+                    } else {
+                        HeartbeatConfig::lan()
+                    },
+                    protocol: proto,
+                    token_timeout_us: 2_000_000,
+                    flush_timeout_us: 2_000_000,
+                };
+                let nodes: Vec<NodeId> = (0..group)
+                    .map(|i| {
+                        sim.add_node(GNode {
+                            member: GroupMember::new(MemberId(i), members.clone(), cfg, 0),
+                            delivered: Vec::new(),
+                            sent_at: std::collections::HashMap::new(),
+                        })
+                    })
+                    .collect();
+                // Publish 50 messages from each member, spread out.
+                let mut p = 0u64;
+                for round in 0..50u64 {
+                    for &n in &nodes {
+                        p += 1;
+                        sim.inject(SimTime(10_000 + round * 5_000), n, GMsg::Publish(p));
+                    }
+                }
+                sim.run_until(SimTime::from_secs(30));
+                // Delivery latency at the ORIGIN member (publish->self-deliver).
+                let mut hist = replimid_core::Histogram::new();
+                for &n in &nodes {
+                    sim.with_actor::<GNode, _>(n, |g| {
+                        for &(sent, got) in &g.delivered {
+                            if g.sent_at.values().any(|&s| s == sent) {
+                                hist.record(got.saturating_sub(sent));
+                            }
+                        }
+                    });
+                }
+                t.row(&[
+                    nlabel.to_string(),
+                    plabel.to_string(),
+                    group.to_string(),
+                    hist.quantile_us(0.5).to_string(),
+                    hist.quantile_us(0.99).to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+    println!("  (sequencer latency is flat in group size; token-ring latency grows\n   with the ring — and the WAN multiplies everything, §4.3.4.1)\n");
+}
+
+// ---------------------------------------------------------------------
+// E15 — slave lag: serial vs parallel apply; master throttling
+// ---------------------------------------------------------------------
+
+fn e15_slave_lag() {
+    banner("E15", "slave lag under load: serial vs parallel apply (§2.2)");
+    let mut t = Table::new(&["apply", "slave speed", "peak lag", "final lag"]);
+    for (alabel, parallel) in [("serial", false), ("parallel", true)] {
+        for (slabel, speed) in [("1x", 1.0f64), ("6x slower", 6.0)] {
+            let schema = {
+                let mut s = vec![
+                    "CREATE DATABASE bench".to_string(),
+                    "USE bench".to_string(),
+                ];
+                for i in 0..4 {
+                    s.push(format!("CREATE TABLE t{i} (k INT PRIMARY KEY, v INT)"));
+                }
+                s
+            };
+            let mut cfg = ClusterConfig::new(
+                Mode::MasterSlave {
+                    two_safe: false,
+                    ship_interval_us: 50_000,
+                    use_writesets: true,
+                    parallel_apply: parallel,
+                    read_master: true,
+                },
+                schema,
+                "bench",
+            );
+            cfg.backends_per_mw = 2;
+            cfg.backend_speed = vec![1.0, speed];
+            let mut cluster = Cluster::build(cfg);
+            struct MultiTable {
+                next: i64,
+            }
+            impl replimid_core::TxSource for MultiTable {
+                fn next_tx(&mut self, _r: &mut rand::rngs::StdRng) -> Vec<String> {
+                    let k = self.next;
+                    self.next += 1;
+                    vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 4)]
+                }
+            }
+            for i in 0..6 {
+                cluster.add_client(MultiTable { next: 10_000_000 * (i + 1) }, |cc| {
+                    cc.think_time_us = 200;
+                    cc.tx_limit = 4_000;
+                });
+            }
+            // Writers run ~2s; then 4s of quiescence to observe catch-up.
+            cluster.run_for(dur::secs(6));
+            let mw = cluster.mw_metrics(0);
+            let peak = mw.lag_samples.iter().map(|&(_, l)| l).max().unwrap_or(0);
+            let last = mw.lag_samples.last().map(|&(_, l)| l).unwrap_or(0);
+            t.row(&[
+                alabel.to_string(),
+                slabel.to_string(),
+                peak.to_string(),
+                last.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("  (the paper's fix — \"slow down the master\" — corresponds to raising\n   client think time until final lag returns to ~0)\n");
+}

@@ -1,0 +1,179 @@
+//! Load balancing across backend replicas (§3.2).
+//!
+//! Two orthogonal axes, exactly as the paper frames them:
+//!
+//! * **Granularity** — connection-level (a session sticks to one replica for
+//!   its lifetime), transaction-level (chosen per transaction), or
+//!   query-level (chosen per statement).
+//! * **Policy** — round-robin, LPRF (least pending requests first, the
+//!   C-JDBC policy the paper cites for heterogeneous clusters, §4.1.3), or
+//!   static weights.
+
+use crate::msg::BackendId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    Connection,
+    Transaction,
+    Query,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    RoundRobin,
+    /// Least pending requests first: routes to the replica with the fewest
+    /// outstanding operations — adapts to heterogeneous/degraded replicas.
+    Lprf,
+    /// Static weights (requests distributed proportionally). Weights are
+    /// per-backend; missing entries default to 1.
+    Weighted(Vec<u32>),
+}
+
+/// Balancer state: tracks outstanding requests per backend (for LPRF) and
+/// round-robin cursors.
+#[derive(Debug, Clone)]
+pub struct Balancer {
+    pub granularity: Granularity,
+    policy: Policy,
+    rr_cursor: usize,
+    outstanding: Vec<u64>,
+    weighted_credit: Vec<f64>,
+}
+
+impl Balancer {
+    pub fn new(granularity: Granularity, policy: Policy, backends: usize) -> Self {
+        Balancer {
+            granularity,
+            policy,
+            rr_cursor: 0,
+            outstanding: vec![0; backends],
+            weighted_credit: vec![0.0; backends],
+        }
+    }
+
+    pub fn resize(&mut self, backends: usize) {
+        self.outstanding.resize(backends, 0);
+        self.weighted_credit.resize(backends, 0.0);
+    }
+
+    /// Pick a backend among `healthy` (indices into the backend list).
+    /// Returns `None` when no replica is available.
+    pub fn pick(&mut self, healthy: &[BackendId]) -> Option<BackendId> {
+        if healthy.is_empty() {
+            return None;
+        }
+        match &self.policy {
+            Policy::RoundRobin => {
+                let choice = healthy[self.rr_cursor % healthy.len()];
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(choice)
+            }
+            Policy::Lprf => healthy
+                .iter()
+                .copied()
+                .min_by_key(|b| (self.outstanding.get(b.0).copied().unwrap_or(0), b.0)),
+            Policy::Weighted(weights) => {
+                // Deterministic proportional selection: accumulate credit by
+                // weight, pick the richest, then spend it.
+                for &b in healthy {
+                    let w = weights.get(b.0).copied().unwrap_or(1).max(1) as f64;
+                    self.weighted_credit[b.0] += w;
+                }
+                let best = healthy
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| {
+                        self.weighted_credit[a.0]
+                            .partial_cmp(&self.weighted_credit[b.0])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.0.cmp(&a.0))
+                    })?;
+                let total: f64 = healthy
+                    .iter()
+                    .map(|b| weights.get(b.0).copied().unwrap_or(1).max(1) as f64)
+                    .sum();
+                self.weighted_credit[best.0] -= total;
+                Some(best)
+            }
+        }
+    }
+
+    /// Track an operation dispatched to `b` (LPRF input).
+    pub fn dispatched(&mut self, b: BackendId) {
+        if let Some(o) = self.outstanding.get_mut(b.0) {
+            *o += 1;
+        }
+    }
+
+    /// Track an operation completed at `b`.
+    pub fn completed(&mut self, b: BackendId) {
+        if let Some(o) = self.outstanding.get_mut(b.0) {
+            *o = o.saturating_sub(1);
+        }
+    }
+
+    pub fn outstanding(&self, b: BackendId) -> u64 {
+        self.outstanding.get(b.0).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<BackendId> {
+        v.iter().map(|&i| BackendId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 3);
+        let healthy = ids(&[0, 1, 2]);
+        let picks: Vec<usize> = (0..6).map(|_| b.pick(&healthy).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_unhealthy() {
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 3);
+        let healthy = ids(&[0, 2]);
+        let picks: Vec<usize> = (0..4).map(|_| b.pick(&healthy).unwrap().0).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn lprf_prefers_least_loaded() {
+        let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 3);
+        let healthy = ids(&[0, 1, 2]);
+        b.dispatched(BackendId(0));
+        b.dispatched(BackendId(0));
+        b.dispatched(BackendId(1));
+        assert_eq!(b.pick(&healthy), Some(BackendId(2)));
+        b.dispatched(BackendId(2));
+        b.dispatched(BackendId(2));
+        b.dispatched(BackendId(2));
+        assert_eq!(b.pick(&healthy), Some(BackendId(1)));
+        b.completed(BackendId(0));
+        b.completed(BackendId(0));
+        assert_eq!(b.pick(&healthy), Some(BackendId(0)));
+    }
+
+    #[test]
+    fn weighted_is_proportional() {
+        // Backend 0 has weight 3, backend 1 weight 1.
+        let mut b = Balancer::new(Granularity::Query, Policy::Weighted(vec![3, 1]), 2);
+        let healthy = ids(&[0, 1]);
+        let mut counts = [0u32; 2];
+        for _ in 0..400 {
+            counts[b.pick(&healthy).unwrap().0] += 1;
+        }
+        assert_eq!(counts[0] + counts[1], 400);
+        assert!((290..=310).contains(&counts[0]), "counts {counts:?}");
+    }
+
+    #[test]
+    fn no_backend_means_none() {
+        let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 2);
+        assert_eq!(b.pick(&[]), None);
+    }
+}

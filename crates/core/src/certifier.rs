@@ -1,0 +1,195 @@
+//! Writeset certification for transaction-based multi-master replication
+//! (§4.3.2; the Postgres-R / Middle-R lineage).
+//!
+//! Certification is deterministic from the totally-ordered stream of
+//! certification requests, so every middleware replica reaches the same
+//! verdicts — which is precisely what makes the certifier *replicable*
+//! instead of the single point of failure §3.2 warns about. The experiments
+//! can still configure a deliberately-unreplicated certifier to reproduce
+//! the SPOF outage.
+
+use std::collections::HashMap;
+
+use replimid_sql::{Writeset, WsKey};
+
+/// One certified transaction in the conflict window.
+#[derive(Debug, Clone)]
+struct Certified {
+    /// Position in the certification sequence (1-based).
+    pos: u64,
+    /// Keys written (retained for diagnostics and future window audits).
+    #[allow(dead_code)]
+    key_hashes: Vec<u64>,
+}
+
+/// First-committer-wins certifier with a sliding conflict window.
+#[derive(Debug, Clone)]
+pub struct Certifier {
+    /// Certification sequence position (count of certified transactions).
+    pos: u64,
+    window: Vec<Certified>,
+    /// Per-key last-certified position (fast path).
+    last_writer: HashMap<u64, u64>,
+    /// Keep at most this many transactions in the window; transactions
+    /// older than everything active can be pruned by the caller via
+    /// `prune_before`.
+    max_window: usize,
+}
+
+/// Outcome of certification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Commit,
+    /// A concurrent transaction already certified a write to an overlapping
+    /// key (first-committer-wins).
+    Abort,
+}
+
+impl Certifier {
+    pub fn new() -> Self {
+        Certifier { pos: 0, window: Vec::new(), last_writer: HashMap::new(), max_window: 65_536 }
+    }
+
+    /// Current position; transactions snapshot this when they begin.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Certify a transaction that began at `start_pos` with writeset `ws`.
+    /// `pk_of` resolves primary keys for key extraction. Deterministic:
+    /// every replica feeding the same ordered stream gets the same verdicts.
+    pub fn certify(
+        &mut self,
+        start_pos: u64,
+        ws: &Writeset,
+        pk_of: impl Fn(&str, &str) -> Option<usize>,
+    ) -> Verdict {
+        let keys: Vec<WsKey> = ws.keys(&pk_of);
+        let hashes: Vec<u64> = keys.iter().map(WsKey::hash).collect();
+        for h in &hashes {
+            if let Some(&writer_pos) = self.last_writer.get(h) {
+                if writer_pos > start_pos {
+                    return Verdict::Abort;
+                }
+            }
+        }
+        // Passed: record it.
+        self.pos += 1;
+        let pos = self.pos;
+        for &h in &hashes {
+            self.last_writer.insert(h, pos);
+        }
+        self.window.push(Certified { pos, key_hashes: hashes });
+        if self.window.len() > self.max_window {
+            let cutoff = self.window[self.window.len() - self.max_window].pos;
+            self.prune_before(cutoff);
+        }
+        Verdict::Commit
+    }
+
+    /// Drop window entries older than `pos` (no active transaction started
+    /// before it). Key entries are retained in `last_writer` only while
+    /// their writer remains in the window.
+    pub fn prune_before(&mut self, pos: u64) {
+        self.window.retain(|c| c.pos >= pos);
+        let retained: std::collections::HashSet<u64> =
+            self.window.iter().map(|c| c.pos).collect();
+        self.last_writer.retain(|_, p| retained.contains(p) || *p >= pos);
+        let _ = &retained;
+    }
+
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl Default for Certifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replimid_sql::mvcc::{RowId, WriteKind, WriteRecord};
+    use replimid_sql::Value;
+
+    fn ws(keys: &[i64]) -> Writeset {
+        Writeset {
+            entries: keys
+                .iter()
+                .map(|&k| WriteRecord {
+                    database: "d".into(),
+                    table: "t".into(),
+                    row: RowId(k as u64),
+                    kind: WriteKind::Update,
+                    old: Some(vec![Value::Int(k), Value::Int(0)]),
+                    new: Some(vec![Value::Int(k), Value::Int(1)]),
+                    temp: false,
+                })
+                .collect(),
+            counters: None,
+        }
+    }
+
+    fn pk(_db: &str, _t: &str) -> Option<usize> {
+        Some(0)
+    }
+
+    #[test]
+    fn non_overlapping_both_commit() {
+        let mut c = Certifier::new();
+        let s = c.position();
+        assert_eq!(c.certify(s, &ws(&[1]), pk), Verdict::Commit);
+        assert_eq!(c.certify(s, &ws(&[2]), pk), Verdict::Commit);
+    }
+
+    #[test]
+    fn first_committer_wins_on_overlap() {
+        let mut c = Certifier::new();
+        let s = c.position(); // both transactions started here
+        assert_eq!(c.certify(s, &ws(&[1, 2]), pk), Verdict::Commit);
+        assert_eq!(c.certify(s, &ws(&[2, 3]), pk), Verdict::Abort, "overlaps key 2");
+        // A transaction that started after the first commit is fine.
+        let s2 = c.position();
+        assert_eq!(c.certify(s2, &ws(&[2]), pk), Verdict::Commit);
+    }
+
+    #[test]
+    fn serial_rewrites_of_same_key_commit() {
+        let mut c = Certifier::new();
+        for _ in 0..10 {
+            let s = c.position();
+            assert_eq!(c.certify(s, &ws(&[7]), pk), Verdict::Commit);
+        }
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        let run = || {
+            let mut c = Certifier::new();
+            let mut verdicts = Vec::new();
+            let s0 = c.position();
+            verdicts.push(c.certify(s0, &ws(&[1, 2]), pk));
+            verdicts.push(c.certify(s0, &ws(&[2]), pk));
+            let s1 = c.position();
+            verdicts.push(c.certify(s1, &ws(&[1]), pk));
+            verdicts.push(c.certify(0, &ws(&[9]), pk));
+            verdicts
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pruning_keeps_recent_conflicts() {
+        let mut c = Certifier::new();
+        let s = c.position();
+        c.certify(s, &ws(&[1]), pk);
+        let mid = c.position();
+        c.certify(mid, &ws(&[2]), pk);
+        c.prune_before(mid);
+        // Conflict with the recent write must still be detected.
+        assert_eq!(c.certify(mid, &ws(&[2]), pk), Verdict::Abort);
+    }
+}

@@ -1,0 +1,319 @@
+//! Closed-loop client actor: runs transactions from a [`TxSource`], measures
+//! end-to-end latency and throughput, retries retryable aborts, and fails
+//! over between middleware replicas on timeout — the behaviour §4.3.3 says
+//! real drivers need and mostly lack.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use replimid_simnet::{Actor, Ctx, NodeId};
+
+use crate::metrics::Histogram;
+use crate::msg::{ClientRequest, Msg, ReplyError, SessionId};
+
+/// Produces the next transaction to run: a list of SQL statements. Include
+/// BEGIN/COMMIT explicitly for multi-statement transactions; single
+/// statements run in autocommit.
+pub trait TxSource {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String>;
+}
+
+/// A fixed script, cycled forever (test helper).
+pub struct ScriptSource {
+    pub txs: Vec<Vec<String>>,
+    cursor: usize,
+}
+
+impl ScriptSource {
+    pub fn new(txs: Vec<Vec<String>>) -> Self {
+        ScriptSource { txs, cursor: 0 }
+    }
+}
+
+impl TxSource for ScriptSource {
+    fn next_tx(&mut self, _rng: &mut StdRng) -> Vec<String> {
+        let tx = self.txs[self.cursor % self.txs.len()].clone();
+        self.cursor += 1;
+        tx
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    pub session: SessionId,
+    /// Middleware nodes, in failover preference order.
+    pub middlewares: Vec<NodeId>,
+    /// Closed-loop think time between transactions.
+    pub think_time_us: u64,
+    /// Per-statement timeout before failing over to the next middleware.
+    pub request_timeout_us: u64,
+    /// Retries for retryable aborts (certification/write conflicts).
+    pub max_retries: u32,
+    /// Stop issuing new transactions after this many completed (0 = run
+    /// until the simulation ends).
+    pub tx_limit: u64,
+}
+
+impl ClientConfig {
+    pub fn new(session: SessionId, middlewares: Vec<NodeId>) -> Self {
+        ClientConfig {
+            session,
+            middlewares,
+            think_time_us: 1_000,
+            request_timeout_us: 500_000,
+            max_retries: 5,
+            tx_limit: 0,
+        }
+    }
+}
+
+/// Per-client measurements.
+#[derive(Debug, Clone)]
+pub struct ClientMetrics {
+    pub committed: u64,
+    pub aborted: u64,
+    pub failed: u64,
+    pub timeouts: u64,
+    pub failovers: u64,
+    pub stmt_latency: Histogram,
+    pub tx_latency: Histogram,
+    /// Committed-transaction count per virtual second (throughput series).
+    pub commits_per_sec: BTreeMap<u64, u64>,
+    /// Errors per virtual second (degraded-mode visibility).
+    pub errors_per_sec: BTreeMap<u64, u64>,
+    /// The most recent error, for diagnostics.
+    pub last_error: Option<String>,
+}
+
+impl Default for ClientMetrics {
+    fn default() -> Self {
+        ClientMetrics {
+            committed: 0,
+            aborted: 0,
+            failed: 0,
+            timeouts: 0,
+            failovers: 0,
+            stmt_latency: Histogram::new(),
+            tx_latency: Histogram::new(),
+            commits_per_sec: BTreeMap::new(),
+            errors_per_sec: BTreeMap::new(),
+            last_error: None,
+        }
+    }
+}
+
+const TIMER_THINK: u64 = 1;
+const TIMER_TIMEOUT_BASE: u64 = 100;
+
+enum Phase {
+    Idle,
+    /// Executing `tx`, at statement `index`; statement sent at `sent_us`.
+    Running { tx: Vec<String>, index: usize, started_us: u64, sent_us: u64, retries: u32 },
+    /// Cleaning up a failed transaction before retrying or skipping.
+    RollingBack { tx: Vec<String>, started_us: u64, retries: u32, retry: bool },
+    Done,
+}
+
+/// The client actor. The transaction source is boxed so the actor has a
+/// concrete type (the simulator's inspection API downcasts to it).
+pub struct Client {
+    cfg: ClientConfig,
+    source: Box<dyn TxSource>,
+    phase: Phase,
+    stmt_seq: u64,
+    mw_index: usize,
+    pub metrics: ClientMetrics,
+}
+
+impl Client {
+    pub fn new(cfg: ClientConfig, source: impl TxSource + 'static) -> Self {
+        Client {
+            cfg,
+            source: Box::new(source),
+            phase: Phase::Idle,
+            stmt_seq: 0,
+            mw_index: 0,
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    fn middleware(&self) -> NodeId {
+        self.cfg.middlewares[self.mw_index % self.cfg.middlewares.len()]
+    }
+
+    fn send_current(&mut self, ctx: &mut Ctx<'_, Msg>, sql: String) {
+        let req = ClientRequest { session: self.cfg.session, stmt_seq: self.stmt_seq, sql };
+        let mw = self.middleware();
+        ctx.send(mw, Msg::Request(req));
+        ctx.set_timer(self.cfg.request_timeout_us, TIMER_TIMEOUT_BASE + self.stmt_seq);
+    }
+
+    fn begin_tx(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.cfg.tx_limit > 0
+            && self.metrics.committed + self.metrics.failed >= self.cfg.tx_limit
+        {
+            self.phase = Phase::Done;
+            return;
+        }
+        let tx = self.source.next_tx(ctx.rng());
+        if tx.is_empty() {
+            self.phase = Phase::Done;
+            return;
+        }
+        self.start_attempt(ctx, tx, 0);
+    }
+
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_, Msg>, tx: Vec<String>, retries: u32) {
+        let now = ctx.now().micros();
+        self.stmt_seq += 1;
+        let sql = tx[0].clone();
+        self.phase = Phase::Running { tx, index: 0, started_us: now, sent_us: now, retries };
+        self.send_current(ctx, sql);
+    }
+
+    fn tx_committed(&mut self, ctx: &mut Ctx<'_, Msg>, started_us: u64) {
+        let now = ctx.now().micros();
+        self.metrics.committed += 1;
+        self.metrics.tx_latency.record(now - started_us);
+        *self.metrics.commits_per_sec.entry(now / 1_000_000).or_insert(0) += 1;
+        self.phase = Phase::Idle;
+        ctx.set_timer(self.cfg.think_time_us.max(1), TIMER_THINK);
+    }
+
+    fn tx_failed(&mut self, ctx: &mut Ctx<'_, Msg>, tx: Vec<String>, started_us: u64, retries: u32, retryable: bool) {
+        let now = ctx.now().micros();
+        *self.metrics.errors_per_sec.entry(now / 1_000_000).or_insert(0) += 1;
+        if retryable && retries < self.cfg.max_retries {
+            self.metrics.aborted += 1;
+            // Roll back whatever transaction context remains, then retry.
+            self.stmt_seq += 1;
+            self.phase = Phase::RollingBack { tx, started_us, retries, retry: true };
+            self.send_current(ctx, "ROLLBACK".into());
+        } else {
+            self.metrics.failed += 1;
+            self.stmt_seq += 1;
+            self.phase = Phase::RollingBack { tx, started_us, retries, retry: false };
+            self.send_current(ctx, "ROLLBACK".into());
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut Ctx<'_, Msg>, stmt_seq: u64, result: Result<(), ReplyError>) {
+        if stmt_seq != self.stmt_seq {
+            return; // stale (timed-out request answered late)
+        }
+        let now = ctx.now().micros();
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Running { tx, index, started_us, sent_us, retries } => {
+                self.metrics.stmt_latency.record(now - sent_us);
+                match result {
+                    Ok(()) => {
+                        if index + 1 < tx.len() {
+                            self.stmt_seq += 1;
+                            let sql = tx[index + 1].clone();
+                            self.phase = Phase::Running {
+                                tx,
+                                index: index + 1,
+                                started_us,
+                                sent_us: now,
+                                retries,
+                            };
+                            self.send_current(ctx, sql);
+                        } else {
+                            self.tx_committed(ctx, started_us);
+                        }
+                    }
+                    Err(e) => {
+                        let retryable = e.is_retryable();
+                        self.metrics.last_error = Some(format!("{e:?}"));
+                        self.tx_failed(ctx, tx, started_us, retries, retryable);
+                    }
+                }
+            }
+            Phase::RollingBack { tx, started_us, retries, retry } => {
+                // Rollback acknowledged (or failed — either way, move on).
+                if retry {
+                    self.start_attempt(ctx, tx, retries + 1);
+                } else {
+                    let _ = started_us;
+                    self.phase = Phase::Idle;
+                    ctx.set_timer(self.cfg.think_time_us.max(1), TIMER_THINK);
+                }
+            }
+            other => self.phase = other,
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut Ctx<'_, Msg>, stmt_seq: u64) {
+        if stmt_seq != self.stmt_seq {
+            return; // reply already arrived
+        }
+        // Only meaningful while a request is outstanding.
+        let outstanding = matches!(self.phase, Phase::Running { .. } | Phase::RollingBack { .. });
+        if !outstanding {
+            return;
+        }
+        self.metrics.timeouts += 1;
+        self.metrics.failovers += 1;
+        *self
+            .metrics
+            .errors_per_sec
+            .entry(ctx.now().micros() / 1_000_000)
+            .or_insert(0) += 1;
+        // Fail over to the next middleware and retry the same statement —
+        // the dedup key (session, stmt_seq) makes this safe.
+        self.mw_index += 1;
+        let sql = match &self.phase {
+            Phase::Running { tx, index, .. } => tx[*index].clone(),
+            Phase::RollingBack { .. } => "ROLLBACK".into(),
+            _ => return,
+        };
+        if let Phase::Running { sent_us, .. } = &mut self.phase {
+            *sent_us = ctx.now().micros();
+        }
+        self.send_current(ctx, sql);
+    }
+}
+
+impl Actor<Msg> for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Stagger client start-up a little to avoid lockstep.
+        let jitter = (self.cfg.session.0 % 97) * 100;
+        ctx.set_timer(1_000 + jitter, TIMER_THINK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        if let Msg::Reply(reply) = msg {
+            if reply.session != self.cfg.session {
+                return;
+            }
+            let result = reply.result.map(|_| ());
+            self.on_reply(ctx, reply.stmt_seq, result);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TIMER_THINK => {
+                if matches!(self.phase, Phase::Idle) {
+                    self.begin_tx(ctx);
+                }
+            }
+            t if t >= TIMER_TIMEOUT_BASE => self.on_timeout(ctx, t - TIMER_TIMEOUT_BASE),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_source_cycles() {
+        let mut s = ScriptSource::new(vec![vec!["SELECT 1".into()], vec!["SELECT 2".into()]]);
+        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        assert_eq!(s.next_tx(&mut rng)[0], "SELECT 1");
+        assert_eq!(s.next_tx(&mut rng)[0], "SELECT 2");
+        assert_eq!(s.next_tx(&mut rng)[0], "SELECT 1");
+    }
+}

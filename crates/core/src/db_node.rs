@@ -1,0 +1,385 @@
+//! The database-node actor: one replica's RDBMS process, wrapping a
+//! `replimid_sql::Engine`, with per-statement virtual CPU accounting, crash
+//! semantics (sessions and in-flight transactions die; durable state and the
+//! binlog survive), and the apply paths used by log shipping and recovery.
+
+use std::collections::HashMap;
+
+use replimid_simnet::{Actor, Ctx, NodeId};
+use replimid_sql::engine::ConnId;
+use replimid_sql::{BinlogEntry, DumpOptions, Engine, Lsn, Outcome, SqlError, ADMIN_PASSWORD, ADMIN_USER};
+
+use crate::msg::{CommitNote, DbOp, DbResp, Msg, ReplyBody};
+
+/// Virtual cost constants specific to node-level operations.
+pub mod cost {
+    /// Per-row cost of producing or loading a dump.
+    pub const DUMP_ROW_US: u64 = 3;
+    /// Fixed dump/restore overhead.
+    pub const DUMP_BASE_US: u64 = 2_000;
+    /// Checksum cost per call (scan-ish).
+    pub const CHECKSUM_US: u64 = 500;
+}
+
+/// One simulated database server.
+pub struct DbNode {
+    engine: Engine,
+    default_db: Option<String>,
+    /// Heterogeneity: CPU cost multiplier (×2 = the paper's RAID battery
+    /// failure making a replica twice as slow, §4.1.3).
+    pub speed_factor: f64,
+    conns: HashMap<u64, ConnId>,
+    /// Dedicated connection for applying shipped/replayed statements.
+    repl_conn: Option<ConnId>,
+    /// Last *foreign* LSN applied via ApplyBinlog (slave role).
+    applied_lsn: Lsn,
+    /// Highest ordered-statement sequence executed (total order / recovery
+    /// replay idempotence). Durable metadata, like the binlog itself.
+    ordered_applied: u64,
+}
+
+impl DbNode {
+    pub fn new(engine: Engine, default_db: Option<String>) -> Self {
+        // A fresh replica is initialized from the same snapshot as its
+        // peers, so everything already in its binlog (the schema load)
+        // counts as applied.
+        let applied_lsn = engine.binlog_head();
+        DbNode {
+            engine,
+            default_db,
+            speed_factor: 1.0,
+            conns: HashMap::new(),
+            repl_conn: None,
+            applied_lsn,
+            ordered_applied: 0,
+        }
+    }
+
+    pub fn with_speed(mut self, factor: f64) -> Self {
+        self.speed_factor = factor;
+        self
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied_lsn
+    }
+
+    fn conn_for(&mut self, token: u64) -> Result<ConnId, SqlError> {
+        if let Some(&c) = self.conns.get(&token) {
+            return Ok(c);
+        }
+        let c = self.engine.connect(ADMIN_USER, ADMIN_PASSWORD)?;
+        if let Some(db) = &self.default_db {
+            self.engine.execute(c, &format!("USE {db}"))?;
+        }
+        self.conns.insert(token, c);
+        Ok(c)
+    }
+
+    fn repl_conn(&mut self) -> Result<ConnId, SqlError> {
+        if let Some(c) = self.repl_conn {
+            return Ok(c);
+        }
+        let c = self.engine.connect(ADMIN_USER, ADMIN_PASSWORD)?;
+        self.repl_conn = Some(c);
+        Ok(c)
+    }
+
+    fn scaled(&self, us: u64) -> u64 {
+        (us as f64 * self.speed_factor) as u64
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, op: DbOp) -> Option<DbResp> {
+        self.engine.set_clock(ctx.now().micros() as i64);
+        match op {
+            DbOp::Execute { op, conn, sql, seq } => {
+                if let Some(sq) = seq {
+                    if std::env::var("REPLIMID_DEBUG2").is_ok() {
+                        eprintln!(
+                            "[{} n{}] exec arrive seq {sq}",
+                            ctx.now().micros(),
+                            ctx.me.0
+                        );
+                    }
+                    if sq <= self.ordered_applied && std::env::var("REPLIMID_DEBUG").is_ok() {
+                        eprintln!(
+                            "[{}] skip exec seq {sq} (ordered_applied={}) sql={sql}",
+                            ctx.now().micros(),
+                            self.ordered_applied
+                        );
+                    }
+                    if sq <= self.ordered_applied {
+                        // Already applied before a failure was declared:
+                        // idempotent skip.
+                        return Some(DbResp::ExecOk {
+                            op,
+                            body: ReplyBody::Ack,
+                            commit: None,
+                            tainted: false,
+                        });
+                    }
+                }
+                let resp = match self
+                    .conn_for(conn)
+                    .and_then(|c| self.engine.execute(c, &sql))
+                {
+                    Ok(res) => {
+                        ctx.consume(self.scaled(res.cost.cpu_us));
+                        let body = match res.outcome {
+                            Outcome::Rows(rs) => ReplyBody::Rows(rs),
+                            Outcome::Affected(n) => ReplyBody::Affected(n),
+                            Outcome::Ack => ReplyBody::Ack,
+                        };
+                        let commit = res.commit.map(|c| CommitNote {
+                            writeset: c.writeset,
+                            lsn: self.engine.binlog_head(),
+                        });
+                        if let Some(sq) = seq {
+                            self.ordered_applied = self.ordered_applied.max(sq);
+                        }
+                        DbResp::ExecOk { op, body, commit, tainted: res.tainted }
+                    }
+                    Err(err) => {
+                        ctx.consume(self.scaled(replimid_sql::result::cost_model::STATEMENT_BASE_US));
+                        DbResp::ExecErr { op, err }
+                    }
+                };
+                Some(resp)
+            }
+            DbOp::PrepareWriteset { op, conn } => {
+                let resp = match self
+                    .conn_for(conn)
+                    .and_then(|c| self.engine.pending_writeset(c))
+                {
+                    Ok(ws) => DbResp::WritesetOut { op, ws: Box::new(ws) },
+                    Err(err) => DbResp::ExecErr { op, err },
+                };
+                Some(resp)
+            }
+            DbOp::ApplyWriteset { op, ws } => {
+                let resp = match self.engine.apply_writeset(&ws) {
+                    Ok(res) => {
+                        ctx.consume(self.scaled(res.cost.cpu_us.max(ws.len() as u64 * 4)));
+                        DbResp::ApplyOk { op, applied_lsn: self.applied_lsn }
+                    }
+                    Err(err) => DbResp::ApplyErr { op, err },
+                };
+                Some(resp)
+            }
+            DbOp::ApplyBinlog { op, entries, use_writesets, parallel_apply, space } => {
+                Some(self.apply_binlog(ctx, op, entries, use_writesets, parallel_apply, space))
+            }
+            DbOp::BinlogAfter { op, after } => {
+                let head = self.engine.binlog_head();
+                let resp = match self.engine.binlog_after(after) {
+                    Some(entries) => DbResp::BinlogOut { op, entries, resync_needed: false, head },
+                    None => DbResp::BinlogOut { op, entries: Vec::new(), resync_needed: true, head },
+                };
+                Some(resp)
+            }
+            DbOp::Dump { op, include_programs, include_principals } => {
+                let dump = self.engine.dump(DumpOptions { include_principals, include_programs });
+                ctx.consume(self.scaled(cost::DUMP_BASE_US + dump.row_count() * cost::DUMP_ROW_US));
+                let head = self.engine.binlog_head().max(self.applied_lsn);
+                Some(DbResp::DumpOut { op, dump: Box::new(dump), head })
+            }
+            DbOp::Restore { op, dump, baseline, ordered_baseline } => {
+                let rows = dump.row_count();
+                match self.engine.restore(&dump) {
+                    Ok(()) => {
+                        ctx.consume(self.scaled(cost::DUMP_BASE_US + rows * cost::DUMP_ROW_US));
+                        self.applied_lsn = baseline;
+                        self.ordered_applied = ordered_baseline;
+                        Some(DbResp::RestoreOk { op })
+                    }
+                    Err(err) => Some(DbResp::ApplyErr { op, err }),
+                }
+            }
+            DbOp::Checksum { op, full } => {
+                ctx.consume(self.scaled(cost::CHECKSUM_US));
+                let value = if full {
+                    self.engine.checksum_full()
+                } else {
+                    self.engine.checksum_data()
+                };
+                Some(DbResp::ChecksumOut { op, value })
+            }
+            DbOp::Ping { op } => {
+                // `head` is this node's own binlog position (meaningful when
+                // it acts as a master); `applied_lsn` is the foreign LSN it
+                // has applied (meaningful as a slave).
+                Some(DbResp::Pong {
+                    op,
+                    applied_lsn: self.applied_lsn,
+                    head: self.engine.binlog_head(),
+                })
+            }
+            DbOp::Disconnect { conn } => {
+                if let Some(c) = self.conns.remove(&conn) {
+                    self.engine.disconnect(c);
+                }
+                None
+            }
+        }
+    }
+
+    fn apply_binlog(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        op: u64,
+        entries: Vec<BinlogEntry>,
+        use_writesets: bool,
+        parallel_apply: bool,
+        space: crate::msg::ApplySpace,
+    ) -> DbResp {
+        use crate::msg::ApplySpace;
+        let mark = |d: &mut Self, lsn: Lsn| match space {
+            ApplySpace::None => {}
+            ApplySpace::Binlog => d.applied_lsn = d.applied_lsn.max(lsn),
+            ApplySpace::Ordered => d.ordered_applied = d.ordered_applied.max(lsn.0),
+        };
+        let skip = |d: &Self, lsn: Lsn| match space {
+            ApplySpace::None => false,
+            ApplySpace::Binlog => lsn <= d.applied_lsn,
+            ApplySpace::Ordered => lsn.0 <= d.ordered_applied,
+        };
+        // Group entries by connected table components for the parallel
+        // cost model (serial applies sum; parallel charges the longest
+        // chain — §4.4.2's "extraction of parallelism from the log").
+        let mut per_entry_cost: Vec<u64> = Vec::with_capacity(entries.len());
+        let mut max_lsn = match space {
+            ApplySpace::Binlog => self.applied_lsn,
+            ApplySpace::Ordered => Lsn(self.ordered_applied),
+            ApplySpace::None => Lsn(0),
+        };
+        for entry in &entries {
+            if skip(self, entry.lsn) {
+                continue; // already applied (overlapping batches / pre-crash races)
+            }
+            let mut entry_cost = 0u64;
+            let result: Result<(), SqlError> = if use_writesets {
+                self.engine.apply_writeset(&entry.writeset).map(|r| {
+                    entry_cost += r.cost.cpu_us.max(entry.writeset.len() as u64 * 4);
+                })
+            } else {
+                (|| {
+                    let c = self.repl_conn()?;
+                    if let Some(db) = &entry.default_db {
+                        self.engine.execute(c, &format!("USE {db}"))?;
+                    }
+                    for stmt in &entry.statements {
+                        let r = self.engine.execute(c, stmt)?;
+                        entry_cost += r.cost.cpu_us;
+                    }
+                    Ok(())
+                })()
+            };
+            if let Err(err) = result {
+                ctx.consume(self.scaled(per_entry_cost.iter().sum::<u64>() + entry_cost));
+                // Entries before the failure are durably applied.
+                mark(self, max_lsn);
+                return DbResp::ApplyErr { op, err };
+            }
+            per_entry_cost.push(entry_cost);
+            max_lsn = max_lsn.max(entry.lsn);
+            mark(self, max_lsn);
+        }
+        let total: u64 = per_entry_cost.iter().sum();
+        let charged = if parallel_apply {
+            parallel_cost(&entries, &per_entry_cost)
+        } else {
+            total
+        };
+        ctx.consume(self.scaled(charged));
+        mark(self, max_lsn);
+        DbResp::ApplyOk {
+            op,
+            applied_lsn: match space {
+                crate::msg::ApplySpace::Binlog => self.applied_lsn,
+                _ => max_lsn,
+            },
+        }
+    }
+}
+
+/// Longest chain over connected components of entries sharing tables.
+fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
+    use std::collections::HashMap as Map;
+    let mut group_of_table: Map<(String, String), usize> = Map::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut group_cost: Vec<u64> = Vec::new();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for (e, &cost) in entries.iter().zip(costs) {
+        let tables = e.writeset.tables();
+        let mut target: Option<usize> = None;
+        for t in &tables {
+            if let Some(&g) = group_of_table.get(t) {
+                let root = find(&mut parent, g);
+                match target {
+                    None => target = Some(root),
+                    Some(existing) => {
+                        let r = find(&mut parent, existing);
+                        if r != root {
+                            parent[root] = r;
+                            group_cost[r] += group_cost[root];
+                            group_cost[root] = 0;
+                            target = Some(r);
+                        }
+                    }
+                }
+            }
+        }
+        let g = match target {
+            Some(g) => find(&mut parent, g),
+            None => {
+                parent.push(parent.len());
+                group_cost.push(0);
+                parent.len() - 1
+            }
+        };
+        for t in tables {
+            group_of_table.insert(t, g);
+        }
+        group_cost[g] += cost;
+    }
+    group_cost.into_iter().max().unwrap_or(0)
+}
+
+impl Actor<Msg> for DbNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        if let Msg::Db(op) = msg {
+            if let Some(resp) = self.handle(ctx, op) {
+                // The response leaves only after this operation's own
+                // service time (accumulated via `consume`) has elapsed.
+                let service = ctx.backlog_us();
+                ctx.send_after(from, Msg::DbR(resp), service);
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Crash semantics: every session is gone; open transactions abort.
+        // Durable state (tables, binlog, counters) survives.
+        self.engine.set_clock(ctx.now().micros() as i64);
+        for (_, c) in self.conns.drain() {
+            self.engine.disconnect(c);
+        }
+        if let Some(c) = self.repl_conn.take() {
+            self.engine.disconnect(c);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # replimid-core
+//!
+//! Middleware-based database replication — the primary contribution of the
+//! reproduction of Cecchet, Candea & Ailamaki (SIGMOD 2008). See DESIGN.md
+//! at the workspace root for the architecture and the per-experiment index.
+
+pub mod balancer;
+pub mod certifier;
+pub mod client;
+pub mod cluster;
+pub mod db_node;
+pub mod metrics;
+pub mod middleware;
+pub mod msg;
+pub mod partition;
+pub mod recovery;
+pub mod rewrite;
+
+pub use balancer::{Balancer, Granularity, Policy};
+pub use certifier::{Certifier, Verdict};
+pub use client::{Client, ClientConfig, ClientMetrics, ScriptSource, TxSource};
+pub use cluster::{Cluster, ClusterConfig};
+pub use db_node::DbNode;
+pub use metrics::{AvailabilityTracker, Counters, Histogram};
+pub use middleware::{Middleware, Mode, MwConfig, MwMetrics, ReadPolicy};
+pub use msg::{AdminCmd, BackendId, ClientReply, ClientRequest, Msg, ReplyBody, ReplyError, SessionId};
+pub use partition::{PartitionScheme, Partitioner, Route};
+pub use recovery::{RecoveryLog, ReplayMode};
+pub use rewrite::NondetPolicy;

@@ -1,0 +1,254 @@
+//! Metrics the paper says replication evaluations should report (§5.1):
+//! latency distributions, throughput, abort/commit counts, and — the
+//! neglected ones — availability, MTTF, MTTR, and downtime windows.
+
+/// Log-scaled latency histogram (microseconds), power-of-two buckets from
+/// 1µs to ~17 minutes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 31],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 31], count: 0, sum: 0, max: 0 }
+    }
+
+    pub fn record(&mut self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(30);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += us;
+        self.max = self.max.max(us);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (upper bound of the containing bucket).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tracks service availability over virtual time: callers report each
+/// request outcome; the tracker reconstructs downtime windows and derives
+/// MTTF/MTTR/nines.
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityTracker {
+    /// (start_us, end_us) of completed outage windows.
+    outages: Vec<(u64, u64)>,
+    /// Start of the current outage, if we are in one.
+    down_since: Option<u64>,
+    first_event: Option<u64>,
+    last_event: u64,
+    /// Most recent success: failure reports may carry *backdated*
+    /// timestamps (when the failed request was dispatched), but an outage
+    /// can never begin before the last observed success.
+    last_ok: u64,
+}
+
+impl AvailabilityTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, now_us: u64, ok: bool) {
+        if self.first_event.is_none() {
+            self.first_event = Some(now_us);
+        }
+        self.last_event = self.last_event.max(now_us);
+        if ok {
+            self.last_ok = self.last_ok.max(now_us);
+        }
+        match (ok, self.down_since) {
+            (false, None) => self.down_since = Some(now_us.max(self.last_ok)),
+            (true, Some(start)) => {
+                if now_us >= start {
+                    self.outages.push((start, now_us));
+                    self.down_since = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Close the observation window at `end_us`.
+    pub fn finish(&mut self, end_us: u64) {
+        self.last_event = self.last_event.max(end_us);
+        if let Some(start) = self.down_since.take() {
+            self.outages.push((start, end_us));
+        }
+    }
+
+    pub fn outage_count(&self) -> usize {
+        self.outages.len()
+    }
+
+    pub fn downtime_us(&self) -> u64 {
+        self.outages.iter().map(|(s, e)| e - s).sum()
+    }
+
+    pub fn observed_us(&self) -> u64 {
+        match self.first_event {
+            Some(first) => self.last_event.saturating_sub(first),
+            None => 0,
+        }
+    }
+
+    /// Mean time to repair: average outage length.
+    pub fn mttr_us(&self) -> f64 {
+        if self.outages.is_empty() {
+            0.0
+        } else {
+            self.downtime_us() as f64 / self.outages.len() as f64
+        }
+    }
+
+    /// Mean time to failure: average uptime between outages.
+    pub fn mttf_us(&self) -> f64 {
+        if self.outages.is_empty() {
+            self.observed_us() as f64
+        } else {
+            let uptime = self.observed_us().saturating_sub(self.downtime_us());
+            uptime as f64 / self.outages.len() as f64
+        }
+    }
+
+    /// Availability ratio: MTTF / (MTTF + MTTR) ≈ uptime / total.
+    pub fn availability(&self) -> f64 {
+        let total = self.observed_us();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.downtime_us() as f64 / total as f64
+    }
+
+    /// "Nines" of availability (the paper's 5-nines = 5.26 min/year bar).
+    pub fn nines(&self) -> f64 {
+        let a = self.availability();
+        if a >= 1.0 {
+            f64::INFINITY
+        } else {
+            -(1.0 - a).log10()
+        }
+    }
+
+    pub fn outage_windows(&self) -> &[(u64, u64)] {
+        &self.outages
+    }
+}
+
+/// Middleware-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    pub reads: u64,
+    pub writes: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub certification_failures: u64,
+    pub rejected_statements: u64,
+    pub rewritten_statements: u64,
+    pub failovers: u64,
+    pub lost_transactions: u64,
+    pub divergence_detected: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for us in [100, 200, 300, 400, 50_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 5);
+        assert!(h.mean_us() > 10_000.0 / 5.0);
+        assert!(h.quantile_us(0.5) >= 200 && h.quantile_us(0.5) <= 512);
+        assert!(h.quantile_us(1.0) >= 50_000);
+        assert_eq!(h.max_us(), 50_000);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 1_000_000);
+    }
+
+    #[test]
+    fn availability_windows() {
+        let mut t = AvailabilityTracker::new();
+        t.record(0, true);
+        t.record(1_000_000, false); // outage starts
+        t.record(1_500_000, false);
+        t.record(2_000_000, true); // repaired after 1s
+        t.record(10_000_000, false);
+        t.finish(11_000_000); // still down at close: 1s outage
+        assert_eq!(t.outage_count(), 2);
+        assert_eq!(t.downtime_us(), 2_000_000);
+        assert!((t.mttr_us() - 1_000_000.0).abs() < 1.0);
+        let a = t.availability();
+        assert!((0.8..0.85).contains(&a), "availability {a}");
+        assert!(t.nines() < 1.0);
+    }
+
+    #[test]
+    fn availability_perfect_service() {
+        let mut t = AvailabilityTracker::new();
+        t.record(0, true);
+        t.record(1_000, true);
+        t.finish(2_000);
+        assert_eq!(t.availability(), 1.0);
+        assert!(t.nines().is_infinite());
+        assert_eq!(t.mttr_us(), 0.0);
+    }
+}

@@ -1,0 +1,2348 @@
+//! The replication middleware (the paper's subject): a JDBC-proxy-style
+//! controller (Fig. 7) between clients and database replicas.
+//!
+//! One `Middleware` actor implements, selected by [`Mode`]:
+//!
+//! * **Multi-master statement replication** — write statements are rewritten
+//!   (§4.3.2), totally ordered through the peer group (replimid-gcs), logged
+//!   in the Sequoia-style recovery log (§4.4.2), and executed on every
+//!   backend; reads are load-balanced locally (§3.2).
+//! * **Multi-master writeset replication** — transactions execute on one
+//!   delegate backend; at COMMIT the writeset is extracted, certified in
+//!   total order (first-committer-wins), then committed at the delegate and
+//!   applied everywhere else.
+//! * **Master-slave** — writes to the master, reads on slaves, binlog
+//!   shipping 1-safe (async, bounded loss window) or 2-safe (commit waits
+//!   for the slave), hot-standby failover with promotion of the most
+//!   caught-up slave (§2.2).
+//! * **Partitioned statement replication** — Fig. 2: writes route to the
+//!   owning partition's replica group; scans scatter.
+//!
+//! Middleware peers replicate session write state through the total order,
+//! which is what makes client failover transparent (the Sequoia claim,
+//! §4.3.3): a client that times out on one middleware retries the same
+//! (session, stmt_seq) on a peer, which deduplicates.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rand::Rng;
+use replimid_gcs::{Action as GAction, GcsConfig, GroupMember, HeartbeatConfig, MemberId};
+use replimid_simnet::{Actor, Ctx, NodeId};
+use replimid_sql::ast::Statement;
+use replimid_sql::{parse_statement, Lsn, SqlError, Writeset};
+
+use crate::balancer::{Balancer, Granularity, Policy};
+use crate::certifier::{Certifier, Verdict};
+use crate::metrics::{AvailabilityTracker, Counters, Histogram};
+use crate::msg::{
+    AdminCmd, ApplySpace, BackendId, ClientReply, ClientRequest, DbOp, DbResp, Msg, ReplEvent,
+    ReplyBody, ReplyError, SessionId,
+};
+use crate::partition::{Partitioner, Route};
+use crate::recovery::{RecoveryLog, ReplayMode};
+use crate::rewrite::{prepare_for_broadcast, NondetPolicy};
+
+/// Timer tags (1 is reserved by the GCS tick).
+const TIMER_PING: u64 = 2;
+const TIMER_SHIP: u64 = 3;
+/// Op-timeout timers: TIMER_OP_BASE + op id.
+const TIMER_OP_BASE: u64 = 1_000_000_000;
+/// Retry timers for writeset applications blocked by a local uncommitted
+/// transaction (released once that transaction certifies/aborts).
+const TIMER_RETRY_BASE: u64 = 1_000;
+const APPLY_RETRY_DELAY_US: u64 = 5_000;
+const APPLY_RETRY_MAX: u32 = 100;
+
+/// Replication strategy.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    MultiMasterStatement { nondet: NondetPolicy },
+    MultiMasterWriteset,
+    MasterSlave {
+        /// 2-safe: the client's commit acknowledgment waits until every live
+        /// slave applied the entry (§2.2). 1-safe otherwise.
+        two_safe: bool,
+        ship_interval_us: u64,
+        use_writesets: bool,
+        parallel_apply: bool,
+        /// Allow reads on the master when slaves lag or for session
+        /// consistency.
+        read_master: bool,
+    },
+    PartitionedStatement {
+        partitioner: Partitioner,
+        /// Backend ids per partition (replica groups).
+        groups: Vec<Vec<BackendId>>,
+    },
+}
+
+/// Read routing (consistency knob, §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPolicy {
+    /// Any healthy replica (GSI-flavoured: may read stale state in writeset
+    /// or master-slave modes).
+    Any,
+    /// Read where you last wrote (session consistency / strong session SI).
+    SessionSticky,
+}
+
+#[derive(Debug, Clone)]
+pub struct MwConfig {
+    pub mode: Mode,
+    pub granularity: Granularity,
+    pub policy: Policy,
+    pub read_policy: ReadPolicy,
+    /// Backend failure detection: ping interval + silence timeout.
+    pub heartbeat: HeartbeatConfig,
+    /// Per-operation timeout (detects backend death mid-request).
+    pub op_timeout_us: u64,
+    pub gcs: GcsConfig,
+    /// (database, table) -> primary key column index (the certifier's schema
+    /// knowledge; built by the cluster builder).
+    pub pk_map: HashMap<(String, String), usize>,
+    pub recovery_batch: usize,
+    pub replay_mode: ReplayMode,
+    /// When a rejoining replica is within this many log entries of the head,
+    /// the middleware enacts the global barrier for the final hop (§4.4.2).
+    pub barrier_threshold: u64,
+    /// Default database of client sessions, recorded with logged statements
+    /// so recovery replay executes them in the right database.
+    pub default_db: Option<String>,
+    /// §4.3.4.3: refuse writes unless this middleware's group view holds a
+    /// strict majority of the peers — the C-and-A-over-P stance. Off by
+    /// default (a 2-replica middleware pair has no useful majority).
+    pub require_majority: bool,
+}
+
+impl MwConfig {
+    pub fn defaults(mode: Mode) -> Self {
+        MwConfig {
+            mode,
+            granularity: Granularity::Query,
+            policy: Policy::Lprf,
+            read_policy: ReadPolicy::Any,
+            heartbeat: HeartbeatConfig::lan(),
+            op_timeout_us: 1_000_000,
+            gcs: GcsConfig::lan(replimid_gcs::OrderProtocol::FixedSequencer),
+            pk_map: HashMap::new(),
+            recovery_batch: 64,
+            replay_mode: ReplayMode::Serial,
+            barrier_threshold: 16,
+            default_db: None,
+            require_majority: false,
+        }
+    }
+}
+
+/// Tracks the contiguous prefix of certified-writeset positions a backend
+/// has durably applied. Certification windows must be sampled against this
+/// watermark *when a transaction's BEGIN executes at its delegate* — using
+/// the middleware's own certifier position instead opens a race where a
+/// writeset certified-but-not-yet-applied is invisible to the new snapshot
+/// yet excluded from its conflict window (a lost update).
+#[derive(Debug, Clone, Default)]
+struct Watermark {
+    next: u64,
+    done: std::collections::BTreeSet<u64>,
+}
+
+impl Watermark {
+    fn new() -> Self {
+        Watermark { next: 1, done: std::collections::BTreeSet::new() }
+    }
+
+    fn at(pos: u64) -> Self {
+        Watermark { next: pos + 1, done: std::collections::BTreeSet::new() }
+    }
+
+    fn mark(&mut self, pos: u64) {
+        if pos < self.next {
+            return;
+        }
+        self.done.insert(pos);
+        while self.done.remove(&self.next) {
+            self.next += 1;
+        }
+    }
+
+    fn value(&self) -> u64 {
+        self.next - 1
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum BackendState {
+    Online,
+    Down,
+    /// Replaying the recovery log from `next`.
+    Recovering { next: u64, inflight: bool },
+    /// Full resynchronization via dump + catch-up.
+    Resyncing,
+}
+
+#[derive(Debug)]
+struct Backend {
+    node: NodeId,
+    state: BackendState,
+    last_pong_us: u64,
+    /// Recovery-log position this backend has acknowledged (multi-master).
+    applied_seq: u64,
+    /// Binlog LSN this backend reported applied (master-slave).
+    applied_lsn: Lsn,
+    /// Certified-writeset positions durably applied (writeset mode).
+    cert_mark: Watermark,
+}
+
+impl Backend {
+    fn online(&self) -> bool {
+        self.state == BackendState::Online
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CurrentKind {
+    Read {
+        #[allow(dead_code)] // recorded for diagnostics
+        backend: BackendId,
+    },
+    /// Waiting for our published write to come back through the total order.
+    OrderedWait,
+    /// Waiting for the local exec fan-out to finish.
+    ExecGroup {
+        #[allow(dead_code)] // recorded for diagnostics
+        group: u64,
+    },
+    /// Writeset mode: implicit BEGIN in flight, then `then_sql`.
+    WsBegin { then_sql: Option<String>, then_autocommit: bool },
+    /// Writeset mode: statement executing at the delegate.
+    WsStmt { autocommit: bool },
+    /// Writeset mode: PrepareWriteset in flight.
+    WsPrepare,
+    /// Writeset mode: certification published, waiting for delivery.
+    WsCertifyWait,
+    /// Writeset mode: delegate commit + remote applies in flight.
+    WsFinalize { remaining: usize, failed: bool },
+    /// Master-slave: write executing at the master.
+    MsWrite {
+        #[allow(dead_code)]
+        backend: BackendId,
+    },
+    /// Master-slave 2-safe: waiting for slave appliance.
+    MsTwoSafe { remaining: usize },
+    /// Statement pinned to the session's temp-table backend.
+    TempExec {
+        #[allow(dead_code)]
+        backend: BackendId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Current {
+    stmt_seq: u64,
+    kind: CurrentKind,
+}
+
+#[derive(Debug)]
+struct Sess {
+    client: Option<NodeId>,
+    last_replied: u64,
+    cached: Option<ClientReply>,
+    current: Option<Current>,
+    in_tx: bool,
+    wrote_in_tx: bool,
+    /// Sticky backend: connection-granularity choice, temp-table pin, or
+    /// writeset delegate.
+    sticky: Option<BackendId>,
+    temp_pinned: bool,
+    temp_tables: HashSet<String>,
+    start_cert_pos: u64,
+    last_write_us: u64,
+    last_write_backend: Option<BackendId>,
+}
+
+impl Sess {
+    fn new(client: Option<NodeId>) -> Self {
+        Sess {
+            client,
+            last_replied: 0,
+            cached: None,
+            current: None,
+            in_tx: false,
+            wrote_in_tx: false,
+            sticky: None,
+            temp_pinned: false,
+            temp_tables: HashSet::new(),
+            start_cert_pos: 0,
+            last_write_us: 0,
+            last_write_backend: None,
+        }
+    }
+}
+
+/// Fan-out of one ordered statement to the local backends.
+#[derive(Debug)]
+struct ExecGroup {
+    session: SessionId,
+    stmt_seq: u64,
+    remaining: usize,
+    /// First result received (canonical; divergent results are counted).
+    canonical: Option<Result<ReplyBody, SqlError>>,
+    origin: bool,
+    log_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    ClientExec { session: SessionId, backend: BackendId },
+    GroupExec { group: u64, backend: BackendId },
+    Prepare { session: SessionId, backend: BackendId },
+    DelegateCommit { session: SessionId, backend: BackendId, pos: u64 },
+    ApplyWs { session: Option<SessionId>, backend: BackendId, ws: Writeset, attempts: u32, pos: u64 },
+    Ping { backend: BackendId },
+    ShipFetch,
+    TwoSafeFetch { session: SessionId },
+    ShipApply { backend: BackendId, session: Option<SessionId>, upto: Lsn },
+    RecoveryBatch { backend: BackendId, upto: u64 },
+    ResyncDumpReq { target: BackendId, log_pos: u64 },
+    BackupDump { backend: BackendId, hot: bool, started_us: u64 },
+    ResyncRestore { backend: BackendId, baseline: Lsn, log_pos: u64 },
+    FireAndForget,
+}
+
+/// Aggregated metrics exposed to the harness.
+#[derive(Debug, Clone)]
+pub struct MwMetrics {
+    pub counters: Counters,
+    pub read_latency: Histogram,
+    pub write_latency: Histogram,
+    pub availability: AvailabilityTracker,
+    /// (virtual time µs, master binlog head − slave applied) samples.
+    pub lag_samples: Vec<(u64, u64)>,
+    /// Completed backups: (start µs, end µs, hot, rows).
+    pub backups: Vec<(u64, u64, bool, u64)>,
+    /// Times (µs) at which a backend was declared failed.
+    pub failover_times: Vec<u64>,
+    /// Completed rejoins: (backend index, recovery start µs, online µs).
+    pub recoveries: Vec<(usize, u64, u64)>,
+}
+
+impl Default for MwMetrics {
+    fn default() -> Self {
+        MwMetrics {
+            counters: Counters::default(),
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            availability: AvailabilityTracker::new(),
+            lag_samples: Vec::new(),
+            backups: Vec::new(),
+            failover_times: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+}
+
+/// The middleware actor.
+pub struct Middleware {
+    cfg: MwConfig,
+    /// Peer middleware nodes (including self at `me_idx`).
+    peers: Vec<NodeId>,
+    #[allow(dead_code)]
+    me_idx: usize,
+    group: GroupMember<ReplEvent>,
+    backends: Vec<Backend>,
+    balancer: Balancer,
+    sessions: HashMap<SessionId, Sess>,
+    pending: HashMap<u64, Pending>,
+    op_started: HashMap<u64, u64>,
+    next_op: u64,
+    exec_groups: HashMap<u64, ExecGroup>,
+    next_group: u64,
+    pub log: RecoveryLog,
+    certifier: Certifier,
+    /// Global barrier for a recovering replica's final catch-up hop.
+    barrier_for: Option<BackendId>,
+    buffered_deliveries: VecDeque<ReplEvent>,
+    /// Master-slave state.
+    master: BackendId,
+    shipping_inflight: bool,
+    pub metrics: MwMetrics,
+    /// Statement-arrival times for latency accounting.
+    request_started: HashMap<(SessionId, u64), u64>,
+    /// 2-safe commits: the master's reply body held until slaves confirm.
+    two_safe_bodies: HashMap<SessionId, ReplyBody>,
+    /// Writeset applications awaiting retry (timer tag -> work).
+    apply_retries: HashMap<u64, (BackendId, Writeset, Option<SessionId>, u32, u64)>,
+    next_retry: u64,
+    /// Slaves with a shipping batch in flight (no overlapping batches).
+    ship_busy: HashSet<BackendId>,
+    /// Recovery start times (backend -> µs), for rejoin-duration metrics.
+    recovery_started: HashMap<BackendId, u64>,
+}
+
+impl Middleware {
+    pub fn new(cfg: MwConfig, me_idx: usize, peers: Vec<NodeId>, backends: Vec<NodeId>) -> Self {
+        let members: Vec<MemberId> = (0..peers.len()).map(MemberId).collect();
+        let group = GroupMember::new(MemberId(me_idx), members, cfg.gcs, 0);
+        let n = backends.len();
+        let balancer = Balancer::new(cfg.granularity, cfg.policy.clone(), n);
+        Middleware {
+            cfg,
+            peers,
+            me_idx,
+            group,
+            backends: backends
+                .into_iter()
+                .map(|node| Backend {
+                    node,
+                    state: BackendState::Online,
+                    last_pong_us: 0,
+                    applied_seq: 0,
+                    applied_lsn: Lsn(0),
+                    cert_mark: Watermark::new(),
+                })
+                .collect(),
+            balancer,
+            sessions: HashMap::new(),
+            pending: HashMap::new(),
+            op_started: HashMap::new(),
+            next_op: 1,
+            exec_groups: HashMap::new(),
+            next_group: 1,
+            log: RecoveryLog::new(),
+            certifier: Certifier::new(),
+            barrier_for: None,
+            buffered_deliveries: VecDeque::new(),
+            master: BackendId(0),
+            shipping_inflight: false,
+            metrics: MwMetrics::default(),
+            request_started: HashMap::new(),
+            two_safe_bodies: HashMap::new(),
+            apply_retries: HashMap::new(),
+            next_retry: 0,
+            ship_busy: HashSet::new(),
+            recovery_started: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Small helpers
+    // ------------------------------------------------------------------
+
+    fn healthy(&self) -> Vec<BackendId> {
+        self.backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.online())
+            .map(|(i, _)| BackendId(i))
+            .collect()
+    }
+
+    fn slaves(&self) -> Vec<BackendId> {
+        self.healthy().into_iter().filter(|&b| b != self.master).collect()
+    }
+
+    fn alloc_op(&mut self, ctx: &mut Ctx<'_, Msg>, p: Pending) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        self.pending.insert(op, p);
+        self.op_started.insert(op, ctx.now().micros());
+        ctx.set_timer(self.cfg.op_timeout_us, TIMER_OP_BASE + op);
+        op
+    }
+
+    fn send_db(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, p: Pending, mk: impl FnOnce(u64) -> DbOp) {
+        let node = self.backends[backend.0].node;
+        let op = self.alloc_op(ctx, p);
+        self.balancer.dispatched(backend);
+        ctx.send(node, Msg::Db(mk(op)));
+    }
+
+    fn run_gcs_actions(&mut self, ctx: &mut Ctx<'_, Msg>, actions: Vec<GAction<ReplEvent>>) {
+        for a in actions {
+            match a {
+                GAction::Send { to, msg } => {
+                    let node = self.peers[to.0];
+                    ctx.send(node, Msg::Group(msg));
+                }
+                GAction::SetTimer { delay_us, tag } => ctx.set_timer(delay_us, tag),
+                GAction::Deliver { payload, .. } => self.on_delivery(ctx, payload),
+                GAction::ViewInstalled { .. } | GAction::Suspected { .. } => {}
+            }
+        }
+    }
+
+    fn publish(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
+        let actions = self.group.publish(ev, ctx.now().micros());
+        self.run_gcs_actions(ctx, actions);
+    }
+
+    /// §4.3.4.3: are we on the majority side of a (possible) partition?
+    fn have_quorum(&self) -> bool {
+        if !self.cfg.require_majority {
+            return true;
+        }
+        self.group.view().members.len() * 2 > self.peers.len()
+    }
+
+    fn session(&mut self, id: SessionId, client: Option<NodeId>) -> &mut Sess {
+        let s = self.sessions.entry(id).or_insert_with(|| Sess::new(client));
+        if client.is_some() {
+            s.client = client.or(s.client);
+        }
+        s
+    }
+
+    fn reply(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, result: Result<ReplyBody, ReplyError>) {
+        let now = ctx.now().micros();
+        let ok = !matches!(result, Err(ReplyError::Unavailable(_)));
+        self.metrics.availability.record(now, ok);
+        if let Some(start) = self.request_started.remove(&(session, stmt_seq)) {
+            let lat = now.saturating_sub(start);
+            // Classify by the session's current op; default to write.
+            self.metrics.write_latency.record(lat);
+            let _ = lat;
+        }
+        let Some(s) = self.sessions.get_mut(&session) else { return };
+        let reply = ClientReply { session, stmt_seq, result };
+        s.last_replied = stmt_seq;
+        s.cached = Some(reply.clone());
+        s.current = None;
+        if let Some(client) = s.client {
+            ctx.send(client, Msg::Reply(reply));
+        }
+    }
+
+    /// Read-path replies do not feed the availability tracker: reads served
+    /// from surviving slaves would mask a write outage, and the paper's
+    /// downtime stories (the ticket broker) are about update availability.
+    fn reply_read(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, result: Result<ReplyBody, ReplyError>) {
+        let now = ctx.now().micros();
+        if let Some(start) = self.request_started.remove(&(session, stmt_seq)) {
+            self.metrics.read_latency.record(now.saturating_sub(start));
+        }
+        let Some(s) = self.sessions.get_mut(&session) else { return };
+        let reply = ClientReply { session, stmt_seq, result };
+        s.last_replied = stmt_seq;
+        s.cached = Some(reply.clone());
+        s.current = None;
+        if let Some(client) = s.client {
+            ctx.send(client, Msg::Reply(reply));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client request entry point
+    // ------------------------------------------------------------------
+
+    fn on_request(&mut self, ctx: &mut Ctx<'_, Msg>, client: NodeId, req: ClientRequest) {
+        let now = ctx.now().micros();
+        {
+            let s = self.session(req.session, Some(client));
+            // Retry deduplication (§4.3.3 transparent failover).
+            if req.stmt_seq <= s.last_replied {
+                if let Some(cached) = s.cached.clone() {
+                    if cached.stmt_seq == req.stmt_seq {
+                        if let Some(c) = s.client {
+                            ctx.send(c, Msg::Reply(cached));
+                        }
+                        return;
+                    }
+                }
+                return;
+            }
+            if let Some(cur) = &s.current {
+                if cur.stmt_seq == req.stmt_seq {
+                    return; // already in flight (duplicate retry)
+                }
+            }
+        }
+        self.request_started.insert((req.session, req.stmt_seq), now);
+
+        let stmt = match parse_statement(&req.sql) {
+            Ok(s) => s,
+            Err(e) => {
+                self.reply(ctx, req.session, req.stmt_seq, Err(ReplyError::Sql(e)));
+                return;
+            }
+        };
+
+        // Temp-table handling is mode-independent: once a session touches a
+        // temporary table it is pinned to one backend, and those statements
+        // are never replicated (§4.1.4).
+        if self.handle_temp_stickiness(ctx, &req, &stmt) {
+            return;
+        }
+
+        match &self.cfg.mode {
+            Mode::MultiMasterStatement { nondet } => {
+                let nondet = *nondet;
+                self.mm_statement_request(ctx, req, stmt, nondet)
+            }
+            Mode::MultiMasterWriteset => self.mm_writeset_request(ctx, req, stmt),
+            Mode::MasterSlave { .. } => self.ms_request(ctx, req, stmt),
+            Mode::PartitionedStatement { .. } => self.part_request(ctx, req, stmt),
+        }
+    }
+
+    /// Returns true if the statement was routed as a temp-table operation.
+    fn handle_temp_stickiness(&mut self, ctx: &mut Ctx<'_, Msg>, req: &ClientRequest, stmt: &Statement) -> bool {
+        let is_create_temp = matches!(stmt, Statement::CreateTable { temporary: true, .. });
+        let touches_temp = {
+            let s = self.sessions.get(&req.session).expect("session exists");
+            if s.temp_tables.is_empty() && !is_create_temp {
+                false
+            } else {
+                let mut touched = is_create_temp;
+                for t in stmt.read_tables().iter().chain(stmt.written_tables().iter()) {
+                    if t.database.is_none() && s.temp_tables.contains(&t.name) {
+                        touched = true;
+                    }
+                }
+                touched
+            }
+        };
+        if !touches_temp {
+            return false;
+        }
+        // Pin the session (now and forever: the middleware cannot know when
+        // the temp table's true lifespan ends, §4.1.4).
+        let backend = {
+            let pinned = self.sessions.get(&req.session).unwrap().sticky;
+            match pinned {
+                Some(b) if self.backends[b.0].online() => Some(b),
+                _ => {
+                    let healthy = self.healthy();
+                    self.balancer.pick(&healthy)
+                }
+            }
+        };
+        let Some(backend) = backend else {
+            self.reply(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend".into())));
+            return true;
+        };
+        {
+            let s = self.sessions.get_mut(&req.session).unwrap();
+            s.sticky = Some(backend);
+            s.temp_pinned = true;
+            if let Statement::CreateTable { name, temporary: true, .. } = stmt {
+                s.temp_tables.insert(name.name.clone());
+            }
+            if let Statement::DropTable { name, .. } = stmt {
+                s.temp_tables.remove(&name.name);
+            }
+            s.current = Some(Current {
+                stmt_seq: req.stmt_seq,
+                kind: CurrentKind::TempExec { backend },
+            });
+        }
+        let session = req.session;
+        let sql = req.sql.clone();
+        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+            DbOp::Execute { op, conn: session.0, sql, seq: None }
+        });
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-master, statement-based
+    // ------------------------------------------------------------------
+
+    fn mm_statement_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement, nondet: NondetPolicy) {
+        if stmt.is_read_only() && !matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback) {
+            self.route_read(ctx, req, false);
+            return;
+        }
+        if !self.have_quorum() {
+            self.reply(
+                ctx,
+                req.session,
+                req.stmt_seq,
+                Err(ReplyError::Unavailable("minority partition: writes suspended".into())),
+            );
+            return;
+        }
+        // Writes (and BEGIN/COMMIT/ROLLBACK, which shape snapshots) are
+        // rewritten then totally ordered.
+        self.metrics.counters.writes += 1;
+        let rand_value = ctx.rng().gen::<f64>();
+        let prepared = prepare_for_broadcast(&stmt, nondet, ctx.now().micros() as i64, rand_value);
+        let sql = match prepared {
+            Ok(p) => {
+                if p.substitutions > 0 {
+                    self.metrics.counters.rewritten_statements += 1;
+                }
+                p.sql
+            }
+            Err(rej) => {
+                self.metrics.counters.rejected_statements += 1;
+                self.reply(ctx, req.session, req.stmt_seq, Err(ReplyError::Rejected(rej.reason)));
+                return;
+            }
+        };
+        {
+            let s = self.sessions.get_mut(&req.session).unwrap();
+            s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::OrderedWait });
+            match &stmt {
+                Statement::Begin { .. } => {
+                    s.in_tx = true;
+                    s.wrote_in_tx = false;
+                }
+                Statement::Commit | Statement::Rollback => {
+                    s.in_tx = false;
+                }
+                _ => {
+                    s.wrote_in_tx = true;
+                    s.last_write_us = ctx.now().micros();
+                }
+            }
+        }
+        self.publish(ctx, ReplEvent::Statement { session: req.session, stmt_seq: req.stmt_seq, sql });
+    }
+
+    fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
+        self.metrics.counters.reads += 1;
+        let backend = self.pick_read_backend(req.session, ms_mode);
+        let Some(backend) = backend else {
+            self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
+            return;
+        };
+        {
+            let s = self.sessions.get_mut(&req.session).unwrap();
+            s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::Read { backend } });
+            if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() {
+                s.sticky = Some(backend);
+            }
+        }
+        let session = req.session;
+        let sql = req.sql;
+        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+            DbOp::Execute { op, conn: session.0, sql, seq: None }
+        });
+    }
+
+    fn pick_read_backend(&mut self, session: SessionId, ms_mode: bool) -> Option<BackendId> {
+        let s = self.sessions.get(&session)?;
+        // Granularity stickiness.
+        match self.balancer.granularity {
+            Granularity::Connection => {
+                if let Some(b) = s.sticky {
+                    if self.backends[b.0].online() {
+                        return Some(b);
+                    }
+                }
+            }
+            Granularity::Transaction => {
+                if s.in_tx {
+                    if let Some(b) = s.sticky {
+                        if self.backends[b.0].online() {
+                            return Some(b);
+                        }
+                    }
+                }
+            }
+            Granularity::Query => {}
+        }
+        // Session consistency.
+        if self.cfg.read_policy == ReadPolicy::SessionSticky {
+            if let Some(b) = s.last_write_backend {
+                if self.backends[b.0].online() {
+                    return Some(b);
+                }
+            }
+            if ms_mode && self.backends[self.master.0].online() {
+                return Some(self.master);
+            }
+        }
+        let candidates = if ms_mode {
+            let read_master = matches!(self.cfg.mode, Mode::MasterSlave { read_master: true, .. });
+            let slaves = self.slaves();
+            if slaves.is_empty() || read_master {
+                let mut all = slaves;
+                if self.backends[self.master.0].online() {
+                    all.push(self.master);
+                }
+                all
+            } else {
+                slaves
+            }
+        } else {
+            self.healthy()
+        };
+        let choice = self.balancer.pick(&candidates);
+        if let Some(b) = choice {
+            let sess = self.sessions.get_mut(&session).unwrap();
+            match self.balancer.granularity {
+                Granularity::Connection => sess.sticky = Some(b),
+                Granularity::Transaction if sess.in_tx => sess.sticky = Some(b),
+                _ => {}
+            }
+        }
+        choice
+    }
+
+    /// Totally-ordered event arrives (identically at every peer).
+    fn on_delivery(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
+        if self.barrier_for.is_some() {
+            self.buffered_deliveries.push_back(ev);
+            return;
+        }
+        self.apply_delivery(ctx, ev);
+    }
+
+    fn apply_delivery(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
+        match ev {
+            ReplEvent::Statement { session, stmt_seq, sql } => {
+                self.deliver_statement(ctx, session, stmt_seq, sql)
+            }
+            ReplEvent::Certify { session, stmt_seq, start_pos, ws } => {
+                self.deliver_certify(ctx, session, stmt_seq, start_pos, ws)
+            }
+            ReplEvent::SessionEnd { session } => {
+                self.sessions.remove(&session);
+            }
+        }
+    }
+
+    fn deliver_statement(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, sql: String) {
+        // Log it (every peer logs identically: positions agree).
+        let tables: Vec<String> = parse_statement(&sql)
+            .map(|s| {
+                s.written_tables()
+                    .into_iter()
+                    .map(|t| t.name)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
+
+        // Shadow session for non-origin peers.
+        let origin = {
+            let s = self.session(session, None);
+            matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq)
+        };
+
+        let targets = self.healthy();
+        if targets.is_empty() {
+            // Nobody executed it: void the log slot so recovery replay does
+            // not resurrect a transaction the client was told failed.
+            self.log.void(log_seq);
+            if origin {
+                self.reply(ctx, session, stmt_seq, Err(ReplyError::Unavailable("no backend".into())));
+            }
+            return;
+        }
+        let group_id = self.next_group;
+        self.next_group += 1;
+        self.exec_groups.insert(
+            group_id,
+            ExecGroup {
+                session,
+                stmt_seq,
+                remaining: targets.len(),
+                canonical: None,
+                origin,
+                log_seq,
+            },
+        );
+        if origin {
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.current = Some(Current { stmt_seq, kind: CurrentKind::ExecGroup { group: group_id } });
+        }
+        for backend in targets {
+            let sql = sql.clone();
+            if std::env::var("REPLIMID_DEBUG2").is_ok() {
+                eprintln!("[{}] send exec seq {log_seq} -> b{}", ctx.now().micros(), backend.0);
+            }
+            self.send_db(ctx, backend, Pending::GroupExec { group: group_id, backend }, move |op| {
+                DbOp::Execute { op, conn: session.0, sql, seq: Some(log_seq) }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-master, writeset-based
+    // ------------------------------------------------------------------
+
+    fn mm_writeset_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement) {
+        let session = req.session;
+        if !stmt.is_read_only() && !self.have_quorum() {
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Unavailable("minority partition: writes suspended".into())),
+            );
+            return;
+        }
+        let (in_tx, delegate) = {
+            let s = self.sessions.get(&session).unwrap();
+            (s.in_tx, s.sticky)
+        };
+        match &stmt {
+            Statement::Begin { .. } => {
+                let healthy = self.healthy();
+                let Some(backend) = self.balancer.pick(&healthy) else {
+                    self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("no delegate".into())));
+                    return;
+                };
+                {
+                    let s = self.sessions.get_mut(&session).unwrap();
+                    s.in_tx = true;
+                    s.wrote_in_tx = false;
+                    s.sticky = Some(backend);
+                    s.current = Some(Current {
+                        stmt_seq: req.stmt_seq,
+                        // start_cert_pos is sampled from the delegate's
+                        // watermark when the BEGIN's response arrives.
+                        kind: CurrentKind::WsBegin { then_sql: None, then_autocommit: false },
+                    });
+                }
+                let sql = req.sql.clone();
+                self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                    DbOp::Execute { op, conn: session.0, sql, seq: None }
+                });
+            }
+            Statement::Commit => {
+                if !in_tx || delegate.is_none() {
+                    self.reply(ctx, session, req.stmt_seq, Ok(ReplyBody::Ack));
+                    return;
+                }
+                let backend = delegate.unwrap();
+                let wrote = self.sessions.get(&session).unwrap().wrote_in_tx;
+                if !wrote {
+                    // Read-only transaction: commit locally, no certification.
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.in_tx = false;
+                        s.current = Some(Current {
+                            stmt_seq: req.stmt_seq,
+                            kind: CurrentKind::WsStmt { autocommit: false },
+                        });
+                    }
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None }
+                    });
+                    return;
+                }
+                {
+                    let s = self.sessions.get_mut(&session).unwrap();
+                    s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::WsPrepare });
+                }
+                self.send_db(ctx, backend, Pending::Prepare { session, backend }, move |op| {
+                    DbOp::PrepareWriteset { op, conn: session.0 }
+                });
+            }
+            Statement::Rollback => {
+                let backend = delegate;
+                {
+                    let s = self.sessions.get_mut(&session).unwrap();
+                    s.in_tx = false;
+                    s.wrote_in_tx = false;
+                    s.current = Some(Current {
+                        stmt_seq: req.stmt_seq,
+                        kind: CurrentKind::WsStmt { autocommit: false },
+                    });
+                }
+                match backend {
+                    Some(backend) if self.backends[backend.0].online() => {
+                        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                            DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                        });
+                    }
+                    _ => self.reply(ctx, session, req.stmt_seq, Ok(ReplyBody::Ack)),
+                }
+            }
+            _ if stmt.is_read_only() && !in_tx => {
+                self.route_read(ctx, req, false);
+            }
+            _ => {
+                // Any other statement executes at the delegate, opening an
+                // implicit transaction for writes outside BEGIN.
+                let write = !stmt.is_read_only();
+                if write {
+                    self.metrics.counters.writes += 1;
+                }
+                if in_tx {
+                    let Some(backend) = delegate else {
+                        self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("delegate lost".into())));
+                        return;
+                    };
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        if write {
+                            s.wrote_in_tx = true;
+                            s.last_write_us = ctx.now().micros();
+                            s.last_write_backend = Some(backend);
+                        }
+                        s.current = Some(Current {
+                            stmt_seq: req.stmt_seq,
+                            kind: CurrentKind::WsStmt { autocommit: false },
+                        });
+                    }
+                    let sql = req.sql.clone();
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql, seq: None }
+                    });
+                } else {
+                    // Autocommit write: BEGIN; stmt; then certify+commit.
+                    let healthy = self.healthy();
+                    let Some(backend) = self.balancer.pick(&healthy) else {
+                        self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("no delegate".into())));
+                        return;
+                    };
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.in_tx = true;
+                        s.wrote_in_tx = true;
+                        s.sticky = Some(backend);
+                        s.last_write_us = ctx.now().micros();
+                        s.last_write_backend = Some(backend);
+                        s.current = Some(Current {
+                            stmt_seq: req.stmt_seq,
+                            kind: CurrentKind::WsBegin {
+                                then_sql: Some(req.sql.clone()),
+                                then_autocommit: true,
+                            },
+                        });
+                    }
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql: "BEGIN ISOLATION LEVEL SNAPSHOT".into(), seq: None }
+                    });
+                }
+            }
+        }
+    }
+
+    fn deliver_certify(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, start_pos: u64, ws: Writeset) {
+        let pk_map = &self.cfg.pk_map;
+        let verdict = self.certifier.certify(start_pos, &ws, |db, t| {
+            pk_map.get(&(db.to_string(), t.to_string())).copied()
+        });
+        // Log certified writesets for recovery. In writeset mode the log
+        // holds exactly the certified stream, so the log seq IS the
+        // certification position.
+        let mut cert_pos = 0;
+        if verdict == Verdict::Commit {
+            cert_pos = self.log.append_ws(ws.clone());
+        }
+        let origin = {
+            let s = self.session(session, None);
+            matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq && matches!(c.kind, CurrentKind::WsCertifyWait))
+        };
+        match verdict {
+            Verdict::Abort => {
+                self.metrics.counters.certification_failures += 1;
+                if origin {
+                    let delegate = self.sessions.get(&session).and_then(|s| s.sticky);
+                    if let Some(backend) = delegate {
+                        if self.backends[backend.0].online() {
+                            self.send_db(ctx, backend, Pending::FireAndForget, move |op| {
+                                DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                            });
+                        }
+                    }
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.in_tx = false;
+                        s.wrote_in_tx = false;
+                    }
+                    self.metrics.counters.aborts += 1;
+                    self.reply(
+                        ctx,
+                        session,
+                        stmt_seq,
+                        Err(ReplyError::Sql(SqlError::WriteConflict {
+                            table: "certification".into(),
+                            detail: "first committer won".into(),
+                        })),
+                    );
+                }
+            }
+            Verdict::Commit => {
+                let delegate = if origin { self.sessions.get(&session).and_then(|s| s.sticky) } else { None };
+                let mut remaining = 0;
+                let targets = self.healthy();
+                for backend in targets {
+                    if Some(backend) == delegate {
+                        remaining += 1;
+                        self.send_db(
+                            ctx,
+                            backend,
+                            Pending::DelegateCommit { session, backend, pos: cert_pos },
+                            move |op| DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None },
+                        );
+                    } else {
+                        let ws_wire = ws.clone();
+                        let ws_keep = ws.clone();
+                        let sess = if origin { Some(session) } else { None };
+                        if origin {
+                            remaining += 1;
+                        }
+                        self.send_db(
+                            ctx,
+                            backend,
+                            Pending::ApplyWs {
+                                session: sess,
+                                backend,
+                                ws: ws_keep,
+                                attempts: 0,
+                                pos: cert_pos,
+                            },
+                            move |op| DbOp::ApplyWriteset { op, ws: ws_wire },
+                        );
+                    }
+                }
+                if origin {
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.in_tx = false;
+                        s.current = Some(Current {
+                            stmt_seq,
+                            kind: CurrentKind::WsFinalize { remaining, failed: false },
+                        });
+                    }
+                    if remaining == 0 {
+                        self.metrics.counters.commits += 1;
+                        self.reply(ctx, session, stmt_seq, Ok(ReplyBody::Ack));
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Master-slave
+    // ------------------------------------------------------------------
+
+    fn ms_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement) {
+        let session = req.session;
+        let write_path = !stmt.is_read_only()
+            || matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback)
+            || self.sessions.get(&session).map(|s| s.in_tx).unwrap_or(false);
+        if !write_path {
+            self.route_read(ctx, req, true);
+            return;
+        }
+        let master = self.master;
+        if !self.backends[master.0].online() {
+            self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("master down".into())));
+            return;
+        }
+        {
+            let s = self.sessions.get_mut(&session).unwrap();
+            match &stmt {
+                Statement::Begin { .. } => {
+                    s.in_tx = true;
+                    s.wrote_in_tx = false;
+                }
+                Statement::Commit | Statement::Rollback => s.in_tx = false,
+                _ => {
+                    s.wrote_in_tx = true;
+                    s.last_write_us = ctx.now().micros();
+                    s.last_write_backend = Some(master);
+                }
+            }
+            s.current = Some(Current {
+                stmt_seq: req.stmt_seq,
+                kind: CurrentKind::MsWrite { backend: master },
+            });
+        }
+        if !stmt.is_read_only() {
+            self.metrics.counters.writes += 1;
+        }
+        let sql = req.sql;
+        self.send_db(ctx, master, Pending::ClientExec { session, backend: master }, move |op| {
+            DbOp::Execute { op, conn: session.0, sql, seq: None }
+        });
+    }
+
+    /// Kick off 1-safe shipping (timer-driven).
+    fn ship_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Mode::MasterSlave { ship_interval_us, .. } = self.cfg.mode else { return };
+        ctx.set_timer(ship_interval_us, TIMER_SHIP);
+        if self.shipping_inflight || !self.backends[self.master.0].online() {
+            return;
+        }
+        let min_applied = self
+            .slaves()
+            .iter()
+            .map(|b| self.backends[b.0].applied_lsn)
+            .min()
+            .unwrap_or(Lsn(0));
+        self.shipping_inflight = true;
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] ship fetch after {min_applied:?}", ctx.now().micros());
+        }
+        let master = self.master;
+        self.send_db(ctx, master, Pending::ShipFetch, move |op| DbOp::BinlogAfter {
+            op,
+            after: min_applied,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Partitioned
+    // ------------------------------------------------------------------
+
+    fn part_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement) {
+        let Mode::PartitionedStatement { partitioner, groups } = &self.cfg.mode else {
+            unreachable!()
+        };
+        let session = req.session;
+        let route = partitioner.route(&stmt);
+        let groups = groups.clone();
+        let read_only = stmt.is_read_only();
+        let targets: Vec<BackendId> = match (&route, read_only) {
+            (Route::Single(p), true) => {
+                // Read: one replica of the owning partition.
+                let candidates: Vec<BackendId> = groups[*p]
+                    .iter()
+                    .copied()
+                    .filter(|b| self.backends[b.0].online())
+                    .collect();
+                match self.balancer.pick(&candidates) {
+                    Some(b) => vec![b],
+                    None => vec![],
+                }
+            }
+            (Route::Single(p), false) => groups[*p]
+                .iter()
+                .copied()
+                .filter(|b| self.backends[b.0].online())
+                .collect(),
+            (Route::All, true) => {
+                // Scatter read: one replica per partition (intra-query
+                // parallelism); the client-visible result is the first
+                // partition's result merged trivially — our workloads use
+                // keyed reads, so scatter reads are rare. Execute on one
+                // replica of each partition and merge row counts.
+                let mut t = Vec::new();
+                for g in &groups {
+                    let candidates: Vec<BackendId> =
+                        g.iter().copied().filter(|b| self.backends[b.0].online()).collect();
+                    if let Some(b) = self.balancer.pick(&candidates) {
+                        t.push(b);
+                    }
+                }
+                t
+            }
+            (Route::All, false) => self.healthy(),
+        };
+        if targets.is_empty() {
+            self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("partition unavailable".into())));
+            return;
+        }
+        if !read_only {
+            self.metrics.counters.writes += 1;
+        } else {
+            self.metrics.counters.reads += 1;
+        }
+        let group_id = self.next_group;
+        self.next_group += 1;
+        self.exec_groups.insert(
+            group_id,
+            ExecGroup {
+                session,
+                stmt_seq: req.stmt_seq,
+                remaining: targets.len(),
+                canonical: None,
+                origin: true,
+                log_seq: 0,
+            },
+        );
+        {
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.current = Some(Current {
+                stmt_seq: req.stmt_seq,
+                kind: CurrentKind::ExecGroup { group: group_id },
+            });
+            if !read_only {
+                s.last_write_us = ctx.now().micros();
+            }
+        }
+        for backend in targets {
+            let sql = req.sql.clone();
+            self.send_db(ctx, backend, Pending::GroupExec { group: group_id, backend }, move |op| {
+                DbOp::Execute { op, conn: session.0, sql, seq: None }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Database responses
+    // ------------------------------------------------------------------
+
+    fn on_db_resp(&mut self, ctx: &mut Ctx<'_, Msg>, resp: DbResp) {
+        let op = resp.op();
+        let Some(pending) = self.pending.remove(&op) else { return };
+        self.op_started.remove(&op);
+        match pending {
+            Pending::ClientExec { session, backend } => {
+                self.balancer.completed(backend);
+                self.backends[backend.0].last_pong_us = ctx.now().micros();
+                self.finish_client_exec(ctx, session, backend, resp);
+            }
+            Pending::GroupExec { group, backend } => {
+                self.balancer.completed(backend);
+                self.backends[backend.0].last_pong_us = ctx.now().micros();
+                self.finish_group_exec(ctx, group, backend, resp, false);
+            }
+            Pending::Prepare { session, backend } => {
+                self.balancer.completed(backend);
+                self.finish_prepare(ctx, session, resp);
+            }
+            Pending::DelegateCommit { session, backend, pos } => {
+                self.balancer.completed(backend);
+                if matches!(resp, DbResp::ExecOk { .. }) {
+                    self.backends[backend.0].cert_mark.mark(pos);
+                }
+                self.finish_ws_part(ctx, Some(session), resp);
+            }
+            Pending::ApplyWs { session, backend, ws, attempts, pos } => {
+                self.balancer.completed(backend);
+                if matches!(resp, DbResp::ApplyOk { .. }) {
+                    self.backends[backend.0].cert_mark.mark(pos);
+                }
+                self.finish_apply_ws(ctx, session, backend, ws, attempts, pos, resp);
+            }
+            Pending::Ping { backend } => {
+                self.balancer.completed(backend);
+                if let DbResp::Pong { applied_lsn, head, .. } = resp {
+                    self.note_pong(ctx, backend, applied_lsn, head);
+                }
+            }
+            Pending::ShipFetch => {
+                self.shipping_inflight = false;
+                self.finish_ship_fetch(ctx, resp);
+            }
+            Pending::TwoSafeFetch { session } => {
+                self.finish_two_safe_fetch(ctx, session, resp);
+            }
+            Pending::ShipApply { backend, session, upto } => {
+                self.balancer.completed(backend);
+                self.ship_busy.remove(&backend);
+                let _ = upto;
+                match resp {
+                    DbResp::ApplyOk { applied_lsn, .. } => {
+                        let b = &mut self.backends[backend.0];
+                        b.applied_lsn = b.applied_lsn.max(applied_lsn);
+                        b.last_pong_us = ctx.now().micros();
+                    }
+                    DbResp::ApplyErr { .. } => {
+                        // Partial progress is learned from the next Pong;
+                        // shipping retries from there on the next tick.
+                        self.metrics.counters.divergence_detected += 1;
+                    }
+                    _ => {}
+                }
+                if let Some(session) = session {
+                    self.finish_two_safe_part(ctx, session);
+                }
+            }
+            Pending::RecoveryBatch { backend, upto } => {
+                self.finish_recovery_batch(ctx, backend, upto, resp);
+            }
+            Pending::ResyncDumpReq { target, log_pos } => {
+                self.finish_resync_dump(ctx, target, log_pos, resp);
+            }
+            Pending::BackupDump { backend, hot, started_us } => {
+                self.balancer.completed(backend);
+                if std::env::var("REPLIMID_DEBUG").is_ok() {
+                    eprintln!("[backup] resp for b{} hot={hot}: {:?}", backend.0, std::mem::discriminant(&resp));
+                }
+                if let DbResp::DumpOut { dump, .. } = resp {
+                    self.metrics.backups.push((
+                        started_us,
+                        ctx.now().micros(),
+                        hot,
+                        dump.row_count(),
+                    ));
+                }
+            }
+            Pending::ResyncRestore { backend, baseline, log_pos } => {
+                self.finish_resync_restore(ctx, backend, baseline, log_pos, resp);
+            }
+            Pending::FireAndForget => {}
+        }
+    }
+
+    fn finish_client_exec(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, backend: BackendId, resp: DbResp) {
+        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+            Some(c) => c,
+            None => return,
+        };
+        let stmt_seq = current.stmt_seq;
+        match current.kind {
+            CurrentKind::Read { .. } => match resp {
+                DbResp::ExecOk { body, .. } => {
+                    self.reply_read(ctx, session, stmt_seq, Ok(body));
+                }
+                DbResp::ExecErr { err, .. } => {
+                    self.reply_read(ctx, session, stmt_seq, Err(ReplyError::Sql(err)));
+                }
+                _ => {}
+            },
+            CurrentKind::TempExec { .. } | CurrentKind::WsStmt { autocommit: false } => match resp {
+                DbResp::ExecOk { body, commit, .. } => {
+                    if commit.is_some() {
+                        self.metrics.counters.commits += 1;
+                    }
+                    self.reply(ctx, session, stmt_seq, Ok(body));
+                }
+                DbResp::ExecErr { err, .. } => {
+                    if err.is_retryable() {
+                        self.metrics.counters.aborts += 1;
+                    }
+                    self.reply(ctx, session, stmt_seq, Err(ReplyError::Sql(err)));
+                }
+                _ => {}
+            },
+            CurrentKind::WsBegin { then_sql, then_autocommit } => match resp {
+                DbResp::ExecOk { .. } => {
+                    // The delegate's snapshot now exists: every certified
+                    // writeset at or below its watermark is visible to it.
+                    let mark = self.backends[backend.0].cert_mark.value();
+                    if let Some(s) = self.sessions.get_mut(&session) {
+                        s.start_cert_pos = mark;
+                    }
+                    let Some(sql) = then_sql else {
+                        self.reply(ctx, session, stmt_seq, Ok(ReplyBody::Ack));
+                        return;
+                    };
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.current = Some(Current {
+                            stmt_seq,
+                            kind: CurrentKind::WsStmt { autocommit: then_autocommit },
+                        });
+                    }
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql, seq: None }
+                    });
+                }
+                DbResp::ExecErr { err, .. } => {
+                    self.reply(ctx, session, stmt_seq, Err(ReplyError::Sql(err)));
+                }
+                _ => {}
+            },
+            CurrentKind::WsStmt { autocommit: true } => match resp {
+                DbResp::ExecOk { .. } => {
+                    // Autocommit write executed; now certify + commit.
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.current = Some(Current { stmt_seq, kind: CurrentKind::WsPrepare });
+                    }
+                    self.send_db(ctx, backend, Pending::Prepare { session, backend }, move |op| {
+                        DbOp::PrepareWriteset { op, conn: session.0 }
+                    });
+                }
+                DbResp::ExecErr { err, .. } => {
+                    // Roll back the implicit transaction.
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.in_tx = false;
+                        s.wrote_in_tx = false;
+                    }
+                    self.send_db(ctx, backend, Pending::FireAndForget, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                    });
+                    if err.is_retryable() {
+                        self.metrics.counters.aborts += 1;
+                    }
+                    self.reply(ctx, session, stmt_seq, Err(ReplyError::Sql(err)));
+                }
+                _ => {}
+            },
+            CurrentKind::MsWrite { .. } => self.finish_ms_write(ctx, session, stmt_seq, resp),
+            _ => {}
+        }
+    }
+
+    fn finish_group_exec(&mut self, ctx: &mut Ctx<'_, Msg>, group: u64, backend: BackendId, resp: DbResp, failed: bool) {
+        let Some(g) = self.exec_groups.get_mut(&group) else { return };
+        let result: Option<Result<ReplyBody, SqlError>> = if failed {
+            None
+        } else {
+            match resp {
+                DbResp::ExecOk { body, commit, .. } => {
+                    if commit.is_some() && g.origin {
+                        self.metrics.counters.commits += 1;
+                    }
+                    Some(Ok(body))
+                }
+                DbResp::ExecErr { err, .. } => Some(Err(err)),
+                _ => None,
+            }
+        };
+        if !failed {
+            // Record progress for recovery checkpoints.
+            let seq = g.log_seq;
+            let b = &mut self.backends[backend.0];
+            b.applied_seq = b.applied_seq.max(seq);
+        }
+        match (&g.canonical, &result) {
+            (None, Some(r)) => g.canonical = Some(r.clone()),
+            (Some(c), Some(r)) if c != r => {
+                self.metrics.counters.divergence_detected += 1;
+            }
+            _ => {}
+        }
+        g.remaining = g.remaining.saturating_sub(1);
+        if g.remaining == 0 {
+            let g = self.exec_groups.remove(&group).unwrap();
+            if g.canonical.is_none() && g.log_seq > 0 {
+                // Every backend failed before executing: the entry must not
+                // survive into recovery replay (see RecoveryLog::void).
+                self.log.void(g.log_seq);
+            }
+            let result = match g.canonical {
+                Some(Ok(body)) => Ok(body),
+                Some(Err(e)) => {
+                    if g.origin && e.is_retryable() {
+                        self.metrics.counters.aborts += 1;
+                    }
+                    Err(ReplyError::Sql(e))
+                }
+                None => Err(ReplyError::Unavailable("all backends failed".into())),
+            };
+            if g.origin {
+                self.reply(ctx, g.session, g.stmt_seq, result);
+            } else if result.is_ok() {
+                // Sequoia-style transparent failover (§4.3.3): every peer
+                // caches the outcome of the ordered statement, so a client
+                // that retries here after its home middleware died gets the
+                // cached reply instead of a re-execution.
+                if let Some(sess) = self.sessions.get_mut(&g.session) {
+                    if g.stmt_seq > sess.last_replied {
+                        sess.last_replied = g.stmt_seq;
+                        sess.cached = Some(ClientReply {
+                            session: g.session,
+                            stmt_seq: g.stmt_seq,
+                            result,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, resp: DbResp) {
+        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+            Some(c) => c,
+            None => return,
+        };
+        match resp {
+            DbResp::WritesetOut { ws, .. } => {
+                let start_pos = self.sessions.get(&session).map(|s| s.start_cert_pos).unwrap_or(0);
+                {
+                    let s = self.sessions.get_mut(&session).unwrap();
+                    s.current = Some(Current {
+                        stmt_seq: current.stmt_seq,
+                        kind: CurrentKind::WsCertifyWait,
+                    });
+                }
+                self.publish(ctx, ReplEvent::Certify {
+                    session,
+                    stmt_seq: current.stmt_seq,
+                    start_pos,
+                    ws: *ws,
+                });
+            }
+            DbResp::ExecErr { err, .. } => {
+                self.reply(ctx, session, current.stmt_seq, Err(ReplyError::Sql(err)));
+            }
+            _ => {}
+        }
+    }
+
+    /// A remote writeset application finished. Write conflicts mean a local
+    /// *uncertified* transaction holds the rows; it will be aborted by its
+    /// own certification shortly, so the apply retries after a delay.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_apply_ws(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: Option<SessionId>,
+        backend: BackendId,
+        ws: Writeset,
+        attempts: u32,
+        pos: u64,
+        resp: DbResp,
+    ) {
+        if let DbResp::ApplyErr { err, .. } = &resp {
+            if err.is_retryable()
+                && attempts < APPLY_RETRY_MAX
+                && self.backends[backend.0].online()
+            {
+                self.next_retry += 1;
+                let id = self.next_retry;
+                self.apply_retries.insert(id, (backend, ws, session, attempts + 1, pos));
+                ctx.set_timer(APPLY_RETRY_DELAY_US, TIMER_RETRY_BASE + id);
+                return;
+            }
+            // Permanent failure: the certified transaction IS committed
+            // cluster-wide; a backend that cannot apply it is divergent and
+            // must be dropped and rebuilt through the recovery log.
+            self.metrics.counters.divergence_detected += 1;
+            if self.backends[backend.0].online() {
+                self.backend_failed(ctx, backend);
+                // A synthetic pong brings it straight back through recovery
+                // (the node itself is alive; only its state lagged).
+                let lsn = self.backends[backend.0].applied_lsn;
+                self.note_pong(ctx, backend, lsn, lsn);
+            }
+        }
+        self.finish_ws_part(ctx, session, resp);
+    }
+
+    fn fire_apply_retry(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
+        let Some((backend, ws, session, attempts, pos)) = self.apply_retries.remove(&id) else {
+            return;
+        };
+        if !self.backends[backend.0].online() {
+            self.finish_ws_part(
+                ctx,
+                session,
+                DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend lost".into()) },
+            );
+            return;
+        }
+        let ws2 = ws.clone();
+        self.send_db(
+            ctx,
+            backend,
+            Pending::ApplyWs { session, backend, ws, attempts, pos },
+            move |op| DbOp::ApplyWriteset { op, ws: ws2 },
+        );
+    }
+
+    fn finish_ws_part(&mut self, ctx: &mut Ctx<'_, Msg>, session: Option<SessionId>, resp: DbResp) {
+        let Some(session) = session else { return };
+        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+            Some(c) => c,
+            None => return,
+        };
+        let CurrentKind::WsFinalize { mut remaining, mut failed } = current.kind else { return };
+        if matches!(resp, DbResp::ExecErr { .. } | DbResp::ApplyErr { .. }) {
+            failed = true;
+        }
+        remaining = remaining.saturating_sub(1);
+        if remaining == 0 {
+            if failed {
+                self.metrics.counters.divergence_detected += 1;
+            }
+            self.metrics.counters.commits += 1;
+            self.reply(ctx, session, current.stmt_seq, Ok(ReplyBody::Ack));
+        } else {
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.current = Some(Current {
+                stmt_seq: current.stmt_seq,
+                kind: CurrentKind::WsFinalize { remaining, failed },
+            });
+        }
+    }
+
+    fn finish_ms_write(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, resp: DbResp) {
+        let Mode::MasterSlave { two_safe, .. } = self.cfg.mode else { return };
+        match resp {
+            DbResp::ExecOk { body, commit, .. } => {
+                let committed = commit.is_some();
+                if committed {
+                    self.metrics.counters.commits += 1;
+                    self.backends[self.master.0].applied_lsn =
+                        commit.as_ref().map(|c| c.lsn).unwrap_or(Lsn(0));
+                }
+                if two_safe && committed && !self.slaves().is_empty() {
+                    // Fetch the unshipped tail and push it synchronously.
+                    {
+                        let s = self.sessions.get_mut(&session).unwrap();
+                        s.current = Some(Current {
+                            stmt_seq,
+                            kind: CurrentKind::MsTwoSafe { remaining: 0 },
+                        });
+                        s.cached = None;
+                    }
+                    // Stash the body to return after slave acks.
+                    self.two_safe_bodies.insert(session, body);
+                    let min_applied = self
+                        .slaves()
+                        .iter()
+                        .map(|b| self.backends[b.0].applied_lsn)
+                        .min()
+                        .unwrap_or(Lsn(0));
+                    let master = self.master;
+                    self.send_db(ctx, master, Pending::TwoSafeFetch { session }, move |op| {
+                        DbOp::BinlogAfter { op, after: min_applied }
+                    });
+                } else {
+                    self.reply(ctx, session, stmt_seq, Ok(body));
+                }
+            }
+            DbResp::ExecErr { err, .. } => {
+                if err.is_retryable() {
+                    self.metrics.counters.aborts += 1;
+                }
+                self.reply(ctx, session, stmt_seq, Err(ReplyError::Sql(err)));
+            }
+            _ => {}
+        }
+    }
+
+    fn finish_two_safe_fetch(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, resp: DbResp) {
+        let Mode::MasterSlave { use_writesets, parallel_apply, .. } = self.cfg.mode else { return };
+        let DbResp::BinlogOut { entries, head, .. } = resp else { return };
+        let slaves = self.slaves();
+        let stmt_seq = match self.sessions.get(&session).and_then(|s| s.current.as_ref()) {
+            Some(c) => c.stmt_seq,
+            None => return,
+        };
+        if slaves.is_empty() || entries.is_empty() {
+            let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            self.reply(ctx, session, stmt_seq, Ok(body));
+            return;
+        }
+        {
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.current = Some(Current {
+                stmt_seq,
+                kind: CurrentKind::MsTwoSafe { remaining: slaves.len() },
+            });
+        }
+        for backend in slaves {
+            let after = self.backends[backend.0].applied_lsn;
+            let to_apply: Vec<_> = entries.iter().filter(|e| e.lsn > after).cloned().collect();
+            if to_apply.is_empty() {
+                self.finish_two_safe_part(ctx, session);
+                continue;
+            }
+            self.ship_busy.insert(backend);
+            self.send_db(
+                ctx,
+                backend,
+                Pending::ShipApply { backend, session: Some(session), upto: head },
+                move |op| DbOp::ApplyBinlog {
+                    op,
+                    entries: to_apply,
+                    use_writesets,
+                    parallel_apply,
+                    space: ApplySpace::Binlog,
+                },
+            );
+        }
+    }
+
+    fn finish_two_safe_part(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId) {
+        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+            Some(c) => c,
+            None => return,
+        };
+        let CurrentKind::MsTwoSafe { remaining } = current.kind else { return };
+        let remaining = remaining.saturating_sub(1);
+        if remaining == 0 {
+            let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            self.reply(ctx, session, current.stmt_seq, Ok(body));
+        } else {
+            let s = self.sessions.get_mut(&session).unwrap();
+            s.current = Some(Current {
+                stmt_seq: current.stmt_seq,
+                kind: CurrentKind::MsTwoSafe { remaining },
+            });
+        }
+    }
+
+    fn finish_ship_fetch(&mut self, ctx: &mut Ctx<'_, Msg>, resp: DbResp) {
+        let Mode::MasterSlave { use_writesets, parallel_apply, .. } = self.cfg.mode else { return };
+        let DbResp::BinlogOut { entries, head, resync_needed, .. } = resp else { return };
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!(
+                "[{}us] ship got {} entries head={head:?} resync={resync_needed}",
+                ctx.now().micros(),
+                entries.len()
+            );
+        }
+        if resync_needed {
+            // The master purged its log past a slave's position: those
+            // slaves need a full resync (§4.4.2).
+            for b in self.slaves() {
+                self.start_full_resync(ctx, b);
+            }
+            return;
+        }
+        if entries.is_empty() {
+            // Record zero lag samples.
+            let now = ctx.now().micros();
+            for b in self.slaves() {
+                let lag = head.0.saturating_sub(self.backends[b.0].applied_lsn.0);
+                self.metrics.lag_samples.push((now, lag));
+            }
+            return;
+        }
+        let now = ctx.now().micros();
+        for backend in self.slaves() {
+            let after = self.backends[backend.0].applied_lsn;
+            let to_apply: Vec<_> = entries.iter().filter(|e| e.lsn > after).cloned().collect();
+            let lag = head.0.saturating_sub(after.0);
+            self.metrics.lag_samples.push((now, lag));
+            if to_apply.is_empty() || self.ship_busy.contains(&backend) {
+                continue;
+            }
+            self.ship_busy.insert(backend);
+            self.send_db(
+                ctx,
+                backend,
+                Pending::ShipApply { backend, session: None, upto: head },
+                move |op| DbOp::ApplyBinlog {
+                    op,
+                    entries: to_apply,
+                    use_writesets,
+                    parallel_apply,
+                    space: ApplySpace::Binlog,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection / failover / recovery
+    // ------------------------------------------------------------------
+
+    fn note_pong(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, applied_lsn: Lsn, head: Lsn) {
+        let now = ctx.now().micros();
+        let was_down = self.backends[backend.0].state == BackendState::Down;
+        self.backends[backend.0].last_pong_us = now;
+        if matches!(self.cfg.mode, Mode::MasterSlave { .. }) {
+            // The master reports its binlog head; slaves report the foreign
+            // LSN they applied.
+            let b = &mut self.backends[backend.0];
+            let v = if backend == self.master { head } else { applied_lsn };
+            b.applied_lsn = b.applied_lsn.max(v);
+        }
+        if was_down {
+            // The node is back: start the rejoin procedure (§4.4.2).
+            self.recovery_started.insert(backend, now);
+            match self.cfg.mode {
+                Mode::MasterSlave { .. } => self.start_full_resync(ctx, backend),
+                _ => self.start_log_recovery(ctx, backend),
+            }
+        }
+    }
+
+    fn ping_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(self.cfg.heartbeat.interval_us, TIMER_PING);
+        let now = ctx.now().micros();
+        // Detect silent backends.
+        let timeout = self.cfg.heartbeat.timeout_us;
+        for i in 0..self.backends.len() {
+            let b = BackendId(i);
+            let silent = now.saturating_sub(self.backends[i].last_pong_us);
+            if self.backends[i].online() && self.backends[i].last_pong_us > 0 && silent > timeout {
+                self.backend_failed(ctx, b);
+            }
+        }
+        // Ping everyone (including Down nodes: that is how we see them
+        // return).
+        for i in 0..self.backends.len() {
+            let b = BackendId(i);
+            self.send_db(ctx, b, Pending::Ping { backend: b }, move |op| DbOp::Ping { op });
+        }
+    }
+
+    fn backend_failed(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if self.backends[backend.0].state == BackendState::Down {
+            return;
+        }
+        if self.barrier_for == Some(backend) {
+            self.barrier_for = None;
+            let buffered: Vec<_> = self.buffered_deliveries.drain(..).collect();
+            for ev in buffered {
+                self.apply_delivery(ctx, ev);
+            }
+        }
+        self.recovery_started.remove(&backend);
+        let applied = self.backends[backend.0].applied_seq;
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!(
+                "[{}us] backend_failed b{} from state {:?} checkpoint={applied}",
+                ctx.now().micros(),
+                backend.0,
+                self.backends[backend.0].state
+            );
+        }
+        self.ship_busy.remove(&backend);
+        self.backends[backend.0].state = BackendState::Down;
+        self.log.checkpoint(backend, applied);
+        self.metrics.counters.failovers += 1;
+        self.metrics.failover_times.push(ctx.now().micros());
+
+        // Fail in-flight ops against this backend.
+        let stuck: Vec<(u64, Pending)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| pending_backend(p) == Some(backend))
+            .map(|(&op, p)| (op, p.clone()))
+            .collect();
+        for (op, p) in stuck {
+            self.pending.remove(&op);
+            let op_t0 = self.op_started.remove(&op);
+            // The outage began when the now-failed request was dispatched,
+            // not when we finally noticed: date it back for MTTR honesty.
+            if let (Some(t0), Pending::ClientExec { .. }) = (op_t0, &p) {
+                self.metrics.availability.record(t0, false);
+            }
+            match p {
+                Pending::ClientExec { session, .. } | Pending::Prepare { session, .. } => {
+                    // In-flight transaction lost with the node (§4.3.3).
+                    if let Some(s) = self.sessions.get_mut(&session) {
+                        s.in_tx = false;
+                        s.wrote_in_tx = false;
+                        s.sticky = None;
+                    }
+                    let seq = self.sessions.get(&session).and_then(|s| s.current.as_ref().map(|c| c.stmt_seq));
+                    if let Some(seq) = seq {
+                        self.metrics.counters.lost_transactions += 1;
+                        self.reply(ctx, session, seq, Err(ReplyError::Unavailable("backend failed mid-request".into())));
+                    }
+                }
+                Pending::GroupExec { group, backend } => {
+                    self.finish_group_exec(ctx, group, backend, DbResp::RestoreOk { op: 0 }, true);
+                }
+                Pending::DelegateCommit { session, .. } | Pending::ApplyWs { session: Some(session), .. } => {
+                    self.finish_ws_part(ctx, Some(session), DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend failed".into()) });
+                }
+                Pending::ShipApply { session: Some(session), .. } => {
+                    self.finish_two_safe_part(ctx, session);
+                }
+                Pending::ShipFetch => self.shipping_inflight = false,
+                _ => {}
+            }
+        }
+
+        // Master-slave: promotion.
+        if matches!(self.cfg.mode, Mode::MasterSlave { .. }) && backend == self.master {
+            let lost = self.promote_new_master(ctx);
+            self.metrics.counters.lost_transactions += lost;
+        }
+        // Sessions stuck to the failed backend lose their delegate.
+        for s in self.sessions.values_mut() {
+            if s.sticky == Some(backend) && !s.temp_pinned {
+                s.sticky = None;
+            }
+        }
+    }
+
+    /// Promote the most caught-up slave. Returns the 1-safe loss estimate
+    /// (entries the dead master committed that the new master never saw).
+    ///
+    /// The other slaves' replication positions are expressed in the *dead*
+    /// master's LSN space, which does not transfer to the new master (the
+    /// real-world GTID problem): they are rebuilt with a full resync — the
+    /// expensive failover aftermath §4.4.2 describes.
+    fn promote_new_master(&mut self, ctx: &mut Ctx<'_, Msg>) -> u64 {
+        let best = self
+            .slaves()
+            .into_iter()
+            .max_by_key(|b| self.backends[b.0].applied_lsn);
+        let Some(new_master) = best else { return 0 };
+        let master_head = self.backends[self.master.0].applied_lsn;
+        let lost = master_head.0.saturating_sub(self.backends[new_master.0].applied_lsn.0);
+        self.master = new_master;
+        // The new master's own binlog is its authoritative position now.
+        self.backends[new_master.0].applied_lsn = Lsn(0); // refreshed by next Pong
+        for b in self.slaves() {
+            if b != new_master {
+                self.start_full_resync(ctx, b);
+            }
+        }
+        lost
+    }
+
+    fn start_log_recovery(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        let from = self.log.checkpoint_of(backend).unwrap_or(0);
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] start_log_recovery b{} from={from} head={}", ctx.now().micros(), backend.0, self.log.head());
+        }
+        if self.log.read_after(from, 1).is_none() {
+            // Log truncated past the checkpoint: full resync.
+            self.start_full_resync(ctx, backend);
+            return;
+        }
+        self.backends[backend.0].state = BackendState::Recovering { next: from, inflight: false };
+        self.pump_recovery(ctx, backend);
+    }
+
+    fn pump_recovery(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        let BackendState::Recovering { next, inflight } = self.backends[backend.0].state else {
+            return;
+        };
+        if inflight {
+            return;
+        }
+        let head = self.log.head();
+        let remaining = head.saturating_sub(next);
+        if remaining == 0 {
+            // Caught up: release any barrier and come online.
+            self.backends[backend.0].state = BackendState::Online;
+            self.backends[backend.0].applied_seq = head;
+            self.backends[backend.0].cert_mark = Watermark::at(head);
+            if let Some(start) = self.recovery_started.remove(&backend) {
+                self.metrics.recoveries.push((backend.0, start, ctx.now().micros()));
+            }
+            if self.barrier_for == Some(backend) {
+                self.barrier_for = None;
+                while let Some(ev) = self.buffered_deliveries.pop_front() {
+                    self.apply_delivery(ctx, ev);
+                    if self.barrier_for.is_some() {
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+        if remaining <= self.cfg.barrier_threshold && self.barrier_for.is_none() {
+            // Final hop: global barrier (live writes buffer until done).
+            self.barrier_for = Some(backend);
+        }
+        let batch = self
+            .log
+            .read_after(next, self.cfg.recovery_batch)
+            .map(|e| e.to_vec())
+            .unwrap_or_default();
+        if batch.is_empty() {
+            return;
+        }
+        let upto = batch.last().unwrap().seq;
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!(
+                "[{}us] recovery batch b{}: {}..={} (head {})",
+                ctx.now().micros(),
+                backend.0,
+                batch.first().unwrap().seq,
+                upto,
+                self.log.head()
+            );
+        }
+        let entries = crate::recovery::to_binlog_entries(&batch);
+        let use_writesets = batch.iter().any(|e| e.is_writeset());
+        let parallel_apply = self.cfg.replay_mode == ReplayMode::Parallel;
+        self.backends[backend.0].state = BackendState::Recovering { next, inflight: true };
+        self.send_db(ctx, backend, Pending::RecoveryBatch { backend, upto }, move |op| {
+            // Ordered space: the node skips entries it already executed
+            // before the failure was declared (idempotent replay).
+            DbOp::ApplyBinlog { op, entries, use_writesets, parallel_apply, space: ApplySpace::Ordered }
+        });
+    }
+
+    fn finish_recovery_batch(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, upto: u64, resp: DbResp) {
+        // The backend may have been re-failed while the batch was in flight.
+        if !matches!(self.backends[backend.0].state, BackendState::Recovering { .. }) {
+            return;
+        }
+        match resp {
+            DbResp::ApplyOk { .. } => {
+                self.backends[backend.0].applied_seq = upto;
+                self.backends[backend.0].state =
+                    BackendState::Recovering { next: upto, inflight: false };
+                self.pump_recovery(ctx, backend);
+            }
+            other => {
+                // Replay failed (divergence): fall back to full resync.
+                if std::env::var("REPLIMID_DEBUG").is_ok() {
+                    eprintln!("[recovery] replay batch failed on b{}: {other:?}", backend.0);
+                }
+                self.metrics.counters.divergence_detected += 1;
+                self.start_full_resync(ctx, backend);
+            }
+        }
+    }
+
+    fn start_full_resync(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] start_full_resync b{}", ctx.now().micros(), backend.0);
+        }
+        // Dump from a healthy source (master in ms mode, any online backend
+        // otherwise).
+        let source = if matches!(self.cfg.mode, Mode::MasterSlave { .. }) {
+            if self.backends[self.master.0].online() { Some(self.master) } else { None }
+        } else {
+            self.healthy().into_iter().find(|&b| b != backend)
+        };
+        let Some(source) = source else {
+            // No healthy peer to rebuild from: stay Down; the next pong
+            // retries (single-replica clusters recover via the log replay
+            // path, which is idempotent).
+            self.backends[backend.0].state = BackendState::Down;
+            return;
+        };
+        self.backends[backend.0].state = BackendState::Resyncing;
+        // The dump will reflect every logged statement up to here (the dump
+        // request travels the same FIFO link as the statement executions),
+        // so post-resync catch-up replays from exactly this position.
+        let log_pos = self.log.head();
+        self.send_db(ctx, source, Pending::ResyncDumpReq { target: backend, log_pos }, move |op| {
+            DbOp::Dump { op, include_programs: true, include_principals: true }
+        });
+    }
+
+    fn finish_resync_dump(&mut self, ctx: &mut Ctx<'_, Msg>, target: BackendId, log_pos: u64, resp: DbResp) {
+        let DbResp::DumpOut { dump, head, .. } = resp else { return };
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] resync dump for b{} head={head:?} state={:?}", ctx.now().micros(), target.0, self.backends[target.0].state);
+        }
+        if self.backends[target.0].state != BackendState::Resyncing {
+            return;
+        }
+        self.send_db(
+            ctx,
+            target,
+            Pending::ResyncRestore { backend: target, baseline: head, log_pos },
+            move |op| DbOp::Restore { op, dump, baseline: head, ordered_baseline: log_pos },
+        );
+    }
+
+    fn finish_resync_restore(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        backend: BackendId,
+        baseline: Lsn,
+        log_pos: u64,
+        resp: DbResp,
+    ) {
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[?] resync restore b{} baseline={baseline:?} ok={}", backend.0, matches!(resp, DbResp::RestoreOk { .. }));
+        }
+        if !matches!(resp, DbResp::RestoreOk { .. }) {
+            return;
+        }
+        match self.cfg.mode {
+            Mode::MasterSlave { .. } => {
+                // The restored node rejoins as a slave consistent with the
+                // master as of the dump; shipping continues from there.
+                self.backends[backend.0].applied_lsn = baseline;
+                self.backends[backend.0].state = BackendState::Online;
+                if let Some(start) = self.recovery_started.remove(&backend) {
+                    self.metrics.recoveries.push((backend.0, start, ctx.now().micros()));
+                }
+            }
+            _ => {
+                // Catch up from the recovery log starting at the position
+                // the dump is consistent with.
+                self.log.checkpoint(backend, log_pos);
+                self.backends[backend.0].applied_seq = log_pos;
+                self.backends[backend.0].state =
+                    BackendState::Recovering { next: log_pos, inflight: false };
+                self.pump_recovery(ctx, backend);
+            }
+        }
+    }
+
+    /// Management operations (§4.4.1/§4.4.2).
+    fn on_admin(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: AdminCmd) {
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] admin {cmd:?}", ctx.now().micros());
+        }
+        match cmd {
+            AdminCmd::Backup { backend, hot } => {
+                if !hot {
+                    // Cold backup: remove the replica from rotation first
+                    // (its checkpoint is recorded); it rejoins through the
+                    // recovery log after the dump, like any returning node.
+                    self.backend_failed(ctx, backend);
+                }
+                let started_us = ctx.now().micros();
+                self.send_db(
+                    ctx,
+                    backend,
+                    Pending::BackupDump { backend, hot, started_us },
+                    move |op| DbOp::Dump { op, include_programs: true, include_principals: true },
+                );
+            }
+            AdminCmd::RemoveBackend { backend } => {
+                self.backend_failed(ctx, backend);
+            }
+        }
+    }
+
+    fn op_timed_out(&mut self, ctx: &mut Ctx<'_, Msg>, op: u64) {
+        let Some(p) = self.pending.get(&op).cloned() else { return };
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] op {op} timed out: {p:?}", ctx.now().micros());
+        }
+        self.pending.remove(&op);
+        self.op_started.remove(&op);
+        match &p {
+            Pending::ShipFetch => self.shipping_inflight = false,
+            Pending::ShipApply { backend, session, .. } => {
+                self.ship_busy.remove(backend);
+                if let Some(session) = *session {
+                    self.finish_two_safe_part(ctx, session);
+                }
+            }
+            // Pings to a down backend are *expected* to be lost; real
+            // failures are detected by the silent-too-long check in
+            // ping_tick. Treating a stale ping timeout as a failure would
+            // kill a backend that just finished recovering.
+            Pending::Ping { .. } => return,
+            _ => {}
+        }
+        if let Some(b) = pending_backend(&p) {
+            self.backend_failed(ctx, b);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection for the harness
+    // ------------------------------------------------------------------
+
+    pub fn master_backend(&self) -> BackendId {
+        self.master
+    }
+
+    pub fn online_backends(&self) -> usize {
+        self.healthy().len()
+    }
+
+    pub fn backend_applied_lsn(&self, b: BackendId) -> Lsn {
+        self.backends[b.0].applied_lsn
+    }
+
+    pub fn recovery_state(&self, b: BackendId) -> String {
+        format!("{:?}", self.backends[b.0].state)
+    }
+
+    /// Debug snapshot: per-backend (state, applied_lsn, applied_seq) plus
+    /// shipping flags.
+    pub fn debug_state(&self) -> String {
+        let per: Vec<String> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                format!(
+                    "b{i}:{:?} lsn={} seq={} pong@{}",
+                    b.state, b.applied_lsn.0, b.applied_seq, b.last_pong_us
+                )
+            })
+            .collect();
+        format!(
+            "master={} ship_inflight={} ship_busy={:?} pending={} [{}]",
+            self.master.0,
+            self.shipping_inflight,
+            self.ship_busy,
+            self.pending.len(),
+            per.join(" | ")
+        )
+    }
+
+}
+
+fn pending_backend(p: &Pending) -> Option<BackendId> {
+    match p {
+        Pending::ClientExec { backend, .. }
+        | Pending::GroupExec { backend, .. }
+        | Pending::ApplyWs { backend, .. }
+        | Pending::Prepare { backend, .. }
+        | Pending::DelegateCommit { backend, .. }
+        | Pending::Ping { backend }
+        | Pending::ShipApply { backend, .. }
+        | Pending::RecoveryBatch { backend, .. }
+        | Pending::BackupDump { backend, .. }
+        | Pending::ResyncRestore { backend, .. } => Some(*backend),
+        _ => None,
+    }
+}
+
+impl Actor<Msg> for Middleware {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let actions = self.group.start(ctx.now().micros());
+        self.run_gcs_actions(ctx, actions);
+        ctx.set_timer(self.cfg.heartbeat.interval_us, TIMER_PING);
+        if let Mode::MasterSlave { ship_interval_us, .. } = self.cfg.mode {
+            ctx.set_timer(ship_interval_us, TIMER_SHIP);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Admin(cmd) => self.on_admin(ctx, cmd),
+            Msg::Request(req) => self.on_request(ctx, from, req),
+            Msg::DbR(resp) => self.on_db_resp(ctx, resp),
+            Msg::Group(gmsg) => {
+                let member = self
+                    .peers
+                    .iter()
+                    .position(|&n| n == from)
+                    .map(MemberId)
+                    .unwrap_or(MemberId(usize::MAX));
+                let actions = self.group.on_message(member, gmsg, ctx.now().micros());
+                self.run_gcs_actions(ctx, actions);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            replimid_gcs::TICK_TAG => {
+                let actions = self.group.on_timer(tag, ctx.now().micros());
+                self.run_gcs_actions(ctx, actions);
+            }
+            TIMER_PING => self.ping_tick(ctx),
+            TIMER_SHIP => self.ship_tick(ctx),
+            t if t >= TIMER_OP_BASE => {
+                let op = t - TIMER_OP_BASE;
+                if self.pending.contains_key(&op) {
+                    self.op_timed_out(ctx, op);
+                }
+            }
+            t if t >= TIMER_RETRY_BASE => self.fire_apply_retry(ctx, t - TIMER_RETRY_BASE),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_advances_contiguously() {
+        let mut w = Watermark::new();
+        assert_eq!(w.value(), 0);
+        w.mark(2);
+        assert_eq!(w.value(), 0, "gap at 1");
+        w.mark(1);
+        assert_eq!(w.value(), 2, "contiguous through 2");
+        w.mark(3);
+        assert_eq!(w.value(), 3);
+        // Stale marks are ignored.
+        w.mark(1);
+        assert_eq!(w.value(), 3);
+    }
+
+    #[test]
+    fn watermark_at_position() {
+        let mut w = Watermark::at(100);
+        assert_eq!(w.value(), 100);
+        w.mark(101);
+        assert_eq!(w.value(), 101);
+        w.mark(50);
+        assert_eq!(w.value(), 101);
+    }
+
+    #[test]
+    fn watermark_out_of_order_batch() {
+        let mut w = Watermark::new();
+        for pos in [5, 3, 1, 4, 2] {
+            w.mark(pos);
+        }
+        assert_eq!(w.value(), 5);
+    }
+
+    #[test]
+    fn mode_defaults_are_sane() {
+        let cfg = MwConfig::defaults(Mode::MultiMasterWriteset);
+        assert!(cfg.op_timeout_us >= cfg.heartbeat.timeout_us);
+        assert!(!cfg.require_majority);
+        assert!(cfg.barrier_threshold > 0);
+    }
+}

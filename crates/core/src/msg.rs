@@ -1,0 +1,248 @@
+//! Wire protocol of the simulated cluster: client ↔ middleware ↔ database
+//! nodes, plus the replication traffic between middleware peers.
+
+use replimid_gcs::GcsMsg;
+use replimid_sql::{BinlogEntry, Dump, Lsn, ResultSet, SqlError, Writeset};
+
+/// A client session, globally unique across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+/// Index of a backend *within one middleware's* backend list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BackendId(pub usize);
+
+/// What a client asks the middleware to do (one statement per request —
+/// closed-loop clients).
+#[derive(Debug, Clone)]
+pub struct ClientRequest {
+    pub session: SessionId,
+    /// Monotonic per-session statement number: lets a middleware replica
+    /// deduplicate retries after a failover (§4.3.3).
+    pub stmt_seq: u64,
+    pub sql: String,
+}
+
+/// Successful statement result, trimmed for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyBody {
+    Rows(ResultSet),
+    Affected(u64),
+    Ack,
+}
+
+/// Why a request failed at the middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplyError {
+    Sql(SqlError),
+    /// No healthy backend / quorum lost: the outage the client perceives.
+    Unavailable(String),
+    /// The middleware refused the statement (e.g. unrewritable
+    /// non-determinism under statement replication, §4.3.2).
+    Rejected(String),
+}
+
+impl ReplyError {
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ReplyError::Sql(e) => e.is_retryable(),
+            ReplyError::Unavailable(_) => true,
+            ReplyError::Rejected(_) => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ClientReply {
+    pub session: SessionId,
+    pub stmt_seq: u64,
+    pub result: Result<ReplyBody, ReplyError>,
+}
+
+/// Idempotence spaces for applied entries. A node tracks two independent
+/// positions: the master's binlog LSN space (log shipping) and the
+/// middleware's ordered-statement sequence space (total order + recovery
+/// replay). They must never be conflated — binlog LSNs start past the
+/// schema-load entries, ordered sequences start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplySpace {
+    /// No tracking (apply unconditionally).
+    None,
+    /// Master binlog LSNs: skip entries at or below `applied_lsn`.
+    Binlog,
+    /// Ordered replication-log sequence numbers: skip entries at or below
+    /// the node's ordered-applied position.
+    Ordered,
+}
+
+/// Operations the middleware sends to a database node. `op` is a
+/// correlation id echoed in the response.
+#[derive(Debug, Clone)]
+pub enum DbOp {
+    /// Execute one SQL statement on the (lazily created) connection `conn`.
+    /// `seq` is the replication-log position for totally-ordered writes:
+    /// the node records it durably and *skips* statements it has already
+    /// applied — this is what makes recovery replay idempotent when an
+    /// acknowledgment raced a failure declaration (§4.4.2: "the middleware
+    /// has often no information on which transactions committed prior to
+    /// the failure; this information is only known to the database").
+    Execute { op: u64, conn: u64, sql: String, seq: Option<u64> },
+    /// Extract the open transaction's writeset (certification path).
+    PrepareWriteset { op: u64, conn: u64 },
+    /// Apply a certified writeset as one transaction.
+    ApplyWriteset { op: u64, ws: Writeset },
+    /// Apply shipped binlog entries (slave side). `parallel_apply` groups
+    /// entries touching disjoint tables and charges only the longest group
+    /// (the §4.4.2 "extraction of parallelism from the log").
+    /// `foreign_lsn`: entry LSNs live in the sender's (master's) LSN space —
+    /// track them in `applied_lsn` and skip already-applied entries
+    /// (idempotent shipping). Recovery replay uses its own sequence space
+    /// and passes false.
+    ApplyBinlog {
+        op: u64,
+        entries: Vec<BinlogEntry>,
+        use_writesets: bool,
+        parallel_apply: bool,
+        /// Which idempotence space the entry LSNs live in (see [`ApplySpace`]).
+        space: ApplySpace,
+    },
+    /// Fetch binlog entries after an LSN (master side of log shipping).
+    BinlogAfter { op: u64, after: Lsn },
+    /// Take a dump (hot backup: the node keeps serving but is slowed).
+    Dump { op: u64, include_programs: bool, include_principals: bool },
+    /// Load a dump (used to initialize or resynchronize a replica).
+    /// `baseline` is the source's binlog LSN at dump time; `ordered_baseline`
+    /// is the middleware's ordered-log position the dump is consistent with.
+    Restore { op: u64, dump: Box<Dump>, baseline: Lsn, ordered_baseline: u64 },
+    /// State checksum for divergence detection.
+    Checksum { op: u64, full: bool },
+    /// Liveness probe.
+    Ping { op: u64 },
+    /// Drop a session's connection (client disconnected): releases temp
+    /// tables and aborts open transactions.
+    Disconnect { conn: u64 },
+}
+
+/// Database node responses.
+#[derive(Debug, Clone)]
+pub enum DbResp {
+    ExecOk {
+        op: u64,
+        body: ReplyBody,
+        /// Set when this statement committed a transaction.
+        commit: Option<CommitNote>,
+        tainted: bool,
+    },
+    ExecErr { op: u64, err: SqlError },
+    WritesetOut { op: u64, ws: Box<Writeset> },
+    BinlogOut {
+        op: u64,
+        entries: Vec<BinlogEntry>,
+        /// The log was truncated past the requested LSN: full resync needed.
+        resync_needed: bool,
+        head: Lsn,
+    },
+    DumpOut { op: u64, dump: Box<Dump>, head: Lsn },
+    RestoreOk { op: u64 },
+    ChecksumOut { op: u64, value: u64 },
+    Pong { op: u64, applied_lsn: Lsn, head: Lsn },
+    ApplyOk { op: u64, applied_lsn: Lsn },
+    ApplyErr { op: u64, err: SqlError },
+}
+
+impl DbResp {
+    pub fn op(&self) -> u64 {
+        match self {
+            DbResp::ExecOk { op, .. }
+            | DbResp::ExecErr { op, .. }
+            | DbResp::WritesetOut { op, .. }
+            | DbResp::BinlogOut { op, .. }
+            | DbResp::DumpOut { op, .. }
+            | DbResp::RestoreOk { op }
+            | DbResp::ChecksumOut { op, .. }
+            | DbResp::Pong { op, .. }
+            | DbResp::ApplyOk { op, .. }
+            | DbResp::ApplyErr { op, .. } => *op,
+        }
+    }
+}
+
+/// A commit observed at a backend.
+#[derive(Debug, Clone)]
+pub struct CommitNote {
+    pub writeset: Writeset,
+    pub lsn: Lsn,
+}
+
+/// Payload totally ordered among middleware peers (the replication traffic
+/// itself).
+#[derive(Debug, Clone)]
+pub enum ReplEvent {
+    /// Statement-based replication: one (possibly rewritten) write
+    /// statement, executed by every middleware on every backend in delivery
+    /// order.
+    Statement {
+        session: SessionId,
+        stmt_seq: u64,
+        sql: String,
+    },
+    /// Certification request for a transaction's writeset.
+    Certify {
+        session: SessionId,
+        stmt_seq: u64,
+        /// Certifier position when the transaction began.
+        start_pos: u64,
+        ws: Writeset,
+    },
+    /// Session teardown (propagated so peers drop replicated session state).
+    SessionEnd { session: SessionId },
+}
+
+/// Management commands injected by the operator/harness (§4.4: backup and
+/// replica management are normal operations a replication middleware must
+/// coordinate).
+#[derive(Debug, Clone)]
+pub enum AdminCmd {
+    /// Take a backup from `backend`. `hot`: the node keeps serving (but is
+    /// slowed by the dump); cold: the node is removed from rotation first
+    /// (checkpointed) and rejoins through the recovery log afterwards.
+    Backup { backend: BackendId, hot: bool },
+    /// Administratively remove a replica (planned maintenance, §4.4.2).
+    RemoveBackend { backend: BackendId },
+}
+
+/// Everything that can travel between nodes in the simulation.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    Admin(AdminCmd),
+    Request(ClientRequest),
+    Reply(ClientReply),
+    Db(DbOp),
+    DbR(DbResp),
+    Group(GcsMsg<ReplEvent>),
+    /// Master→slave binlog shipping (master-slave mode, no GCS involved).
+    Ship { entries: Vec<BinlogEntry>, seq: u64 },
+    ShipAck { upto: Lsn, seq: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_error_retryability() {
+        assert!(ReplyError::Unavailable("x".into()).is_retryable());
+        assert!(!ReplyError::Rejected("x".into()).is_retryable());
+        assert!(ReplyError::Sql(SqlError::SerializationFailure("r".into())).is_retryable());
+        assert!(!ReplyError::Sql(SqlError::DuplicateKey("k".into())).is_retryable());
+    }
+
+    #[test]
+    fn db_resp_op_extraction() {
+        assert_eq!(DbResp::RestoreOk { op: 7 }.op(), 7);
+        assert_eq!(
+            DbResp::ExecErr { op: 9, err: SqlError::Internal("x".into()) }.op(),
+            9
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Data partitioning for write scalability (Fig. 2): range, hash, and list
+//! partitioning on a per-table key column, plus the statement analysis that
+//! routes a statement to its partition(s).
+
+use replimid_sql::ast::{BinOp, Expr, InsertSource, Statement};
+use replimid_sql::Value;
+
+/// Partitioning criterion for one table (§2.1: "range partitioning, list
+/// partitioning and hash partitioning" on a primary key).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionScheme {
+    /// `bounds[i]` is the *exclusive* upper bound of partition i; values at
+    /// or above the last bound go to the final partition (len = bounds+1).
+    Range { column: String, bounds: Vec<i64> },
+    /// Hash of the key value modulo `partitions`.
+    Hash { column: String, partitions: usize },
+    /// Explicit value lists; values not listed go to partition
+    /// `default_partition`.
+    List { column: String, lists: Vec<Vec<Value>>, default_partition: usize },
+}
+
+impl PartitionScheme {
+    pub fn partition_count(&self) -> usize {
+        match self {
+            PartitionScheme::Range { bounds, .. } => bounds.len() + 1,
+            PartitionScheme::Hash { partitions, .. } => *partitions,
+            PartitionScheme::List { lists, default_partition, .. } => {
+                lists.len().max(default_partition + 1)
+            }
+        }
+    }
+
+    pub fn column(&self) -> &str {
+        match self {
+            PartitionScheme::Range { column, .. }
+            | PartitionScheme::Hash { column, .. }
+            | PartitionScheme::List { column, .. } => column,
+        }
+    }
+
+    /// Which partition owns `value`?
+    pub fn locate(&self, value: &Value) -> usize {
+        match self {
+            PartitionScheme::Range { bounds, .. } => {
+                let v = value.as_int().unwrap_or(i64::MAX);
+                bounds.iter().position(|&b| v < b).unwrap_or(bounds.len())
+            }
+            PartitionScheme::Hash { partitions, .. } => {
+                let mut h = replimid_sql::checksum::Fnv64::new();
+                value.hash_into(&mut h);
+                (h.finish() % *partitions as u64) as usize
+            }
+            PartitionScheme::List { lists, default_partition, .. } => lists
+                .iter()
+                .position(|l| l.contains(value))
+                .unwrap_or(*default_partition),
+        }
+    }
+}
+
+/// The partition map of a cluster: table name -> scheme. Tables not listed
+/// are *global* (replicated everywhere).
+#[derive(Debug, Clone, Default)]
+pub struct Partitioner {
+    schemes: Vec<(String, PartitionScheme)>,
+}
+
+/// Where a statement must run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// One specific partition.
+    Single(usize),
+    /// Every partition (scatter; e.g. a scan without a key predicate, DDL,
+    /// or a global table write).
+    All,
+}
+
+impl Partitioner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add_table(&mut self, table: &str, scheme: PartitionScheme) {
+        self.schemes.push((table.to_string(), scheme));
+    }
+
+    pub fn scheme_for(&self, table: &str) -> Option<&PartitionScheme> {
+        self.schemes
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|(_, s)| s)
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.schemes
+            .iter()
+            .map(|(_, s)| s.partition_count())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Decide where `stmt` must execute. Conservative: anything without an
+    /// extractable equality on the partition key goes everywhere.
+    pub fn route(&self, stmt: &Statement) -> Route {
+        match stmt {
+            Statement::Insert { table, columns, source } => {
+                let Some(scheme) = self.scheme_for(&table.name) else {
+                    return Route::All;
+                };
+                let InsertSource::Values(rows) = source else { return Route::All };
+                let mut target: Option<usize> = None;
+                for row in rows {
+                    let idx = if columns.is_empty() {
+                        // Positional: the partition column's schema position
+                        // is unknown here; require named columns.
+                        return Route::All;
+                    } else {
+                        match columns.iter().position(|c| c == scheme.column()) {
+                            Some(i) => i,
+                            None => return Route::All,
+                        }
+                    };
+                    let Some(Expr::Literal(v)) = row.get(idx) else { return Route::All };
+                    let p = scheme.locate(v);
+                    match target {
+                        None => target = Some(p),
+                        Some(t) if t == p => {}
+                        _ => return Route::All, // multi-partition insert
+                    }
+                }
+                target.map(Route::Single).unwrap_or(Route::All)
+            }
+            Statement::Update { table, filter, .. } | Statement::Delete { table, filter } => {
+                match self.scheme_for(&table.name) {
+                    None => Route::All,
+                    Some(scheme) => filter
+                        .as_ref()
+                        .and_then(|f| extract_eq(f, scheme.column()))
+                        .map(|v| Route::Single(scheme.locate(&v)))
+                        .unwrap_or(Route::All),
+                }
+            }
+            Statement::Select(s) => {
+                // Single-table selects with a key equality route to one
+                // partition; everything else scatters (intra-query
+                // parallelism across partitions, §2.1).
+                let mut tables = Vec::new();
+                replimid_sql::ast::collect_select_tables(s, &mut tables);
+                if tables.len() != 1 {
+                    return Route::All;
+                }
+                match self.scheme_for(&tables[0].name) {
+                    None => Route::All,
+                    Some(scheme) => s
+                        .filter
+                        .as_ref()
+                        .and_then(|f| extract_eq(f, scheme.column()))
+                        .map(|v| Route::Single(scheme.locate(&v)))
+                        .unwrap_or(Route::All),
+                }
+            }
+            _ => Route::All,
+        }
+    }
+}
+
+/// Find a top-level (AND-combined) `column = literal` predicate.
+fn extract_eq(filter: &Expr, column: &str) -> Option<Value> {
+    match filter {
+        Expr::Binary { left, op: BinOp::Eq, right } => {
+            if let (Expr::Column(c), Expr::Literal(v)) = (left.as_ref(), right.as_ref()) {
+                if c.name == column {
+                    return Some(v.clone());
+                }
+            }
+            if let (Expr::Literal(v), Expr::Column(c)) = (left.as_ref(), right.as_ref()) {
+                if c.name == column {
+                    return Some(v.clone());
+                }
+            }
+            None
+        }
+        Expr::Binary { left, op: BinOp::And, right } => {
+            extract_eq(left, column).or_else(|| extract_eq(right, column))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replimid_sql::parse_statement;
+
+    fn range_partitioner() -> Partitioner {
+        let mut p = Partitioner::new();
+        p.add_table(
+            "orders",
+            PartitionScheme::Range { column: "id".into(), bounds: vec![100, 200] },
+        );
+        p
+    }
+
+    #[test]
+    fn range_locate() {
+        let s = PartitionScheme::Range { column: "id".into(), bounds: vec![100, 200] };
+        assert_eq!(s.partition_count(), 3);
+        assert_eq!(s.locate(&Value::Int(5)), 0);
+        assert_eq!(s.locate(&Value::Int(100)), 1);
+        assert_eq!(s.locate(&Value::Int(500)), 2);
+    }
+
+    #[test]
+    fn hash_is_stable_and_in_range() {
+        let s = PartitionScheme::Hash { column: "id".into(), partitions: 4 };
+        for i in 0..100 {
+            let p = s.locate(&Value::Int(i));
+            assert!(p < 4);
+            assert_eq!(p, s.locate(&Value::Int(i)), "stable");
+        }
+    }
+
+    #[test]
+    fn list_locate_with_default() {
+        let s = PartitionScheme::List {
+            column: "region".into(),
+            lists: vec![
+                vec![Value::Text("eu".into())],
+                vec![Value::Text("us".into())],
+            ],
+            default_partition: 1,
+        };
+        assert_eq!(s.locate(&Value::Text("eu".into())), 0);
+        assert_eq!(s.locate(&Value::Text("jp".into())), 1);
+    }
+
+    #[test]
+    fn routes_by_statement_shape() {
+        let p = range_partitioner();
+        let route = |sql: &str| p.route(&parse_statement(sql).unwrap());
+        assert_eq!(route("INSERT INTO orders (id, v) VALUES (50, 1)"), Route::Single(0));
+        assert_eq!(route("INSERT INTO orders (id, v) VALUES (150, 1), (199, 2)"), Route::Single(1));
+        assert_eq!(route("INSERT INTO orders (id, v) VALUES (50, 1), (150, 2)"), Route::All);
+        assert_eq!(route("UPDATE orders SET v = 2 WHERE id = 250 AND v > 0"), Route::Single(2));
+        assert_eq!(route("UPDATE orders SET v = 2 WHERE v > 0"), Route::All);
+        assert_eq!(route("SELECT * FROM orders WHERE id = 10"), Route::Single(0));
+        assert_eq!(route("SELECT COUNT(*) FROM orders"), Route::All);
+        assert_eq!(route("INSERT INTO other (id) VALUES (1)"), Route::All, "global table");
+        assert_eq!(route("DELETE FROM orders WHERE id = 100"), Route::Single(1));
+    }
+}

@@ -1,0 +1,288 @@
+//! Group communication driven by the deterministic cluster simulator:
+//! total order under crashes, view changes, joins, and the
+//! detection-latency/false-positive tradeoff.
+
+use proptest::prelude::*;
+use replimid_gcs::{
+    Action, GcsConfig, GcsMsg, GroupMember, HeartbeatConfig, MemberId, OrderProtocol, View,
+};
+use replimid_simnet::{dur, ControlOp, Ctx, NetworkModel, NodeId, Sim, SimTime};
+
+/// Simulation message: either group traffic or an external "please publish"
+/// stimulus.
+#[derive(Debug, Clone)]
+enum TestMsg {
+    Gcs(GcsMsg<u64>),
+    Publish(u64),
+}
+
+/// A node hosting one group member.
+struct MemberNode {
+    member: GroupMember<u64>,
+    delivered: Vec<(u64, u64)>, // (seq, payload)
+    views: Vec<View>,
+}
+
+impl MemberNode {
+    fn founding(me: usize, n: usize, protocol: OrderProtocol) -> Self {
+        let members = (0..n).map(MemberId).collect();
+        MemberNode {
+            member: GroupMember::new(MemberId(me), members, GcsConfig::lan(protocol), 0),
+            delivered: Vec::new(),
+            views: Vec::new(),
+        }
+    }
+
+    fn joiner(me: usize, contacts: Vec<usize>, protocol: OrderProtocol) -> Self {
+        MemberNode {
+            member: GroupMember::joiner(
+                MemberId(me),
+                contacts.into_iter().map(MemberId).collect(),
+                GcsConfig::lan(protocol),
+                0,
+            ),
+            delivered: Vec::new(),
+            views: Vec::new(),
+        }
+    }
+
+    fn run_actions(&mut self, ctx: &mut Ctx<'_, TestMsg>, actions: Vec<Action<u64>>) {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => ctx.send(NodeId(to.0), TestMsg::Gcs(msg)),
+                Action::Deliver { seq, payload, .. } => self.delivered.push((seq, payload)),
+                Action::SetTimer { delay_us, tag } => ctx.set_timer(delay_us, tag),
+                Action::ViewInstalled { view } => self.views.push(view),
+                Action::Suspected { .. } => {}
+            }
+        }
+    }
+}
+
+impl replimid_simnet::Actor<TestMsg> for MemberNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, TestMsg>) {
+        let actions = self.member.start(ctx.now().micros());
+        self.run_actions(ctx, actions);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, TestMsg>, from: NodeId, msg: TestMsg) {
+        let now = ctx.now().micros();
+        let actions = match msg {
+            TestMsg::Gcs(m) => self.member.on_message(MemberId(from.0), m, now),
+            TestMsg::Publish(payload) => self.member.publish(payload, now),
+        };
+        self.run_actions(ctx, actions);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, TestMsg>, tag: u64) {
+        let actions = self.member.on_timer(tag, ctx.now().micros());
+        self.run_actions(ctx, actions);
+    }
+}
+
+fn build_group(n: usize, protocol: OrderProtocol, seed: u64) -> (Sim<TestMsg>, Vec<NodeId>) {
+    let mut sim = Sim::new(NetworkModel::lan(), seed);
+    let nodes: Vec<NodeId> = (0..n)
+        .map(|i| sim.add_node(MemberNode::founding(i, n, protocol)))
+        .collect();
+    (sim, nodes)
+}
+
+fn delivered(sim: &mut Sim<TestMsg>, node: NodeId) -> Vec<(u64, u64)> {
+    sim.with_actor::<MemberNode, _>(node, |m| m.delivered.clone())
+}
+
+#[test]
+fn sequencer_total_order_no_failures() {
+    let (mut sim, nodes) = build_group(4, OrderProtocol::FixedSequencer, 1);
+    for (i, &n) in nodes.iter().enumerate() {
+        for k in 0..5u64 {
+            sim.inject(SimTime(1_000 + k * 500), n, TestMsg::Publish((i as u64) * 100 + k));
+        }
+    }
+    sim.run_until(SimTime::from_secs(2));
+    let reference = delivered(&mut sim, nodes[0]);
+    assert_eq!(reference.len(), 20, "all 20 messages delivered");
+    for &n in &nodes[1..] {
+        assert_eq!(delivered(&mut sim, n), reference, "same order everywhere");
+    }
+}
+
+#[test]
+fn token_ring_total_order_no_failures() {
+    let (mut sim, nodes) = build_group(3, OrderProtocol::TokenRing, 2);
+    for (i, &n) in nodes.iter().enumerate() {
+        for k in 0..4u64 {
+            sim.inject(SimTime(1_000 + k * 777), n, TestMsg::Publish((i as u64) * 10 + k));
+        }
+    }
+    sim.run_until(SimTime::from_secs(3));
+    let reference = delivered(&mut sim, nodes[0]);
+    assert_eq!(reference.len(), 12);
+    for &n in &nodes[1..] {
+        assert_eq!(delivered(&mut sim, n), reference);
+    }
+}
+
+#[test]
+fn sequencer_crash_preserves_agreement() {
+    let (mut sim, nodes) = build_group(4, OrderProtocol::FixedSequencer, 3);
+    // Publish a burst, crash the sequencer mid-stream, keep publishing.
+    for (i, &n) in nodes.iter().enumerate() {
+        for k in 0..8u64 {
+            sim.inject(SimTime(1_000 + k * 2_000), n, TestMsg::Publish((i as u64) * 100 + k));
+        }
+    }
+    sim.schedule(SimTime(6_500), ControlOp::Crash(nodes[0]));
+    sim.run_until(SimTime::from_secs(5));
+
+    let survivors = &nodes[1..];
+    let reference = delivered(&mut sim, survivors[0]);
+    for &n in &survivors[1..] {
+        assert_eq!(delivered(&mut sim, n), reference, "survivors agree");
+    }
+    // Exactly-once: no payload delivered twice.
+    let mut payloads: Vec<u64> = reference.iter().map(|&(_, p)| p).collect();
+    payloads.sort_unstable();
+    let before = payloads.len();
+    payloads.dedup();
+    assert_eq!(before, payloads.len(), "duplicate delivery detected");
+    // Every post-crash publish from survivors made it.
+    for (i, _) in survivors.iter().enumerate() {
+        let origin = i + 1;
+        for k in 4..8u64 {
+            let expect = (origin as u64) * 100 + k;
+            assert!(
+                payloads.contains(&expect),
+                "message {expect} from survivor {origin} lost"
+            );
+        }
+    }
+    // A new view excluding the dead sequencer was installed.
+    sim.with_actor::<MemberNode, _>(survivors[0], |m| {
+        let v = m.member.view();
+        assert!(!v.contains(MemberId(0)));
+        assert_eq!(v.members.len(), 3);
+    });
+}
+
+#[test]
+fn token_holder_crash_regenerates_token() {
+    let (mut sim, nodes) = build_group(3, OrderProtocol::TokenRing, 4);
+    sim.inject(SimTime(1_000), nodes[1], TestMsg::Publish(11));
+    // Crash node 0 (initial token holder / coordinator) almost immediately.
+    sim.schedule(SimTime(1_200), ControlOp::Crash(nodes[0]));
+    sim.inject(SimTime::from_millis(400), nodes[2], TestMsg::Publish(22));
+    sim.run_until(SimTime::from_secs(5));
+    let a = delivered(&mut sim, nodes[1]);
+    let b = delivered(&mut sim, nodes[2]);
+    assert_eq!(a, b, "survivors agree after token regeneration");
+    let payloads: Vec<u64> = a.iter().map(|&(_, p)| p).collect();
+    assert!(payloads.contains(&11) && payloads.contains(&22), "{payloads:?}");
+}
+
+#[test]
+fn joiner_is_admitted_into_the_view() {
+    let mut sim = Sim::new(NetworkModel::lan(), 5);
+    let nodes: Vec<NodeId> = (0..3)
+        .map(|i| sim.add_node(MemberNode::founding(i, 3, OrderProtocol::FixedSequencer)))
+        .collect();
+    let joiner = sim.add_node(MemberNode::joiner(3, vec![0, 1, 2], OrderProtocol::FixedSequencer));
+    sim.run_until(SimTime::from_secs(1));
+    sim.with_actor::<MemberNode, _>(joiner, |m| {
+        assert!(m.member.is_joined(), "joiner admitted");
+        assert_eq!(m.member.view().members.len(), 4);
+    });
+    // Messages published after the join reach the new member too.
+    sim.inject(SimTime::from_secs(1) + 1, nodes[0], TestMsg::Publish(99));
+    sim.run_until(SimTime::from_secs(2));
+    sim.with_actor::<MemberNode, _>(joiner, |m| {
+        assert!(m.delivered.iter().any(|&(_, p)| p == 99));
+    });
+}
+
+#[test]
+fn detection_latency_tracks_timeout() {
+    // E11 in miniature: a 100ms timeout detects ~100ms after the crash; a
+    // TCP-default timeout would not detect within the whole run.
+    for (timeout_us, should_detect) in [(100_000u64, true), (75_000_000, false)] {
+        let mut sim = Sim::new(NetworkModel::lan(), 6);
+        let config = GcsConfig {
+            heartbeat: HeartbeatConfig { interval_us: 20_000, timeout_us },
+            protocol: OrderProtocol::FixedSequencer,
+            token_timeout_us: 300_000,
+            flush_timeout_us: 500_000,
+        };
+        let members: Vec<MemberId> = (0..2).map(MemberId).collect();
+        let a = sim.add_node(MemberNode {
+            member: GroupMember::new(MemberId(0), members.clone(), config, 0),
+            delivered: vec![],
+            views: vec![],
+        });
+        let b = sim.add_node(MemberNode {
+            member: GroupMember::new(MemberId(1), members, config, 0),
+            delivered: vec![],
+            views: vec![],
+        });
+        let _ = b;
+        sim.schedule(SimTime::from_millis(500), ControlOp::Crash(NodeId(1)));
+        sim.run_until(SimTime::from_secs(3));
+        sim.with_actor::<MemberNode, _>(a, |m| {
+            let detected = m.views.iter().any(|v| !v.contains(MemberId(1)));
+            assert_eq!(detected, should_detect, "timeout={timeout_us}");
+        });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Agreement under a random single crash: all survivors deliver the
+    /// same sequence, exactly once, for both ordering protocols.
+    #[test]
+    fn agreement_under_random_crash(
+        seed in 0u64..500,
+        crash_node in 0usize..4,
+        crash_at_ms in 1u64..40,
+        token in any::<bool>(),
+    ) {
+        let protocol = if token { OrderProtocol::TokenRing } else { OrderProtocol::FixedSequencer };
+        let (mut sim, nodes) = build_group(4, protocol, seed);
+        for (i, &n) in nodes.iter().enumerate() {
+            for k in 0..6u64 {
+                sim.inject(SimTime(500 + k * 3_000), n, TestMsg::Publish((i as u64) * 10 + k));
+            }
+        }
+        sim.schedule(SimTime::from_millis(crash_at_ms), ControlOp::Crash(nodes[crash_node]));
+        sim.run_until(SimTime::from_secs(8));
+
+        let survivors: Vec<NodeId> = nodes
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != crash_node)
+            .map(|(_, &n)| n)
+            .collect();
+        let reference = delivered(&mut sim, survivors[0]);
+        for &n in &survivors[1..] {
+            prop_assert_eq!(&delivered(&mut sim, n), &reference, "divergent survivor");
+        }
+        let mut payloads: Vec<u64> = reference.iter().map(|&(_, p)| p).collect();
+        payloads.sort_unstable();
+        let n_before = payloads.len();
+        payloads.dedup();
+        prop_assert_eq!(n_before, payloads.len(), "duplicate delivery");
+        // Survivor messages published well after the crash must appear.
+        for (i, _) in nodes.iter().enumerate() {
+            if i == crash_node { continue; }
+            let last = (i as u64) * 10 + 5; // published at 15.5ms.. latest batch
+            if crash_at_ms < 10 {
+                prop_assert!(
+                    payloads.contains(&last),
+                    "late message {} from survivor {} lost", last, i
+                );
+            }
+        }
+        let _ = dur::millis(1);
+    }
+}
+

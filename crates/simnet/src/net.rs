@@ -1,0 +1,181 @@
+//! Network model: per-link latency/jitter, message loss, and partitions.
+//!
+//! Partitions are first-class because the paper (§4.3.4.3) complains that
+//! "split brain" is treated theoretically while real clusters lose whole
+//! racks at once. A partition here blocks messages at *send* time in both
+//! directions between groups; messages already in flight still arrive
+//! (packets on the wire).
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Identifies a simulated node (actor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One directed link's behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Base one-way latency in microseconds.
+    pub latency_us: u64,
+    /// Uniform jitter added on top: [0, jitter_us].
+    pub jitter_us: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+}
+
+impl LinkSpec {
+    /// A LAN-ish link: 100µs ± 50µs.
+    pub fn lan() -> Self {
+        LinkSpec { latency_us: 100, jitter_us: 50, drop_prob: 0.0 }
+    }
+
+    /// A WAN-ish link: 40ms ± 10ms (the paper's intercontinental reality,
+    /// §4.3.4.1: "latency is unlikely to evolve dramatically on worldwide
+    /// distances due to physical limitations").
+    pub fn wan() -> Self {
+        LinkSpec { latency_us: 40_000, jitter_us: 10_000, drop_prob: 0.0 }
+    }
+
+    /// Zero-latency loopback.
+    pub fn local() -> Self {
+        LinkSpec { latency_us: 0, jitter_us: 0, drop_prob: 0.0 }
+    }
+}
+
+/// The cluster's network.
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    default_link: LinkSpec,
+    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    /// Unordered blocked pairs (partitioned).
+    blocked: HashSet<(NodeId, NodeId)>,
+}
+
+impl NetworkModel {
+    pub fn new(default_link: LinkSpec) -> Self {
+        NetworkModel { default_link, overrides: HashMap::new(), blocked: HashSet::new() }
+    }
+
+    pub fn lan() -> Self {
+        NetworkModel::new(LinkSpec::lan())
+    }
+
+    /// Override one directed link (applied symmetrically by
+    /// [`NetworkModel::set_link_symmetric`]).
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.overrides.insert((from, to), spec);
+    }
+
+    pub fn set_link_symmetric(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.set_link(a, b, spec);
+        self.set_link(b, a, spec);
+    }
+
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        if from == to {
+            return LinkSpec::local();
+        }
+        *self.overrides.get(&(from, to)).unwrap_or(&self.default_link)
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Partition the cluster into groups: nodes in different groups cannot
+    /// exchange messages. Nodes not listed keep full connectivity.
+    pub fn partition(&mut self, groups: &[&[NodeId]]) {
+        for (i, ga) in groups.iter().enumerate() {
+            for gb in groups.iter().skip(i + 1) {
+                for &a in *ga {
+                    for &b in *gb {
+                        self.blocked.insert(Self::key(a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sever a single pair.
+    pub fn block_pair(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert(Self::key(a, b));
+    }
+
+    pub fn heal(&mut self) {
+        self.blocked.clear();
+    }
+
+    pub fn is_blocked(&self, a: NodeId, b: NodeId) -> bool {
+        self.blocked.contains(&Self::key(a, b))
+    }
+
+    /// Decide the fate of a message: `None` = dropped, `Some(delay)` =
+    /// delivered after `delay` microseconds.
+    pub fn transit(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<u64> {
+        if self.is_blocked(from, to) {
+            return None;
+        }
+        let spec = self.link(from, to);
+        if spec.drop_prob > 0.0 && rng.gen::<f64>() < spec.drop_prob {
+            return None;
+        }
+        let jitter = if spec.jitter_us > 0 { rng.gen_range(0..=spec.jitter_us) } else { 0 };
+        Some(spec.latency_us + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partitions_block_both_directions() {
+        let mut net = NetworkModel::lan();
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        net.partition(&[&[a], &[b, c]]);
+        assert!(net.is_blocked(a, b));
+        assert!(net.is_blocked(b, a));
+        assert!(net.is_blocked(a, c));
+        assert!(!net.is_blocked(b, c));
+        net.heal();
+        assert!(!net.is_blocked(a, b));
+    }
+
+    #[test]
+    fn transit_respects_blocking_and_latency() {
+        let mut net = NetworkModel::lan();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let d = net.transit(a, b, &mut rng).unwrap();
+        assert!((100..=150).contains(&d), "delay {d}");
+        net.block_pair(a, b);
+        assert!(net.transit(a, b, &mut rng).is_none());
+        // Loopback is free even when partitioned from everyone.
+        assert_eq!(net.transit(a, a, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn lossy_link_drops_some() {
+        let mut net = NetworkModel::new(LinkSpec { latency_us: 10, jitter_us: 0, drop_prob: 0.5 });
+        let mut rng = StdRng::seed_from_u64(7);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let delivered = (0..200).filter(|_| net.transit(a, b, &mut rng).is_some()).count();
+        assert!((60..140).contains(&delivered), "delivered {delivered}");
+        let _ = net.set_link(a, b, LinkSpec::local());
+        assert_eq!(net.transit(a, b, &mut rng), Some(0));
+    }
+}

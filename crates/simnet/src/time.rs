@@ -1,0 +1,105 @@
+//! Virtual time. The whole reproduction runs on a simulated clock so that
+//! every throughput, latency, failover and MTTR number is deterministic and
+//! replayable from a seed — itself one of the paper's §5.1 complaints about
+//! replication evaluation ("we know of no way yet to replay that exact same
+//! workload").
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn micros(self) -> u64 {
+        self.0
+    }
+
+    pub fn millis(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    pub fn secs(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    pub fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    pub fn saturating_sub(self, other: SimTime) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.secs())
+    }
+}
+
+/// Duration helpers (all in microseconds).
+pub mod dur {
+    pub const fn micros(n: u64) -> u64 {
+        n
+    }
+    pub const fn millis(n: u64) -> u64 {
+        n * 1_000
+    }
+    pub const fn secs(n: u64) -> u64 {
+        n * 1_000_000
+    }
+    pub const fn minutes(n: u64) -> u64 {
+        n * 60_000_000
+    }
+    pub const fn hours(n: u64) -> u64 {
+        n * 3_600_000_000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(5);
+        assert_eq!((t + dur::millis(3)).micros(), 8_000);
+        assert_eq!(SimTime(10_000) - SimTime(4_000), 6_000);
+        assert_eq!(SimTime(1_000).saturating_sub(SimTime(5_000)), 0);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).millis(), 2_000.0);
+        assert_eq!(dur::minutes(2), 120_000_000);
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+    }
+}

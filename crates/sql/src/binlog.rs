@@ -1,0 +1,140 @@
+//! The engine's commit log ("binlog"), consumed by master-slave replication
+//! (log shipping, Fig. 1/3 of the paper) and by recovery.
+//!
+//! Each committed write transaction appends one entry carrying *both*
+//! representations the paper contrasts (§4.3.2): the SQL statement texts
+//! (statement-based shipping) and the extracted writeset (transaction-based
+//! shipping). Consumers pick one; experiments E6/E15 compare them.
+
+use crate::mvcc::CommitTs;
+use crate::writeset::Writeset;
+
+/// Log sequence number: position in the binlog, starting at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinlogEntry {
+    pub lsn: Lsn,
+    pub commit_ts: CommitTs,
+    /// The session's selected database when the transaction ran; a replayer
+    /// must `USE` it before executing unqualified statements (real binlogs
+    /// record the default database the same way).
+    pub default_db: Option<String>,
+    /// SQL texts of the write statements the transaction executed, in order.
+    pub statements: Vec<String>,
+    /// Extracted row-level writeset.
+    pub writeset: Writeset,
+}
+
+/// Append-only commit log with truncation (log purging is routine
+/// maintenance, §4.4.4 — and "replica stopped because its log is full" is a
+/// §4.4.2 failure the middleware has to handle).
+#[derive(Debug, Clone, Default)]
+pub struct Binlog {
+    entries: Vec<BinlogEntry>,
+    /// LSN of the first retained entry minus one (truncated prefix length).
+    truncated: u64,
+    next_lsn: u64,
+}
+
+impl Binlog {
+    pub fn new() -> Self {
+        Binlog { entries: Vec::new(), truncated: 0, next_lsn: 1 }
+    }
+
+    pub fn append(
+        &mut self,
+        commit_ts: CommitTs,
+        default_db: Option<String>,
+        statements: Vec<String>,
+        writeset: Writeset,
+    ) -> Lsn {
+        let lsn = Lsn(self.next_lsn);
+        self.next_lsn += 1;
+        self.entries.push(BinlogEntry { lsn, commit_ts, default_db, statements, writeset });
+        lsn
+    }
+
+    /// Highest LSN written, or 0 if empty.
+    pub fn head(&self) -> Lsn {
+        Lsn(self.next_lsn - 1)
+    }
+
+    /// Entries strictly after `after`, in order. Returns `None` if the log
+    /// was truncated past `after` (the consumer must full-resync — the
+    /// paper's "hours of dump/restore", §4.4.2).
+    pub fn read_after(&self, after: Lsn) -> Option<&[BinlogEntry]> {
+        if after.0 < self.truncated {
+            return None;
+        }
+        let skip = (after.0 - self.truncated) as usize;
+        Some(&self.entries[skip.min(self.entries.len())..])
+    }
+
+    /// Purge entries with LSN <= `up_to`.
+    pub fn truncate(&mut self, up_to: Lsn) {
+        if up_to.0 <= self.truncated {
+            return;
+        }
+        let drop_n = ((up_to.0 - self.truncated) as usize).min(self.entries.len());
+        self.entries.drain(..drop_n);
+        self.truncated = up_to.0;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(log: &mut Binlog, n: u64) -> Lsn {
+        log.append(CommitTs(n), None, vec![format!("stmt {n}")], Writeset::default())
+    }
+
+    #[test]
+    fn append_and_read() {
+        let mut log = Binlog::new();
+        entry(&mut log, 1);
+        entry(&mut log, 2);
+        entry(&mut log, 3);
+        let tail = log.read_after(Lsn(1)).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].lsn, Lsn(2));
+        assert_eq!(log.read_after(Lsn(3)).unwrap().len(), 0);
+        assert_eq!(log.read_after(Lsn(0)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn truncation_forces_full_resync() {
+        let mut log = Binlog::new();
+        for n in 1..=5 {
+            entry(&mut log, n);
+        }
+        log.truncate(Lsn(3));
+        assert_eq!(log.len(), 2);
+        assert!(log.read_after(Lsn(2)).is_none(), "reader behind truncation point");
+        assert_eq!(log.read_after(Lsn(3)).unwrap().len(), 2);
+        assert_eq!(log.read_after(Lsn(4)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn idempotent_truncate() {
+        let mut log = Binlog::new();
+        for n in 1..=3 {
+            entry(&mut log, n);
+        }
+        log.truncate(Lsn(2));
+        log.truncate(Lsn(2));
+        log.truncate(Lsn(1));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.head(), Lsn(3));
+    }
+}

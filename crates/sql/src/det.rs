@@ -1,0 +1,84 @@
+//! Sources of non-determinism (§4.3.2): the clock behind NOW() and the RNG
+//! behind RAND(). Each engine owns one `Determinism`, seeded independently —
+//! exactly why broadcasting a statement containing RAND() diverges replicas.
+//!
+//! The clock is *virtual*: the embedding simulator sets it. Two replicas that
+//! are perfectly time-synchronized still evaluate NOW() at different points
+//! in their execution, which we model by letting the middleware (not the
+//! engine) decide whether to rewrite time macros before broadcast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-engine non-deterministic inputs, with taint tracking.
+#[derive(Debug)]
+pub struct Determinism {
+    now_us: i64,
+    rng: StdRng,
+    /// Set when the current statement evaluated NOW()/RAND(); reset by the
+    /// engine at statement start. The middleware reads this to learn,
+    /// post-hoc, that a statement it broadcast was unsafe.
+    pub tainted: bool,
+}
+
+impl Determinism {
+    pub fn new(seed: u64) -> Self {
+        Determinism { now_us: 0, rng: StdRng::seed_from_u64(seed), tainted: false }
+    }
+
+    /// Set the virtual wall clock (microseconds).
+    pub fn set_now(&mut self, now_us: i64) {
+        self.now_us = now_us;
+    }
+
+    /// Current virtual time *without* tainting (engine-internal uses).
+    pub fn now_untainted(&self) -> i64 {
+        self.now_us
+    }
+
+    /// NOW()/CURRENT_TIMESTAMP: taints the statement.
+    pub fn now(&mut self) -> i64 {
+        self.tainted = true;
+        self.now_us
+    }
+
+    /// RAND(): uniform in [0, 1); taints the statement.
+    pub fn rand(&mut self) -> f64 {
+        self.tainted = true;
+        self.rng.gen::<f64>()
+    }
+
+    /// Begin a new statement: clear the taint flag.
+    pub fn begin_statement(&mut self) {
+        self.tainted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_is_seed_deterministic() {
+        let mut a = Determinism::new(42);
+        let mut b = Determinism::new(42);
+        assert_eq!(a.rand(), b.rand());
+        let mut c = Determinism::new(43);
+        assert_ne!(a.rand(), c.rand());
+    }
+
+    #[test]
+    fn taint_tracking() {
+        let mut d = Determinism::new(1);
+        assert!(!d.tainted);
+        d.set_now(99);
+        assert_eq!(d.now_untainted(), 99);
+        assert!(!d.tainted, "untainted read must not taint");
+        let _ = d.now();
+        assert!(d.tainted);
+        d.begin_statement();
+        assert!(!d.tainted);
+        let _ = d.rand();
+        assert!(d.tainted);
+    }
+}

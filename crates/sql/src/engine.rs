@@ -1,0 +1,1053 @@
+//! The database engine: sessions, transaction lifecycle, DDL, privileges,
+//! binlog, writeset capture, dump/restore, and writeset application.
+//!
+//! One `Engine` models one replica's RDBMS process, hosting multiple
+//! database instances (§4.1.1). It is deliberately configurable to imitate
+//! the behavioural differences the paper catalogues: error handling modes
+//! (§4.1.2), missing snapshot isolation (§4.1.2), temp-table restrictions
+//! (§4.1.4), and version-gated features (§4.1.3).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::ast::{IsolationLevel, ObjectName, Privilege, Statement};
+use crate::auth::{AuthRegistry, ADMIN_USER};
+use crate::binlog::{Binlog, Lsn};
+use crate::catalog::{Catalog, ProcedureDef, TriggerDef};
+use crate::checksum::Fnv64;
+use crate::det::Determinism;
+use crate::dump::{DatabaseDump, Dump, DumpOptions, TableDump};
+use crate::error::SqlError;
+use crate::exec::{self, StmtCtx};
+use crate::mvcc::{CommitTs, Snapshot, TxId, TxManager, WriteKind};
+use crate::parser::parse_statement;
+use crate::result::{CommitInfo, Cost, ExecResult, Outcome};
+use crate::sequence::Sequences;
+use crate::storage::{Table, TableSchema};
+use crate::value::Value;
+use crate::writeset::{CounterSync, Writeset};
+
+/// How the engine reacts to a failed statement inside an explicit
+/// transaction (§4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorMode {
+    /// PostgreSQL: the transaction is poisoned; only ROLLBACK (or COMMIT,
+    /// which rolls back) is accepted afterwards.
+    AbortTransaction,
+    /// MySQL: the transaction continues; the client decides.
+    ContinueTransaction,
+}
+
+/// Feature switches modelling cross-engine differences (§4.1.2–§4.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// Sybase and (per the paper) MySQL lack snapshot isolation.
+    pub snapshot_isolation: bool,
+    /// Sybase does not authorize temporary tables within transactions.
+    pub temp_tables_in_tx: bool,
+}
+
+impl Default for FeatureSet {
+    fn default() -> Self {
+        FeatureSet { snapshot_isolation: true, temp_tables_in_tx: true }
+    }
+}
+
+/// Engine configuration. The default models a PostgreSQL-flavoured engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Replica name, for diagnostics.
+    pub name: String,
+    /// Seed for RAND(); give each replica a different one.
+    pub seed: u64,
+    pub default_isolation: IsolationLevel,
+    pub error_mode: ErrorMode,
+    /// Record committed write transactions in the binlog.
+    pub binlog: bool,
+    /// Ship sequence/auto-increment counters inside writesets (the paper's
+    /// industrial-agenda fix; off by default to reproduce the gap).
+    pub capture_counters: bool,
+    /// Honor [`CounterSync`] when applying writesets.
+    pub apply_counter_sync: bool,
+    pub features: FeatureSet,
+    /// Engine major version, for heterogeneous-cluster experiments: queries
+    /// can be gated on replica versions by the middleware.
+    pub version: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            name: "replica".into(),
+            seed: 0,
+            default_isolation: IsolationLevel::ReadCommitted,
+            error_mode: ErrorMode::AbortTransaction,
+            binlog: true,
+            capture_counters: false,
+            apply_counter_sync: false,
+            features: FeatureSet::default(),
+            version: 1,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// MySQL-flavoured: continues after errors, no snapshot isolation.
+    pub fn mysqlish(name: impl Into<String>, seed: u64) -> Self {
+        EngineConfig {
+            name: name.into(),
+            seed,
+            error_mode: ErrorMode::ContinueTransaction,
+            features: FeatureSet { snapshot_isolation: false, temp_tables_in_tx: true },
+            ..Default::default()
+        }
+    }
+
+    /// Sybase-flavoured: no SI, no temp tables inside transactions.
+    pub fn sybasish(name: impl Into<String>, seed: u64) -> Self {
+        EngineConfig {
+            name: name.into(),
+            seed,
+            features: FeatureSet { snapshot_isolation: false, temp_tables_in_tx: false },
+            ..Default::default()
+        }
+    }
+}
+
+/// Connection identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+#[derive(Debug)]
+struct Session {
+    user: String,
+    current_db: Option<String>,
+    tx: Option<TxId>,
+    /// True when the open transaction was started with BEGIN.
+    explicit: bool,
+    vars: BTreeMap<String, Value>,
+    /// Connection-local temporary tables (§4.1.4).
+    temp: BTreeMap<String, Table>,
+    /// SQL texts of write statements in the open transaction (binlog).
+    tx_statements: Vec<String>,
+}
+
+/// One replica's database engine.
+#[derive(Debug)]
+pub struct Engine {
+    pub config: EngineConfig,
+    catalog: Catalog,
+    seqs: Sequences,
+    txm: TxManager,
+    auth: AuthRegistry,
+    det: Determinism,
+    binlog: Binlog,
+    sessions: HashMap<ConnId, Session>,
+    next_conn: u64,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        let det = Determinism::new(config.seed);
+        Engine {
+            config,
+            catalog: Catalog::new(),
+            seqs: Sequences::new(),
+            txm: TxManager::new(),
+            auth: AuthRegistry::new(),
+            det,
+            binlog: Binlog::new(),
+            sessions: HashMap::new(),
+            next_conn: 1,
+        }
+    }
+
+    /// Convenience: a default engine with an admin connection and one
+    /// database selected.
+    pub fn with_database(name: &str) -> (Engine, ConnId) {
+        let mut e = Engine::new(EngineConfig::default());
+        let conn = e.connect(ADMIN_USER, crate::auth::ADMIN_PASSWORD).expect("admin login");
+        e.execute(conn, &format!("CREATE DATABASE {name}")).expect("create db");
+        e.execute(conn, &format!("USE {name}")).expect("use db");
+        (e, conn)
+    }
+
+    /// Set the engine's virtual wall clock (driven by the simulator).
+    pub fn set_clock(&mut self, now_us: i64) {
+        self.det.set_now(now_us);
+    }
+
+    pub fn connect(&mut self, user: &str, password: &str) -> Result<ConnId, SqlError> {
+        let user = self.auth.authenticate(user, password)?;
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        self.sessions.insert(
+            id,
+            Session {
+                user,
+                current_db: None,
+                tx: None,
+                explicit: false,
+                vars: BTreeMap::new(),
+                temp: BTreeMap::new(),
+                tx_statements: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Close a connection: abort any open transaction and drop its
+    /// temporary tables (the implicit cleanup §4.1.4 describes).
+    pub fn disconnect(&mut self, conn: ConnId) {
+        if let Some(mut session) = self.sessions.remove(&conn) {
+            if let Some(tx) = session.tx.take() {
+                let _ = abort_tx(&mut self.catalog, &mut session.temp, &mut self.txm, tx);
+            }
+        }
+    }
+
+    pub fn connection_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    pub fn active_transactions(&self) -> usize {
+        self.txm.active_count()
+    }
+
+    /// Parse and execute one statement on a connection.
+    pub fn execute(&mut self, conn: ConnId, sql: &str) -> Result<ExecResult, SqlError> {
+        let stmt = parse_statement(sql)?;
+        self.execute_parsed(conn, &stmt, Some(sql))
+    }
+
+    /// Execute an already-parsed statement (the middleware "wire format").
+    pub fn execute_ast(&mut self, conn: ConnId, stmt: &Statement) -> Result<ExecResult, SqlError> {
+        self.execute_parsed(conn, stmt, None)
+    }
+
+    fn execute_parsed(
+        &mut self,
+        conn: ConnId,
+        stmt: &Statement,
+        sql_text: Option<&str>,
+    ) -> Result<ExecResult, SqlError> {
+        self.det.begin_statement();
+        let mut session = self
+            .sessions
+            .remove(&conn)
+            .ok_or_else(|| SqlError::AccessDenied(format!("no such connection {conn:?}")))?;
+        let result = self.dispatch(&mut session, stmt, sql_text);
+        self.sessions.insert(conn, session);
+        result
+    }
+
+    fn dispatch(
+        &mut self,
+        session: &mut Session,
+        stmt: &Statement,
+        sql_text: Option<&str>,
+    ) -> Result<ExecResult, SqlError> {
+        // Poisoned-transaction protocol (PostgreSQL mode, §4.1.2).
+        if let Some(tx) = session.tx {
+            let poisoned = self.txm.state(tx).map(|s| s.poisoned).unwrap_or(false);
+            if poisoned {
+                match stmt {
+                    Statement::Rollback | Statement::Commit => {
+                        abort_tx(&mut self.catalog, &mut session.temp, &mut self.txm, tx)?;
+                        session.tx = None;
+                        session.explicit = false;
+                        session.tx_statements.clear();
+                        return Ok(ack(Cost::for_statement(0, 0, false), false));
+                    }
+                    _ => {
+                        return Err(SqlError::TransactionState(
+                            "transaction is aborted; issue ROLLBACK first".into(),
+                        ))
+                    }
+                }
+            }
+        }
+
+        match stmt {
+            Statement::Begin { isolation } => self.do_begin(session, *isolation),
+            Statement::Commit => self.do_commit(session),
+            Statement::Rollback => self.do_rollback(session),
+            Statement::UseDatabase { name } => {
+                self.catalog.database(name)?;
+                self.auth.check(&session.user, name, Privilege::Read)?;
+                session.current_db = Some(name.clone());
+                Ok(ack(Cost::for_statement(0, 0, false), false))
+            }
+            Statement::CreateDatabase { .. }
+            | Statement::DropDatabase { .. }
+            | Statement::CreateSequence { .. }
+            | Statement::DropSequence { .. }
+            | Statement::CreateUser { .. }
+            | Statement::DropUser { .. }
+            | Statement::Grant { .. }
+            | Statement::CreateTrigger { .. }
+            | Statement::DropTrigger { .. }
+            | Statement::CreateProcedure { .. }
+            | Statement::DropProcedure { .. }
+            | Statement::DropTable { .. }
+            | Statement::CreateTable { .. } => self.do_ddl(session, stmt, sql_text),
+            _ => self.do_dml(session, stmt, sql_text),
+        }
+    }
+
+    fn do_begin(
+        &mut self,
+        session: &mut Session,
+        isolation: Option<IsolationLevel>,
+    ) -> Result<ExecResult, SqlError> {
+        if session.tx.is_some() && session.explicit {
+            return Err(SqlError::TransactionState("transaction already open".into()));
+        }
+        let isolation = isolation.unwrap_or(self.config.default_isolation);
+        if matches!(isolation, IsolationLevel::SnapshotIsolation | IsolationLevel::Serializable)
+            && !self.config.features.snapshot_isolation
+        {
+            return Err(SqlError::Unsupported(format!(
+                "engine '{}' does not provide {isolation}",
+                self.config.name
+            )));
+        }
+        let tx = self.txm.begin(isolation, false);
+        session.tx = Some(tx);
+        session.explicit = true;
+        session.tx_statements.clear();
+        Ok(ack(Cost::for_statement(0, 0, false), false))
+    }
+
+    fn do_commit(&mut self, session: &mut Session) -> Result<ExecResult, SqlError> {
+        let Some(tx) = session.tx.take() else {
+            // Committing with no transaction open is a no-op warning in most
+            // engines.
+            return Ok(ack(Cost::for_statement(0, 0, false), false));
+        };
+        session.explicit = false;
+        let statements = std::mem::take(&mut session.tx_statements);
+        let commit = commit_tx(
+            &mut self.catalog,
+            &mut session.temp,
+            &mut self.txm,
+            &mut self.seqs,
+            &mut self.binlog,
+            &self.config,
+            tx,
+            session.current_db.clone(),
+            statements,
+        )?;
+        let mut cost = Cost::for_statement(0, 0, false);
+        cost.cpu_us += crate::result::cost_model::COMMIT_US;
+        Ok(ExecResult { outcome: Outcome::Ack, cost, tainted: false, commit: Some(commit) })
+    }
+
+    fn do_rollback(&mut self, session: &mut Session) -> Result<ExecResult, SqlError> {
+        if let Some(tx) = session.tx.take() {
+            abort_tx(&mut self.catalog, &mut session.temp, &mut self.txm, tx)?;
+        }
+        session.explicit = false;
+        session.tx_statements.clear();
+        Ok(ack(Cost::for_statement(0, 0, false), false))
+    }
+
+    /// DDL executes immediately and is **not transactional**: it commits on
+    /// its own and is not undone by ROLLBACK (§4.3.2). It is still recorded
+    /// in the binlog for replication.
+    fn do_ddl(
+        &mut self,
+        session: &mut Session,
+        stmt: &Statement,
+        sql_text: Option<&str>,
+    ) -> Result<ExecResult, SqlError> {
+        let current = session.current_db.clone();
+        let resolve_db = |name: &ObjectName| -> Result<String, SqlError> {
+            match &name.database {
+                Some(d) => Ok(d.clone()),
+                None => current
+                    .clone()
+                    .ok_or_else(|| SqlError::UnknownDatabase("(none selected)".into())),
+            }
+        };
+        let mut replicate = true;
+        match stmt {
+            Statement::CreateDatabase { name, if_not_exists } => {
+                self.require_admin(session)?;
+                self.catalog.create_database(name, *if_not_exists)?;
+            }
+            Statement::DropDatabase { name } => {
+                self.require_admin(session)?;
+                self.catalog.drop_database(name)?;
+                self.seqs.drop_database(name);
+            }
+            Statement::CreateTable { name, columns, temporary, if_not_exists } => {
+                if *temporary {
+                    // Temp tables are session-local DDL: never replicated.
+                    replicate = false;
+                    if session.tx.is_some() && !self.config.features.temp_tables_in_tx {
+                        return Err(SqlError::Unsupported(format!(
+                            "engine '{}' does not authorize temporary tables within transactions",
+                            self.config.name
+                        )));
+                    }
+                    if session.temp.contains_key(&name.name) {
+                        if *if_not_exists {
+                            return Ok(ack(Cost::for_statement(0, 0, true), false));
+                        }
+                        return Err(SqlError::AlreadyExists(name.name.clone()));
+                    }
+                    let schema = TableSchema::new(name.name.clone(), columns.clone());
+                    session.temp.insert(name.name.clone(), Table::new(schema));
+                } else {
+                    let db = resolve_db(name)?;
+                    self.auth.check(&session.user, &db, Privilege::Write)?;
+                    let database = self.catalog.database_mut(&db)?;
+                    if database.tables.contains_key(&name.name) {
+                        if *if_not_exists {
+                            return Ok(ack(Cost::for_statement(0, 0, true), false));
+                        }
+                        return Err(SqlError::AlreadyExists(name.to_string()));
+                    }
+                    let schema = TableSchema::new(name.name.clone(), columns.clone());
+                    database.tables.insert(name.name.clone(), Table::new(schema));
+                }
+            }
+            Statement::DropTable { name, if_exists } => {
+                if name.database.is_none() && session.temp.remove(&name.name).is_some() {
+                    replicate = false;
+                } else {
+                    let db = resolve_db(name)?;
+                    self.auth.check(&session.user, &db, Privilege::Write)?;
+                    let database = self.catalog.database_mut(&db)?;
+                    if database.tables.remove(&name.name).is_none() && !*if_exists {
+                        return Err(SqlError::UnknownTable(name.to_string()));
+                    }
+                }
+            }
+            Statement::CreateSequence { name, start, if_not_exists } => {
+                let db = resolve_db(name)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                self.catalog.database(&db)?;
+                self.seqs.create(&db, &name.name, *start, *if_not_exists)?;
+            }
+            Statement::DropSequence { name } => {
+                let db = resolve_db(name)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                self.seqs.drop(&db, &name.name)?;
+            }
+            Statement::CreateUser { name, password } => {
+                self.require_admin(session)?;
+                self.auth.create_user(name, password)?;
+            }
+            Statement::DropUser { name } => {
+                self.require_admin(session)?;
+                self.auth.drop_user(name)?;
+            }
+            Statement::Grant { privilege, database, user } => {
+                self.require_admin(session)?;
+                self.catalog.database(database)?;
+                self.auth.grant(user, database, *privilege)?;
+            }
+            Statement::CreateTrigger { name, event, table, body } => {
+                let db = resolve_db(table)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                let database = self.catalog.database_mut(&db)?;
+                database.table(&table.name)?;
+                if database.triggers.iter().any(|t| t.name == *name) {
+                    return Err(SqlError::AlreadyExists(format!("trigger {name}")));
+                }
+                database.triggers.push(TriggerDef {
+                    name: name.clone(),
+                    event: *event,
+                    table: table.name.clone(),
+                    body: body.clone(),
+                });
+            }
+            Statement::DropTrigger { name, table } => {
+                let db = resolve_db(table)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                let database = self.catalog.database_mut(&db)?;
+                let before = database.triggers.len();
+                database.triggers.retain(|t| t.name != *name);
+                if database.triggers.len() == before {
+                    return Err(SqlError::UnknownTable(format!("trigger {name}")));
+                }
+            }
+            Statement::CreateProcedure { name, params, body } => {
+                let db = resolve_db(name)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                let database = self.catalog.database_mut(&db)?;
+                if database.procedures.contains_key(&name.name) {
+                    return Err(SqlError::AlreadyExists(name.to_string()));
+                }
+                database.procedures.insert(
+                    name.name.clone(),
+                    ProcedureDef {
+                        name: name.name.clone(),
+                        params: params.clone(),
+                        body: body.clone(),
+                    },
+                );
+            }
+            Statement::DropProcedure { name } => {
+                let db = resolve_db(name)?;
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+                let database = self.catalog.database_mut(&db)?;
+                database
+                    .procedures
+                    .remove(&name.name)
+                    .ok_or_else(|| SqlError::UnknownProcedure(name.to_string()))?;
+            }
+            other => return Err(SqlError::Internal(format!("not DDL: {other}"))),
+        }
+        // DDL auto-commits: record it in the binlog as a statement-only
+        // entry so log-shipping slaves replay it.
+        if replicate && self.config.binlog {
+            let text = sql_text.map(str::to_string).unwrap_or_else(|| stmt.to_string());
+            let ts = self.bump_ddl_ts();
+            self.binlog
+                .append(ts, session.current_db.clone(), vec![text], Writeset::default());
+        }
+        Ok(ack(Cost::for_statement(0, 0, true), false))
+    }
+
+    /// Allocate a commit timestamp for a DDL operation (so later snapshots
+    /// order after it).
+    fn bump_ddl_ts(&mut self) -> CommitTs {
+        let tx = self.txm.begin(IsolationLevel::ReadCommitted, true);
+        let (ts, _) = self.txm.finish_commit(tx).expect("fresh tx");
+        ts
+    }
+
+    fn require_admin(&self, session: &Session) -> Result<(), SqlError> {
+        if session.user == ADMIN_USER {
+            Ok(())
+        } else {
+            Err(SqlError::AccessDenied(format!(
+                "user {} is not the administrator",
+                session.user
+            )))
+        }
+    }
+
+    /// DML / SELECT / CALL / SET: runs inside a transaction (implicit when
+    /// none is open).
+    fn do_dml(
+        &mut self,
+        session: &mut Session,
+        stmt: &Statement,
+        sql_text: Option<&str>,
+    ) -> Result<ExecResult, SqlError> {
+        self.check_privileges(session, stmt)?;
+
+        let (tx, implicit) = match session.tx {
+            Some(tx) => (tx, false),
+            None => {
+                let tx = self.txm.begin(self.config.default_isolation, true);
+                session.tx = Some(tx);
+                (tx, true)
+            }
+        };
+
+        let mut ctx = StmtCtx {
+            catalog: &mut self.catalog,
+            temp: &mut session.temp,
+            seqs: &mut self.seqs,
+            det: &mut self.det,
+            txm: &mut self.txm,
+            tx,
+            current_db: session.current_db.clone(),
+            vars: session.vars.clone(),
+            depth: 0,
+            rows_read: 0,
+            rows_written: 0,
+        };
+        let exec_result = exec::stmt::execute_inner(&mut ctx, stmt);
+        let (rows_read, rows_written) = (ctx.rows_read, ctx.rows_written);
+        let vars_after = std::mem::take(&mut ctx.vars);
+        drop(ctx);
+        if matches!(stmt, Statement::Set { .. }) {
+            session.vars = vars_after;
+        }
+        let tainted = self.det.tainted;
+
+        match exec_result {
+            Ok(outcome) => {
+                if !stmt.is_read_only() {
+                    let text =
+                        sql_text.map(str::to_string).unwrap_or_else(|| stmt.to_string());
+                    session.tx_statements.push(text);
+                }
+                let cost = Cost::for_statement(rows_read, rows_written, false);
+                let commit = if implicit {
+                    session.tx = None;
+                    let statements = std::mem::take(&mut session.tx_statements);
+                    Some(commit_tx(
+                        &mut self.catalog,
+                        &mut session.temp,
+                        &mut self.txm,
+                        &mut self.seqs,
+                        &mut self.binlog,
+                        &self.config,
+                        tx,
+                        session.current_db.clone(),
+                        statements,
+                    )?)
+                } else {
+                    None
+                };
+                Ok(ExecResult { outcome, cost, tainted, commit })
+            }
+            Err(e) => {
+                if implicit {
+                    session.tx = None;
+                    session.tx_statements.clear();
+                    abort_tx(&mut self.catalog, &mut session.temp, &mut self.txm, tx)?;
+                } else if self.config.error_mode == ErrorMode::AbortTransaction {
+                    self.txm.state_mut(tx)?.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn check_privileges(&self, session: &Session, stmt: &Statement) -> Result<(), SqlError> {
+        let resolve = |t: &ObjectName| -> Option<String> {
+            match &t.database {
+                Some(d) => Some(d.clone()),
+                None => {
+                    // Unqualified names may be temp tables (no privilege
+                    // needed) or live in the current database.
+                    if session.temp.contains_key(&t.name) {
+                        None
+                    } else {
+                        session.current_db.clone()
+                    }
+                }
+            }
+        };
+        for t in stmt.read_tables() {
+            if let Some(db) = resolve(&t) {
+                self.auth.check(&session.user, &db, Privilege::Read)?;
+            }
+        }
+        for t in stmt.written_tables() {
+            if let Some(db) = resolve(&t) {
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+            }
+        }
+        // CALL needs write on its database: bodies are opaque (§4.2.1).
+        if let Statement::Call { name, .. } = stmt {
+            if let Some(db) = resolve(name) {
+                self.auth.check(&session.user, &db, Privilege::Write)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Replication support APIs (used by the middleware)
+    // ------------------------------------------------------------------
+
+    /// Apply an extracted writeset as one transaction (transaction-based
+    /// replication, §4.3.2). Rows are located by primary key. Sequence and
+    /// auto-increment counters are **not** touched — the paper's documented
+    /// divergence channel — unless the writeset carries a [`CounterSync`]
+    /// and this engine is configured with `apply_counter_sync`.
+    pub fn apply_writeset(&mut self, ws: &Writeset) -> Result<ExecResult, SqlError> {
+        let tx = self.txm.begin(IsolationLevel::SnapshotIsolation, true);
+        let snap = self.txm.statement_snapshot(tx)?;
+        let result = self.apply_writeset_inner(ws, snap);
+        match result {
+            Ok(()) => {
+                let mut empty_temp = BTreeMap::new();
+                let commit = commit_tx(
+                    &mut self.catalog,
+                    &mut empty_temp,
+                    &mut self.txm,
+                    &mut self.seqs,
+                    &mut self.binlog,
+                    &self.config,
+                    tx,
+                    None,
+                    vec![format!("-- applied writeset ({} rows)", ws.len())],
+                )?;
+                if self.config.apply_counter_sync {
+                    if let Some(cs) = &ws.counters {
+                        self.apply_counter_sync(cs)?;
+                    }
+                }
+                Ok(ExecResult {
+                    outcome: Outcome::Affected(ws.len() as u64),
+                    cost: Cost::for_statement(0, ws.len() as u64, false),
+                    tainted: false,
+                    commit: Some(commit),
+                })
+            }
+            Err(e) => {
+                let mut empty_temp = BTreeMap::new();
+                abort_tx(&mut self.catalog, &mut empty_temp, &mut self.txm, tx)?;
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_writeset_inner(&mut self, ws: &Writeset, snap: Snapshot) -> Result<(), SqlError> {
+        for entry in &ws.entries {
+            if entry.temp {
+                continue;
+            }
+            let table = self
+                .catalog
+                .database_mut(&entry.database)?
+                .table_mut(&entry.table)?;
+            let pk = table.schema.primary_key;
+            let locate = |table: &Table, image: &[Value]| -> Option<crate::mvcc::RowId> {
+                match pk {
+                    Some(pk) => table.lookup_pk(&image[pk], snap),
+                    None => table
+                        .scan(snap)
+                        .find(|(_, vals)| *vals == image)
+                        .map(|(id, _)| id),
+                }
+            };
+            let applied_row = match entry.kind {
+                WriteKind::Insert => {
+                    let new = entry.new.clone().ok_or_else(|| {
+                        SqlError::Internal("insert writeset entry without image".into())
+                    })?;
+                    table.insert(new, snap)?
+                }
+                WriteKind::Update => {
+                    let old = entry.old.as_ref().ok_or_else(|| {
+                        SqlError::Internal("update writeset entry without before-image".into())
+                    })?;
+                    let new = entry.new.clone().ok_or_else(|| {
+                        SqlError::Internal("update writeset entry without after-image".into())
+                    })?;
+                    let id = locate(table, old).ok_or_else(|| SqlError::WriteConflict {
+                        table: entry.table.clone(),
+                        detail: "row to update not found (divergence?)".into(),
+                    })?;
+                    table.update(id, new, snap, true).map_err(|e| match e {
+                        crate::storage::ConflictOrError::Conflict(k) => SqlError::WriteConflict {
+                            table: entry.table.clone(),
+                            detail: format!("{k:?}"),
+                        },
+                        crate::storage::ConflictOrError::Error(e) => e,
+                    })?;
+                    id
+                }
+                WriteKind::Delete => {
+                    let old = entry.old.as_ref().ok_or_else(|| {
+                        SqlError::Internal("delete writeset entry without before-image".into())
+                    })?;
+                    let id = locate(table, old).ok_or_else(|| SqlError::WriteConflict {
+                        table: entry.table.clone(),
+                        detail: "row to delete not found (divergence?)".into(),
+                    })?;
+                    table.delete(id, snap, true).map_err(|e| match e {
+                        crate::storage::ConflictOrError::Conflict(k) => SqlError::WriteConflict {
+                            table: entry.table.clone(),
+                            detail: format!("{k:?}"),
+                        },
+                        crate::storage::ConflictOrError::Error(e) => e,
+                    })?;
+                    id
+                }
+            };
+            // Register the write so commit stamping finds the versions.
+            self.txm.state_mut(snap.tx)?.writes.push(crate::mvcc::WriteRecord {
+                database: entry.database.clone(),
+                table: entry.table.clone(),
+                row: applied_row,
+                kind: entry.kind,
+                old: entry.old.clone(),
+                new: entry.new.clone(),
+                temp: false,
+            });
+        }
+        Ok(())
+    }
+
+    fn apply_counter_sync(&mut self, cs: &CounterSync) -> Result<(), SqlError> {
+        for ((db, seq), v) in &cs.sequences {
+            self.seqs.set(db, seq, *v);
+        }
+        for ((db, table), v) in &cs.auto_increments {
+            if let Ok(t) = self.catalog.database_mut(db).and_then(|d| d.table_mut(table)) {
+                t.auto_inc = (*v).max(t.auto_inc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the writeset of a connection's *open* transaction without
+    /// committing it — what a certification-based middleware needs at the
+    /// client's COMMIT, before deciding the transaction's fate (§4.3.2).
+    pub fn pending_writeset(&self, conn: ConnId) -> Result<Writeset, SqlError> {
+        let session = self
+            .sessions
+            .get(&conn)
+            .ok_or_else(|| SqlError::AccessDenied(format!("no such connection {conn:?}")))?;
+        let tx = session
+            .tx
+            .ok_or_else(|| SqlError::TransactionState("no open transaction".into()))?;
+        let st = self.txm.state(tx)?;
+        let entries: Vec<_> = st.writes.iter().filter(|w| !w.temp).cloned().collect();
+        Ok(Writeset { entries, counters: None })
+    }
+
+    /// Read binlog entries after `after`; `None` means the log was purged
+    /// past that point and the consumer must resynchronize from a dump.
+    pub fn binlog_after(&self, after: Lsn) -> Option<Vec<crate::binlog::BinlogEntry>> {
+        self.binlog.read_after(after).map(|s| s.to_vec())
+    }
+
+    pub fn binlog_head(&self) -> Lsn {
+        self.binlog.head()
+    }
+
+    pub fn truncate_binlog(&mut self, up_to: Lsn) {
+        self.binlog.truncate(up_to);
+    }
+
+    /// Checksum of committed table data (divergence detection).
+    pub fn checksum_data(&self) -> u64 {
+        let ts = self.txm.latest_ts();
+        let mut h = Fnv64::new();
+        for (name, db) in &self.catalog.databases {
+            h.write_str(name);
+            for table in db.tables.values() {
+                table.checksum_into(ts, &mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Checksum including the non-versioned state the paper flags as
+    /// divergence channels: sequences and auto-increment counters.
+    pub fn checksum_full(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.checksum_data());
+        for ((db, name), v) in self.seqs.iter() {
+            h.write_str(db);
+            h.write_str(name);
+            h.write_u64(v as u64);
+        }
+        for (name, db) in &self.catalog.databases {
+            h.write_str(name);
+            for (tname, t) in &db.tables {
+                h.write_str(tname);
+                h.write_u64(t.auto_inc as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Take a consistent dump of committed state (§4.4.1).
+    pub fn dump(&self, opts: DumpOptions) -> Dump {
+        let at_ts = self.txm.latest_ts();
+        let mut databases = Vec::new();
+        for (name, db) in &self.catalog.databases {
+            let tables = db
+                .tables
+                .values()
+                .map(|t| TableDump {
+                    name: t.schema.name.clone(),
+                    columns: t.schema.columns.clone(),
+                    rows: t.committed_rows(at_ts),
+                    auto_inc: t.auto_inc,
+                })
+                .collect();
+            databases.push(DatabaseDump {
+                name: name.clone(),
+                tables,
+                sequences: self.seqs.in_database(name).map(|(n, v)| (n.to_string(), v)).collect(),
+                triggers: if opts.include_programs { db.triggers.clone() } else { Vec::new() },
+                procedures: if opts.include_programs {
+                    db.procedures.values().cloned().collect()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        let users = if opts.include_principals {
+            Some(self.auth.users().cloned().collect())
+        } else {
+            None
+        };
+        Dump { at_ts, databases, users, checksum: self.checksum_data() }
+    }
+
+    /// Restore a dump, replacing the databases it contains. Principals are
+    /// only restored when the dump carries them — otherwise the §4.1.5 gap
+    /// bites: the restored clone has no application users.
+    pub fn restore(&mut self, dump: &Dump) -> Result<(), SqlError> {
+        // Allocate one commit timestamp covering the whole restore so the
+        // loaded rows are visible to every later snapshot.
+        let tx = self.txm.begin(IsolationLevel::ReadCommitted, true);
+        let (restore_ts, _) = self.txm.finish_commit(tx)?;
+        for dbd in &dump.databases {
+            self.catalog.databases.remove(&dbd.name);
+            self.seqs.drop_database(&dbd.name);
+            let mut db = crate::catalog::Database::new(dbd.name.clone());
+            for td in &dbd.tables {
+                let schema = TableSchema::new(td.name.clone(), td.columns.clone());
+                let mut table = Table::new(schema);
+                let snap = Snapshot { ts: CommitTs::ZERO, tx };
+                let mut inserted = Vec::with_capacity(td.rows.len());
+                for row in &td.rows {
+                    inserted.push(table.insert(row.clone(), snap)?);
+                }
+                for id in inserted {
+                    table.commit_stamp(id, tx, restore_ts);
+                }
+                table.auto_inc = td.auto_inc;
+                db.tables.insert(td.name.clone(), table);
+            }
+            db.triggers = dbd.triggers.clone();
+            for p in &dbd.procedures {
+                db.procedures.insert(p.name.clone(), p.clone());
+            }
+            for (name, v) in &dbd.sequences {
+                self.seqs.set(&dbd.name, name, *v);
+            }
+            self.catalog.databases.insert(dbd.name.clone(), db);
+        }
+        if let Some(users) = &dump.users {
+            self.auth.restore_users(users.clone());
+        }
+        Ok(())
+    }
+
+    /// Vacuum all tables (routine maintenance, §4.4.4). Returns versions
+    /// reclaimed.
+    pub fn vacuum(&mut self) -> usize {
+        let horizon = self.txm.gc_horizon();
+        let mut reclaimed = 0;
+        for db in self.catalog.databases.values_mut() {
+            for t in db.tables.values_mut() {
+                reclaimed += t.vacuum(horizon);
+            }
+        }
+        reclaimed
+    }
+
+    /// Introspection for tests and the middleware's schema cache.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn sequences(&self) -> &Sequences {
+        &self.seqs
+    }
+
+    /// Primary-key column index of a table, if any (used by certifiers).
+    pub fn pk_of(&self, db: &str, table: &str) -> Option<usize> {
+        self.catalog
+            .database(db)
+            .ok()
+            .and_then(|d| d.table(table).ok())
+            .and_then(|t| t.schema.primary_key)
+    }
+}
+
+fn ack(cost: Cost, tainted: bool) -> ExecResult {
+    ExecResult { outcome: Outcome::Ack, cost, tainted, commit: None }
+}
+
+/// Commit a transaction: serializable validation, version stamping, writeset
+/// extraction, binlog append.
+#[allow(clippy::too_many_arguments)]
+fn commit_tx(
+    catalog: &mut Catalog,
+    temp: &mut BTreeMap<String, Table>,
+    txm: &mut TxManager,
+    seqs: &mut Sequences,
+    binlog: &mut Binlog,
+    config: &EngineConfig,
+    tx: TxId,
+    default_db: Option<String>,
+    statements: Vec<String>,
+) -> Result<CommitInfo, SqlError> {
+    // Serializable: table-level optimistic read validation.
+    {
+        let st = txm.state(tx)?;
+        if st.isolation == IsolationLevel::Serializable {
+            let snapshot_ts = st.snapshot_ts;
+            for (db, table) in &st.read_tables {
+                if let Ok(d) = catalog.database(db) {
+                    if let Ok(t) = d.table(table) {
+                        if t.last_commit_ts > snapshot_ts {
+                            // Abort before allocating a commit timestamp.
+                            let reads = format!("{db}.{table}");
+                            abort_tx(catalog, temp, txm, tx)?;
+                            return Err(SqlError::SerializationFailure(format!(
+                                "table {reads} changed after snapshot"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let (ts, state) = txm.finish_commit(tx)?;
+    for w in &state.writes {
+        if w.temp {
+            if let Some(t) = temp.get_mut(&w.table) {
+                t.commit_stamp(w.row, tx, ts);
+            }
+        } else if let Ok(d) = catalog.database_mut(&w.database) {
+            if let Ok(t) = d.table_mut(&w.table) {
+                t.commit_stamp(w.row, tx, ts);
+            }
+        }
+    }
+
+    let entries: Vec<_> = state.writes.iter().filter(|w| !w.temp).cloned().collect();
+    let counters = if config.capture_counters && !entries.is_empty() {
+        let mut cs = CounterSync::default();
+        for (key, v) in seqs.iter() {
+            cs.sequences.push((key.clone(), v));
+        }
+        for (db, table) in (Writeset { entries: entries.clone(), counters: None }).tables() {
+            if let Ok(t) = catalog.database(&db).and_then(|d| d.table(&table)) {
+                cs.auto_increments.push(((db, table), t.auto_inc));
+            }
+        }
+        Some(cs)
+    } else {
+        None
+    };
+    let writeset = Writeset { entries, counters };
+
+    if config.binlog && !writeset.is_empty() {
+        binlog.append(ts, default_db, statements, writeset.clone());
+    }
+    Ok(CommitInfo { commit_ts: ts, writeset })
+}
+
+/// Abort a transaction: unwind version chains. Sequences, auto-increment
+/// counters and DDL are *not* restored (§4.2.3/§4.3.2).
+fn abort_tx(
+    catalog: &mut Catalog,
+    temp: &mut BTreeMap<String, Table>,
+    txm: &mut TxManager,
+    tx: TxId,
+) -> Result<(), SqlError> {
+    let state = txm.finish_abort(tx)?;
+    for w in state.writes.iter().rev() {
+        if w.temp {
+            if let Some(t) = temp.get_mut(&w.table) {
+                t.abort_unwind(w.row, tx);
+            }
+        } else if let Ok(d) = catalog.database_mut(&w.database) {
+            if let Ok(t) = d.table_mut(&w.table) {
+                t.abort_unwind(w.row, tx);
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Error taxonomy for the SQL engine.
+//!
+//! The paper (§4.1.2) stresses that *how* an engine reacts to a statement
+//! error differs across RDBMSes (PostgreSQL poisons the transaction, MySQL
+//! keeps going). The error kinds here are deliberately fine-grained so the
+//! replication middleware can distinguish retryable conflicts from
+//! deterministic failures that must be replayed identically on every replica.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Any error produced while parsing or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer/parser error: malformed SQL.
+    Parse { pos: usize, message: String },
+    /// Unknown database instance.
+    UnknownDatabase(String),
+    /// Unknown table (qualified name as written).
+    UnknownTable(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// Unknown sequence.
+    UnknownSequence(String),
+    /// Unknown stored procedure.
+    UnknownProcedure(String),
+    /// Unknown function in an expression.
+    UnknownFunction(String),
+    /// Object already exists (table, database, sequence, user...).
+    AlreadyExists(String),
+    /// Value/type mismatch on insert, update or comparison.
+    TypeMismatch { expected: DataType, got: String },
+    /// NOT NULL or primary-key constraint violated.
+    ConstraintViolation(String),
+    /// Duplicate primary key.
+    DuplicateKey(String),
+    /// Write-write conflict under snapshot isolation (first-committer-wins)
+    /// or a concurrent uncommitted writer holds the row. Retryable.
+    WriteConflict { table: String, detail: String },
+    /// Serializable (1SR) commit-time read validation failed. Retryable.
+    SerializationFailure(String),
+    /// Statement issued outside/inside a transaction where not permitted,
+    /// or the transaction was already aborted (PostgreSQL-style poisoning).
+    TransactionState(String),
+    /// Authentication / privilege failure.
+    AccessDenied(String),
+    /// Wrong number/type of arguments to a function or procedure.
+    Arity { name: String, expected: usize, got: usize },
+    /// Division by zero or similar arithmetic fault.
+    Arithmetic(String),
+    /// Feature genuinely unsupported by this engine *version* — used to
+    /// model version-skewed heterogeneous clusters (§4.1.3).
+    Unsupported(String),
+    /// Internal invariant violation; indicates an engine bug.
+    Internal(String),
+}
+
+impl SqlError {
+    pub fn parse(pos: usize, message: impl Into<String>) -> Self {
+        SqlError::Parse { pos, message: message.into() }
+    }
+
+    /// Errors after which a client may retry the whole transaction and
+    /// reasonably expect success (concurrency artifacts, not logic errors).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SqlError::WriteConflict { .. } | SqlError::SerializationFailure(_)
+        )
+    }
+
+    /// Errors that are *deterministic*: replaying the same statement against
+    /// the same state fails the same way on every replica, so a replicated
+    /// system may broadcast them safely.
+    pub fn is_deterministic(&self) -> bool {
+        !self.is_retryable()
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            SqlError::UnknownDatabase(n) => write!(f, "unknown database '{n}'"),
+            SqlError::UnknownTable(n) => write!(f, "unknown table '{n}'"),
+            SqlError::UnknownColumn(n) => write!(f, "unknown column '{n}'"),
+            SqlError::UnknownSequence(n) => write!(f, "unknown sequence '{n}'"),
+            SqlError::UnknownProcedure(n) => write!(f, "unknown procedure '{n}'"),
+            SqlError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
+            SqlError::AlreadyExists(n) => write!(f, "object '{n}' already exists"),
+            SqlError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            SqlError::ConstraintViolation(m) => write!(f, "constraint violation: {m}"),
+            SqlError::DuplicateKey(m) => write!(f, "duplicate key: {m}"),
+            SqlError::WriteConflict { table, detail } => {
+                write!(f, "write conflict on '{table}': {detail}")
+            }
+            SqlError::SerializationFailure(m) => write!(f, "serialization failure: {m}"),
+            SqlError::TransactionState(m) => write!(f, "transaction state: {m}"),
+            SqlError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            SqlError::Arity { name, expected, got } => {
+                write!(f, "{name} expects {expected} argument(s), got {got}")
+            }
+            SqlError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SqlError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(SqlError::WriteConflict { table: "t".into(), detail: String::new() }
+            .is_retryable());
+        assert!(SqlError::SerializationFailure("r".into()).is_retryable());
+        assert!(!SqlError::DuplicateKey("k".into()).is_retryable());
+        assert!(SqlError::DuplicateKey("k".into()).is_deterministic());
+    }
+}

@@ -1,0 +1,479 @@
+//! INSERT / UPDATE / DELETE execution, AFTER-trigger firing, and
+//! SELECT ... FOR UPDATE row locking.
+
+use std::collections::BTreeMap;
+
+use crate::ast::{Expr, InsertSource, ObjectName, Statement, TriggerEvent};
+use crate::error::SqlError;
+use crate::expr::{eval, RowScope, TableLoc};
+use crate::mvcc::{RowId, WriteKind, WriteRecord};
+use crate::result::Outcome;
+use crate::storage::{ConflictOrError, Table};
+use crate::value::Value;
+
+use super::{StmtCtx, MAX_NESTING};
+
+/// Column names of a table schema, cloned for row-scope binding.
+fn column_names(table: &Table) -> Vec<String> {
+    table.schema.columns.iter().map(|c| c.name.clone()).collect()
+}
+
+fn conflict_err(table: &str, e: ConflictOrError) -> SqlError {
+    match e {
+        ConflictOrError::Conflict(kind) => SqlError::WriteConflict {
+            table: table.to_string(),
+            detail: format!("{kind:?}"),
+        },
+        ConflictOrError::Error(e) => e,
+    }
+}
+
+/// First-committer-wins applies under SI and serializable; plain read
+/// committed just overwrites the latest committed version.
+fn fcw(ctx: &StmtCtx<'_>) -> bool {
+    ctx.txm
+        .state(ctx.tx)
+        .map(|s| s.isolation != crate::ast::IsolationLevel::ReadCommitted)
+        .unwrap_or(true)
+}
+
+fn table_mut<'a>(ctx: &'a mut StmtCtx<'_>, loc: &TableLoc) -> Result<&'a mut Table, SqlError> {
+    match loc {
+        TableLoc::Temp(name) => ctx
+            .temp
+            .get_mut(name)
+            .ok_or_else(|| SqlError::UnknownTable(name.clone())),
+        TableLoc::Db(db, name) => ctx.catalog.database_mut(db)?.table_mut(name),
+    }
+}
+
+fn record_write(
+    ctx: &mut StmtCtx<'_>,
+    loc: &TableLoc,
+    row: RowId,
+    kind: WriteKind,
+    old: Option<Vec<Value>>,
+    new: Option<Vec<Value>>,
+) -> Result<(), SqlError> {
+    let (database, table, temp) = match loc {
+        TableLoc::Temp(name) => (String::new(), name.clone(), true),
+        TableLoc::Db(db, name) => (db.clone(), name.clone(), false),
+    };
+    ctx.txm
+        .state_mut(ctx.tx)?
+        .writes
+        .push(WriteRecord { database, table, row, kind, old, new, temp });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------
+
+pub fn execute_insert(
+    ctx: &mut StmtCtx<'_>,
+    table_name: &ObjectName,
+    columns: &[String],
+    source: &InsertSource,
+) -> Result<Outcome, SqlError> {
+    let snap = ctx.snapshot()?;
+
+    // Phase A: evaluate the source rows and default expressions.
+    let mut env = ctx.eval_env(snap);
+    let loc = env.table_location(table_name)?;
+    let table = env.table_at(&loc)?;
+    let schema_cols = table.schema.columns.clone();
+    let provided_rows: Vec<Vec<Value>> = match source {
+        InsertSource::Values(rows) => {
+            let mut out = Vec::with_capacity(rows.len());
+            let scope = RowScope::empty();
+            for row in rows {
+                let mut vals = Vec::with_capacity(row.len());
+                for e in row {
+                    vals.push(eval(e, &mut env, &scope)?);
+                }
+                out.push(vals);
+            }
+            out
+        }
+        InsertSource::Select(sel) => {
+            let rs = super::select::execute_select(sel, &mut env, &RowScope::empty())?;
+            rs.rows
+        }
+    };
+
+    // Map provided values onto the schema, evaluating defaults.
+    let col_indices: Vec<usize> = if columns.is_empty() {
+        (0..schema_cols.len()).collect()
+    } else {
+        columns
+            .iter()
+            .map(|c| {
+                schema_cols
+                    .iter()
+                    .position(|sc| &sc.name == c)
+                    .ok_or_else(|| SqlError::UnknownColumn(c.clone()))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut complete_rows: Vec<Vec<Value>> = Vec::with_capacity(provided_rows.len());
+    for provided in provided_rows {
+        if provided.len() != col_indices.len() {
+            return Err(SqlError::ConstraintViolation(format!(
+                "INSERT provides {} values for {} columns",
+                provided.len(),
+                col_indices.len()
+            )));
+        }
+        let mut row: Vec<Option<Value>> = vec![None; schema_cols.len()];
+        for (v, &idx) in provided.into_iter().zip(&col_indices) {
+            row[idx] = Some(v.coerce_to(schema_cols[idx].data_type)?);
+        }
+        let mut complete = Vec::with_capacity(schema_cols.len());
+        for (i, col) in schema_cols.iter().enumerate() {
+            let v = match row[i].take() {
+                Some(v) => v,
+                None => match &col.default {
+                    Some(d) => eval(d, &mut env, &RowScope::empty())?
+                        .coerce_to(col.data_type)?,
+                    // Auto-increment placeholder resolved in the write phase.
+                    None => Value::Null,
+                },
+            };
+            complete.push(v);
+        }
+        complete_rows.push(complete);
+    }
+    let (read_log, rows_read) = (std::mem::take(&mut env.read_log), env.rows_read);
+    drop(env);
+    ctx.absorb(read_log, rows_read);
+
+    // Phase B: apply. Auto-increment assignment happens here, against the
+    // table's non-transactional counter.
+    let count = complete_rows.len() as u64;
+    let mut inserted: Vec<(RowId, Vec<Value>)> = Vec::with_capacity(complete_rows.len());
+    {
+        let table = table_mut(ctx, &loc)?;
+        let mut staged: Vec<Vec<Value>> = Vec::with_capacity(complete_rows.len());
+        for mut row in complete_rows {
+            for (i, col) in schema_cols.iter().enumerate() {
+                if row[i].is_null() {
+                    if col.auto_increment {
+                        table.auto_inc += 1;
+                        row[i] = Value::Int(table.auto_inc);
+                    } else if col.not_null {
+                        return Err(SqlError::ConstraintViolation(format!(
+                            "column '{}' is NOT NULL",
+                            col.name
+                        )));
+                    }
+                } else if col.auto_increment {
+                    // Explicit value: pull the counter forward (MySQL-style),
+                    // irreversibly.
+                    if let Some(v) = row[i].as_int() {
+                        table.auto_inc = table.auto_inc.max(v);
+                    }
+                }
+            }
+            staged.push(row);
+        }
+        for row in staged {
+            let id = table.insert(row.clone(), snap)?;
+            inserted.push((id, row));
+        }
+    }
+    let mut new_images = Vec::with_capacity(inserted.len());
+    for (id, row) in inserted {
+        record_write(ctx, &loc, id, WriteKind::Insert, None, Some(row.clone()))?;
+        new_images.push(row);
+    }
+    ctx.rows_written += count;
+
+    fire_triggers(ctx, &loc, TriggerEvent::Insert, &new_images, &[], &schema_cols)?;
+    Ok(Outcome::Affected(count))
+}
+
+// ---------------------------------------------------------------------
+// UPDATE
+// ---------------------------------------------------------------------
+
+pub fn execute_update(
+    ctx: &mut StmtCtx<'_>,
+    table_name: &ObjectName,
+    assignments: &[(String, Expr)],
+    filter: Option<&Expr>,
+) -> Result<Outcome, SqlError> {
+    let snap = ctx.snapshot()?;
+    let first_committer_wins = fcw(ctx);
+
+    // Phase A: find matching rows and compute the new images.
+    let mut env = ctx.eval_env(snap);
+    let loc = env.table_location(table_name)?;
+    let table = env.resolve_table(table_name)?;
+    let schema_cols = table.schema.columns.clone();
+    let names = column_names(table);
+    let qualifier = table_name.name.clone();
+
+    let matches: Vec<(RowId, Vec<Value>)> = {
+        let table = env.table_at(&loc)?;
+        let mut out = Vec::new();
+        for (id, vals) in table.scan(snap) {
+            out.push((id, vals.to_vec()));
+        }
+        out
+    };
+    env.rows_read += matches.len() as u64;
+
+    let mut updates: Vec<(RowId, Vec<Value>, Vec<Value>)> = Vec::new(); // (id, old, new)
+    for (id, old) in matches {
+        let keep = match filter {
+            None => true,
+            Some(pred) => {
+                let scope = RowScope::with(&qualifier, &names, &old);
+                eval(pred, &mut env, &scope)?.as_bool().unwrap_or(false)
+            }
+        };
+        if !keep {
+            continue;
+        }
+        let mut new = old.clone();
+        for (col, e) in assignments {
+            let idx = schema_cols
+                .iter()
+                .position(|c| &c.name == col)
+                .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
+            let scope = RowScope::with(&qualifier, &names, &old);
+            let v = eval(e, &mut env, &scope)?;
+            new[idx] = v.coerce_to(schema_cols[idx].data_type)?;
+            if new[idx].is_null() && schema_cols[idx].not_null {
+                return Err(SqlError::ConstraintViolation(format!(
+                    "column '{col}' is NOT NULL"
+                )));
+            }
+        }
+        updates.push((id, old, new));
+    }
+    let (read_log, rows_read) = (std::mem::take(&mut env.read_log), env.rows_read);
+    drop(env);
+    ctx.absorb(read_log, rows_read);
+
+    // Phase B: apply.
+    let count = updates.len() as u64;
+    {
+        let table = table_mut(ctx, &loc)?;
+        for (id, _, new) in &updates {
+            table
+                .update(*id, new.clone(), snap, first_committer_wins)
+                .map_err(|e| conflict_err(&table_name.name, e))?;
+        }
+    }
+    let mut news = Vec::with_capacity(updates.len());
+    let mut olds = Vec::with_capacity(updates.len());
+    for (id, old, new) in updates {
+        record_write(ctx, &loc, id, WriteKind::Update, Some(old.clone()), Some(new.clone()))?;
+        olds.push(old);
+        news.push(new);
+    }
+    ctx.rows_written += count;
+
+    fire_triggers(ctx, &loc, TriggerEvent::Update, &news, &olds, &schema_cols)?;
+    Ok(Outcome::Affected(count))
+}
+
+// ---------------------------------------------------------------------
+// DELETE
+// ---------------------------------------------------------------------
+
+pub fn execute_delete(
+    ctx: &mut StmtCtx<'_>,
+    table_name: &ObjectName,
+    filter: Option<&Expr>,
+) -> Result<Outcome, SqlError> {
+    let snap = ctx.snapshot()?;
+    let first_committer_wins = fcw(ctx);
+
+    let mut env = ctx.eval_env(snap);
+    let loc = env.table_location(table_name)?;
+    let table = env.resolve_table(table_name)?;
+    let schema_cols = table.schema.columns.clone();
+    let names = column_names(table);
+    let qualifier = table_name.name.clone();
+
+    let all: Vec<(RowId, Vec<Value>)> = {
+        let table = env.table_at(&loc)?;
+        table.scan(snap).map(|(id, v)| (id, v.to_vec())).collect()
+    };
+    env.rows_read += all.len() as u64;
+
+    let mut doomed: Vec<(RowId, Vec<Value>)> = Vec::new();
+    for (id, vals) in all {
+        let keep = match filter {
+            None => true,
+            Some(pred) => {
+                let scope = RowScope::with(&qualifier, &names, &vals);
+                eval(pred, &mut env, &scope)?.as_bool().unwrap_or(false)
+            }
+        };
+        if keep {
+            doomed.push((id, vals));
+        }
+    }
+    let (read_log, rows_read) = (std::mem::take(&mut env.read_log), env.rows_read);
+    drop(env);
+    ctx.absorb(read_log, rows_read);
+
+    let count = doomed.len() as u64;
+    {
+        let table = table_mut(ctx, &loc)?;
+        for (id, _) in &doomed {
+            table
+                .delete(*id, snap, first_committer_wins)
+                .map_err(|e| conflict_err(&table_name.name, e))?;
+        }
+    }
+    let mut olds = Vec::with_capacity(doomed.len());
+    for (id, old) in doomed {
+        record_write(ctx, &loc, id, WriteKind::Delete, Some(old.clone()), None)?;
+        olds.push(old);
+    }
+    ctx.rows_written += count;
+
+    fire_triggers(ctx, &loc, TriggerEvent::Delete, &[], &olds, &schema_cols)?;
+    Ok(Outcome::Affected(count))
+}
+
+// ---------------------------------------------------------------------
+// SELECT ... FOR UPDATE
+// ---------------------------------------------------------------------
+
+/// Lock the rows a FOR UPDATE select matched by superseding them with
+/// identical images: concurrent writers then conflict exactly as if the rows
+/// had been updated. Only single-table, non-aggregated selects may lock.
+pub fn lock_for_update(
+    ctx: &mut StmtCtx<'_>,
+    select: &crate::ast::Select,
+) -> Result<(), SqlError> {
+    use crate::ast::TableRef;
+    let Some(TableRef::Table { name, .. }) = &select.from else {
+        return Err(SqlError::Unsupported(
+            "FOR UPDATE requires a single-table FROM".into(),
+        ));
+    };
+    if !select.group_by.is_empty() {
+        return Err(SqlError::Unsupported("FOR UPDATE with GROUP BY".into()));
+    }
+    let name = name.clone();
+    let snap = ctx.snapshot()?;
+    let first_committer_wins = fcw(ctx);
+
+    let mut env = ctx.eval_env(snap);
+    let loc = env.table_location(&name)?;
+    let table = env.resolve_table(&name)?;
+    let names = column_names(table);
+    let qualifier = name.name.clone();
+    let all: Vec<(RowId, Vec<Value>)> = {
+        let table = env.table_at(&loc)?;
+        table.scan(snap).map(|(id, v)| (id, v.to_vec())).collect()
+    };
+    let mut locked = Vec::new();
+    for (id, vals) in all {
+        let keep = match &select.filter {
+            None => true,
+            Some(pred) => {
+                let scope = RowScope::with(&qualifier, &names, &vals);
+                eval(pred, &mut env, &scope)?.as_bool().unwrap_or(false)
+            }
+        };
+        if keep {
+            locked.push((id, vals));
+        }
+    }
+    let (read_log, rows_read) = (std::mem::take(&mut env.read_log), env.rows_read);
+    drop(env);
+    ctx.absorb(read_log, rows_read);
+
+    {
+        let table = table_mut(ctx, &loc)?;
+        for (id, vals) in &locked {
+            table
+                .update(*id, vals.clone(), snap, first_committer_wins)
+                .map_err(|e| conflict_err(&name.name, e))?;
+        }
+    }
+    for (id, vals) in locked {
+        record_write(ctx, &loc, id, WriteKind::Update, Some(vals.clone()), Some(vals))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------
+
+/// Fire AFTER triggers for `event`. `news`/`olds` are per-affected-row
+/// images; bodies see `NEW.<col>` and `OLD.<col>` bindings. Trigger bodies
+/// run in the same transaction and may write any database (§4.1.1).
+fn fire_triggers(
+    ctx: &mut StmtCtx<'_>,
+    loc: &TableLoc,
+    event: TriggerEvent,
+    news: &[Vec<Value>],
+    olds: &[Vec<Value>],
+    schema_cols: &[crate::ast::ColumnDef],
+) -> Result<(), SqlError> {
+    // Temp tables never have triggers.
+    let TableLoc::Db(db, table) = loc else { return Ok(()) };
+    let defs = ctx.catalog.database(db)?.triggers_for(table, event);
+    if defs.is_empty() {
+        return Ok(());
+    }
+    if ctx.depth >= MAX_NESTING {
+        return Err(SqlError::ConstraintViolation(format!(
+            "trigger nesting exceeds {MAX_NESTING}"
+        )));
+    }
+    let row_count = news.len().max(olds.len());
+    for i in 0..row_count {
+        let mut vars = ctx.vars.clone();
+        if let Some(new) = news.get(i) {
+            for (col, v) in schema_cols.iter().zip(new) {
+                vars.insert(format!("new.{}", col.name), v.clone());
+            }
+        }
+        if let Some(old) = olds.get(i) {
+            for (col, v) in schema_cols.iter().zip(old) {
+                vars.insert(format!("old.{}", col.name), v.clone());
+            }
+        }
+        for def in &defs {
+            run_nested(ctx, &def.body, vars.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// Execute nested statements (trigger or procedure body) with substituted
+/// variable bindings and an incremented depth.
+pub(super) fn run_nested(
+    ctx: &mut StmtCtx<'_>,
+    body: &[Statement],
+    vars: BTreeMap<String, Value>,
+) -> Result<Option<Outcome>, SqlError> {
+    let saved_vars = std::mem::replace(&mut ctx.vars, vars);
+    ctx.depth += 1;
+    let mut last = None;
+    let mut result = Ok(());
+    for st in body {
+        match super::stmt::execute_inner(ctx, st) {
+            Ok(o) => last = Some(o),
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    ctx.depth -= 1;
+    ctx.vars = saved_vars;
+    result.map(|()| last)
+}

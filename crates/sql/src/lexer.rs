@@ -1,0 +1,323 @@
+//! SQL tokenizer.
+
+use crate::error::SqlError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Unquoted identifier or keyword (original case preserved; keyword
+    /// matching is case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal with `''` escapes resolved.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `||` string concatenation
+    Concat,
+}
+
+impl TokenKind {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `sql` into a vector of tokens. Comments (`-- ...`) are skipped.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::with_capacity(sql.len() / 4 + 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, pos });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, pos });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, pos });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, pos });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, pos });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, pos });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, pos });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, pos });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, pos });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, pos });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, pos });
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Neq, pos });
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'>') => {
+                        tokens.push(Token { kind: TokenKind::Neq, pos });
+                        i += 2;
+                    }
+                    Some(b'=') => {
+                        tokens.push(Token { kind: TokenKind::Le, pos });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token { kind: TokenKind::Lt, pos });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, pos });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, pos });
+                    i += 1;
+                }
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token { kind: TokenKind::Concat, pos });
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::parse(pos, "unterminated string literal"));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Advance over a whole UTF-8 character.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| SqlError::parse(i, "invalid UTF-8 in literal"))?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), pos });
+            }
+            '"' => {
+                // Quoted identifier.
+                let start = i + 1;
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::parse(pos, "unterminated quoted identifier"));
+                }
+                let name = sql[start..i].to_string();
+                i += 1;
+                tokens.push(Token { kind: TokenKind::Ident(name), pos });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| SqlError::parse(start, format!("bad float: {e}")))?,
+                    )
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::Int(v),
+                        Err(_) => TokenKind::Float(
+                            text.parse::<f64>()
+                                .map_err(|e| SqlError::parse(start, format!("bad number: {e}")))?,
+                        ),
+                    }
+                };
+                tokens.push(Token { kind, pos });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(sql[start..i].to_string()),
+                    pos,
+                });
+            }
+            other => {
+                return Err(SqlError::parse(pos, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        let ks = kinds("SELECT a, b FROM t WHERE x >= 10");
+        assert_eq!(ks[0], TokenKind::Ident("SELECT".into()));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Int(10)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("'o''brien'"), vec![TokenKind::Str("o'brien".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1 2.5 1e3"), vec![
+            TokenKind::Int(1),
+            TokenKind::Float(2.5),
+            TokenKind::Float(1000.0)
+        ]);
+    }
+
+    #[test]
+    fn neq_spellings() {
+        assert_eq!(kinds("a <> b")[1], TokenKind::Neq);
+        assert_eq!(kinds("a != b")[1], TokenKind::Neq);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("SELECT 1 -- trailing comment\n, 2");
+        assert_eq!(ks.len(), 4);
+    }
+
+    #[test]
+    fn huge_int_falls_back_to_float() {
+        let ks = kinds("99999999999999999999");
+        assert!(matches!(ks[0], TokenKind::Float(_)));
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        assert_eq!(kinds("\"MyTable\""), vec![TokenKind::Ident("MyTable".into())]);
+    }
+
+    #[test]
+    fn concat_operator() {
+        assert_eq!(kinds("a || b")[1], TokenKind::Concat);
+    }
+}

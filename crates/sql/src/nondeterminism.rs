@@ -1,0 +1,301 @@
+//! Static non-determinism analysis of statements (§4.3.2) and the query
+//! rewriting that statement-based replication applies before broadcast.
+//!
+//! Three hazard classes from the paper:
+//!
+//! 1. **Time macros** (`NOW()`, `CURRENT_TIMESTAMP`) — rewritable: replace
+//!    with a literal evaluated once at the middleware.
+//! 2. **Random macros** (`RAND()`) — rewritable only when the macro yields a
+//!    single value for the whole statement; `UPDATE t SET x = rand()`
+//!    assigns per-row values, so hardcoding one value changes semantics.
+//!    We classify per-row-context RAND as *unrewritable*.
+//! 3. **Under-ordered LIMIT** — `SELECT ... LIMIT n` without an ORDER BY on
+//!    a (unique) key feeding a write makes each replica pick different rows.
+//!    Not rewritable in general; flagged so the middleware can fall back to
+//!    writeset replication or reject.
+
+use crate::ast::{Expr, InsertSource, Select, Statement};
+use crate::value::Value;
+
+/// Result of scanning a statement for replication-hazardous constructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TaintReport {
+    /// Uses NOW()/CURRENT_TIMESTAMP.
+    pub uses_now: bool,
+    /// Uses RAND() in a single-value position (rewritable).
+    pub uses_rand_scalar: bool,
+    /// Uses RAND() in a per-row position (NOT rewritable).
+    pub uses_rand_per_row: bool,
+    /// A write statement depends on a SELECT with LIMIT but no ORDER BY.
+    pub unordered_limit: bool,
+}
+
+impl TaintReport {
+    pub fn is_deterministic(&self) -> bool {
+        !(self.uses_now
+            || self.uses_rand_scalar
+            || self.uses_rand_per_row
+            || self.unordered_limit)
+    }
+
+    /// Safe to broadcast after [`rewrite_time_macros`] — i.e. all hazards
+    /// are rewritable ones.
+    pub fn rewritable(&self) -> bool {
+        !self.uses_rand_per_row && !self.unordered_limit
+    }
+}
+
+/// Scan a statement. Only *write* statements matter for replication safety;
+/// reads are never broadcast. Read-only statements still get a report (all
+/// flags may be set) — callers decide.
+pub fn analyze(stmt: &Statement) -> TaintReport {
+    let mut report = TaintReport::default();
+    match stmt {
+        Statement::Update { assignments, filter, .. } => {
+            // Assignment expressions are evaluated per affected row.
+            for (_, e) in assignments {
+                scan_expr(e, true, &mut report);
+            }
+            if let Some(w) = filter {
+                scan_expr(w, false, &mut report);
+            }
+        }
+        Statement::Insert { source, .. } => match source {
+            InsertSource::Values(rows) => {
+                for row in rows {
+                    for e in row {
+                        // Each VALUES cell is evaluated once: scalar context.
+                        scan_expr(e, false, &mut report);
+                    }
+                }
+            }
+            InsertSource::Select(s) => scan_select(s, &mut report),
+        },
+        Statement::Delete { filter, .. } => {
+            if let Some(w) = filter {
+                scan_expr(w, false, &mut report);
+            }
+        }
+        Statement::Select(s) => scan_select(s, &mut report),
+        Statement::Call { args, name: _ } => {
+            for a in args {
+                scan_expr(a, false, &mut report);
+            }
+            // The body is opaque; the middleware cannot prove determinism.
+            // (Body-level analysis happens at CREATE PROCEDURE time via
+            // `analyze_body`.)
+        }
+        Statement::CreateProcedure { body, .. } | Statement::CreateTrigger { body, .. } => {
+            for st in body {
+                let r = analyze(st);
+                merge(&mut report, r);
+            }
+        }
+        Statement::Set { value, .. } => scan_expr(value, false, &mut report),
+        _ => {}
+    }
+    report
+}
+
+fn merge(into: &mut TaintReport, from: TaintReport) {
+    into.uses_now |= from.uses_now;
+    into.uses_rand_scalar |= from.uses_rand_scalar;
+    into.uses_rand_per_row |= from.uses_rand_per_row;
+    into.unordered_limit |= from.unordered_limit;
+}
+
+fn scan_select(s: &Select, report: &mut TaintReport) {
+    if s.limit.is_some() && s.order_by.is_empty() {
+        report.unordered_limit = true;
+    }
+    s.walk_exprs(&mut |e| match e {
+        Expr::Function { name, .. } if name == "now" || name == "current_timestamp" => {
+            report.uses_now = true;
+        }
+        Expr::Function { name, .. } if name == "rand" || name == "random" => {
+            // Inside a select, RAND is per-row whenever there is a FROM.
+            if s.from.is_some() {
+                report.uses_rand_per_row = true;
+            } else {
+                report.uses_rand_scalar = true;
+            }
+        }
+        Expr::InSelect { select, .. }
+        | Expr::ScalarSubquery(select)
+        | Expr::Exists { select, .. } => {
+            if select.limit.is_some() && select.order_by.is_empty() {
+                report.unordered_limit = true;
+            }
+        }
+        _ => {}
+    });
+}
+
+fn scan_expr(e: &Expr, per_row: bool, report: &mut TaintReport) {
+    e.walk(&mut |node| match node {
+        Expr::Function { name, .. } if name == "now" || name == "current_timestamp" => {
+            report.uses_now = true;
+        }
+        Expr::Function { name, .. } if name == "rand" || name == "random" => {
+            if per_row {
+                report.uses_rand_per_row = true;
+            } else {
+                report.uses_rand_scalar = true;
+            }
+        }
+        Expr::InSelect { select, .. }
+        | Expr::ScalarSubquery(select)
+        | Expr::Exists { select, .. } => {
+            if select.limit.is_some() && select.order_by.is_empty() {
+                report.unordered_limit = true;
+            }
+            let mut sub = TaintReport::default();
+            scan_select(select, &mut sub);
+            report.uses_now |= sub.uses_now;
+            report.uses_rand_per_row |= sub.uses_rand_per_row;
+            report.uses_rand_scalar |= sub.uses_rand_scalar;
+            report.unordered_limit |= sub.unordered_limit;
+        }
+        _ => {}
+    });
+}
+
+/// Rewrite time macros to literals: NOW()/CURRENT_TIMESTAMP become the given
+/// timestamp. Returns the number of substitutions. This is the "simple query
+/// rewriting" of §4.3.2; it requires all replicas to be in the same timezone,
+/// which our virtual clock trivially satisfies.
+pub fn rewrite_time_macros(stmt: &mut Statement, now_us: i64) -> usize {
+    let mut n = 0;
+    stmt.walk_exprs_mut(&mut |e| {
+        if let Expr::Function { name, .. } = e {
+            if name == "now" || name == "current_timestamp" {
+                *e = Expr::Literal(Value::Timestamp(now_us));
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+/// Rewrite *scalar-context* RAND() calls to a literal drawn once at the
+/// middleware. Per-row RAND must not be rewritten (the paper's
+/// `UPDATE t SET x=rand()` example); callers must check
+/// [`TaintReport::uses_rand_per_row`] first.
+pub fn rewrite_scalar_rand(stmt: &mut Statement, value: f64) -> usize {
+    let mut n = 0;
+    match stmt {
+        Statement::Insert { source: InsertSource::Values(rows), .. } => {
+            for row in rows {
+                for e in row {
+                    e.walk_mut(&mut |node| {
+                        if let Expr::Function { name, .. } = node {
+                            if name == "rand" || name == "random" {
+                                *node = Expr::Literal(Value::Float(value));
+                                n += 1;
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        Statement::Set { value: v, .. } => {
+            v.walk_mut(&mut |node| {
+                if let Expr::Function { name, .. } = node {
+                    if name == "rand" || name == "random" {
+                        *node = Expr::Literal(Value::Float(value));
+                        n += 1;
+                    }
+                }
+            });
+        }
+        _ => {}
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn report(sql: &str) -> TaintReport {
+        analyze(&parse_statement(sql).unwrap())
+    }
+
+    #[test]
+    fn clean_statement() {
+        let r = report("UPDATE t SET x = 1 WHERE id = 3");
+        assert!(r.is_deterministic());
+        assert!(r.rewritable());
+    }
+
+    #[test]
+    fn now_is_rewritable() {
+        let r = report("INSERT INTO t (ts) VALUES (now())");
+        assert!(r.uses_now && !r.uses_rand_per_row);
+        assert!(r.rewritable());
+    }
+
+    #[test]
+    fn per_row_rand_is_not_rewritable() {
+        // The paper's example: UPDATE t SET x=rand().
+        let r = report("UPDATE t SET x = rand()");
+        assert!(r.uses_rand_per_row);
+        assert!(!r.rewritable());
+    }
+
+    #[test]
+    fn scalar_rand_is_rewritable() {
+        let r = report("INSERT INTO t (x) VALUES (rand())");
+        assert!(r.uses_rand_scalar && !r.uses_rand_per_row);
+        assert!(r.rewritable());
+    }
+
+    #[test]
+    fn unordered_limit_in_update_subquery() {
+        // The paper's §4.3.2 SELECT ... LIMIT example.
+        let r = report(
+            "UPDATE foo SET keyvalue = 'x' WHERE id IN \
+             (SELECT id FROM foo WHERE keyvalue IS NULL LIMIT 10)",
+        );
+        assert!(r.unordered_limit);
+        assert!(!r.rewritable());
+    }
+
+    #[test]
+    fn ordered_limit_is_fine() {
+        let r = report(
+            "UPDATE foo SET keyvalue = 'x' WHERE id IN \
+             (SELECT id FROM foo WHERE keyvalue IS NULL ORDER BY id LIMIT 10)",
+        );
+        assert!(!r.unordered_limit);
+        assert!(r.rewritable());
+    }
+
+    #[test]
+    fn rewrite_time() {
+        let mut stmt = parse_statement("INSERT INTO t (ts, x) VALUES (now(), 1)").unwrap();
+        let n = rewrite_time_macros(&mut stmt, 123_000);
+        assert_eq!(n, 1);
+        assert!(stmt.to_string().contains("TIMESTAMP 123000"));
+        assert!(analyze(&stmt).is_deterministic());
+    }
+
+    #[test]
+    fn rewrite_rand_scalar_only() {
+        let mut ins = parse_statement("INSERT INTO t (x) VALUES (rand())").unwrap();
+        assert_eq!(rewrite_scalar_rand(&mut ins, 0.25), 1);
+        assert!(analyze(&ins).is_deterministic());
+        // Per-row update is untouched by design.
+        let mut upd = parse_statement("UPDATE t SET x = rand()").unwrap();
+        assert_eq!(rewrite_scalar_rand(&mut upd, 0.25), 0);
+    }
+
+    #[test]
+    fn procedure_bodies_are_scanned_at_create_time() {
+        let r = report(
+            "CREATE PROCEDURE p() AS BEGIN UPDATE t SET x = rand(); END",
+        );
+        assert!(r.uses_rand_per_row);
+    }
+}

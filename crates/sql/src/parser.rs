@@ -1,0 +1,1032 @@
+//! Recursive-descent SQL parser.
+//!
+//! Identifiers are case-insensitive and normalized to lowercase; keywords are
+//! matched case-insensitively. The grammar is the dialect described in
+//! DESIGN.md: DML, DDL (databases, tables, sequences, users, triggers,
+//! procedures), transactions with isolation levels, and expressions with
+//! uncorrelated subqueries.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::value::{DataType, Value};
+
+/// Parse exactly one statement (a trailing semicolon is allowed).
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.parse_stmt()?;
+    p.eat(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a semicolon-separated script into statements.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            break;
+        }
+        out.push(p.parse_stmt()?);
+        if !p.at_eof() && !p.eat(&TokenKind::Semicolon) {
+            return Err(p.error("expected ';' between statements"));
+        }
+    }
+    Ok(out)
+}
+
+/// Words that terminate an implicit alias position.
+const RESERVED: &[&str] = &[
+    "where", "join", "inner", "on", "group", "having", "order", "limit", "offset", "for", "set",
+    "values", "as", "and", "or", "not", "asc", "desc", "end", "do", "begin", "from", "select",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, SqlError> {
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SqlError {
+        let pos = self.tokens.get(self.pos).map(|t| t.pos).unwrap_or(usize::MAX);
+        SqlError::parse(if pos == usize::MAX { 0 } else { pos }, msg)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SqlError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kind:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), SqlError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing tokens"))
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            Some(TokenKind::Ident(s)) => Ok(s.to_ascii_lowercase()),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn object_name(&mut self) -> Result<ObjectName, SqlError> {
+        let first = self.ident()?;
+        if self.peek() == Some(&TokenKind::Dot) {
+            self.bump();
+            let second = self.ident()?;
+            Ok(ObjectName::qualified(first, second))
+        } else {
+            Ok(ObjectName::bare(first))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            Some(TokenKind::Str(s)) => Ok(s),
+            other => Err(self.error(format!("expected string literal, found {other:?}"))),
+        }
+    }
+
+    fn uint(&mut self) -> Result<u64, SqlError> {
+        match self.bump() {
+            Some(TokenKind::Int(i)) if i >= 0 => Ok(i as u64),
+            other => Err(self.error(format!("expected non-negative integer, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> Result<Statement, SqlError> {
+        let kw = match self.peek() {
+            Some(TokenKind::Ident(s)) => s.to_ascii_lowercase(),
+            _ => return Err(self.error("expected a statement keyword")),
+        };
+        match kw.as_str() {
+            "select" => Ok(Statement::Select(Box::new(self.parse_select()?))),
+            "insert" => self.parse_insert(),
+            "update" => self.parse_update(),
+            "delete" => self.parse_delete(),
+            "create" => self.parse_create(),
+            "drop" => self.parse_drop(),
+            "use" => {
+                self.bump();
+                Ok(Statement::UseDatabase { name: self.ident()? })
+            }
+            "begin" | "start" => self.parse_begin(),
+            "commit" => {
+                self.bump();
+                Ok(Statement::Commit)
+            }
+            "rollback" | "abort" => {
+                self.bump();
+                Ok(Statement::Rollback)
+            }
+            "grant" => self.parse_grant(),
+            "call" => self.parse_call(),
+            "set" => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(&TokenKind::Eq)?;
+                let value = self.parse_expr()?;
+                Ok(Statement::Set { name, value })
+            }
+            other => Err(self.error(format!("unknown statement keyword '{other}'"))),
+        }
+    }
+
+    fn parse_begin(&mut self) -> Result<Statement, SqlError> {
+        if self.eat_kw("start") {
+            self.expect_kw("transaction")?;
+        } else {
+            self.expect_kw("begin")?;
+            self.eat_kw("transaction");
+        }
+        let isolation = if self.eat_kw("isolation") {
+            self.expect_kw("level")?;
+            Some(self.parse_isolation_level()?)
+        } else {
+            None
+        };
+        Ok(Statement::Begin { isolation })
+    }
+
+    fn parse_isolation_level(&mut self) -> Result<IsolationLevel, SqlError> {
+        if self.eat_kw("read") {
+            self.expect_kw("committed")?;
+            Ok(IsolationLevel::ReadCommitted)
+        } else if self.eat_kw("snapshot") {
+            Ok(IsolationLevel::SnapshotIsolation)
+        } else if self.eat_kw("repeatable") {
+            self.expect_kw("read")?;
+            Ok(IsolationLevel::SnapshotIsolation)
+        } else if self.eat_kw("serializable") {
+            Ok(IsolationLevel::Serializable)
+        } else {
+            Err(self.error("unknown isolation level"))
+        }
+    }
+
+    fn parse_insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.object_name()?;
+        let mut columns = Vec::new();
+        if self.peek() == Some(&TokenKind::LParen) {
+            // Could be a column list or a parenthesized SELECT source; the
+            // dialect requires VALUES or SELECT after the column list, so a
+            // '(' here is always a column list.
+            self.bump();
+            loop {
+                columns.push(self.ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect(&TokenKind::LParen)?;
+                let mut row = Vec::new();
+                if self.peek() != Some(&TokenKind::RParen) {
+                    loop {
+                        row.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.peek_kw("select") {
+            InsertSource::Select(Box::new(self.parse_select()?))
+        } else {
+            return Err(self.error("expected VALUES or SELECT"));
+        };
+        Ok(Statement::Insert { table, columns, source })
+    }
+
+    fn parse_update(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("update")?;
+        let table = self.object_name()?;
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&TokenKind::Eq)?;
+            let expr = self.parse_expr()?;
+            assignments.push((col, expr));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let filter = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Update { table, assignments, filter })
+    }
+
+    fn parse_delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.object_name()?;
+        let filter = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn parse_create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("create")?;
+        if self.eat_kw("database") || self.eat_kw("schema") {
+            let if_not_exists = self.parse_if_not_exists()?;
+            Ok(Statement::CreateDatabase { name: self.ident()?, if_not_exists })
+        } else if self.peek_kw("temporary") || self.peek_kw("temp") || self.peek_kw("table") {
+            let temporary = self.eat_kw("temporary") || self.eat_kw("temp");
+            self.expect_kw("table")?;
+            let if_not_exists = self.parse_if_not_exists()?;
+            let name = self.object_name()?;
+            let columns = self.parse_column_defs()?;
+            Ok(Statement::CreateTable { name, columns, temporary, if_not_exists })
+        } else if self.eat_kw("sequence") {
+            let if_not_exists = self.parse_if_not_exists()?;
+            let name = self.object_name()?;
+            let start = if self.eat_kw("start") {
+                self.eat_kw("with");
+                match self.bump() {
+                    Some(TokenKind::Int(i)) => i,
+                    other => return Err(self.error(format!("expected integer, got {other:?}"))),
+                }
+            } else {
+                1
+            };
+            Ok(Statement::CreateSequence { name, start, if_not_exists })
+        } else if self.eat_kw("user") {
+            let name = self.ident()?;
+            self.expect_kw("password")?;
+            let password = self.string()?;
+            Ok(Statement::CreateUser { name, password })
+        } else if self.eat_kw("trigger") {
+            let name = self.ident()?;
+            self.expect_kw("after")?;
+            let event = if self.eat_kw("insert") {
+                TriggerEvent::Insert
+            } else if self.eat_kw("update") {
+                TriggerEvent::Update
+            } else if self.eat_kw("delete") {
+                TriggerEvent::Delete
+            } else {
+                return Err(self.error("expected INSERT, UPDATE or DELETE"));
+            };
+            self.expect_kw("on")?;
+            let table = self.object_name()?;
+            self.expect_kw("do")?;
+            let body = self.parse_body()?;
+            Ok(Statement::CreateTrigger { name, event, table, body })
+        } else if self.eat_kw("procedure") {
+            let name = self.object_name()?;
+            self.expect(&TokenKind::LParen)?;
+            let mut params = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    params.push(self.ident()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            self.expect_kw("as")?;
+            let body = self.parse_body()?;
+            Ok(Statement::CreateProcedure { name, params, body })
+        } else {
+            Err(self.error("expected DATABASE, TABLE, SEQUENCE, USER, TRIGGER or PROCEDURE"))
+        }
+    }
+
+    fn parse_if_not_exists(&mut self) -> Result<bool, SqlError> {
+        if self.eat_kw("if") {
+            self.expect_kw("not")?;
+            self.expect_kw("exists")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn parse_body(&mut self) -> Result<Vec<Statement>, SqlError> {
+        self.expect_kw("begin")?;
+        let mut body = Vec::new();
+        loop {
+            if self.eat_kw("end") {
+                break;
+            }
+            body.push(self.parse_stmt()?);
+            if !self.eat(&TokenKind::Semicolon) {
+                self.expect_kw("end")?;
+                break;
+            }
+        }
+        Ok(body)
+    }
+
+    fn parse_drop(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("drop")?;
+        if self.eat_kw("database") || self.eat_kw("schema") {
+            Ok(Statement::DropDatabase { name: self.ident()? })
+        } else if self.eat_kw("table") {
+            let if_exists = if self.eat_kw("if") {
+                self.expect_kw("exists")?;
+                true
+            } else {
+                false
+            };
+            Ok(Statement::DropTable { name: self.object_name()?, if_exists })
+        } else if self.eat_kw("sequence") {
+            Ok(Statement::DropSequence { name: self.object_name()? })
+        } else if self.eat_kw("user") {
+            Ok(Statement::DropUser { name: self.ident()? })
+        } else if self.eat_kw("trigger") {
+            let name = self.ident()?;
+            self.expect_kw("on")?;
+            Ok(Statement::DropTrigger { name, table: self.object_name()? })
+        } else if self.eat_kw("procedure") {
+            Ok(Statement::DropProcedure { name: self.object_name()? })
+        } else {
+            Err(self.error("expected DATABASE, TABLE, SEQUENCE, USER, TRIGGER or PROCEDURE"))
+        }
+    }
+
+    fn parse_column_defs(&mut self) -> Result<Vec<ColumnDef>, SqlError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let data_type = self.parse_data_type()?;
+            let mut def = ColumnDef {
+                name,
+                data_type,
+                not_null: false,
+                primary_key: false,
+                auto_increment: false,
+                default: None,
+            };
+            loop {
+                if self.eat_kw("primary") {
+                    self.expect_kw("key")?;
+                    def.primary_key = true;
+                    def.not_null = true;
+                } else if self.eat_kw("not") {
+                    self.expect_kw("null")?;
+                    def.not_null = true;
+                } else if self.eat_kw("auto_increment") || self.eat_kw("serial") {
+                    def.auto_increment = true;
+                } else if self.eat_kw("default") {
+                    def.default = Some(self.parse_expr()?);
+                } else {
+                    break;
+                }
+            }
+            cols.push(def);
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(cols)
+    }
+
+    fn parse_data_type(&mut self) -> Result<DataType, SqlError> {
+        let name = self.ident()?;
+        let ty = match name.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => DataType::Int,
+            "float" | "double" | "real" | "decimal" | "numeric" => DataType::Float,
+            "text" | "varchar" | "char" | "string" | "clob" | "blob" => DataType::Text,
+            "bool" | "boolean" => DataType::Bool,
+            "timestamp" | "datetime" => DataType::Timestamp,
+            other => return Err(self.error(format!("unknown type '{other}'"))),
+        };
+        // Optional length like VARCHAR(255) is accepted and ignored.
+        if self.peek() == Some(&TokenKind::LParen) {
+            self.bump();
+            let _ = self.uint()?;
+            self.expect(&TokenKind::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn parse_grant(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("grant")?;
+        let privilege = if self.eat_kw("all") {
+            Privilege::All
+        } else if self.eat_kw("read") || self.eat_kw("select") {
+            Privilege::Read
+        } else if self.eat_kw("write") {
+            Privilege::Write
+        } else {
+            return Err(self.error("expected ALL, READ or WRITE"));
+        };
+        self.expect_kw("on")?;
+        let database = self.ident()?;
+        self.expect_kw("to")?;
+        let user = self.ident()?;
+        Ok(Statement::Grant { privilege, database, user })
+    }
+
+    fn parse_call(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("call")?;
+        let name = self.object_name()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&TokenKind::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        Ok(Statement::Call { name, args })
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT
+    // ------------------------------------------------------------------
+
+    fn parse_select(&mut self) -> Result<Select, SqlError> {
+        self.expect_kw("select")?;
+        let mut select = Select::empty();
+        loop {
+            if self.eat(&TokenKind::Star) {
+                select.projections.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = self.parse_alias()?;
+                select.projections.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        if self.eat_kw("from") {
+            select.from = Some(self.parse_table_ref()?);
+        }
+        if self.eat_kw("where") {
+            select.filter = Some(self.parse_expr()?);
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                select.group_by.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("having") {
+            select.having = Some(self.parse_expr()?);
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                select.order_by.push(OrderKey { expr, asc });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            select.limit = Some(self.uint()?);
+        }
+        if self.eat_kw("offset") {
+            select.offset = Some(self.uint()?);
+        }
+        if self.eat_kw("for") {
+            self.expect_kw("update")?;
+            select.for_update = true;
+        }
+        Ok(select)
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) {
+                return Ok(Some(self.ident()?));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let mut left = self.parse_table_primary()?;
+        loop {
+            let joined = if self.eat_kw("inner") {
+                self.expect_kw("join")?;
+                true
+            } else {
+                self.eat_kw("join")
+            };
+            if !joined {
+                break;
+            }
+            let right = self.parse_table_primary()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), on };
+        }
+        Ok(left)
+    }
+
+    fn parse_table_primary(&mut self) -> Result<TableRef, SqlError> {
+        let name = self.object_name()?;
+        let alias = self.parse_alias()?;
+        Ok(TableRef::Table { name, alias })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::Binary { left: Box::new(left), op: BinOp::Or, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::Binary { left: Box::new(left), op: BinOp::And, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr, SqlError> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(TokenKind::Eq) => Some(BinOp::Eq),
+            Some(TokenKind::Neq) => Some(BinOp::Neq),
+            Some(TokenKind::Lt) => Some(BinOp::Lt),
+            Some(TokenKind::Le) => Some(BinOp::Le),
+            Some(TokenKind::Gt) => Some(BinOp::Gt),
+            Some(TokenKind::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::Binary { left: Box::new(left), op, right: Box::new(right) });
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
+        }
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&TokenKind::LParen)?;
+            if self.peek_kw("select") {
+                let select = self.parse_select()?;
+                self.expect(&TokenKind::RParen)?;
+                return Ok(Expr::InSelect {
+                    expr: Box::new(left),
+                    select: Box::new(select),
+                    negated,
+                });
+            }
+            let mut list = Vec::new();
+            if self.peek() != Some(&TokenKind::RParen) {
+                loop {
+                    list.push(self.parse_expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if negated {
+            return Err(self.error("expected LIKE, BETWEEN or IN after NOT"));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Plus) => BinOp::Add,
+                Some(TokenKind::Minus) => BinOp::Sub,
+                Some(TokenKind::Concat) => BinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(TokenKind::Star) => BinOp::Mul,
+                Some(TokenKind::Slash) => BinOp::Div,
+                Some(TokenKind::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::Binary { left: Box::new(left), op, right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, SqlError> {
+        if self.eat(&TokenKind::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negative literals so `-5` renders back as `(-5)` -> `-5`.
+            if let Expr::Literal(Value::Int(i)) = inner {
+                return Ok(Expr::Literal(Value::Int(-i)));
+            }
+            if let Expr::Literal(Value::Float(x)) = inner {
+                return Ok(Expr::Literal(Value::Float(-x)));
+            }
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(TokenKind::Int(i)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Some(TokenKind::Float(x)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            Some(TokenKind::Str(s)) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Some(TokenKind::LParen) => {
+                self.bump();
+                if self.peek_kw("select") {
+                    let select = self.parse_select()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(select)))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(TokenKind::Ident(word)) => {
+                let lower = word.to_ascii_lowercase();
+                match lower.as_str() {
+                    "null" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Null))
+                    }
+                    "true" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Bool(true)))
+                    }
+                    "false" => {
+                        self.bump();
+                        Ok(Expr::Literal(Value::Bool(false)))
+                    }
+                    "timestamp"
+                        if matches!(self.peek2(), Some(TokenKind::Int(_)))
+                            || (self.peek2() == Some(&TokenKind::Minus)
+                                && matches!(
+                                    self.tokens.get(self.pos + 2).map(|t| &t.kind),
+                                    Some(TokenKind::Int(_))
+                                )) =>
+                    {
+                        self.bump();
+                        let negate = self.eat(&TokenKind::Minus);
+                        match self.bump() {
+                            Some(TokenKind::Int(i)) => {
+                                Ok(Expr::Literal(Value::Timestamp(if negate { -i } else { i })))
+                            }
+                            _ => unreachable!("peeked Int"),
+                        }
+                    }
+                    "exists" => {
+                        self.bump();
+                        self.expect(&TokenKind::LParen)?;
+                        let select = self.parse_select()?;
+                        self.expect(&TokenKind::RParen)?;
+                        Ok(Expr::Exists { select: Box::new(select), negated: false })
+                    }
+                    _ if RESERVED.contains(&lower.as_str()) => {
+                        Err(self.error(format!("unexpected keyword '{lower}' in expression")))
+                    }
+                    _ => {
+                        self.bump();
+                        if self.peek() == Some(&TokenKind::LParen) {
+                            self.bump();
+                            let mut args = Vec::new();
+                            if self.eat(&TokenKind::Star) {
+                                // COUNT(*): no-arg aggregate.
+                            } else if self.peek() != Some(&TokenKind::RParen) {
+                                loop {
+                                    args.push(self.parse_expr()?);
+                                    if !self.eat(&TokenKind::Comma) {
+                                        break;
+                                    }
+                                }
+                            }
+                            self.expect(&TokenKind::RParen)?;
+                            Ok(Expr::Function { name: lower, args })
+                        } else if self.peek() == Some(&TokenKind::Dot) {
+                            self.bump();
+                            let col = self.ident()?;
+                            Ok(Expr::Column(ColumnRef { table: Some(lower), name: col }))
+                        } else {
+                            Ok(Expr::Column(ColumnRef { table: None, name: lower }))
+                        }
+                    }
+                }
+            }
+            other => Err(self.error(format!("unexpected token in expression: {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let stmt = parse_statement("SELECT a FROM t WHERE a = 1").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.projections.len(), 1);
+                assert!(s.filter.is_some());
+            }
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * 2 parses as a + (b * 2)
+        let stmt = parse_statement("SELECT a + b * 2").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.projections[0] else { panic!() };
+        match expr {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let stmt = parse_statement("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        match s.filter.unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_names() {
+        let stmt = parse_statement("SELECT t.x FROM db1.t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        match s.from.unwrap() {
+            TableRef::Table { name, .. } => {
+                assert_eq!(name, ObjectName::qualified("db1", "t"));
+            }
+            other => panic!("bad from: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)").unwrap();
+        let Statement::Insert { columns, source, .. } = stmt else { panic!() };
+        assert_eq!(columns, vec!["a", "b"]);
+        let InsertSource::Values(rows) = source else { panic!() };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn update_with_subquery_limit() {
+        // The paper's §4.3.2 non-determinism example.
+        let stmt = parse_statement(
+            "UPDATE foo SET keyvalue='x' WHERE id IN (SELECT id FROM foo WHERE keyvalue IS NULL LIMIT 10)",
+        )
+        .unwrap();
+        let Statement::Update { filter: Some(Expr::InSelect { select, .. }), .. } = stmt else {
+            panic!()
+        };
+        assert_eq!(select.limit, Some(10));
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        let stmt = parse_statement("SELECT Foo FROM Bar").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr: Expr::Column(c), .. } = &s.projections[0] else { panic!() };
+        assert_eq!(c.name, "foo");
+    }
+
+    #[test]
+    fn create_table_attrs() {
+        let stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, name VARCHAR(40) NOT NULL, ts TIMESTAMP DEFAULT now())",
+        )
+        .unwrap();
+        let Statement::CreateTable { columns, .. } = stmt else { panic!() };
+        assert!(columns[0].primary_key && columns[0].auto_increment);
+        assert!(columns[1].not_null);
+        assert!(columns[2].default.is_some());
+    }
+
+    #[test]
+    fn script_with_trigger_body() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); CREATE TRIGGER tr AFTER INSERT ON t DO BEGIN \
+             INSERT INTO log (v) VALUES (NEW.a); END; SELECT 1;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        let Statement::CreateTrigger { body, .. } = &stmts[1] else { panic!() };
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let stmt = parse_statement("SELECT COUNT(*) FROM t").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr: Expr::Function { name, args }, .. } = &s.projections[0]
+        else {
+            panic!()
+        };
+        assert_eq!(name, "count");
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn negative_literal_folding() {
+        let stmt = parse_statement("SELECT -5, -2.5").unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.projections[0] else { panic!() };
+        assert_eq!(expr, &Expr::Literal(Value::Int(-5)));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+    }
+
+    #[test]
+    fn begin_isolation_levels() {
+        for (sql, lvl) in [
+            ("BEGIN", None),
+            ("BEGIN ISOLATION LEVEL READ COMMITTED", Some(IsolationLevel::ReadCommitted)),
+            ("BEGIN ISOLATION LEVEL SNAPSHOT", Some(IsolationLevel::SnapshotIsolation)),
+            ("BEGIN ISOLATION LEVEL REPEATABLE READ", Some(IsolationLevel::SnapshotIsolation)),
+            ("START TRANSACTION ISOLATION LEVEL SERIALIZABLE", Some(IsolationLevel::Serializable)),
+        ] {
+            let Statement::Begin { isolation } = parse_statement(sql).unwrap() else { panic!() };
+            assert_eq!(isolation, lvl, "for {sql}");
+        }
+    }
+
+    #[test]
+    fn join_parse() {
+        let stmt = parse_statement("SELECT * FROM a JOIN b ON a.id = b.aid JOIN c ON b.id = c.bid")
+            .unwrap();
+        let Statement::Select(s) = stmt else { panic!() };
+        let Some(TableRef::Join { left, .. }) = s.from else { panic!() };
+        assert!(matches!(*left, TableRef::Join { .. }));
+    }
+}

@@ -1,0 +1,597 @@
+//! Versioned row storage: one `Table` per SQL table, each row a chain of
+//! MVCC versions. The engine is externally synchronized; concurrency is the
+//! interleaving of statements from different connections, which is exactly
+//! the concurrency a replication middleware deals in.
+
+use std::collections::BTreeMap;
+
+use crate::ast::ColumnDef;
+use crate::checksum::Fnv64;
+use crate::error::SqlError;
+use crate::mvcc::{CommitTs, RowId, Snapshot, TxId};
+use crate::value::{DataType, Value};
+
+/// Schema of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+    /// Index into `columns` of the primary key, if any.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        let primary_key = columns.iter().position(|c| c.primary_key);
+        TableSchema { name: name.into(), columns, primary_key }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    pub fn column_types(&self) -> impl Iterator<Item = DataType> + '_ {
+        self.columns.iter().map(|c| c.data_type)
+    }
+}
+
+/// One MVCC version of a row.
+#[derive(Debug, Clone)]
+pub struct Version {
+    /// Transaction that created this version.
+    pub begin_tx: TxId,
+    /// Commit timestamp of the creator; `None` while uncommitted.
+    pub begin_ts: Option<CommitTs>,
+    /// Transaction that deleted/superseded this version, if any.
+    pub end_tx: Option<TxId>,
+    /// Commit timestamp of the ender; `None` while the ender is uncommitted.
+    pub end_ts: Option<CommitTs>,
+    pub values: Vec<Value>,
+}
+
+impl Version {
+    /// Is this version visible to `snap` (its own uncommitted writes are)?
+    pub fn visible_to(&self, snap: Snapshot) -> bool {
+        let created_visible = if self.begin_tx == snap.tx {
+            // Own write: visible unless this version was already superseded
+            // by the same transaction.
+            true
+        } else {
+            match self.begin_ts {
+                Some(ts) => ts <= snap.ts,
+                None => false, // other transaction's uncommitted insert
+            }
+        };
+        if !created_visible {
+            return false;
+        }
+        match (self.end_tx, self.end_ts) {
+            (None, _) => true,
+            (Some(etx), _) if etx == snap.tx => false, // deleted by self
+            (Some(_), Some(ets)) => ets > snap.ts,     // deleted after my snapshot?
+            (Some(_), None) => true,                   // deleter uncommitted
+        }
+    }
+
+    /// True when no snapshot at or after `horizon` (nor any future one) can
+    /// see this version.
+    fn garbage(&self, horizon: CommitTs) -> bool {
+        matches!(self.end_ts, Some(ets) if ets <= horizon)
+    }
+}
+
+/// Why a row-level write was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConflictKind {
+    /// Another uncommitted transaction already wrote the row.
+    UncommittedWriter,
+    /// First-committer-wins: a version newer than our snapshot committed.
+    NewerCommit,
+}
+
+/// A table: schema, version chains, primary-key index, and the
+/// non-transactional bits the paper warns about (auto-increment counter).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Vec<Version>>,
+    /// PK value -> candidate row ids (stale entries pruned lazily).
+    pk_index: BTreeMap<IndexKey, Vec<RowId>>,
+    next_row_id: u64,
+    /// Non-transactional AUTO_INCREMENT counter: advances even when the
+    /// surrounding transaction rolls back (§4.2.3 / §4.3.2).
+    pub auto_inc: i64,
+    /// Commit timestamp of the last committed write to this table; used by
+    /// serializable table-level validation and replication freshness checks.
+    pub last_commit_ts: CommitTs,
+}
+
+/// Orderable index key wrapping a `Value`.
+#[derive(Debug, Clone, PartialEq)]
+struct IndexKey(Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            pk_index: BTreeMap::new(),
+            next_row_id: 1,
+            auto_inc: 0,
+            last_commit_ts: CommitTs::ZERO,
+        }
+    }
+
+    /// Number of row version chains (live + dead); exposed for vacuum tests.
+    pub fn chain_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn version_count(&self) -> usize {
+        self.rows.values().map(|c| c.len()).sum()
+    }
+
+    /// Iterate over rows visible to `snap`.
+    pub fn scan<'a>(&'a self, snap: Snapshot) -> impl Iterator<Item = (RowId, &'a [Value])> + 'a {
+        self.rows.iter().filter_map(move |(id, chain)| {
+            chain
+                .iter()
+                .rev()
+                .find(|v| v.visible_to(snap))
+                .map(|v| (*id, v.values.as_slice()))
+        })
+    }
+
+    /// Read one row if visible.
+    pub fn get(&self, row: RowId, snap: Snapshot) -> Option<&[Value]> {
+        self.rows
+            .get(&row)?
+            .iter()
+            .rev()
+            .find(|v| v.visible_to(snap))
+            .map(|v| v.values.as_slice())
+    }
+
+    /// Look up a row id by primary-key value, restricted to versions visible
+    /// to `snap`.
+    pub fn lookup_pk(&self, key: &Value, snap: Snapshot) -> Option<RowId> {
+        let ids = self.pk_index.get(&IndexKey(key.clone()))?;
+        ids.iter()
+            .copied()
+            .find(|id| self.get(*id, snap).is_some_and(|vals| {
+                self.schema
+                    .primary_key
+                    .is_some_and(|pk| vals[pk] == *key)
+            }))
+    }
+
+    /// True if any version of a row with this PK is visible to `snap` *or*
+    /// pending from an uncommitted transaction (uniqueness must account for
+    /// concurrent inserts).
+    fn pk_occupied(&self, key: &Value, snap: Snapshot) -> bool {
+        let Some(pk) = self.schema.primary_key else { return false };
+        let Some(ids) = self.pk_index.get(&IndexKey(key.clone())) else {
+            return false;
+        };
+        ids.iter().any(|id| {
+            self.rows.get(id).is_some_and(|chain| {
+                chain.iter().any(|v| {
+                    v.values[pk] == *key
+                        && (v.visible_to(snap)
+                            || (v.begin_ts.is_none() && v.end_tx.is_none()))
+                })
+            })
+        })
+    }
+
+    /// Insert a row version for transaction `snap.tx`.
+    pub fn insert(&mut self, values: Vec<Value>, snap: Snapshot) -> Result<RowId, SqlError> {
+        debug_assert_eq!(values.len(), self.schema.columns.len());
+        if let Some(pk) = self.schema.primary_key {
+            let key = &values[pk];
+            if key.is_null() {
+                return Err(SqlError::ConstraintViolation(format!(
+                    "primary key '{}' may not be NULL",
+                    self.schema.columns[pk].name
+                )));
+            }
+            if self.pk_occupied(key, snap) {
+                return Err(SqlError::DuplicateKey(format!(
+                    "{}={key}",
+                    self.schema.columns[pk].name
+                )));
+            }
+        }
+        let id = RowId(self.next_row_id);
+        self.next_row_id += 1;
+        if let Some(pk) = self.schema.primary_key {
+            self.pk_index
+                .entry(IndexKey(values[pk].clone()))
+                .or_default()
+                .push(id);
+        }
+        self.rows.insert(
+            id,
+            vec![Version {
+                begin_tx: snap.tx,
+                begin_ts: None,
+                end_tx: None,
+                end_ts: None,
+                values,
+            }],
+        );
+        Ok(id)
+    }
+
+    /// Find the newest version of `row` and classify the write conflict, if
+    /// any, for a transaction holding `snap` under first-committer-wins.
+    fn writable_version(
+        &self,
+        row: RowId,
+        snap: Snapshot,
+        first_committer_wins: bool,
+    ) -> Result<usize, ConflictKind> {
+        let chain = self.rows.get(&row).expect("writable_version on missing row");
+        // The newest version is last in the chain.
+        let idx = chain.len() - 1;
+        let v = &chain[idx];
+        if let Some(etx) = v.end_tx {
+            if etx != snap.tx && v.end_ts.is_none() {
+                return Err(ConflictKind::UncommittedWriter);
+            }
+        }
+        if v.begin_tx != snap.tx {
+            match v.begin_ts {
+                None => return Err(ConflictKind::UncommittedWriter),
+                Some(ts) if first_committer_wins && ts > snap.ts => {
+                    return Err(ConflictKind::NewerCommit)
+                }
+                _ => {}
+            }
+        }
+        Ok(idx)
+    }
+
+    /// Supersede the newest version of `row` with `values`.
+    /// Returns the before-image on success.
+    pub fn update(
+        &mut self,
+        row: RowId,
+        values: Vec<Value>,
+        snap: Snapshot,
+        first_committer_wins: bool,
+    ) -> Result<Vec<Value>, ConflictOrError> {
+        if let Some(pk) = self.schema.primary_key {
+            let new_key = values[pk].clone();
+            if new_key.is_null() {
+                return Err(ConflictOrError::Error(SqlError::ConstraintViolation(format!(
+                    "primary key '{}' may not be NULL",
+                    self.schema.columns[pk].name
+                ))));
+            }
+            let old = self
+                .get(row, snap)
+                .ok_or_else(|| ConflictOrError::Error(SqlError::Internal("row vanished".into())))?;
+            if old[pk] != new_key && self.pk_occupied(&new_key, snap) {
+                return Err(ConflictOrError::Error(SqlError::DuplicateKey(format!(
+                    "{}={new_key}",
+                    self.schema.columns[pk].name
+                ))));
+            }
+        }
+        let idx = self
+            .writable_version(row, snap, first_committer_wins)
+            .map_err(ConflictOrError::Conflict)?;
+        let chain = self.rows.get_mut(&row).expect("row exists");
+        let before = chain[idx].values.clone();
+        chain[idx].end_tx = Some(snap.tx);
+        chain[idx].end_ts = None;
+        if let Some(pk) = self.schema.primary_key {
+            if before[pk] != values[pk] {
+                self.pk_index
+                    .entry(IndexKey(values[pk].clone()))
+                    .or_default()
+                    .push(row);
+            }
+        }
+        let chain = self.rows.get_mut(&row).expect("row exists");
+        chain.push(Version {
+            begin_tx: snap.tx,
+            begin_ts: None,
+            end_tx: None,
+            end_ts: None,
+            values,
+        });
+        Ok(before)
+    }
+
+    /// Delete the row (end its newest version). Returns the before-image.
+    pub fn delete(
+        &mut self,
+        row: RowId,
+        snap: Snapshot,
+        first_committer_wins: bool,
+    ) -> Result<Vec<Value>, ConflictOrError> {
+        let idx = self
+            .writable_version(row, snap, first_committer_wins)
+            .map_err(ConflictOrError::Conflict)?;
+        let chain = self.rows.get_mut(&row).expect("row exists");
+        let before = chain[idx].values.clone();
+        chain[idx].end_tx = Some(snap.tx);
+        chain[idx].end_ts = None;
+        Ok(before)
+    }
+
+    /// Stamp all versions written by `tx` with its commit timestamp.
+    pub fn commit_stamp(&mut self, row: RowId, tx: TxId, ts: CommitTs) {
+        if let Some(chain) = self.rows.get_mut(&row) {
+            for v in chain {
+                if v.begin_tx == tx && v.begin_ts.is_none() {
+                    v.begin_ts = Some(ts);
+                }
+                if v.end_tx == Some(tx) && v.end_ts.is_none() {
+                    v.end_ts = Some(ts);
+                }
+            }
+        }
+        if ts > self.last_commit_ts {
+            self.last_commit_ts = ts;
+        }
+    }
+
+    /// Unwind the effects of an aborted transaction on `row`.
+    pub fn abort_unwind(&mut self, row: RowId, tx: TxId) {
+        if let Some(chain) = self.rows.get_mut(&row) {
+            chain.retain(|v| !(v.begin_tx == tx && v.begin_ts.is_none()));
+            for v in chain.iter_mut() {
+                if v.end_tx == Some(tx) && v.end_ts.is_none() {
+                    v.end_tx = None;
+                }
+            }
+            if chain.is_empty() {
+                self.rows.remove(&row);
+            }
+        }
+    }
+
+    /// Drop versions no active snapshot can see (vacuum-style maintenance,
+    /// §4.4.4). Returns the number of versions reclaimed.
+    pub fn vacuum(&mut self, horizon: CommitTs) -> usize {
+        let mut reclaimed = 0;
+        let mut dead_rows = Vec::new();
+        for (id, chain) in &mut self.rows {
+            let before = chain.len();
+            chain.retain(|v| !v.garbage(horizon));
+            reclaimed += before - chain.len();
+            if chain.is_empty() {
+                dead_rows.push(*id);
+            }
+        }
+        for id in dead_rows {
+            self.rows.remove(&id);
+        }
+        // Prune index entries pointing at vanished rows.
+        let live: std::collections::HashSet<RowId> = self.rows.keys().copied().collect();
+        self.pk_index.retain(|_, ids| {
+            ids.retain(|id| live.contains(id));
+            !ids.is_empty()
+        });
+        reclaimed
+    }
+
+    /// Checksum of the *committed* state visible at `ts` — the divergence
+    /// detector replicas compare (§4.3.2).
+    pub fn checksum_into(&self, ts: CommitTs, h: &mut Fnv64) {
+        h.write_str(&self.schema.name);
+        let snap = Snapshot { ts, tx: TxId(u64::MAX) };
+        // Hash rows in a canonical order: by primary key when present, else
+        // by full row contents, so row-id allocation differences between
+        // replicas do not register as divergence.
+        let mut rows: Vec<&[Value]> = self.scan(snap).map(|(_, v)| v).collect();
+        if let Some(pk) = self.schema.primary_key {
+            rows.sort_by(|a, b| a[pk].total_cmp(&b[pk]));
+        } else {
+            rows.sort_by(|a, b| {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        h.write_u64(rows.len() as u64);
+        for row in rows {
+            for v in row {
+                v.hash_into(h);
+            }
+        }
+    }
+
+    /// All committed rows at `ts` (used by dumps and writeset application).
+    pub fn committed_rows(&self, ts: CommitTs) -> Vec<Vec<Value>> {
+        let snap = Snapshot { ts, tx: TxId(u64::MAX) };
+        self.scan(snap).map(|(_, v)| v.to_vec()).collect()
+    }
+}
+
+/// Either a concurrency conflict (retryable, engine-translated into
+/// `SqlError::WriteConflict`) or a hard error.
+#[derive(Debug)]
+pub enum ConflictOrError {
+    Conflict(ConflictKind),
+    Error(SqlError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef {
+                    name: "id".into(),
+                    data_type: DataType::Int,
+                    not_null: true,
+                    primary_key: true,
+                    auto_increment: false,
+                    default: None,
+                },
+                ColumnDef {
+                    name: "v".into(),
+                    data_type: DataType::Text,
+                    not_null: false,
+                    primary_key: false,
+                    auto_increment: false,
+                    default: None,
+                },
+            ],
+        )
+    }
+
+    fn snap(tx: u64, ts: u64) -> Snapshot {
+        Snapshot { ts: CommitTs(ts), tx: TxId(tx) }
+    }
+
+    #[test]
+    fn insert_visible_to_self_not_others() {
+        let mut t = Table::new(schema());
+        let s1 = snap(1, 0);
+        let s2 = snap(2, 0);
+        t.insert(vec![Value::Int(1), Value::Text("a".into())], s1).unwrap();
+        assert_eq!(t.scan(s1).count(), 1);
+        assert_eq!(t.scan(s2).count(), 0);
+    }
+
+    #[test]
+    fn commit_makes_row_visible_at_later_snapshots() {
+        let mut t = Table::new(schema());
+        let s1 = snap(1, 0);
+        let id = t.insert(vec![Value::Int(1), Value::Null], s1).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(5));
+        assert_eq!(t.scan(snap(2, 5)).count(), 1);
+        assert_eq!(t.scan(snap(2, 4)).count(), 0, "older snapshot must not see it");
+    }
+
+    #[test]
+    fn duplicate_pk_rejected_even_uncommitted() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        // Different transaction, same key, insert not yet committed.
+        let err = t.insert(vec![Value::Int(1), Value::Null], snap(2, 0)).unwrap_err();
+        assert!(matches!(err, SqlError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn update_conflict_on_uncommitted_writer() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(1));
+        // tx2 updates, uncommitted.
+        t.update(id, vec![Value::Int(1), Value::Text("x".into())], snap(2, 1), true)
+            .unwrap();
+        // tx3 must conflict.
+        let err = t
+            .update(id, vec![Value::Int(1), Value::Text("y".into())], snap(3, 1), true)
+            .unwrap_err();
+        assert!(matches!(err, ConflictOrError::Conflict(ConflictKind::UncommittedWriter)));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(1));
+        // tx2 (snapshot ts=1) updates and commits at ts=2.
+        t.update(id, vec![Value::Int(1), Value::Text("x".into())], snap(2, 1), true)
+            .unwrap();
+        t.commit_stamp(id, TxId(2), CommitTs(2));
+        // tx3 with old snapshot (ts=1) now conflicts under SI...
+        let err = t
+            .update(id, vec![Value::Int(1), Value::Text("y".into())], snap(3, 1), true)
+            .unwrap_err();
+        assert!(matches!(err, ConflictOrError::Conflict(ConflictKind::NewerCommit)));
+        // ...but succeeds under read committed semantics (no FCW).
+        t.update(id, vec![Value::Int(1), Value::Text("y".into())], snap(4, 2), false)
+            .unwrap();
+    }
+
+    #[test]
+    fn abort_unwinds_versions() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(1));
+        t.update(id, vec![Value::Int(1), Value::Text("x".into())], snap(2, 1), true)
+            .unwrap();
+        t.abort_unwind(id, TxId(2));
+        let visible = t.get(id, snap(3, 1)).unwrap();
+        assert_eq!(visible[1], Value::Null, "before-image restored");
+        assert_eq!(t.version_count(), 1);
+    }
+
+    #[test]
+    fn delete_and_vacuum() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(1));
+        t.delete(id, snap(2, 1), true).unwrap();
+        t.commit_stamp(id, TxId(2), CommitTs(2));
+        // Still visible at ts=1, invisible at ts=2.
+        assert!(t.get(id, snap(9, 1)).is_some());
+        assert!(t.get(id, snap(9, 2)).is_none());
+        let reclaimed = t.vacuum(CommitTs(2));
+        assert_eq!(reclaimed, 1);
+        assert_eq!(t.chain_count(), 0);
+    }
+
+    #[test]
+    fn checksum_ignores_row_id_allocation_order() {
+        let mut a = Table::new(schema());
+        let mut b = Table::new(schema());
+        let s = snap(1, 0);
+        let r1 = a.insert(vec![Value::Int(1), Value::Text("x".into())], s).unwrap();
+        let r2 = a.insert(vec![Value::Int(2), Value::Text("y".into())], s).unwrap();
+        a.commit_stamp(r1, TxId(1), CommitTs(1));
+        a.commit_stamp(r2, TxId(1), CommitTs(1));
+        // b inserts in the opposite order.
+        let r1 = b.insert(vec![Value::Int(2), Value::Text("y".into())], s).unwrap();
+        let r2 = b.insert(vec![Value::Int(1), Value::Text("x".into())], s).unwrap();
+        b.commit_stamp(r1, TxId(1), CommitTs(1));
+        b.commit_stamp(r2, TxId(1), CommitTs(1));
+        let mut ha = Fnv64::new();
+        let mut hb = Fnv64::new();
+        a.checksum_into(CommitTs(1), &mut ha);
+        b.checksum_into(CommitTs(1), &mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn pk_change_keeps_lookups_consistent() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Int(1), Value::Null], snap(1, 0)).unwrap();
+        t.commit_stamp(id, TxId(1), CommitTs(1));
+        t.update(id, vec![Value::Int(7), Value::Null], snap(2, 1), true).unwrap();
+        t.commit_stamp(id, TxId(2), CommitTs(2));
+        let s = snap(9, 2);
+        assert_eq!(t.lookup_pk(&Value::Int(7), s), Some(id));
+        assert_eq!(t.lookup_pk(&Value::Int(1), s), None);
+    }
+}

@@ -1,0 +1,472 @@
+//! End-to-end behaviour tests for the SQL engine substrate, organized by the
+//! paper section whose gap each group exercises.
+
+use replimid_sql::engine::{ConnId, Engine, EngineConfig};
+use replimid_sql::{DumpOptions, IsolationLevel, Outcome, SqlError, Value, ADMIN_PASSWORD, ADMIN_USER};
+
+fn setup() -> (Engine, ConnId) {
+    let (mut e, c) = Engine::with_database("shop");
+    e.execute(c, "CREATE TABLE acct (id INT PRIMARY KEY, bal INT NOT NULL)").unwrap();
+    e.execute(c, "INSERT INTO acct VALUES (1, 100), (2, 200)").unwrap();
+    (e, c)
+}
+
+fn q(e: &mut Engine, c: ConnId, sql: &str) -> Vec<Vec<Value>> {
+    match e.execute(c, sql).unwrap().outcome {
+        Outcome::Rows(rs) => rs.rows,
+        other => panic!("expected rows from {sql}, got {other:?}"),
+    }
+}
+
+fn scalar_int(e: &mut Engine, c: ConnId, sql: &str) -> i64 {
+    q(e, c, sql)[0][0].as_int().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Basic SQL + transactions
+// ---------------------------------------------------------------------
+
+#[test]
+fn autocommit_and_explicit_transactions() {
+    let (mut e, c) = setup();
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 100);
+
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "UPDATE acct SET bal = bal - 10 WHERE id = 1").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 90);
+    e.execute(c, "ROLLBACK").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 100);
+
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "UPDATE acct SET bal = bal - 10 WHERE id = 1").unwrap();
+    let r = e.execute(c, "COMMIT").unwrap();
+    assert!(r.commit.is_some());
+    assert_eq!(r.commit.unwrap().writeset.len(), 1);
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 90);
+}
+
+#[test]
+fn joins_aggregates_order_limit() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE owner (id INT PRIMARY KEY, acct_id INT, name TEXT)").unwrap();
+    e.execute(c, "INSERT INTO owner VALUES (1, 1, 'ann'), (2, 2, 'bob'), (3, 1, 'cat')")
+        .unwrap();
+    let rows = q(
+        &mut e,
+        c,
+        "SELECT o.name, a.bal FROM owner o JOIN acct a ON o.acct_id = a.id \
+         WHERE a.bal >= 100 ORDER BY o.name DESC LIMIT 2",
+    );
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][0], Value::Text("cat".into()));
+    assert_eq!(scalar_int(&mut e, c, "SELECT COUNT(*) FROM owner WHERE acct_id = 1"), 2);
+    assert_eq!(scalar_int(&mut e, c, "SELECT SUM(bal) FROM acct"), 300);
+    let grouped = q(
+        &mut e,
+        c,
+        "SELECT acct_id, COUNT(*) AS n FROM owner GROUP BY acct_id HAVING COUNT(*) > 1",
+    );
+    assert_eq!(grouped.len(), 1);
+    assert_eq!(grouped[0][1], Value::Int(2));
+}
+
+#[test]
+fn subqueries_correlated_and_in() {
+    let (mut e, c) = setup();
+    let rows = q(
+        &mut e,
+        c,
+        "SELECT id FROM acct WHERE bal = (SELECT MAX(bal) FROM acct)",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+    let rows = q(&mut e, c, "SELECT id FROM acct WHERE id IN (SELECT id FROM acct WHERE bal < 150)");
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+    // Correlated EXISTS.
+    e.execute(c, "CREATE TABLE flags (acct_id INT PRIMARY KEY)").unwrap();
+    e.execute(c, "INSERT INTO flags VALUES (2)").unwrap();
+    let rows = q(
+        &mut e,
+        c,
+        "SELECT id FROM acct a WHERE EXISTS (SELECT 1 FROM flags f WHERE f.acct_id = a.id)",
+    );
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+}
+
+// ---------------------------------------------------------------------
+// §4.1.2 isolation levels and error handling
+// ---------------------------------------------------------------------
+
+#[test]
+fn snapshot_isolation_repeatable_reads() {
+    let (mut e, c1) = setup();
+    let c2 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c2, "USE shop").unwrap();
+
+    e.execute(c1, "BEGIN ISOLATION LEVEL SNAPSHOT").unwrap();
+    assert_eq!(scalar_int(&mut e, c1, "SELECT bal FROM acct WHERE id = 1"), 100);
+    // Concurrent committed update.
+    e.execute(c2, "UPDATE acct SET bal = 999 WHERE id = 1").unwrap();
+    // SI: still sees the old snapshot.
+    assert_eq!(scalar_int(&mut e, c1, "SELECT bal FROM acct WHERE id = 1"), 100);
+    e.execute(c1, "COMMIT").unwrap();
+    assert_eq!(scalar_int(&mut e, c1, "SELECT bal FROM acct WHERE id = 1"), 999);
+}
+
+#[test]
+fn read_committed_sees_new_commits() {
+    let (mut e, c1) = setup();
+    let c2 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c2, "USE shop").unwrap();
+    e.execute(c1, "BEGIN ISOLATION LEVEL READ COMMITTED").unwrap();
+    assert_eq!(scalar_int(&mut e, c1, "SELECT bal FROM acct WHERE id = 1"), 100);
+    e.execute(c2, "UPDATE acct SET bal = 999 WHERE id = 1").unwrap();
+    assert_eq!(scalar_int(&mut e, c1, "SELECT bal FROM acct WHERE id = 1"), 999);
+    e.execute(c1, "COMMIT").unwrap();
+}
+
+#[test]
+fn first_committer_wins_under_si() {
+    let (mut e, c1) = setup();
+    let c2 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c2, "USE shop").unwrap();
+
+    e.execute(c1, "BEGIN ISOLATION LEVEL SNAPSHOT").unwrap();
+    e.execute(c2, "BEGIN ISOLATION LEVEL SNAPSHOT").unwrap();
+    e.execute(c1, "UPDATE acct SET bal = 1 WHERE id = 1").unwrap();
+    // c2 writes the same row -> conflict with the uncommitted writer.
+    let err = e.execute(c2, "UPDATE acct SET bal = 2 WHERE id = 1").unwrap_err();
+    assert!(matches!(err, SqlError::WriteConflict { .. }), "{err}");
+    e.execute(c1, "COMMIT").unwrap();
+}
+
+#[test]
+fn serializable_detects_read_write_conflict() {
+    let (mut e, c1) = setup();
+    let c2 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c2, "USE shop").unwrap();
+
+    e.execute(c1, "BEGIN ISOLATION LEVEL SERIALIZABLE").unwrap();
+    let _ = scalar_int(&mut e, c1, "SELECT SUM(bal) FROM acct");
+    e.execute(c2, "UPDATE acct SET bal = bal + 1 WHERE id = 2").unwrap();
+    // Write something so the commit matters, then commit must fail
+    // validation: a table we read changed after our snapshot.
+    e.execute(c1, "INSERT INTO acct VALUES (3, 1)").unwrap();
+    let err = e.execute(c1, "COMMIT").unwrap_err();
+    assert!(matches!(err, SqlError::SerializationFailure(_)), "{err}");
+    // Transaction is gone; the insert is not visible.
+    assert_eq!(scalar_int(&mut e, c1, "SELECT COUNT(*) FROM acct"), 2);
+}
+
+#[test]
+fn postgres_mode_poisons_transaction_mysql_mode_continues() {
+    // PostgreSQL-style engine (default).
+    let (mut e, c) = setup();
+    e.execute(c, "BEGIN").unwrap();
+    assert!(e.execute(c, "INSERT INTO acct VALUES (1, 5)").is_err()); // dup key
+    let err = e.execute(c, "SELECT COUNT(*) FROM acct").unwrap_err();
+    assert!(matches!(err, SqlError::TransactionState(_)));
+    e.execute(c, "ROLLBACK").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT COUNT(*) FROM acct"), 2);
+
+    // MySQL-style engine keeps the transaction usable after the error.
+    let mut e = Engine::new(EngineConfig::mysqlish("my", 1));
+    let c = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c, "CREATE DATABASE shop").unwrap();
+    e.execute(c, "USE shop").unwrap();
+    e.execute(c, "CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "INSERT INTO t VALUES (1)").unwrap();
+    assert!(e.execute(c, "INSERT INTO t VALUES (1)").is_err());
+    // Still usable: the paper notes MySQL continues until the client acts.
+    e.execute(c, "INSERT INTO t VALUES (2)").unwrap();
+    e.execute(c, "COMMIT").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT COUNT(*) FROM t"), 2);
+}
+
+#[test]
+fn engines_without_si_reject_it() {
+    let mut e = Engine::new(EngineConfig::sybasish("syb", 1));
+    let c = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    let err = e.execute(c, "BEGIN ISOLATION LEVEL SNAPSHOT").unwrap_err();
+    assert!(matches!(err, SqlError::Unsupported(_)));
+}
+
+// ---------------------------------------------------------------------
+// §4.1.1 multi-database + cross-database triggers
+// ---------------------------------------------------------------------
+
+#[test]
+fn cross_database_trigger_reporting() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE DATABASE reportdb").unwrap();
+    e.execute(c, "CREATE TABLE reportdb.audit (acct_id INT, delta INT)").unwrap();
+    e.execute(
+        c,
+        "CREATE TRIGGER log_ins AFTER INSERT ON acct DO BEGIN \
+         INSERT INTO reportdb.audit (acct_id, delta) VALUES (NEW.id, NEW.bal); END",
+    )
+    .unwrap();
+    e.execute(c, "INSERT INTO acct VALUES (7, 70)").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT COUNT(*) FROM reportdb.audit"), 1);
+    let rows = q(&mut e, c, "SELECT acct_id, delta FROM reportdb.audit");
+    assert_eq!(rows[0], vec![Value::Int(7), Value::Int(70)]);
+
+    // Trigger writes are part of the same transaction: rollback undoes both.
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "INSERT INTO acct VALUES (8, 80)").unwrap();
+    e.execute(c, "ROLLBACK").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT COUNT(*) FROM reportdb.audit"), 1);
+    // ...and the writeset of a committed transaction spans both databases.
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "INSERT INTO acct VALUES (9, 90)").unwrap();
+    let commit = e.execute(c, "COMMIT").unwrap().commit.unwrap();
+    let tables = commit.writeset.tables();
+    assert!(tables.contains(&("shop".into(), "acct".into())));
+    assert!(tables.contains(&("reportdb".into(), "audit".into())));
+}
+
+// ---------------------------------------------------------------------
+// §4.1.4 temporary tables
+// ---------------------------------------------------------------------
+
+#[test]
+fn temp_tables_are_connection_local_and_unreplicated() {
+    let (mut e, c1) = setup();
+    let c2 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c2, "USE shop").unwrap();
+
+    e.execute(c1, "CREATE TEMPORARY TABLE scratch (k INT PRIMARY KEY, v INT)").unwrap();
+    let r = e.execute(c1, "INSERT INTO scratch VALUES (1, 10)").unwrap();
+    // Not in the writeset: temp tables must not replicate.
+    assert!(r.commit.unwrap().writeset.is_empty());
+    assert_eq!(scalar_int(&mut e, c1, "SELECT v FROM scratch WHERE k = 1"), 10);
+    // Invisible to the other connection.
+    assert!(e.execute(c2, "SELECT * FROM scratch").is_err());
+    // Dumps never contain temp tables.
+    let dump = e.dump(DumpOptions::full());
+    assert!(dump
+        .databases
+        .iter()
+        .all(|d| d.tables.iter().all(|t| t.name != "scratch")));
+    // Dropped on disconnect.
+    e.disconnect(c1);
+    let c3 = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c3, "USE shop").unwrap();
+    assert!(e.execute(c3, "SELECT * FROM scratch").is_err());
+}
+
+#[test]
+fn sybase_flavour_rejects_temp_table_in_transaction() {
+    let mut e = Engine::new(EngineConfig::sybasish("syb", 1));
+    let c = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c, "CREATE DATABASE d").unwrap();
+    e.execute(c, "USE d").unwrap();
+    e.execute(c, "BEGIN").unwrap();
+    let err = e.execute(c, "CREATE TEMPORARY TABLE s (k INT)").unwrap_err();
+    assert!(matches!(err, SqlError::Unsupported(_)));
+    e.execute(c, "ROLLBACK").unwrap();
+    // Fine outside a transaction.
+    e.execute(c, "CREATE TEMPORARY TABLE s (k INT)").unwrap();
+}
+
+// ---------------------------------------------------------------------
+// §4.2.3 sequences and auto-increment
+// ---------------------------------------------------------------------
+
+#[test]
+fn sequences_are_not_transactional() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE SEQUENCE ids START 100").unwrap();
+    e.execute(c, "BEGIN").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT nextval('ids')"), 100);
+    e.execute(c, "ROLLBACK").unwrap();
+    // The rollback did NOT give 100 back: a hole.
+    assert_eq!(scalar_int(&mut e, c, "SELECT nextval('ids')"), 101);
+}
+
+#[test]
+fn auto_increment_survives_rollback() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)").unwrap();
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "INSERT INTO t (v) VALUES ('a')").unwrap();
+    e.execute(c, "ROLLBACK").unwrap();
+    e.execute(c, "INSERT INTO t (v) VALUES ('b')").unwrap();
+    // id 1 was burned by the rolled-back insert.
+    let rows = q(&mut e, c, "SELECT id FROM t");
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+}
+
+// ---------------------------------------------------------------------
+// §4.2.1 stored procedures
+// ---------------------------------------------------------------------
+
+#[test]
+fn stored_procedures_execute_with_params() {
+    let (mut e, c) = setup();
+    e.execute(
+        c,
+        "CREATE PROCEDURE transfer(src, dst, amount) AS BEGIN \
+         UPDATE acct SET bal = bal - amount WHERE id = src; \
+         UPDATE acct SET bal = bal + amount WHERE id = dst; END",
+    )
+    .unwrap();
+    e.execute(c, "CALL transfer(1, 2, 30)").unwrap();
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 70);
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 2"), 230);
+    // Arity is checked.
+    assert!(matches!(
+        e.execute(c, "CALL transfer(1, 2)").unwrap_err(),
+        SqlError::Arity { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------
+// §4.1.5 access control and backup completeness
+// ---------------------------------------------------------------------
+
+#[test]
+fn grants_enforced_and_lost_by_default_dump() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE USER app PASSWORD 'pw'").unwrap();
+    e.execute(c, "GRANT READ ON shop TO app").unwrap();
+    let app = e.connect("app", "pw").unwrap();
+    e.execute(app, "USE shop").unwrap();
+    assert_eq!(scalar_int(&mut e, app, "SELECT COUNT(*) FROM acct"), 2);
+    assert!(matches!(
+        e.execute(app, "UPDATE acct SET bal = 0 WHERE id = 1").unwrap_err(),
+        SqlError::AccessDenied(_)
+    ));
+
+    // Clone the engine from a *default* dump: principals are lost (§4.1.5).
+    let dump = e.dump(DumpOptions::default());
+    let mut clone = Engine::new(EngineConfig::default());
+    clone.restore(&dump).unwrap();
+    assert!(clone.connect("app", "pw").is_err(), "clone lost the app user");
+
+    // A full dump preserves them.
+    let dump = e.dump(DumpOptions::full());
+    let mut clone = Engine::new(EngineConfig::default());
+    clone.restore(&dump).unwrap();
+    assert!(clone.connect("app", "pw").is_ok());
+    assert_eq!(clone.checksum_data(), e.checksum_data(), "data identical either way");
+}
+
+// ---------------------------------------------------------------------
+// Writesets (§4.3.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn writeset_application_replicates_data_but_not_counters() {
+    let (mut src, c) = setup();
+    src.execute(c, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)").unwrap();
+
+    // A destination replica with identical schema.
+    let (mut dst, d) = Engine::with_database("shop");
+    dst.execute(d, "CREATE TABLE acct (id INT PRIMARY KEY, bal INT NOT NULL)").unwrap();
+    dst.execute(d, "INSERT INTO acct VALUES (1, 100), (2, 200)").unwrap();
+    dst.execute(d, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)").unwrap();
+
+    let ws = src
+        .execute(c, "INSERT INTO t (v) VALUES ('x')")
+        .unwrap()
+        .commit
+        .unwrap()
+        .writeset;
+    dst.apply_writeset(&ws).unwrap();
+    // Data matches...
+    assert_eq!(
+        src.checksum_data(),
+        dst.checksum_data(),
+        "row data replicated by writeset"
+    );
+    // ...but the auto-increment counter did NOT move on dst (the gap): the
+    // full checksum (which covers counters) already disagrees...
+    assert_ne!(src.checksum_full(), dst.checksum_full(), "counter skew detected");
+    // ...and a local insert on dst collides with the replicated row.
+    let err = dst.execute(d, "INSERT INTO t (v) VALUES ('y')").unwrap_err();
+    assert!(matches!(err, SqlError::DuplicateKey(_)), "{err}");
+}
+
+#[test]
+fn counter_sync_extension_closes_the_gap() {
+    let mut cfg = EngineConfig { capture_counters: true, ..Default::default() };
+    cfg.name = "src".into();
+    let mut src = Engine::new(cfg);
+    let c = src.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    src.execute(c, "CREATE DATABASE shop").unwrap();
+    src.execute(c, "USE shop").unwrap();
+    src.execute(c, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)").unwrap();
+
+    let mut dst = Engine::new(EngineConfig {
+        apply_counter_sync: true,
+        name: "dst".into(),
+        ..Default::default()
+    });
+    let d = dst.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    dst.execute(d, "CREATE DATABASE shop").unwrap();
+    dst.execute(d, "USE shop").unwrap();
+    dst.execute(d, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v TEXT)").unwrap();
+
+    let ws = src
+        .execute(c, "INSERT INTO t (v) VALUES ('x')")
+        .unwrap()
+        .commit
+        .unwrap()
+        .writeset;
+    assert!(ws.counters.is_some());
+    dst.apply_writeset(&ws).unwrap();
+    // The local insert now gets a fresh id: no collision.
+    dst.execute(d, "INSERT INTO t (v) VALUES ('y')").unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Binlog + statement shipping
+// ---------------------------------------------------------------------
+
+#[test]
+fn binlog_replays_to_an_identical_replica() {
+    let (mut master, c) = setup();
+    master.execute(c, "CREATE SEQUENCE ids START 1").unwrap();
+    master.execute(c, "UPDATE acct SET bal = bal + 5 WHERE id = 1").unwrap();
+    master.execute(c, "BEGIN").unwrap();
+    master.execute(c, "INSERT INTO acct VALUES (3, 300)").unwrap();
+    master.execute(c, "DELETE FROM acct WHERE id = 2").unwrap();
+    master.execute(c, "COMMIT").unwrap();
+
+    // Replay the statement stream on a fresh slave.
+    let mut slave = Engine::new(EngineConfig::default());
+    let s = slave.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    for entry in master.binlog_after(replimid_sql::Lsn(0)).unwrap() {
+        if let Some(db) = &entry.default_db {
+            slave.execute(s, &format!("USE {db}")).unwrap();
+        }
+        for stmt in &entry.statements {
+            slave.execute(s, stmt).unwrap();
+        }
+    }
+    assert_eq!(master.checksum_data(), slave.checksum_data());
+}
+
+#[test]
+fn vacuum_reclaims_dead_versions() {
+    let (mut e, c) = setup();
+    for _ in 0..10 {
+        e.execute(c, "UPDATE acct SET bal = bal + 1 WHERE id = 1").unwrap();
+    }
+    let reclaimed = e.vacuum();
+    assert!(reclaimed >= 9, "reclaimed {reclaimed}");
+    assert_eq!(scalar_int(&mut e, c, "SELECT bal FROM acct WHERE id = 1"), 110);
+}
+
+#[test]
+fn tainted_statements_flagged() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE t (id INT PRIMARY KEY, ts TIMESTAMP, x FLOAT)").unwrap();
+    let r = e.execute(c, "INSERT INTO t VALUES (1, now(), 0.0)").unwrap();
+    assert!(r.tainted);
+    let r = e.execute(c, "UPDATE t SET x = rand() WHERE id = 1").unwrap();
+    assert!(r.tainted);
+    let r = e.execute(c, "SELECT * FROM t").unwrap();
+    assert!(!r.tainted);
+}

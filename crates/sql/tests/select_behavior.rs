@@ -1,0 +1,156 @@
+//! SELECT pipeline behaviour: aggregates, grouping, ordering, limits,
+//! joins, and edge cases.
+
+use replimid_sql::{Engine, Outcome, Value};
+
+fn setup() -> (Engine, replimid_sql::ConnId) {
+    let (mut e, c) = Engine::with_database("d");
+    e.execute(c, "CREATE TABLE t (k INT PRIMARY KEY, grp TEXT, v INT)").unwrap();
+    e.execute(
+        c,
+        "INSERT INTO t VALUES (1, 'a', 10), (2, 'a', 20), (3, 'b', 30), (4, 'b', 40), (5, 'c', NULL)",
+    )
+    .unwrap();
+    (e, c)
+}
+
+fn rows(e: &mut Engine, c: replimid_sql::ConnId, sql: &str) -> Vec<Vec<Value>> {
+    match e.execute(c, sql).unwrap().outcome {
+        Outcome::Rows(rs) => rs.rows,
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_over_empty_table() {
+    let (mut e, c) = Engine::with_database("d");
+    e.execute(c, "CREATE TABLE empty (k INT PRIMARY KEY)").unwrap();
+    let r = rows(&mut e, c, "SELECT COUNT(*), MIN(k), MAX(k), SUM(k) FROM empty");
+    assert_eq!(r, vec![vec![Value::Int(0), Value::Null, Value::Null, Value::Null]]);
+}
+
+#[test]
+fn count_ignores_nulls_count_star_does_not() {
+    let (mut e, c) = setup();
+    let r = rows(&mut e, c, "SELECT COUNT(*), COUNT(v) FROM t");
+    assert_eq!(r[0], vec![Value::Int(5), Value::Int(4)]);
+}
+
+#[test]
+fn group_by_with_having_and_order() {
+    let (mut e, c) = setup();
+    let r = rows(
+        &mut e,
+        c,
+        "SELECT grp, SUM(v) AS total FROM t GROUP BY grp HAVING COUNT(v) > 1 ORDER BY total DESC",
+    );
+    assert_eq!(r.len(), 2);
+    assert_eq!(r[0], vec![Value::Text("b".into()), Value::Int(70)]);
+    assert_eq!(r[1], vec![Value::Text("a".into()), Value::Int(30)]);
+}
+
+#[test]
+fn avg_is_float() {
+    let (mut e, c) = setup();
+    let r = rows(&mut e, c, "SELECT AVG(v) FROM t WHERE grp = 'a'");
+    assert_eq!(r[0][0], Value::Float(15.0));
+}
+
+#[test]
+fn order_by_alias_and_expression() {
+    let (mut e, c) = setup();
+    let r = rows(&mut e, c, "SELECT k, v * 2 AS dbl FROM t WHERE v IS NOT NULL ORDER BY dbl DESC LIMIT 2");
+    assert_eq!(r[0][0], Value::Int(4));
+    assert_eq!(r[1][0], Value::Int(3));
+}
+
+#[test]
+fn limit_offset_pagination() {
+    let (mut e, c) = setup();
+    let page1 = rows(&mut e, c, "SELECT k FROM t ORDER BY k LIMIT 2");
+    let page2 = rows(&mut e, c, "SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 2");
+    let page3 = rows(&mut e, c, "SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 4");
+    assert_eq!(page1, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    assert_eq!(page2, vec![vec![Value::Int(3)], vec![Value::Int(4)]]);
+    assert_eq!(page3, vec![vec![Value::Int(5)]]);
+    let empty = rows(&mut e, c, "SELECT k FROM t ORDER BY k LIMIT 2 OFFSET 99");
+    assert!(empty.is_empty());
+}
+
+#[test]
+fn join_with_aliases_and_projection_order() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE names (grp TEXT, label TEXT)").unwrap();
+    e.execute(c, "INSERT INTO names VALUES ('a', 'alpha'), ('b', 'beta')").unwrap();
+    let r = rows(
+        &mut e,
+        c,
+        "SELECT n.label, x.k FROM t x JOIN names n ON x.grp = n.grp WHERE x.v > 15 ORDER BY x.k",
+    );
+    assert_eq!(r.len(), 3);
+    assert_eq!(r[0], vec![Value::Text("alpha".into()), Value::Int(2)]);
+    assert_eq!(r[2], vec![Value::Text("beta".into()), Value::Int(4)]);
+}
+
+#[test]
+fn wildcard_expands_join_columns() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE u (id INT PRIMARY KEY, note TEXT)").unwrap();
+    e.execute(c, "INSERT INTO u VALUES (1, 'x')").unwrap();
+    let r = rows(&mut e, c, "SELECT * FROM u JOIN t ON u.id = t.k");
+    assert_eq!(r.len(), 1);
+    assert_eq!(r[0].len(), 2 + 3, "both tables' columns");
+}
+
+#[test]
+fn select_without_from() {
+    let (mut e, c) = setup();
+    let r = rows(&mut e, c, "SELECT 1 + 2, upper('ab')");
+    assert_eq!(r, vec![vec![Value::Int(3), Value::Text("AB".into())]]);
+}
+
+#[test]
+fn nulls_sort_first_ascending() {
+    let (mut e, c) = setup();
+    let r = rows(&mut e, c, "SELECT k FROM t ORDER BY v, k");
+    assert_eq!(r[0][0], Value::Int(5), "NULL v sorts first");
+}
+
+#[test]
+fn where_null_comparison_filters_out() {
+    let (mut e, c) = setup();
+    // v = NULL is UNKNOWN, never true.
+    let r = rows(&mut e, c, "SELECT k FROM t WHERE v = NULL");
+    assert!(r.is_empty());
+    let r = rows(&mut e, c, "SELECT k FROM t WHERE v IS NULL");
+    assert_eq!(r, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn insert_from_select() {
+    let (mut e, c) = setup();
+    e.execute(c, "CREATE TABLE archive (k INT PRIMARY KEY, grp TEXT, v INT)").unwrap();
+    let r = e
+        .execute(c, "INSERT INTO archive SELECT k, grp, v FROM t WHERE v >= 30")
+        .unwrap();
+    assert_eq!(r.outcome.affected(), 2);
+    let n = rows(&mut e, c, "SELECT COUNT(*) FROM archive");
+    assert_eq!(n[0][0], Value::Int(2));
+}
+
+#[test]
+fn scalar_subquery_multi_row_errors() {
+    let (mut e, c) = setup();
+    let err = e
+        .execute(c, "SELECT (SELECT k FROM t) FROM t")
+        .unwrap_err();
+    assert!(err.to_string().contains("scalar subquery"), "{err}");
+}
+
+#[test]
+fn update_with_expression_over_old_values() {
+    let (mut e, c) = setup();
+    e.execute(c, "UPDATE t SET v = v + k WHERE v IS NOT NULL").unwrap();
+    let r = rows(&mut e, c, "SELECT v FROM t WHERE k = 2");
+    assert_eq!(r[0][0], Value::Int(22));
+}

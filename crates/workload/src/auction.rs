@@ -1,0 +1,122 @@
+//! A RUBiS-flavoured auction mix (the paper's other §3.4 staple): browsing
+//! item listings and bidding. Bids contend on *hot items* — the natural
+//! conflict generator for certification-abort experiments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use replimid_core::TxSource;
+
+pub fn schema(db: &str, items: usize) -> Vec<String> {
+    let mut out = vec![
+        format!("CREATE DATABASE {db}"),
+        format!("USE {db}"),
+        "CREATE TABLE auctions (id INT PRIMARY KEY, seller INT NOT NULL, high_bid INT NOT NULL, bids INT NOT NULL)"
+            .to_string(),
+        "CREATE TABLE bids (id INT PRIMARY KEY, auction_id INT NOT NULL, bidder INT NOT NULL, amount INT NOT NULL)"
+            .to_string(),
+    ];
+    for chunk in (0..items).collect::<Vec<_>>().chunks(50) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, {}, 10, 0)", i % 17))
+            .collect();
+        out.push(format!("INSERT INTO auctions VALUES {}", values.join(", ")));
+    }
+    out
+}
+
+pub struct Auction {
+    pub items: i64,
+    /// Fraction of bids aimed at the hottest `hot_items`.
+    pub hot_items: i64,
+    pub hot_fraction: f64,
+    /// Probability a transaction is a bid (write); the rest browse.
+    pub bid_fraction: f64,
+    bidder: i64,
+    next_bid: i64,
+}
+
+impl Auction {
+    pub fn new(items: i64, bid_fraction: f64, bidder: u64) -> Self {
+        Auction {
+            items,
+            hot_items: (items / 20).max(1),
+            hot_fraction: 0.5,
+            bid_fraction,
+            bidder: bidder as i64,
+            next_bid: (bidder as i64) * 10_000_000,
+        }
+    }
+}
+
+impl TxSource for Auction {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let item = if rng.gen::<f64>() < self.hot_fraction {
+            rng.gen_range(0..self.hot_items)
+        } else {
+            rng.gen_range(0..self.items)
+        };
+        if rng.gen::<f64>() < self.bid_fraction {
+            let bid_id = self.next_bid;
+            self.next_bid += 1;
+            let amount = rng.gen_range(11..10_000);
+            vec![
+                "BEGIN ISOLATION LEVEL SNAPSHOT".to_string(),
+                format!("SELECT high_bid FROM auctions WHERE id = {item}"),
+                format!(
+                    "UPDATE auctions SET high_bid = {amount}, bids = bids + 1 WHERE id = {item} AND high_bid < {amount}"
+                ),
+                format!(
+                    "INSERT INTO bids (id, auction_id, bidder, amount) VALUES ({bid_id}, {item}, {}, {amount})",
+                    self.bidder
+                ),
+                "COMMIT".to_string(),
+            ]
+        } else {
+            match rng.gen_range(0..2) {
+                0 => vec![format!(
+                    "SELECT id, high_bid, bids FROM auctions WHERE id = {item}"
+                )],
+                _ => vec![format!(
+                    "SELECT COUNT(*) FROM bids WHERE auction_id = {item}"
+                )],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bids_are_transactions_browses_are_not() {
+        let mut a = Auction::new(100, 1.0, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(a.next_tx(&mut rng).len(), 5);
+        let mut b = Auction::new(100, 0.0, 7);
+        assert_eq!(b.next_tx(&mut rng).len(), 1);
+    }
+
+    #[test]
+    fn hot_items_receive_disproportionate_bids() {
+        let mut a = Auction::new(1000, 1.0, 7);
+        let mut rng = StdRng::seed_from_u64(9);
+        let hot = (0..500)
+            .filter(|_| {
+                let tx = a.next_tx(&mut rng);
+                // Parse "WHERE id = {item}" from the read.
+                let item: i64 = tx[1]
+                    .rsplit('=')
+                    .next()
+                    .unwrap()
+                    .trim()
+                    .parse()
+                    .unwrap();
+                item < a.hot_items
+            })
+            .count();
+        assert!(hot > 200, "hot bids {hot}");
+    }
+}

@@ -1,0 +1,45 @@
+//! The §4.4.5 worst case: "a sequential batch update script will usually
+//! run much slower on a replicated database than on a single-instance
+//! database." One client, zero think time, strictly serial sub-millisecond
+//! updates — pure latency exposure.
+
+use rand::rngs::StdRng;
+use replimid_core::TxSource;
+
+/// Updates keys 0..n strictly in order, one statement per transaction, then
+/// stops (pair with `tx_limit = n`).
+pub struct BatchUpdate {
+    pub keys: i64,
+    cursor: i64,
+}
+
+impl BatchUpdate {
+    pub fn new(keys: i64) -> Self {
+        BatchUpdate { keys, cursor: 0 }
+    }
+}
+
+impl TxSource for BatchUpdate {
+    fn next_tx(&mut self, _rng: &mut StdRng) -> Vec<String> {
+        let k = self.cursor % self.keys.max(1);
+        self.cursor += 1;
+        vec![format!("UPDATE bench SET v = v + 1 WHERE k = {k}")]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strictly_sequential() {
+        let mut b = BatchUpdate::new(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let keys: Vec<String> = (0..4).map(|_| b.next_tx(&mut rng)[0].clone()).collect();
+        assert!(keys[0].ends_with("k = 0"));
+        assert!(keys[1].ends_with("k = 1"));
+        assert!(keys[2].ends_with("k = 2"));
+        assert!(keys[3].ends_with("k = 0"));
+    }
+}

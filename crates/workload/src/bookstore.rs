@@ -1,0 +1,119 @@
+//! A TPC-W-flavoured bookstore mix: catalog browsing, cart updates, and
+//! order placement. Research prototypes evaluated on TPC-W are the paper's
+//! §3.4 norm; this generator reproduces the shape (browse-heavy, orders
+//! write several tables in one transaction).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use replimid_core::TxSource;
+
+pub fn schema(db: &str, books: usize, customers: usize) -> Vec<String> {
+    let mut out = vec![
+        format!("CREATE DATABASE {db}"),
+        format!("USE {db}"),
+        "CREATE TABLE books (id INT PRIMARY KEY, title TEXT, stock INT NOT NULL, price INT NOT NULL)"
+            .to_string(),
+        "CREATE TABLE customers (id INT PRIMARY KEY, name TEXT, orders INT NOT NULL)".to_string(),
+        "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT NOT NULL, book_id INT NOT NULL, qty INT NOT NULL, at TIMESTAMP)"
+            .to_string(),
+    ];
+    for chunk in (0..books).collect::<Vec<_>>().chunks(50) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|b| format!("({b}, 'book-{b}', 1000, {})", 5 + b % 95))
+            .collect();
+        out.push(format!("INSERT INTO books VALUES {}", values.join(", ")));
+    }
+    for chunk in (0..customers).collect::<Vec<_>>().chunks(50) {
+        let values: Vec<String> =
+            chunk.iter().map(|c| format!("({c}, 'cust-{c}', 0)")).collect();
+        out.push(format!("INSERT INTO customers VALUES {}", values.join(", ")));
+    }
+    out
+}
+
+/// TPC-W-ish interaction weights.
+#[derive(Debug, Clone, Copy)]
+pub struct BookstoreMix {
+    /// Probability of an order (the write transaction); the rest browse.
+    pub buy_fraction: f64,
+}
+
+pub struct Bookstore {
+    pub books: i64,
+    pub customers: i64,
+    pub mix: BookstoreMix,
+    next_order: i64,
+}
+
+impl Bookstore {
+    pub fn new(books: i64, customers: i64, buy_fraction: f64, shopper: u64) -> Self {
+        Bookstore {
+            books,
+            customers,
+            mix: BookstoreMix { buy_fraction },
+            next_order: (shopper as i64) * 10_000_000,
+        }
+    }
+}
+
+impl TxSource for Bookstore {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let book = rng.gen_range(0..self.books);
+        if rng.gen::<f64>() < self.mix.buy_fraction {
+            let customer = rng.gen_range(0..self.customers);
+            let order = self.next_order;
+            self.next_order += 1;
+            let qty = rng.gen_range(1..4);
+            vec![
+                "BEGIN ISOLATION LEVEL SNAPSHOT".to_string(),
+                format!("SELECT stock, price FROM books WHERE id = {book}"),
+                format!("UPDATE books SET stock = stock - {qty} WHERE id = {book}"),
+                format!(
+                    "INSERT INTO orders (id, customer_id, book_id, qty, at) VALUES ({order}, {customer}, {book}, {qty}, now())"
+                ),
+                format!("UPDATE customers SET orders = orders + 1 WHERE id = {customer}"),
+                "COMMIT".to_string(),
+            ]
+        } else {
+            match rng.gen_range(0..3) {
+                0 => vec![format!("SELECT title, price FROM books WHERE id = {book}")],
+                1 => vec![format!(
+                    "SELECT id, title FROM books WHERE price <= {} ORDER BY price LIMIT 10",
+                    10 + book % 90
+                )],
+                _ => vec![format!(
+                    "SELECT COUNT(*) FROM orders WHERE book_id = {book}"
+                )],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn orders_touch_three_tables() {
+        let mut b = Bookstore::new(100, 50, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tx = b.next_tx(&mut rng);
+        assert_eq!(tx.len(), 6);
+        assert!(tx[2].starts_with("UPDATE books"));
+        assert!(tx[3].starts_with("INSERT INTO orders"));
+        assert!(tx[4].starts_with("UPDATE customers"));
+    }
+
+    #[test]
+    fn browse_is_read_only() {
+        let mut b = Bookstore::new(100, 50, 0.0, 3);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let tx = b.next_tx(&mut rng);
+            assert_eq!(tx.len(), 1);
+            assert!(tx[0].starts_with("SELECT"));
+        }
+    }
+}

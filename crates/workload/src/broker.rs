@@ -1,0 +1,111 @@
+//! The paper's introductory case study: a travel-ticket brokering system at
+//! a Fortune-500 customer — "95% of transactions were read-only. Still, the
+//! 5% write workload resulted in thousands of update requests per second."
+//!
+//! Agents search availability (reads over flights/hotels) and occasionally
+//! book (a read-check then an update + insert transaction).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use replimid_core::TxSource;
+
+/// Inventory schema: flights with seat counts, bookings ledger.
+pub fn schema(db: &str, flights: usize) -> Vec<String> {
+    let mut out = vec![
+        format!("CREATE DATABASE {db}"),
+        format!("USE {db}"),
+        "CREATE TABLE flights (id INT PRIMARY KEY, route TEXT, seats INT NOT NULL, price INT NOT NULL)"
+            .to_string(),
+        "CREATE TABLE bookings (id INT PRIMARY KEY, flight_id INT NOT NULL, agent INT NOT NULL, at TIMESTAMP)"
+            .to_string(),
+        "CREATE SEQUENCE booking_ids START 1".to_string(),
+    ];
+    for chunk in (0..flights).collect::<Vec<_>>().chunks(50) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|f| format!("({f}, 'r{}', 200, {})", f % 37, 50 + (f % 400)))
+            .collect();
+        out.push(format!("INSERT INTO flights VALUES {}", values.join(", ")));
+    }
+    out
+}
+
+/// One travel agent: searches (reads) with probability `1 - write_fraction`,
+/// books otherwise. Bookings allocate ids from a shared counter per agent
+/// (disjoint ranges: real agencies do not collide on booking numbers).
+pub struct Broker {
+    pub flights: i64,
+    /// Paper default: 0.05.
+    pub write_fraction: f64,
+    next_booking: i64,
+}
+
+impl Broker {
+    /// `agent` selects a disjoint booking-id range.
+    pub fn new(flights: i64, write_fraction: f64, agent: u64) -> Self {
+        Broker {
+            flights,
+            write_fraction,
+            next_booking: (agent as i64) * 10_000_000,
+        }
+    }
+}
+
+impl TxSource for Broker {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let flight = rng.gen_range(0..self.flights);
+        if rng.gen::<f64>() < self.write_fraction {
+            // A booking: check availability, take a seat, record the sale.
+            let booking = self.next_booking;
+            self.next_booking += 1;
+            let agent = booking / 10_000_000;
+            vec![
+                "BEGIN ISOLATION LEVEL SNAPSHOT".to_string(),
+                format!("SELECT seats FROM flights WHERE id = {flight}"),
+                format!("UPDATE flights SET seats = seats - 1 WHERE id = {flight} AND seats > 0"),
+                format!(
+                    "INSERT INTO bookings (id, flight_id, agent, at) VALUES ({booking}, {flight}, {agent}, now())"
+                ),
+                "COMMIT".to_string(),
+            ]
+        } else {
+            // A search: availability across a route bucket + price check.
+            let route = flight % 37;
+            vec![format!(
+                "SELECT id, seats, price FROM flights WHERE route = 'r{route}' AND seats > 0 ORDER BY price LIMIT 5"
+            )]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_is_mostly_reads() {
+        let mut b = Broker::new(100, 0.05, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let writes = (0..1000).filter(|_| b.next_tx(&mut rng).len() > 1).count();
+        assert!((20..90).contains(&writes), "writes {writes}");
+    }
+
+    #[test]
+    fn booking_ids_are_disjoint_across_agents() {
+        let mut a = Broker::new(10, 1.0, 1);
+        let mut b = Broker::new(10, 1.0, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ta = a.next_tx(&mut rng);
+        let tb = b.next_tx(&mut rng);
+        assert!(ta[3].contains("(10000000,"));
+        assert!(tb[3].contains("(20000000,"));
+    }
+
+    #[test]
+    fn schema_builds() {
+        let s = schema("broker", 120);
+        assert!(s.iter().any(|x| x.contains("CREATE SEQUENCE")));
+        assert_eq!(s.iter().filter(|x| x.starts_with("INSERT")).count(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Fault schedules (§5.1: benchmarks "could integrate fault injection").
+//!
+//! The paper's field observation (§2.2): "on average, one fatal failure
+//! (software or hardware) occurs per day per 200 processors". A schedule
+//! draws exponential inter-failure times at a configurable multiple of that
+//! rate (virtual hours are cheap) and pairs each crash with a repair delay.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use replimid_simnet::{dur, SimTime};
+
+/// One planned fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Which node (index into the caller's node list).
+    pub node: usize,
+    pub crash_at: SimTime,
+    pub restart_at: SimTime,
+}
+
+/// The paper's observed base rate: 1 failure / day / 200 processors,
+/// i.e. per-node MTTF of 200 days, expressed in microseconds.
+pub const PAPER_MTTF_US_PER_NODE: f64 = 200.0 * 86_400.0 * 1e6;
+
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    pub faults: Vec<Fault>,
+}
+
+impl FaultSchedule {
+    /// Draw a Poisson fault process over `nodes` nodes for `horizon_us` of
+    /// virtual time. `accel` multiplies the paper's base failure rate
+    /// (virtual campaigns compress months into simulated minutes).
+    /// `mttr_us` is the mean repair time (exponential).
+    pub fn poisson(
+        rng: &mut StdRng,
+        nodes: usize,
+        horizon_us: u64,
+        accel: f64,
+        mttr_us: u64,
+    ) -> Self {
+        let mut faults = Vec::new();
+        let per_node_rate = accel / PAPER_MTTF_US_PER_NODE; // failures per µs
+        for node in 0..nodes {
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival.
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                t += -u.ln() / per_node_rate;
+                if t >= horizon_us as f64 {
+                    break;
+                }
+                let crash_at = SimTime(t as u64);
+                let ru: f64 = rng.gen::<f64>().max(1e-12);
+                let repair = (-ru.ln() * mttr_us as f64) as u64;
+                let restart_at = crash_at + repair.max(dur::millis(50));
+                faults.push(Fault { node, crash_at, restart_at });
+                t = restart_at.micros() as f64;
+            }
+        }
+        faults.sort_by_key(|f| f.crash_at);
+        FaultSchedule { faults }
+    }
+
+    /// A single planned crash/restart (the building block of targeted
+    /// failover experiments).
+    pub fn single(node: usize, crash_at: SimTime, down_for_us: u64) -> Self {
+        FaultSchedule {
+            faults: vec![Fault { node, crash_at, restart_at: crash_at + down_for_us }],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_rate_reproduces_one_per_day_per_200() {
+        let mut rng = StdRng::seed_from_u64(10);
+        // 200 nodes for one simulated day at the paper's base rate.
+        let s = FaultSchedule::poisson(&mut rng, 200, dur::hours(24), 1.0, dur::minutes(10));
+        // Expected ~1 failure; accept a wide Poisson band.
+        assert!(s.len() <= 6, "got {}", s.len());
+    }
+
+    #[test]
+    fn acceleration_scales_counts() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let slow = FaultSchedule::poisson(&mut rng, 10, dur::hours(1), 100.0, dur::minutes(1));
+        let mut rng = StdRng::seed_from_u64(11);
+        let fast = FaultSchedule::poisson(&mut rng, 10, dur::hours(1), 10_000.0, dur::minutes(1));
+        assert!(fast.len() > slow.len() * 10, "{} vs {}", fast.len(), slow.len());
+    }
+
+    #[test]
+    fn restarts_follow_crashes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = FaultSchedule::poisson(&mut rng, 5, dur::hours(2), 50_000.0, dur::minutes(5));
+        assert!(!s.is_empty());
+        for f in &s.faults {
+            assert!(f.restart_at > f.crash_at);
+        }
+        // Sorted by crash time.
+        assert!(s.faults.windows(2).all(|w| w[0].crash_at <= w[1].crash_at));
+    }
+}

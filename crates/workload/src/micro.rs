@@ -1,0 +1,141 @@
+//! Microbenchmarks: keyed updates with controllable contention, point
+//! reads, and a parameterized read/write mix.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use replimid_core::TxSource;
+
+/// Schema for the microbenchmark table: `bench(k INT PRIMARY KEY, v INT)`
+/// preloaded with `rows` rows.
+pub fn schema(db: &str, rows: usize) -> Vec<String> {
+    let mut out = vec![
+        format!("CREATE DATABASE {db}"),
+        format!("USE {db}"),
+        "CREATE TABLE bench (k INT PRIMARY KEY, v INT NOT NULL)".to_string(),
+    ];
+    // Batch the preload in chunks to keep statements readable.
+    for chunk in (0..rows).collect::<Vec<_>>().chunks(100) {
+        let values: Vec<String> = chunk.iter().map(|k| format!("({k}, 0)")).collect();
+        out.push(format!("INSERT INTO bench VALUES {}", values.join(", ")));
+    }
+    out
+}
+
+/// Transactions updating `writes_per_tx` keys drawn from a hot set of
+/// `hot_keys` out of `total_keys`: the smaller the hot set, the higher the
+/// conflict rate — the knob for the consistency-spectrum experiment (E10).
+pub struct KeyedUpdates {
+    pub total_keys: i64,
+    pub hot_keys: i64,
+    /// Fraction of key draws taken from the hot set.
+    pub hot_fraction: f64,
+    pub writes_per_tx: usize,
+    /// Wrap updates in BEGIN ISOLATION LEVEL <this> ... COMMIT when set.
+    pub isolation: Option<&'static str>,
+}
+
+impl KeyedUpdates {
+    pub fn uniform(total_keys: i64) -> Self {
+        KeyedUpdates {
+            total_keys,
+            hot_keys: total_keys,
+            hot_fraction: 0.0,
+            writes_per_tx: 1,
+            isolation: None,
+        }
+    }
+
+    pub fn contended(total_keys: i64, hot_keys: i64, hot_fraction: f64) -> Self {
+        KeyedUpdates { total_keys, hot_keys, hot_fraction, writes_per_tx: 2, isolation: Some("SNAPSHOT") }
+    }
+
+    fn draw_key(&self, rng: &mut StdRng) -> i64 {
+        if self.hot_keys < self.total_keys && rng.gen::<f64>() < self.hot_fraction {
+            rng.gen_range(0..self.hot_keys)
+        } else {
+            rng.gen_range(0..self.total_keys)
+        }
+    }
+}
+
+impl TxSource for KeyedUpdates {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let mut stmts = Vec::new();
+        if let Some(level) = self.isolation {
+            stmts.push(format!("BEGIN ISOLATION LEVEL {level}"));
+        }
+        for _ in 0..self.writes_per_tx.max(1) {
+            let k = self.draw_key(rng);
+            stmts.push(format!("UPDATE bench SET v = v + 1 WHERE k = {k}"));
+        }
+        if self.isolation.is_some() {
+            stmts.push("COMMIT".to_string());
+        }
+        stmts
+    }
+}
+
+/// Read-only point queries over the bench table.
+pub struct PointReads {
+    pub total_keys: i64,
+}
+
+impl TxSource for PointReads {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let k = rng.gen_range(0..self.total_keys);
+        vec![format!("SELECT v FROM bench WHERE k = {k}")]
+    }
+}
+
+/// A parameterized read/write mix: each transaction is a write with
+/// probability `write_fraction`, else a point read. The scalability
+/// experiments sweep `write_fraction` (E5).
+pub struct ReadWriteMix {
+    pub total_keys: i64,
+    pub write_fraction: f64,
+}
+
+impl TxSource for ReadWriteMix {
+    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+        let k = rng.gen_range(0..self.total_keys);
+        if rng.gen::<f64>() < self.write_fraction {
+            vec![format!("UPDATE bench SET v = v + 1 WHERE k = {k}")]
+        } else {
+            vec![format!("SELECT v FROM bench WHERE k = {k}")]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schema_preloads_rows() {
+        let s = schema("d", 250);
+        assert!(s.iter().filter(|x| x.starts_with("INSERT")).count() == 3);
+        assert!(s[2].contains("PRIMARY KEY"));
+    }
+
+    #[test]
+    fn contended_updates_stay_in_key_space() {
+        let mut w = KeyedUpdates::contended(1000, 10, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let tx = w.next_tx(&mut rng);
+            assert_eq!(tx.len(), 4); // BEGIN, 2 updates, COMMIT
+            assert!(tx[0].contains("SNAPSHOT"));
+        }
+    }
+
+    #[test]
+    fn mix_respects_fraction_roughly() {
+        let mut w = ReadWriteMix { total_keys: 100, write_fraction: 0.3 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let writes = (0..1000)
+            .filter(|_| w.next_tx(&mut rng)[0].starts_with("UPDATE"))
+            .count();
+        assert!((250..350).contains(&writes), "writes {writes}");
+    }
+}

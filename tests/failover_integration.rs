@@ -1,0 +1,201 @@
+//! Failover, failback, and partition behaviour (§2.2, §4.3.3, §4.3.4.3).
+
+use replimid_core::{Cluster, ClusterConfig, Mode, NondetPolicy, TxSource};
+use replimid_simnet::{dur, SimTime};
+
+struct SeqInsert {
+    next: i64,
+}
+
+impl TxSource for SeqInsert {
+    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        vec![format!("INSERT INTO items VALUES ({k}, 'x', 1)")]
+    }
+}
+
+fn schema() -> Vec<String> {
+    vec![
+        "CREATE DATABASE shop".into(),
+        "USE shop".into(),
+        "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT NOT NULL)".into(),
+        "INSERT INTO items VALUES (1, 'book', 10)".into(),
+    ]
+}
+
+fn ms_mode() -> Mode {
+    Mode::MasterSlave {
+        two_safe: false,
+        ship_interval_us: 20_000,
+        use_writesets: false,
+        parallel_apply: false,
+        read_master: true,
+    }
+}
+
+#[test]
+fn hot_standby_failover_promotes_most_caught_up_slave() {
+    let mut cfg = ClusterConfig::new(ms_mode(), schema(), "shop");
+    cfg.backends_per_mw = 3;
+    let mut cluster = Cluster::build(cfg);
+    let c = cluster.add_client(SeqInsert { next: 100 }, |cc| {
+        cc.think_time_us = 1_000;
+        cc.request_timeout_us = 300_000;
+        cc.tx_limit = 3_500; // quiesce before the convergence check
+    });
+    // Kill the master at 2s; the middleware detects it via ping timeouts
+    // and promotes a slave.
+    cluster.crash_backend_at(SimTime::from_secs(2), 0, 0);
+    cluster.run_for(dur::secs(6));
+
+    let m = cluster.client_metrics(c);
+    assert!(m.committed > 100, "committed {}", m.committed);
+    let master = cluster.master_of(0);
+    assert_ne!(master.0, 0, "a slave was promoted");
+
+    // Writes continued after the failover.
+    let late_commits: u64 = m
+        .commits_per_sec
+        .iter()
+        .filter(|(&sec, _)| sec >= 3)
+        .map(|(_, &n)| n)
+        .sum();
+    assert!(late_commits > 50, "writes resumed after promotion: {late_commits}");
+
+    let mw = cluster.mw_metrics(0);
+    assert!(mw.counters.failovers >= 1);
+    // Surviving replicas converge once shipping settles.
+    cluster.run_for(dur::secs(1));
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][1], sums[0][2], "surviving slaves agree");
+}
+
+#[test]
+fn multimaster_survives_backend_crash_without_client_failures() {
+    let cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema(),
+        "shop",
+    );
+    let mut cluster = Cluster::build(cfg);
+    let c = cluster.add_client(SeqInsert { next: 1000 }, |cc| {
+        cc.think_time_us = 1_000;
+    });
+    cluster.crash_backend_at(SimTime::from_secs(2), 0, 1);
+    cluster.run_for(dur::secs(5));
+    let m = cluster.client_metrics(c);
+    assert!(m.committed > 100);
+    // At most a handful of requests were disturbed by the crash.
+    assert!(
+        m.failed + m.timeouts <= 3,
+        "failed={} timeouts={} ({:?})",
+        m.failed,
+        m.timeouts,
+        m.last_error
+    );
+    // The two surviving backends stayed consistent.
+    cluster.run_for(dur::secs(1));
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][2], "survivors agree");
+}
+
+#[test]
+fn middleware_failover_is_transparent_to_the_client() {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema(),
+        "shop",
+    );
+    cfg.middlewares = 2;
+    cfg.backends_per_mw = 2;
+    let mut cluster = Cluster::build(cfg);
+    let c = cluster.add_client(SeqInsert { next: 5000 }, |cc| {
+        cc.think_time_us = 4_000;
+        cc.request_timeout_us = 200_000;
+        cc.tx_limit = 1_000;
+    });
+    // The client's home middleware (session 1 -> mw1) dies mid-run.
+    cluster.crash_middleware_at(SimTime::from_secs(2), 1);
+    cluster.run_for(dur::secs(6));
+
+    let m = cluster.client_metrics(c);
+    assert!(m.failovers >= 1, "client failed over");
+    assert!(m.committed > 200, "committed {}", m.committed);
+    // Transparent failover: retried statements were deduplicated, so every
+    // committed insert appears exactly once (no duplicate-key failures).
+    assert_eq!(m.failed, 0, "failed={} ({:?})", m.failed, m.last_error);
+
+    // The surviving middleware's backends contain exactly the committed
+    // rows.
+    cluster.run_for(dur::secs(1));
+    let count = cluster.with_backend_engine(0, 0, |e| {
+        let conn = e.connect("admin", "admin").unwrap();
+        e.execute(conn, "USE shop").unwrap();
+        let r = e
+            .execute(conn, "SELECT COUNT(*) FROM items WHERE id >= 5000")
+            .unwrap();
+        r.outcome.rows().unwrap().rows[0][0].as_int().unwrap()
+    });
+    assert_eq!(count as u64, m.committed, "exactly-once across failover");
+}
+
+#[test]
+fn split_brain_without_quorum_diverges_with_quorum_stays_safe() {
+    let run = |require_majority: bool| {
+        let mut cfg = ClusterConfig::new(
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            schema(),
+            "shop",
+        );
+        cfg.middlewares = 3;
+        cfg.backends_per_mw = 1;
+        cfg.mw.require_majority = require_majority;
+        let mut cluster = Cluster::build(cfg);
+        let mk = |cluster: &mut Cluster, base: i64| {
+            cluster.add_client(SeqInsert { next: base }, |cc| {
+                cc.think_time_us = 2_000;
+                cc.request_timeout_us = 150_000;
+                cc.max_retries = 2;
+            })
+        };
+        let _c0 = mk(&mut cluster, 10_000);
+        let _c1 = mk(&mut cluster, 20_000);
+        let c2 = mk(&mut cluster, 30_000);
+        // Partition middleware 2 (with its backend and client) away from
+        // the rest at 1s.
+        let minority = vec![
+            cluster.db_nodes[2][0],
+            cluster.mw_nodes[2],
+            cluster.client_nodes[2],
+        ];
+        let mut majority: Vec<_> = Vec::new();
+        for g in &cluster.db_nodes[..2] {
+            majority.extend(g.iter().copied());
+        }
+        majority.extend(cluster.mw_nodes[..2].iter().copied());
+        majority.extend(cluster.client_nodes[..2].iter().copied());
+        cluster.partition_at(SimTime::from_secs(1), vec![majority, minority]);
+        cluster.run_for(dur::secs(6));
+        let m2 = cluster.client_metrics(c2);
+        let late_minority_commits: u64 = m2
+            .commits_per_sec
+            .iter()
+            .filter(|(&sec, _)| sec >= 3)
+            .map(|(_, &n)| n)
+            .sum();
+        let sums = cluster.backend_checksums();
+        (late_minority_commits, sums)
+    };
+
+    // Without majority enforcement: both halves keep accepting writes and
+    // diverge (§4.3.4.3's nightmare).
+    let (minority_commits, sums) = run(false);
+    assert!(minority_commits > 0, "without quorum the minority keeps committing");
+    assert_ne!(sums[2][0], sums[0][0], "split brain divergence");
+
+    // With quorum: the minority suspends writes; majority stays consistent.
+    let (minority_commits, sums) = run(true);
+    assert_eq!(minority_commits, 0, "with quorum the minority suspends writes");
+    assert_eq!(sums[0][0], sums[1][0], "majority agrees");
+}

@@ -1,0 +1,166 @@
+//! Replica rejoin and resynchronization (§4.4.2): recovery-log replay,
+//! truncated-log full resync, and the global barrier for the final hop.
+
+use replimid_core::{Cluster, ClusterConfig, Mode, NondetPolicy, TxSource};
+use replimid_simnet::{dur, SimTime};
+
+struct SeqInsert {
+    next: i64,
+}
+
+impl TxSource for SeqInsert {
+    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        vec![format!("INSERT INTO items VALUES ({k}, 'x', 1)")]
+    }
+}
+
+fn schema() -> Vec<String> {
+    vec![
+        "CREATE DATABASE shop".into(),
+        "USE shop".into(),
+        "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT NOT NULL)".into(),
+    ]
+}
+
+fn mm_cfg() -> ClusterConfig {
+    ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema(),
+        "shop",
+    )
+}
+
+fn row_count(cluster: &mut Cluster, b: usize) -> i64 {
+    cluster.with_backend_engine(0, b, |e| {
+        let conn = e.connect("admin", "admin").unwrap();
+        e.execute(conn, "USE shop").unwrap();
+        let r = e.execute(conn, "SELECT COUNT(*) FROM items").unwrap();
+        let n = r.outcome.rows().unwrap().rows[0][0].as_int().unwrap();
+        e.disconnect(conn);
+        n
+    })
+}
+
+#[test]
+fn rejoin_via_recovery_log_replay() {
+    let mut cluster = Cluster::build(mm_cfg());
+    let c = cluster.add_client(SeqInsert { next: 100 }, |cc| {
+        cc.think_time_us = 1_000;
+        cc.tx_limit = 2_500;
+    });
+    // Backend 1 is out between 1s and 2.5s; writes continue throughout.
+    cluster.crash_backend_at(SimTime::from_secs(1), 0, 1);
+    cluster.restart_backend_at(SimTime::from_millis(2_500), 0, 1);
+    cluster.run_for(dur::secs(8));
+
+    let m = cluster.client_metrics(c);
+    assert!(m.committed >= 2_000, "committed {}", m.committed);
+    // The rejoined replica caught up via log replay: all three agree.
+    let state = cluster.with_middleware(0, |mw| {
+        mw.recovery_state(replimid_core::BackendId(1))
+    });
+    assert_eq!(state, "Online", "backend 1 recovered: {state}");
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][1], "rejoined replica matches");
+    assert_eq!(sums[0][1], sums[0][2]);
+    assert_eq!(row_count(&mut cluster, 1), m.committed as i64);
+}
+
+#[test]
+fn truncated_log_forces_full_resync() {
+    let mut cluster = Cluster::build(mm_cfg());
+    let c = cluster.add_client(SeqInsert { next: 100 }, |cc| {
+        cc.think_time_us = 1_000;
+        cc.tx_limit = 2_000;
+    });
+    cluster.crash_backend_at(SimTime::from_secs(1), 0, 1);
+    cluster.restart_backend_at(SimTime::from_secs(3), 0, 1);
+    // While backend 1 is down, the log is purged past its checkpoint
+    // ("log full" pressure, §4.4.2): replay is impossible.
+    cluster.run_for(dur::secs(2));
+    cluster.with_middleware(0, |mw| {
+        let head = mw.log.head();
+        mw.log.force_truncate(head);
+    });
+    cluster.run_for(dur::secs(6));
+
+    let m = cluster.client_metrics(c);
+    assert!(m.committed >= 1_500);
+    let state = cluster.with_middleware(0, |mw| {
+        mw.recovery_state(replimid_core::BackendId(1))
+    });
+    assert_eq!(state, "Online", "backend 1 resynced: {state}");
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][1], "full resync converged");
+}
+
+#[test]
+fn rejoin_under_load_uses_barrier_and_converges() {
+    // Heavy write load while a replica replays: the final hop needs the
+    // global barrier; the cluster still converges once the writers stop.
+    let mut cfg = mm_cfg();
+    cfg.mw.barrier_threshold = 32;
+    cfg.mw.recovery_batch = 128;
+    let mut cluster = Cluster::build(cfg);
+    let c1 = cluster.add_client(SeqInsert { next: 100_000 }, |cc| {
+        cc.think_time_us = 300;
+        cc.tx_limit = 6_000;
+    });
+    let c2 = cluster.add_client(SeqInsert { next: 200_000 }, |cc| {
+        cc.think_time_us = 300;
+        cc.tx_limit = 6_000;
+    });
+    cluster.crash_backend_at(SimTime::from_secs(1), 0, 2);
+    cluster.restart_backend_at(SimTime::from_secs(2), 0, 2);
+    cluster.run_for(dur::secs(12));
+
+    let m1 = cluster.client_metrics(c1);
+    let m2 = cluster.client_metrics(c2);
+    assert!(m1.committed + m2.committed >= 10_000);
+    let state = cluster.with_middleware(0, |mw| {
+        mw.recovery_state(replimid_core::BackendId(2))
+    });
+    assert_eq!(state, "Online", "backend 2 recovered under load: {state}");
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][2], "caught up under load");
+}
+
+#[test]
+fn master_slave_failback_resyncs_old_master_as_slave() {
+    let mut cfg = ClusterConfig::new(
+        Mode::MasterSlave {
+            two_safe: false,
+            ship_interval_us: 20_000,
+            use_writesets: false,
+            parallel_apply: false,
+            read_master: true,
+        },
+        schema(),
+        "shop",
+    );
+    cfg.backends_per_mw = 2;
+    let mut cluster = Cluster::build(cfg);
+    let c = cluster.add_client(SeqInsert { next: 100 }, |cc| {
+        cc.think_time_us = 1_000;
+        cc.request_timeout_us = 300_000;
+        cc.tx_limit = 3_000;
+    });
+    // Master dies at 1.5s; slave promoted. Old master returns at 3s: it has
+    // committed-but-unshipped transactions (1-safe divergence) and must be
+    // rebuilt from the new master — the paper's manual-reconciliation case,
+    // automated here as a full resync.
+    cluster.crash_backend_at(SimTime::from_millis(1_500), 0, 0);
+    cluster.restart_backend_at(SimTime::from_secs(3), 0, 0);
+    cluster.run_for(dur::secs(8));
+
+    let m = cluster.client_metrics(c);
+    assert!(m.committed >= 2_000, "committed {}", m.committed);
+    let master = cluster.master_of(0);
+    assert_eq!(master.0, 1, "promotion stuck");
+    // The old master rejoined as a slave and converged to the new master.
+    cluster.run_for(dur::secs(1));
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][1], "failback converged");
+}
