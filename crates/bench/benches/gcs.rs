@@ -1,40 +1,35 @@
-//! Criterion micro-benchmarks for the group-communication state machines:
-//! ordering cost per publish and failure-detector tick cost.
+//! Micro-benchmarks for the group-communication state machines: ordering
+//! cost per publish and failure-detector tick cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use replimid_gcs::{FailureDetector, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol};
+use replimid_bench::timing::Runner;
+use replimid_gcs::{
+    FailureDetector, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol,
+};
 
-fn bench_ordering(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_args();
+
     for proto in [OrderProtocol::FixedSequencer, OrderProtocol::TokenRing] {
-        let name = format!("publish_and_order_{proto:?}");
-        c.bench_function(&name, |b| {
-            let members: Vec<MemberId> = (0..5).map(MemberId).collect();
-            let mut m =
-                GroupMember::new(MemberId(0), members, GcsConfig::lan(proto), 0);
-            let _ = m.start(0);
-            let mut now = 0u64;
-            b.iter(|| {
-                now += 10;
-                std::hint::black_box(m.publish(now, now))
-            })
+        let members: Vec<MemberId> = (0..5).map(MemberId).collect();
+        let mut m = GroupMember::new(MemberId(0), members, GcsConfig::lan(proto), 0);
+        let _ = m.start(0);
+        let mut now = 0u64;
+        r.bench(&format!("publish_and_order_{proto:?}"), 10_000, || {
+            now += 10;
+            std::hint::black_box(m.publish(now, now));
         });
     }
-}
 
-fn bench_detector(c: &mut Criterion) {
-    c.bench_function("failure_detector_tick_32_peers", |b| {
-        let peers: Vec<MemberId> = (1..33).map(MemberId).collect();
-        let mut fd = FailureDetector::new(HeartbeatConfig::lan(), peers.clone(), 0);
-        let mut now = 0u64;
-        b.iter(|| {
-            now += 1_000;
-            for &p in &peers {
-                fd.heard_from(p, now);
-            }
-            std::hint::black_box(fd.tick(now))
-        })
+    let peers: Vec<MemberId> = (1..33).map(MemberId).collect();
+    let mut fd = FailureDetector::new(HeartbeatConfig::lan(), peers.clone(), 0);
+    let mut now = 0u64;
+    r.bench("failure_detector_tick_32_peers", 10_000, || {
+        now += 1_000;
+        for &p in &peers {
+            fd.heard_from(p, now);
+        }
+        std::hint::black_box(fd.tick(now));
     });
-}
 
-criterion_group!(benches, bench_ordering, bench_detector);
-criterion_main!(benches);
+    r.finish();
+}

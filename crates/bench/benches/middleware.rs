@@ -1,69 +1,50 @@
-//! Criterion macro-benchmarks: whole-cluster virtual-time throughput per
-//! wall-clock second of simulation, for each replication mode. These gauge
-//! the *simulator's* performance (events/sec), which bounds how much
-//! virtual experimentation a wall-clock budget buys.
+//! Macro-benchmarks: whole-cluster virtual-time throughput per wall-clock
+//! second of simulation, for each replication mode. These gauge the
+//! *simulator's* performance (events/sec), which bounds how much virtual
+//! experimentation a wall-clock budget buys.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use replimid_bench::timing::Runner;
 use replimid_bench::{mm_statement_cfg, SeqInsert};
 use replimid_core::{Cluster, ClusterConfig, Mode};
 use replimid_simnet::dur;
 use replimid_workload::micro;
 
-fn bench_cluster_modes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("one_virtual_second");
-    g.sample_size(10);
-    g.bench_function("mm_statement_3_replicas", |b| {
-        b.iter_batched(
-            || {
-                let mut cluster = Cluster::build(mm_statement_cfg(100));
-                cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
-                cluster
-            },
-            |mut cluster| cluster.run_for(dur::secs(1)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("mm_writeset_3_replicas", |b| {
-        b.iter_batched(
-            || {
-                let cfg = ClusterConfig::new(
-                    Mode::MultiMasterWriteset,
-                    micro::schema("bench", 100),
-                    "bench",
-                );
-                let mut cluster = Cluster::build(cfg);
-                cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
-                cluster
-            },
-            |mut cluster| cluster.run_for(dur::secs(1)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("master_slave_1_safe", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg = ClusterConfig::new(
-                    Mode::MasterSlave {
-                        two_safe: false,
-                        ship_interval_us: 20_000,
-                        use_writesets: false,
-                        parallel_apply: false,
-                        read_master: true,
-                    },
-                    micro::schema("bench", 100),
-                    "bench",
-                );
-                cfg.backends_per_mw = 2;
-                let mut cluster = Cluster::build(cfg);
-                cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
-                cluster
-            },
-            |mut cluster| cluster.run_for(dur::secs(1)),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+fn main() {
+    let mut r = Runner::from_args();
 
-criterion_group!(benches, bench_cluster_modes);
-criterion_main!(benches);
+    // Each iteration builds a fresh cluster and simulates one virtual
+    // second (the setup cost is part of what a campaign pays per config).
+    r.bench("mm_statement_3_replicas_1vs", 3, || {
+        let mut cluster = Cluster::build(mm_statement_cfg(100));
+        cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
+        cluster.run_for(dur::secs(1));
+    });
+
+    r.bench("mm_writeset_3_replicas_1vs", 3, || {
+        let cfg =
+            ClusterConfig::new(Mode::MultiMasterWriteset, micro::schema("bench", 100), "bench");
+        let mut cluster = Cluster::build(cfg);
+        cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
+        cluster.run_for(dur::secs(1));
+    });
+
+    r.bench("master_slave_1_safe_1vs", 3, || {
+        let mut cfg = ClusterConfig::new(
+            Mode::MasterSlave {
+                two_safe: false,
+                ship_interval_us: 20_000,
+                use_writesets: false,
+                parallel_apply: false,
+                read_master: true,
+            },
+            micro::schema("bench", 100),
+            "bench",
+        );
+        cfg.backends_per_mw = 2;
+        let mut cluster = Cluster::build(cfg);
+        cluster.add_client(SeqInsert::new(1_000_000), |cc| cc.think_time_us = 500);
+        cluster.run_for(dur::secs(1));
+    });
+
+    r.finish();
+}

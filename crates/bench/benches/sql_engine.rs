@@ -1,19 +1,8 @@
-//! Criterion micro-benchmarks for the SQL engine substrate: parsing,
-//! point reads/writes, MVCC version churn, and writeset application.
+//! Micro-benchmarks for the SQL engine substrate: parsing, point
+//! reads/writes, MVCC version churn, and writeset application.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use replimid_bench::timing::Runner;
 use replimid_sql::{parse_statement, Engine, Value};
-
-fn bench_parser(c: &mut Criterion) {
-    let sql = "UPDATE foo SET keyvalue = 'x', n = n + 1 WHERE id IN \
-               (SELECT id FROM foo WHERE keyvalue IS NULL ORDER BY id LIMIT 10) AND n > 5";
-    c.bench_function("parse_complex_update", |b| {
-        b.iter(|| parse_statement(std::hint::black_box(sql)).unwrap())
-    });
-    c.bench_function("parse_point_select", |b| {
-        b.iter(|| parse_statement(std::hint::black_box("SELECT v FROM t WHERE k = 42")).unwrap())
-    });
-}
 
 fn setup_engine(rows: i64) -> (Engine, replimid_sql::ConnId) {
     let (mut e, conn) = Engine::with_database("b");
@@ -25,31 +14,33 @@ fn setup_engine(rows: i64) -> (Engine, replimid_sql::ConnId) {
     (e, conn)
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let (mut e, conn) = setup_engine(1_000);
-    c.bench_function("point_select_1k_rows", |b| {
-        b.iter(|| {
-            let r = e.execute(conn, "SELECT v FROM t WHERE k = 500").unwrap();
-            assert!(matches!(
-                r.outcome.rows().unwrap().rows[0][0],
-                Value::Int(_)
-            ));
-        })
-    });
-    c.bench_function("point_update_autocommit", |b| {
-        b.iter(|| e.execute(conn, "UPDATE t SET v = v + 1 WHERE k = 500").unwrap())
-    });
-    c.bench_function("vacuum_after_updates", |b| {
-        b.iter(|| {
-            for _ in 0..10 {
-                e.execute(conn, "UPDATE t SET v = v + 1 WHERE k = 7").unwrap();
-            }
-            e.vacuum()
-        })
-    });
-}
+fn main() {
+    let mut r = Runner::from_args();
 
-fn bench_writesets(c: &mut Criterion) {
+    let complex = "UPDATE foo SET keyvalue = 'x', n = n + 1 WHERE id IN \
+                   (SELECT id FROM foo WHERE keyvalue IS NULL ORDER BY id LIMIT 10) AND n > 5";
+    r.bench("parse_complex_update", 10_000, || {
+        parse_statement(std::hint::black_box(complex)).unwrap();
+    });
+    r.bench("parse_point_select", 10_000, || {
+        parse_statement(std::hint::black_box("SELECT v FROM t WHERE k = 42")).unwrap();
+    });
+
+    let (mut e, conn) = setup_engine(1_000);
+    r.bench("point_select_1k_rows", 5_000, || {
+        let res = e.execute(conn, "SELECT v FROM t WHERE k = 500").unwrap();
+        assert!(matches!(res.outcome.rows().unwrap().rows[0][0], Value::Int(_)));
+    });
+    r.bench("point_update_autocommit", 5_000, || {
+        e.execute(conn, "UPDATE t SET v = v + 1 WHERE k = 500").unwrap();
+    });
+    r.bench("vacuum_after_updates", 200, || {
+        for _ in 0..10 {
+            e.execute(conn, "UPDATE t SET v = v + 1 WHERE k = 7").unwrap();
+        }
+        e.vacuum();
+    });
+
     let (mut src, conn) = setup_engine(100);
     let ws = {
         src.execute(conn, "BEGIN").unwrap();
@@ -58,20 +49,16 @@ fn bench_writesets(c: &mut Criterion) {
         src.execute(conn, "ROLLBACK").unwrap();
         ws
     };
-    c.bench_function("apply_writeset_50_rows", |b| {
-        let (mut dst, _) = setup_engine(100);
-        b.iter(|| {
-            // Apply then undo by applying the inverse is overkill; applying
-            // the same images repeatedly is idempotent in effect and
-            // exercises the same code path.
-            dst.apply_writeset(std::hint::black_box(&ws)).unwrap()
-        })
+    let (mut dst, _) = setup_engine(100);
+    r.bench("apply_writeset_50_rows", 1_000, || {
+        // Applying the same images repeatedly is idempotent in effect and
+        // exercises the same code path as fresh writesets.
+        dst.apply_writeset(std::hint::black_box(&ws)).unwrap();
     });
-    c.bench_function("checksum_1k_rows", |b| {
-        let (e, _) = setup_engine(1_000);
-        b.iter(|| std::hint::black_box(e.checksum_data()))
+    let (chk, _) = setup_engine(1_000);
+    r.bench("checksum_1k_rows", 1_000, || {
+        std::hint::black_box(chk.checksum_data());
     });
-}
 
-criterion_group!(benches, bench_parser, bench_engine, bench_writesets);
-criterion_main!(benches);
+    r.finish();
+}

@@ -8,7 +8,6 @@
 //!   cargo run -p replimid-bench --bin experiments --release            # all
 //!   cargo run -p replimid-bench --bin experiments --release -- E3 E9  # some
 
-use rand::SeedableRng;
 use replimid_bench::{aggregate, mm_statement_cfg, run_and_drain, tps, SeqInsert, Table};
 use replimid_core::{
     AdminCmd, BackendId, Cluster, ClusterConfig, Mode, NondetPolicy, PartitionScheme,
@@ -566,7 +565,7 @@ fn e9_recovery() {
                 next: i64,
             }
             impl replimid_core::TxSource for MultiTable {
-                fn next_tx(&mut self, _r: &mut rand::rngs::StdRng) -> Vec<String> {
+                fn next_tx(&mut self, _r: &mut replimid_det::DetRng) -> Vec<String> {
                     let k = self.next;
                     self.next += 1;
                     vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 4)]
@@ -764,7 +763,7 @@ fn e12_availability_campaign() {
             .collect();
         // Accelerated fault process: compress ~months of the paper's
         // 1/day/200-CPU rate into 30 virtual seconds.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7 + replicas as u64);
+        let mut rng = replimid_det::DetRng::seed_from_u64(7 + replicas as u64);
         let horizon = dur::secs(30);
         let schedule =
             FaultSchedule::poisson(&mut rng, replicas, horizon, 3_000_000.0, dur::millis(800));
@@ -1006,7 +1005,7 @@ fn e15_slave_lag() {
                 next: i64,
             }
             impl replimid_core::TxSource for MultiTable {
-                fn next_tx(&mut self, _r: &mut rand::rngs::StdRng) -> Vec<String> {
+                fn next_tx(&mut self, _r: &mut replimid_det::DetRng) -> Vec<String> {
                     let k = self.next;
                     self.next += 1;
                     vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 4)]

@@ -1,7 +1,10 @@
-//! Shared harness helpers for the experiment binary and the Criterion
-//! micro-benchmarks: cluster builders, workload shorthands, and table
-//! printing. Every experiment runs on the deterministic simulator, so
-//! regenerated numbers are reproducible bit-for-bit from the seed.
+//! Shared harness helpers for the experiment binary and the in-tree
+//! micro-benchmarks: cluster builders, workload shorthands, table printing,
+//! and the [`timing`] harness. Every experiment runs on the deterministic
+//! simulator, so regenerated numbers are reproducible bit-for-bit from the
+//! seed.
+
+pub mod timing;
 
 use replimid_core::{ClientMetrics, Cluster, ClusterConfig, Mode, NondetPolicy, TxSource};
 use replimid_simnet::dur;
@@ -21,7 +24,7 @@ impl SeqInsert {
 }
 
 impl TxSource for SeqInsert {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         let k = self.next;
         self.next += 1;
         vec![format!("INSERT INTO {} VALUES ({k}, 1)", self.table)]

@@ -1,0 +1,136 @@
+//! A tiny in-tree micro-benchmark harness (the criterion replacement).
+//!
+//! Scope is deliberately minimal: warm up, take a handful of samples of N
+//! iterations each, report mean and best-sample ns/iter in a table. No
+//! statistics beyond that — the benches exist to catch order-of-magnitude
+//! regressions and to document how to measure, not to resolve 2% deltas.
+//!
+//! Bench binaries run with `cargo bench -p replimid-bench`. When invoked
+//! with `--test` (as `cargo test --benches` does), every bench runs exactly
+//! one iteration so CI smoke-checks the code paths without paying for
+//! timing runs.
+
+use std::time::Instant;
+
+use crate::Table;
+
+const SAMPLES: u32 = 5;
+
+/// One bench's result.
+pub struct Report {
+    pub name: String,
+    pub iters: u32,
+    /// Mean ns/iter across all samples.
+    pub mean_ns: f64,
+    /// Mean ns/iter of the fastest sample (least scheduler noise).
+    pub best_ns: f64,
+}
+
+/// Collects bench results and prints them on `finish`.
+pub struct Runner {
+    test_mode: bool,
+    reports: Vec<Report>,
+}
+
+impl Runner {
+    /// Inspect argv: `--test` selects one-iteration smoke mode; other
+    /// libtest-style flags from `cargo bench`/`cargo test` are ignored.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Runner { test_mode, reports: Vec::new() }
+    }
+
+    /// Time `f` over `iters` iterations per sample.
+    pub fn bench(&mut self, name: &str, iters: u32, mut f: impl FnMut()) {
+        if self.test_mode {
+            f();
+            return;
+        }
+        let iters = iters.max(1);
+        // Warmup: one sample's worth, untimed.
+        for _ in 0..iters {
+            f();
+        }
+        let mut total_ns = 0.0;
+        let mut best_ns = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            total_ns += per_iter;
+            best_ns = best_ns.min(per_iter);
+        }
+        self.reports.push(Report {
+            name: name.to_string(),
+            iters,
+            mean_ns: total_ns / SAMPLES as f64,
+            best_ns,
+        });
+    }
+
+    /// Print the result table (no output in `--test` smoke mode).
+    pub fn finish(self) {
+        if self.test_mode {
+            return;
+        }
+        let mut t = Table::new(&["bench", "iters", "mean", "best"]);
+        for r in &self.reports {
+            t.row(&[
+                r.name.clone(),
+                r.iters.to_string(),
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.best_ns),
+            ]);
+        }
+        t.print();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut r = Runner { test_mode: false, reports: Vec::new() };
+        let mut count = 0u64;
+        r.bench("spin", 10, || count += 1);
+        // Warmup (10) + SAMPLES (5) timed passes of 10.
+        assert_eq!(count, 10 + 5 * 10);
+        assert_eq!(r.reports.len(), 1);
+        assert!(r.reports[0].best_ns <= r.reports[0].mean_ns);
+        r.finish(); // smoke: prints without panicking
+    }
+
+    #[test]
+    fn test_mode_runs_once_and_stays_silent() {
+        let mut r = Runner { test_mode: true, reports: Vec::new() };
+        let mut count = 0u64;
+        r.bench("spin", 1_000_000, || count += 1);
+        assert_eq!(count, 1);
+        assert!(r.reports.is_empty());
+        r.finish();
+    }
+
+    #[test]
+    fn ns_formatting_picks_sane_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -30,11 +30,15 @@ pub enum Policy {
 }
 
 /// Balancer state: tracks outstanding requests per backend (for LPRF) and
-/// round-robin cursors.
+/// the round-robin cursor.
 #[derive(Debug, Clone)]
 pub struct Balancer {
     pub granularity: Granularity,
     policy: Policy,
+    /// Round-robin position in *stable backend id* space: the next pick is
+    /// the first healthy id at or after this, circularly. Indexing into the
+    /// healthy slice instead would re-pick the same replica when the
+    /// healthy set shrinks or grows mid-cycle.
     rr_cursor: usize,
     outstanding: Vec<u64>,
     weighted_credit: Vec<f64>,
@@ -64,8 +68,19 @@ impl Balancer {
         }
         match &self.policy {
             Policy::RoundRobin => {
-                let choice = healthy[self.rr_cursor % healthy.len()];
-                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                let modulus = healthy
+                    .iter()
+                    .map(|b| b.0 + 1)
+                    .max()
+                    .unwrap_or(0)
+                    .max(self.outstanding.len())
+                    .max(1);
+                let cursor = self.rr_cursor % modulus;
+                let choice = healthy
+                    .iter()
+                    .copied()
+                    .min_by_key(|b| (b.0 + modulus - cursor) % modulus)?;
+                self.rr_cursor = (choice.0 + 1) % modulus;
                 Some(choice)
             }
             Policy::Lprf => healthy
@@ -139,6 +154,35 @@ mod tests {
         let healthy = ids(&[0, 2]);
         let picks: Vec<usize> = (0..4).map(|_| b.pick(&healthy).unwrap().0).collect();
         assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn round_robin_no_repeat_when_replica_fails_mid_rotation() {
+        // Regression: with the cursor taken modulo healthy.len(), removing
+        // backend 0 after picks [0, 1] made the next pick index 2 % 2 = 0,
+        // i.e. backend 1 again — the same replica twice in a row.
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 3);
+        let all = ids(&[0, 1, 2]);
+        assert_eq!(b.pick(&all), Some(BackendId(0)));
+        assert_eq!(b.pick(&all), Some(BackendId(1)));
+        let degraded = ids(&[1, 2]);
+        assert_eq!(b.pick(&degraded), Some(BackendId(2)), "must not re-pick 1");
+        assert_eq!(b.pick(&degraded), Some(BackendId(1)));
+        assert_eq!(b.pick(&degraded), Some(BackendId(2)));
+        // Backend 0 recovers: the rotation folds it back in at its id slot.
+        assert_eq!(b.pick(&all), Some(BackendId(0)));
+        assert_eq!(b.pick(&all), Some(BackendId(1)));
+    }
+
+    #[test]
+    fn round_robin_no_repeat_when_set_grows_mid_rotation() {
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 3);
+        let two = ids(&[0, 1]);
+        assert_eq!(b.pick(&two), Some(BackendId(0)));
+        assert_eq!(b.pick(&two), Some(BackendId(1)));
+        let three = ids(&[0, 1, 2]);
+        assert_eq!(b.pick(&three), Some(BackendId(2)), "new replica joins in turn");
+        assert_eq!(b.pick(&three), Some(BackendId(0)));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
+use replimid_det::DetRng;
 use replimid_simnet::{Actor, Ctx, NodeId};
 
 use crate::metrics::Histogram;
@@ -15,7 +15,7 @@ use crate::msg::{ClientRequest, Msg, ReplyError, SessionId};
 /// BEGIN/COMMIT explicitly for multi-statement transactions; single
 /// statements run in autocommit.
 pub trait TxSource {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String>;
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String>;
 }
 
 /// A fixed script, cycled forever (test helper).
@@ -31,7 +31,7 @@ impl ScriptSource {
 }
 
 impl TxSource for ScriptSource {
-    fn next_tx(&mut self, _rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut DetRng) -> Vec<String> {
         let tx = self.txs[self.cursor % self.txs.len()].clone();
         self.cursor += 1;
         tx
@@ -311,7 +311,7 @@ mod tests {
     #[test]
     fn script_source_cycles() {
         let mut s = ScriptSource::new(vec![vec!["SELECT 1".into()], vec!["SELECT 2".into()]]);
-        let mut rng = <StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         assert_eq!(s.next_tx(&mut rng)[0], "SELECT 1");
         assert_eq!(s.next_tx(&mut rng)[0], "SELECT 2");
         assert_eq!(s.next_tx(&mut rng)[0], "SELECT 1");

@@ -3,7 +3,7 @@
 //! injection and management operations, and collects metrics — the harness
 //! surface used by examples, integration tests, and the experiment binary.
 
-use rand::rngs::StdRng;
+use replimid_det::DetRng;
 use replimid_simnet::{ControlOp, NetworkModel, NodeId, Sim, SimTime};
 use replimid_sql::{Engine, EngineConfig, ADMIN_PASSWORD, ADMIN_USER};
 
@@ -290,9 +290,8 @@ pub fn pk_map_from_schema(
 }
 
 /// Deterministic RNG for workload setup outside actors.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    use rand::SeedableRng;
-    StdRng::seed_from_u64(seed)
+pub fn seeded_rng(seed: u64) -> DetRng {
+    DetRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

@@ -375,7 +375,11 @@ impl Actor<Msg> for DbNode {
         // Crash semantics: every session is gone; open transactions abort.
         // Durable state (tables, binlog, counters) survives.
         self.engine.set_clock(ctx.now().micros() as i64);
-        for (_, c) in self.conns.drain() {
+        // Disconnect in token order: map drain order varies per process,
+        // and disconnect releases engine-side state (temp tables, open tx).
+        let mut conns: Vec<(u64, ConnId)> = self.conns.drain().collect();
+        conns.sort_by_key(|&(t, _)| t);
+        for (_, c) in conns {
             self.engine.disconnect(c);
         }
         if let Some(c) = self.repl_conn.take() {

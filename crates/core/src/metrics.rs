@@ -41,7 +41,9 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile (upper bound of the containing bucket).
+    /// Approximate quantile: the upper bound of the containing bucket,
+    /// clamped to the maximum recorded sample (a bucket bound can exceed
+    /// every sample it contains — one 1µs sample must not report p99=2µs).
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -51,7 +53,7 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(self.max);
             }
         }
         self.max
@@ -211,6 +213,29 @@ mod tests {
         assert!(h.quantile_us(0.5) >= 200 && h.quantile_us(0.5) <= 512);
         assert!(h.quantile_us(1.0) >= 50_000);
         assert_eq!(h.max_us(), 50_000);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        // Regression: a single 1µs sample lands in the [1,2) bucket, whose
+        // upper bound (2) used to be reported as p99 > max.
+        let mut h = Histogram::new();
+        h.record(1);
+        assert_eq!(h.quantile_us(0.99), 1);
+        assert_eq!(h.quantile_us(1.0), h.max_us());
+
+        let mut h = Histogram::new();
+        for us in [3, 5, 700, 50_000] {
+            h.record(us);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert!(
+                h.quantile_us(q) <= h.max_us(),
+                "q={q}: {} > max {}",
+                h.quantile_us(q),
+                h.max_us()
+            );
+        }
     }
 
     #[test]

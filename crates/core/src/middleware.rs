@@ -25,7 +25,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use rand::Rng;
 use replimid_gcs::{Action as GAction, GcsConfig, GroupMember, HeartbeatConfig, MemberId};
 use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::ast::Statement;
@@ -1874,13 +1873,16 @@ impl Middleware {
         self.metrics.counters.failovers += 1;
         self.metrics.failover_times.push(ctx.now().micros());
 
-        // Fail in-flight ops against this backend.
-        let stuck: Vec<(u64, Pending)> = self
+        // Fail in-flight ops against this backend, in dispatch (op id)
+        // order: map iteration order is not deterministic across processes,
+        // and the replies below re-order downstream client retries.
+        let mut stuck: Vec<(u64, Pending)> = self
             .pending
             .iter()
             .filter(|(_, p)| pending_backend(p) == Some(backend))
             .map(|(&op, p)| (op, p.clone()))
             .collect();
+        stuck.sort_by_key(|&(op, _)| op);
         for (op, p) in stuck {
             self.pending.remove(&op);
             let op_t0 = self.op_started.remove(&op);

@@ -1,0 +1,22 @@
+//! Hermetic determinism substrate for the whole workspace.
+//!
+//! Two pieces, both with zero non-workspace dependencies:
+//!
+//! * [`DetRng`] — a SplitMix64-seeded xoshiro256++ generator exposing the
+//!   small API surface the codebase actually uses (`seed_from_u64`, `gen`,
+//!   `gen_range`, `gen_bool`, `fill_bytes`). Every simulation, workload
+//!   generator, and experiment draws from it, so same-seed runs are
+//!   bit-identical across machines and toolchains.
+//! * [`detcheck`] — a minimal seeded property-test harness: N seeded cases
+//!   per property, failures reported as the reproducing case seed, and
+//!   explicit regression-seed replay so reproduced failures are never
+//!   silently dropped.
+//!
+//! The build environment has no registry access, which is why these live in
+//! the tree rather than coming from `rand`/`proptest` (see DESIGN.md,
+//! "Hermetic builds").
+
+pub mod detcheck;
+mod rng;
+
+pub use rng::{DetRng, Sample, SampleRange};

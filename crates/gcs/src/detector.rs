@@ -91,8 +91,13 @@ impl FailureDetector {
 
     /// Periodic check: which peers crossed the timeout at `now`?
     pub fn tick(&mut self, now: u64) -> Vec<FdEvent> {
+        // Walk peers in id order: map iteration order varies per process,
+        // and the event order matters when several peers time out at once.
+        let mut peers: Vec<(MemberId, u64)> =
+            self.last_heard.iter().map(|(&p, &h)| (p, h)).collect();
+        peers.sort_by_key(|&(p, _)| p);
         let mut events = Vec::new();
-        for (&peer, &heard) in &self.last_heard {
+        for (peer, heard) in peers {
             let silent = now.saturating_sub(heard);
             let was = self.suspected.get(&peer).copied().unwrap_or(false);
             if silent > self.config.timeout_us && !was {
@@ -151,6 +156,26 @@ mod tests {
         assert!(d.is_suspected(MemberId(1)));
         // No duplicate suspicion events.
         assert!(d.tick(200).is_empty());
+    }
+
+    #[test]
+    fn simultaneous_suspicions_arrive_in_peer_order() {
+        // The event order feeds view changes; it must not depend on map
+        // iteration order (which varies across processes).
+        let mut d = FailureDetector::new(
+            HeartbeatConfig { interval_us: 10, timeout_us: 100 },
+            [MemberId(5), MemberId(1), MemberId(3)],
+            0,
+        );
+        let events = d.tick(101);
+        assert_eq!(
+            events,
+            vec![
+                FdEvent::Suspect(MemberId(1)),
+                FdEvent::Suspect(MemberId(3)),
+                FdEvent::Suspect(MemberId(5)),
+            ]
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! total order under crashes, view changes, joins, and the
 //! detection-latency/false-positive tradeoff.
 
-use proptest::prelude::*;
+use replimid_det::detcheck;
 use replimid_gcs::{
     Action, GcsConfig, GcsMsg, GroupMember, HeartbeatConfig, MemberId, OrderProtocol, View,
 };
@@ -234,55 +234,63 @@ fn detection_latency_tracks_timeout() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Agreement under a random single crash: all survivors deliver the
-    /// same sequence, exactly once, for both ordering protocols.
-    #[test]
-    fn agreement_under_random_crash(
-        seed in 0u64..500,
-        crash_node in 0usize..4,
-        crash_at_ms in 1u64..40,
-        token in any::<bool>(),
-    ) {
-        let protocol = if token { OrderProtocol::TokenRing } else { OrderProtocol::FixedSequencer };
-        let (mut sim, nodes) = build_group(4, protocol, seed);
-        for (i, &n) in nodes.iter().enumerate() {
-            for k in 0..6u64 {
-                sim.inject(SimTime(500 + k * 3_000), n, TestMsg::Publish((i as u64) * 10 + k));
-            }
+/// Agreement under a single crash: all survivors deliver the same
+/// sequence, exactly once, for both ordering protocols.
+fn check_agreement_under_crash(seed: u64, crash_node: usize, crash_at_ms: u64, token: bool) {
+    let protocol = if token { OrderProtocol::TokenRing } else { OrderProtocol::FixedSequencer };
+    let (mut sim, nodes) = build_group(4, protocol, seed);
+    for (i, &n) in nodes.iter().enumerate() {
+        for k in 0..6u64 {
+            sim.inject(SimTime(500 + k * 3_000), n, TestMsg::Publish((i as u64) * 10 + k));
         }
-        sim.schedule(SimTime::from_millis(crash_at_ms), ControlOp::Crash(nodes[crash_node]));
-        sim.run_until(SimTime::from_secs(8));
-
-        let survivors: Vec<NodeId> = nodes
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| i != crash_node)
-            .map(|(_, &n)| n)
-            .collect();
-        let reference = delivered(&mut sim, survivors[0]);
-        for &n in &survivors[1..] {
-            prop_assert_eq!(&delivered(&mut sim, n), &reference, "divergent survivor");
-        }
-        let mut payloads: Vec<u64> = reference.iter().map(|&(_, p)| p).collect();
-        payloads.sort_unstable();
-        let n_before = payloads.len();
-        payloads.dedup();
-        prop_assert_eq!(n_before, payloads.len(), "duplicate delivery");
-        // Survivor messages published well after the crash must appear.
-        for (i, _) in nodes.iter().enumerate() {
-            if i == crash_node { continue; }
-            let last = (i as u64) * 10 + 5; // published at 15.5ms.. latest batch
-            if crash_at_ms < 10 {
-                prop_assert!(
-                    payloads.contains(&last),
-                    "late message {} from survivor {} lost", last, i
-                );
-            }
-        }
-        let _ = dur::millis(1);
     }
+    sim.schedule(SimTime::from_millis(crash_at_ms), ControlOp::Crash(nodes[crash_node]));
+    sim.run_until(SimTime::from_secs(8));
+
+    let survivors: Vec<NodeId> = nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != crash_node)
+        .map(|(_, &n)| n)
+        .collect();
+    let reference = delivered(&mut sim, survivors[0]);
+    for &n in &survivors[1..] {
+        assert_eq!(delivered(&mut sim, n), reference, "divergent survivor");
+    }
+    let mut payloads: Vec<u64> = reference.iter().map(|&(_, p)| p).collect();
+    payloads.sort_unstable();
+    let n_before = payloads.len();
+    payloads.dedup();
+    assert_eq!(n_before, payloads.len(), "duplicate delivery");
+    // Survivor messages published well after the crash must appear.
+    for (i, _) in nodes.iter().enumerate() {
+        if i == crash_node {
+            continue;
+        }
+        let last = (i as u64) * 10 + 5; // published at 15.5ms.. latest batch
+        if crash_at_ms < 10 {
+            assert!(payloads.contains(&last), "late message {last} from survivor {i} lost");
+        }
+    }
+    let _ = dur::millis(1);
+}
+
+#[test]
+fn agreement_under_random_crash() {
+    detcheck::check("agreement_under_random_crash", 24, |rng| {
+        let seed = rng.gen_range(0u64..500);
+        let crash_node = rng.gen_range(0usize..4);
+        let crash_at_ms = rng.gen_range(1u64..40);
+        let token = rng.gen_bool(0.5);
+        check_agreement_under_crash(seed, crash_node, crash_at_ms, token);
+    });
+}
+
+/// Regression preserved from the proptest era
+/// (group_sim.proptest-regressions, case 5f24ff55…): token ring, crash of
+/// node 1 at 2ms, simulation seed 238.
+#[test]
+fn regression_token_ring_node1_crash_at_2ms_seed_238() {
+    check_agreement_under_crash(238, 1, 2, true);
 }
 

@@ -8,8 +8,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 
 /// Identifies a simulated node (actor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -124,7 +123,7 @@ impl NetworkModel {
 
     /// Decide the fate of a message: `None` = dropped, `Some(delay)` =
     /// delivered after `delay` microseconds.
-    pub fn transit(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<u64> {
+    pub fn transit(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Option<u64> {
         if self.is_blocked(from, to) {
             return None;
         }
@@ -140,7 +139,6 @@ impl NetworkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn partitions_block_both_directions() {
@@ -158,7 +156,7 @@ mod tests {
     #[test]
     fn transit_respects_blocking_and_latency() {
         let mut net = NetworkModel::lan();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let (a, b) = (NodeId(0), NodeId(1));
         let d = net.transit(a, b, &mut rng).unwrap();
         assert!((100..=150).contains(&d), "delay {d}");
@@ -171,7 +169,7 @@ mod tests {
     #[test]
     fn lossy_link_drops_some() {
         let mut net = NetworkModel::new(LinkSpec { latency_us: 10, jitter_us: 0, drop_prob: 0.5 });
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = DetRng::seed_from_u64(7);
         let (a, b) = (NodeId(0), NodeId(1));
         let delivered = (0..200).filter(|_| net.transit(a, b, &mut rng).is_some()).count();
         assert!((60..140).contains(&delivered), "delivered {delivered}");

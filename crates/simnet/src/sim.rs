@@ -5,8 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use replimid_det::DetRng;
 
 use crate::net::{NetworkModel, NodeId};
 use crate::time::SimTime;
@@ -36,7 +35,7 @@ pub struct Ctx<'a, M> {
     now: SimTime,
     queue: &'a mut EventQueue<M>,
     net: &'a NetworkModel,
-    rng: &'a mut StdRng,
+    rng: &'a mut DetRng,
     meta: &'a mut [NodeMeta],
     stats: &'a mut SimStats,
     fifo: &'a mut std::collections::HashMap<(NodeId, NodeId), SimTime>,
@@ -48,7 +47,7 @@ impl<M> Ctx<'_, M> {
     }
 
     /// Deterministic per-simulation RNG (jitter, workload choices).
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut DetRng {
         self.rng
     }
 
@@ -213,7 +212,7 @@ pub struct Sim<M> {
     meta: Vec<NodeMeta>,
     queue: EventQueue<M>,
     pub net: NetworkModel,
-    rng: StdRng,
+    rng: DetRng,
     now: SimTime,
     started: bool,
     stats: SimStats,
@@ -227,7 +226,7 @@ impl<M> Sim<M> {
             meta: Vec::new(),
             queue: EventQueue::new(),
             net,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             now: SimTime::ZERO,
             started: false,
             stats: SimStats::default(),

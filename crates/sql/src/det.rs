@@ -7,14 +7,13 @@
 //! in their execution, which we model by letting the middleware (not the
 //! engine) decide whether to rewrite time macros before broadcast.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use replimid_det::DetRng;
 
 /// Per-engine non-deterministic inputs, with taint tracking.
 #[derive(Debug)]
 pub struct Determinism {
     now_us: i64,
-    rng: StdRng,
+    rng: DetRng,
     /// Set when the current statement evaluated NOW()/RAND(); reset by the
     /// engine at statement start. The middleware reads this to learn,
     /// post-hoc, that a statement it broadcast was unsafe.
@@ -23,7 +22,7 @@ pub struct Determinism {
 
 impl Determinism {
     pub fn new(seed: u64) -> Self {
-        Determinism { now_us: 0, rng: StdRng::seed_from_u64(seed), tainted: false }
+        Determinism { now_us: 0, rng: DetRng::seed_from_u64(seed), tainted: false }
     }
 
     /// Set the virtual wall clock (microseconds).

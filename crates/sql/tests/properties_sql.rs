@@ -1,6 +1,7 @@
-//! Property-based tests for the SQL substrate.
+//! Property-based tests for the SQL substrate, on the in-tree `detcheck`
+//! harness (seeded cases, reproducible by case seed — see crates/det).
 
-use proptest::prelude::*;
+use replimid_det::{detcheck, DetRng};
 use replimid_sql::ast::{
     BinOp, ColumnRef, Expr, InsertSource, ObjectName, OrderKey, Select, SelectItem, Statement,
 };
@@ -10,180 +11,236 @@ use replimid_sql::parser::parse_statement;
 use replimid_sql::{Outcome, Value, ADMIN_PASSWORD, ADMIN_USER};
 
 // ---------------------------------------------------------------------
-// parse(render(stmt)) == stmt
+// Generators (mirroring the strategies of the former proptest suite)
 // ---------------------------------------------------------------------
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,8}".prop_filter("not reserved", |s| {
-        ![
-            "where", "join", "inner", "on", "group", "having", "order", "limit", "offset",
-            "for", "set", "values", "as", "and", "or", "not", "asc", "desc", "end", "do",
-            "begin", "from", "select", "null", "true", "false", "exists", "in", "is", "like",
-            "between", "timestamp", "update", "insert", "delete", "create", "drop", "use",
-            "commit", "rollback", "grant", "call", "start",
-        ]
-        .contains(&s.as_str())
-    })
+const RESERVED: &[&str] = &[
+    "where", "join", "inner", "on", "group", "having", "order", "limit", "offset", "for",
+    "set", "values", "as", "and", "or", "not", "asc", "desc", "end", "do", "begin", "from",
+    "select", "null", "true", "false", "exists", "in", "is", "like", "between", "timestamp",
+    "update", "insert", "delete", "create", "drop", "use", "commit", "rollback", "grant",
+    "call", "start",
+];
+
+const IDENT_FIRST: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+    'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+const IDENT_REST: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q',
+    'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '0', '1', '2', '3', '4', '5', '6', '7',
+    '8', '9', '_',
+];
+
+const TEXT_CHARS: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '5', '9', ' ', '\'',
+];
+
+fn arb_ident(rng: &mut DetRng) -> String {
+    loop {
+        let first = *detcheck::pick(rng, IDENT_FIRST);
+        let mut s = String::new();
+        s.push(first);
+        s.push_str(&detcheck::string_from(rng, IDENT_REST, 0, 8));
+        if !RESERVED.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
+fn arb_value(rng: &mut DetRng) -> Value {
+    match rng.gen_range(0..6) {
+        0 => Value::Null,
+        1 => Value::Int(rng.gen::<i64>()),
         // Finite floats only: NaN breaks PartialEq round-trip comparison.
-        (-1.0e12f64..1.0e12).prop_map(Value::Float),
-        "[a-zA-Z0-9 ']{0,12}".prop_map(Value::Text),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Timestamp),
-    ]
+        2 => Value::Float((rng.gen::<f64>() - 0.5) * 2.0e12),
+        3 => Value::Text(detcheck::string_from(rng, TEXT_CHARS, 0, 12)),
+        4 => Value::Bool(rng.gen::<bool>()),
+        _ => Value::Timestamp(rng.gen::<i64>()),
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        arb_value().prop_map(Expr::Literal),
-        arb_ident().prop_map(|name| Expr::Column(ColumnRef { table: None, name })),
-        (arb_ident(), arb_ident())
-            .prop_map(|(t, name)| Expr::Column(ColumnRef { table: Some(t), name })),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add),
-                Just(BinOp::Sub),
-                Just(BinOp::Mul),
-                Just(BinOp::Eq),
-                Just(BinOp::Lt),
-                Just(BinOp::And),
-                Just(BinOp::Or),
-                Just(BinOp::Concat),
-            ])
-                .prop_map(|(l, r, op)| Expr::Binary {
-                    left: Box::new(l),
-                    op,
-                    right: Box::new(r)
-                }),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated
+fn arb_expr(rng: &mut DetRng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return match rng.gen_range(0..3) {
+            0 => Expr::Literal(arb_value(rng)),
+            1 => Expr::Column(ColumnRef { table: None, name: arb_ident(rng) }),
+            _ => Expr::Column(ColumnRef {
+                table: Some(arb_ident(rng)),
+                name: arb_ident(rng),
             }),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3), any::<bool>())
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated
-                }),
-            (arb_ident(), proptest::collection::vec(inner, 0..3))
-                .prop_map(|(name, args)| Expr::Function { name, args }),
-        ]
-    })
-}
-
-fn arb_object_name() -> impl Strategy<Value = ObjectName> {
-    (proptest::option::of(arb_ident()), arb_ident())
-        .prop_map(|(database, name)| ObjectName { database, name })
-}
-
-fn arb_select() -> impl Strategy<Value = Select> {
-    (
-        proptest::collection::vec(
-            (arb_expr(), proptest::option::of(arb_ident()))
-                .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
-            1..3,
-        ),
-        proptest::option::of(arb_object_name()),
-        proptest::option::of(arb_expr()),
-        proptest::option::of((arb_expr(), any::<bool>())),
-        proptest::option::of(0u64..100),
-        proptest::option::of(0u64..100),
-        any::<bool>(),
-    )
-        .prop_map(|(projections, from, filter, order, limit, offset, for_update)| {
-            let mut s = Select::empty();
-            s.projections = projections;
-            s.from = from.map(|name| replimid_sql::ast::TableRef::Table { name, alias: None });
-            s.filter = filter;
-            if let Some((expr, asc)) = order {
-                s.order_by.push(OrderKey { expr, asc });
+        };
+    }
+    match rng.gen_range(0..4) {
+        0 => {
+            let op = *detcheck::pick(
+                rng,
+                &[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Eq,
+                    BinOp::Lt,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Concat,
+                ],
+            );
+            Expr::Binary {
+                left: Box::new(arb_expr(rng, depth - 1)),
+                op,
+                right: Box::new(arb_expr(rng, depth - 1)),
             }
-            s.limit = limit;
-            s.offset = offset;
-            s.for_update = for_update;
-            s
-        })
+        }
+        1 => Expr::IsNull { expr: Box::new(arb_expr(rng, depth - 1)), negated: rng.gen::<bool>() },
+        2 => Expr::InList {
+            expr: Box::new(arb_expr(rng, depth - 1)),
+            list: detcheck::vec_of(rng, 0, 2, |r| arb_expr(r, depth - 1)),
+            negated: rng.gen::<bool>(),
+        },
+        _ => Expr::Function {
+            name: arb_ident(rng),
+            args: detcheck::vec_of(rng, 0, 2, |r| arb_expr(r, depth - 1)),
+        },
+    }
 }
 
-fn arb_statement() -> impl Strategy<Value = Statement> {
-    prop_oneof![
-        arb_select().prop_map(|s| Statement::Select(Box::new(s))),
-        (
-            arb_object_name(),
-            proptest::collection::vec(arb_ident(), 0..3),
-            proptest::collection::vec(proptest::collection::vec(arb_expr(), 1..3), 1..3),
-        )
-            .prop_map(|(table, columns, rows)| {
-                // Column count must match each row's arity for realism; the
-                // renderer/parser don't care, but keep rows uniform.
-                let width = rows[0].len();
-                let rows: Vec<Vec<Expr>> =
-                    rows.into_iter().map(|mut r| {
-                        r.truncate(width);
-                        while r.len() < width {
-                            r.push(Expr::lit(0i64));
-                        }
-                        r
-                    })
-                    .collect();
-                let columns = if columns.len() == width { columns } else { Vec::new() };
-                Statement::Insert { table, columns, source: InsertSource::Values(rows) }
-            }),
-        (
-            arb_object_name(),
-            proptest::collection::vec((arb_ident(), arb_expr()), 1..3),
-            proptest::option::of(arb_expr()),
-        )
-            .prop_map(|(table, assignments, filter)| Statement::Update {
-                table,
-                assignments,
-                filter
-            }),
-        (arb_object_name(), proptest::option::of(arb_expr()))
-            .prop_map(|(table, filter)| Statement::Delete { table, filter }),
-    ]
+fn arb_object_name(rng: &mut DetRng) -> ObjectName {
+    ObjectName {
+        database: detcheck::option_of(rng, arb_ident),
+        name: arb_ident(rng),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The statement renderer and parser are inverses: load-bearing for
-    /// statement-based replication and recovery-log replay.
-    #[test]
-    fn render_parse_round_trip(stmt in arb_statement()) {
-        let sql = stmt.to_string();
-        let reparsed = parse_statement(&sql)
-            .unwrap_or_else(|e| panic!("could not re-parse {sql:?}: {e}"));
-        prop_assert_eq!(stmt, reparsed, "render/parse mismatch for {}", sql);
+fn arb_select(rng: &mut DetRng) -> Select {
+    let mut s = Select::empty();
+    s.projections = detcheck::vec_of(rng, 1, 2, |r| SelectItem::Expr {
+        expr: arb_expr(r, 3),
+        alias: detcheck::option_of(r, arb_ident),
+    });
+    s.from = detcheck::option_of(rng, arb_object_name)
+        .map(|name| replimid_sql::ast::TableRef::Table { name, alias: None });
+    s.filter = detcheck::option_of(rng, |r| arb_expr(r, 3));
+    if let Some((expr, asc)) = detcheck::option_of(rng, |r| (arb_expr(r, 3), r.gen::<bool>())) {
+        s.order_by.push(OrderKey { expr, asc });
     }
+    s.limit = detcheck::option_of(rng, |r| r.gen_range(0u64..100));
+    s.offset = detcheck::option_of(rng, |r| r.gen_range(0u64..100));
+    s.for_update = rng.gen::<bool>();
+    s
+}
 
-    /// LIKE matching agrees with a simple dynamic-programming oracle.
-    #[test]
-    fn like_agrees_with_oracle(s in "[ab_%]{0,8}", p in "[ab_%]{0,6}") {
-        prop_assert_eq!(like_match(&s, &p), like_oracle(&s, &p));
+fn arb_statement(rng: &mut DetRng) -> Statement {
+    match rng.gen_range(0..4) {
+        0 => Statement::Select(Box::new(arb_select(rng))),
+        1 => {
+            let table = arb_object_name(rng);
+            let columns = detcheck::vec_of(rng, 0, 2, arb_ident);
+            let rows =
+                detcheck::vec_of(rng, 1, 2, |r| detcheck::vec_of(r, 1, 2, |r2| arb_expr(r2, 3)));
+            // Column count must match each row's arity for realism; the
+            // renderer/parser don't care, but keep rows uniform.
+            let width = rows[0].len();
+            let rows: Vec<Vec<Expr>> = rows
+                .into_iter()
+                .map(|mut r| {
+                    r.truncate(width);
+                    while r.len() < width {
+                        r.push(Expr::lit(0i64));
+                    }
+                    r
+                })
+                .collect();
+            let columns = if columns.len() == width { columns } else { Vec::new() };
+            Statement::Insert { table, columns, source: InsertSource::Values(rows) }
+        }
+        2 => Statement::Update {
+            table: arb_object_name(rng),
+            assignments: detcheck::vec_of(rng, 1, 2, |r| (arb_ident(r), arb_expr(r, 3))),
+            filter: detcheck::option_of(rng, |r| arb_expr(r, 3)),
+        },
+        _ => Statement::Delete {
+            table: arb_object_name(rng),
+            filter: detcheck::option_of(rng, |r| arb_expr(r, 3)),
+        },
     }
+}
 
-    /// Data checksums are insertion-order independent (replicas insert in
-    /// different orders under multi-master; only content may matter).
-    #[test]
-    fn checksum_order_independence(mut keys in proptest::collection::hash_set(0i64..1000, 1..20)) {
-        let keys: Vec<i64> = keys.drain().collect();
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+fn assert_round_trip(stmt: &Statement) {
+    let sql = stmt.to_string();
+    let reparsed =
+        parse_statement(&sql).unwrap_or_else(|e| panic!("could not re-parse {sql:?}: {e}"));
+    assert_eq!(*stmt, reparsed, "render/parse mismatch for {sql}");
+}
+
+/// The statement renderer and parser are inverses: load-bearing for
+/// statement-based replication and recovery-log replay.
+#[test]
+fn render_parse_round_trip() {
+    detcheck::check("render_parse_round_trip", 256, |rng| {
+        let stmt = arb_statement(rng);
+        assert_round_trip(&stmt);
+    });
+}
+
+/// Regression preserved from the proptest era
+/// (crates/sql/tests/properties_sql.proptest-regressions, case
+/// 0bfd3c56…): `INSERT INTO a VALUES (NULL + TIMESTAMP '-1')` must survive
+/// the render/parse round trip.
+#[test]
+fn regression_insert_null_plus_timestamp_round_trips() {
+    let stmt = Statement::Insert {
+        table: ObjectName { database: None, name: "a".to_string() },
+        columns: Vec::new(),
+        source: InsertSource::Values(vec![vec![Expr::Binary {
+            left: Box::new(Expr::Literal(Value::Null)),
+            op: BinOp::Add,
+            right: Box::new(Expr::Literal(Value::Timestamp(-1))),
+        }]]),
+    };
+    assert_round_trip(&stmt);
+}
+
+/// LIKE matching agrees with a simple dynamic-programming oracle.
+#[test]
+fn like_agrees_with_oracle() {
+    const LIKE_CHARS: &[char] = &['a', 'b', '_', '%'];
+    detcheck::check("like_agrees_with_oracle", 256, |rng| {
+        let s = detcheck::string_from(rng, LIKE_CHARS, 0, 8);
+        let p = detcheck::string_from(rng, LIKE_CHARS, 0, 6);
+        assert_eq!(like_match(&s, &p), like_oracle(&s, &p), "s={s:?} p={p:?}");
+    });
+}
+
+/// Data checksums are insertion-order independent (replicas insert in
+/// different orders under multi-master; only content may matter).
+#[test]
+fn checksum_order_independence() {
+    detcheck::check("checksum_order_independence", 128, |rng| {
+        let mut set = std::collections::BTreeSet::new();
+        let n = rng.gen_range(1..20usize);
+        while set.len() < n {
+            set.insert(rng.gen_range(0i64..1000));
+        }
+        let keys: Vec<i64> = set.into_iter().collect();
         let forward = engine_with_rows(keys.iter().copied());
         let backward = engine_with_rows(keys.iter().rev().copied());
-        prop_assert_eq!(forward.checksum_data(), backward.checksum_data());
-    }
+        assert_eq!(forward.checksum_data(), backward.checksum_data());
+    });
+}
 
-    /// Snapshot isolation: everything a transaction reads stays stable for
-    /// its whole lifetime, regardless of concurrent committed writes.
-    #[test]
-    fn si_reads_are_repeatable(writes in proptest::collection::vec((1i64..5, 0i64..100), 1..12)) {
+/// Snapshot isolation: everything a transaction reads stays stable for
+/// its whole lifetime, regardless of concurrent committed writes.
+#[test]
+fn si_reads_are_repeatable() {
+    detcheck::check("si_reads_are_repeatable", 128, |rng| {
+        let writes =
+            detcheck::vec_of(rng, 1, 11, |r| (r.gen_range(1i64..5), r.gen_range(0i64..100)));
         let (mut e, reader) = Engine::with_database("d");
         e.execute(reader, "CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
         for id in 1..5 {
@@ -197,10 +254,10 @@ proptest! {
         for (id, v) in writes {
             e.execute(writer, &format!("UPDATE t SET v = {v} WHERE id = {id}")).unwrap();
             let during = read_all(&mut e, reader);
-            prop_assert_eq!(&before, &during, "snapshot changed mid-transaction");
+            assert_eq!(before, during, "snapshot changed mid-transaction");
         }
         e.execute(reader, "COMMIT").unwrap();
-    }
+    });
 }
 
 fn read_all(e: &mut Engine, c: replimid_sql::ConnId) -> Vec<Vec<Value>> {

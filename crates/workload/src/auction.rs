@@ -2,8 +2,7 @@
 //! item listings and bidding. Bids contend on *hot items* — the natural
 //! conflict generator for certification-abort experiments.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 use replimid_core::TxSource;
 
 pub fn schema(db: &str, items: usize) -> Vec<String> {
@@ -50,7 +49,7 @@ impl Auction {
 }
 
 impl TxSource for Auction {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let item = if rng.gen::<f64>() < self.hot_fraction {
             rng.gen_range(0..self.hot_items)
         } else {
@@ -88,12 +87,11 @@ impl TxSource for Auction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn bids_are_transactions_browses_are_not() {
         let mut a = Auction::new(100, 1.0, 7);
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DetRng::seed_from_u64(8);
         assert_eq!(a.next_tx(&mut rng).len(), 5);
         let mut b = Auction::new(100, 0.0, 7);
         assert_eq!(b.next_tx(&mut rng).len(), 1);
@@ -102,7 +100,7 @@ mod tests {
     #[test]
     fn hot_items_receive_disproportionate_bids() {
         let mut a = Auction::new(1000, 1.0, 7);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DetRng::seed_from_u64(9);
         let hot = (0..500)
             .filter(|_| {
                 let tx = a.next_tx(&mut rng);

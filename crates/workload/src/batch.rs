@@ -3,7 +3,7 @@
 //! database." One client, zero think time, strictly serial sub-millisecond
 //! updates — pure latency exposure.
 
-use rand::rngs::StdRng;
+use replimid_det::DetRng;
 use replimid_core::TxSource;
 
 /// Updates keys 0..n strictly in order, one statement per transaction, then
@@ -20,7 +20,7 @@ impl BatchUpdate {
 }
 
 impl TxSource for BatchUpdate {
-    fn next_tx(&mut self, _rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut DetRng) -> Vec<String> {
         let k = self.cursor % self.keys.max(1);
         self.cursor += 1;
         vec![format!("UPDATE bench SET v = v + 1 WHERE k = {k}")]
@@ -30,12 +30,11 @@ impl TxSource for BatchUpdate {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn strictly_sequential() {
         let mut b = BatchUpdate::new(3);
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = DetRng::seed_from_u64(0);
         let keys: Vec<String> = (0..4).map(|_| b.next_tx(&mut rng)[0].clone()).collect();
         assert!(keys[0].ends_with("k = 0"));
         assert!(keys[1].ends_with("k = 1"));

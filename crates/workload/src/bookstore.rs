@@ -3,8 +3,7 @@
 //! §3.4 norm; this generator reproduces the shape (browse-heavy, orders
 //! write several tables in one transaction).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 use replimid_core::TxSource;
 
 pub fn schema(db: &str, books: usize, customers: usize) -> Vec<String> {
@@ -58,7 +57,7 @@ impl Bookstore {
 }
 
 impl TxSource for Bookstore {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let book = rng.gen_range(0..self.books);
         if rng.gen::<f64>() < self.mix.buy_fraction {
             let customer = rng.gen_range(0..self.customers);
@@ -93,12 +92,11 @@ impl TxSource for Bookstore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn orders_touch_three_tables() {
         let mut b = Bookstore::new(100, 50, 1.0, 3);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DetRng::seed_from_u64(5);
         let tx = b.next_tx(&mut rng);
         assert_eq!(tx.len(), 6);
         assert!(tx[2].starts_with("UPDATE books"));
@@ -109,7 +107,7 @@ mod tests {
     #[test]
     fn browse_is_read_only() {
         let mut b = Bookstore::new(100, 50, 0.0, 3);
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = DetRng::seed_from_u64(6);
         for _ in 0..20 {
             let tx = b.next_tx(&mut rng);
             assert_eq!(tx.len(), 1);

@@ -5,8 +5,7 @@
 //! Agents search availability (reads over flights/hotels) and occasionally
 //! book (a read-check then an update + insert transaction).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 use replimid_core::TxSource;
 
 /// Inventory schema: flights with seat counts, bookings ledger.
@@ -52,7 +51,7 @@ impl Broker {
 }
 
 impl TxSource for Broker {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let flight = rng.gen_range(0..self.flights);
         if rng.gen::<f64>() < self.write_fraction {
             // A booking: check availability, take a seat, record the sale.
@@ -81,12 +80,11 @@ impl TxSource for Broker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn mix_is_mostly_reads() {
         let mut b = Broker::new(100, 0.05, 1);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let writes = (0..1000).filter(|_| b.next_tx(&mut rng).len() > 1).count();
         assert!((20..90).contains(&writes), "writes {writes}");
     }
@@ -95,7 +93,7 @@ mod tests {
     fn booking_ids_are_disjoint_across_agents() {
         let mut a = Broker::new(10, 1.0, 1);
         let mut b = Broker::new(10, 1.0, 2);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let ta = a.next_tx(&mut rng);
         let tb = b.next_tx(&mut rng);
         assert!(ta[3].contains("(10000000,"));

@@ -5,8 +5,7 @@
 //! draws exponential inter-failure times at a configurable multiple of that
 //! rate (virtual hours are cheap) and pairs each crash with a repair delay.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 use replimid_simnet::{dur, SimTime};
 
 /// One planned fault.
@@ -33,7 +32,7 @@ impl FaultSchedule {
     /// (virtual campaigns compress months into simulated minutes).
     /// `mttr_us` is the mean repair time (exponential).
     pub fn poisson(
-        rng: &mut StdRng,
+        rng: &mut DetRng,
         nodes: usize,
         horizon_us: u64,
         accel: f64,
@@ -82,11 +81,10 @@ impl FaultSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_rate_reproduces_one_per_day_per_200() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = DetRng::seed_from_u64(10);
         // 200 nodes for one simulated day at the paper's base rate.
         let s = FaultSchedule::poisson(&mut rng, 200, dur::hours(24), 1.0, dur::minutes(10));
         // Expected ~1 failure; accept a wide Poisson band.
@@ -95,16 +93,16 @@ mod tests {
 
     #[test]
     fn acceleration_scales_counts() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let slow = FaultSchedule::poisson(&mut rng, 10, dur::hours(1), 100.0, dur::minutes(1));
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::seed_from_u64(11);
         let fast = FaultSchedule::poisson(&mut rng, 10, dur::hours(1), 10_000.0, dur::minutes(1));
         assert!(fast.len() > slow.len() * 10, "{} vs {}", fast.len(), slow.len());
     }
 
     #[test]
     fn restarts_follow_crashes() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = DetRng::seed_from_u64(12);
         let s = FaultSchedule::poisson(&mut rng, 5, dur::hours(2), 50_000.0, dur::minutes(5));
         assert!(!s.is_empty());
         for f in &s.faults {

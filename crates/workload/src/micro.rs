@@ -1,8 +1,7 @@
 //! Microbenchmarks: keyed updates with controllable contention, point
 //! reads, and a parameterized read/write mix.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use replimid_det::DetRng;
 use replimid_core::TxSource;
 
 /// Schema for the microbenchmark table: `bench(k INT PRIMARY KEY, v INT)`
@@ -49,7 +48,7 @@ impl KeyedUpdates {
         KeyedUpdates { total_keys, hot_keys, hot_fraction, writes_per_tx: 2, isolation: Some("SNAPSHOT") }
     }
 
-    fn draw_key(&self, rng: &mut StdRng) -> i64 {
+    fn draw_key(&self, rng: &mut DetRng) -> i64 {
         if self.hot_keys < self.total_keys && rng.gen::<f64>() < self.hot_fraction {
             rng.gen_range(0..self.hot_keys)
         } else {
@@ -59,7 +58,7 @@ impl KeyedUpdates {
 }
 
 impl TxSource for KeyedUpdates {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let mut stmts = Vec::new();
         if let Some(level) = self.isolation {
             stmts.push(format!("BEGIN ISOLATION LEVEL {level}"));
@@ -81,7 +80,7 @@ pub struct PointReads {
 }
 
 impl TxSource for PointReads {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let k = rng.gen_range(0..self.total_keys);
         vec![format!("SELECT v FROM bench WHERE k = {k}")]
     }
@@ -96,7 +95,7 @@ pub struct ReadWriteMix {
 }
 
 impl TxSource for ReadWriteMix {
-    fn next_tx(&mut self, rng: &mut StdRng) -> Vec<String> {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
         let k = rng.gen_range(0..self.total_keys);
         if rng.gen::<f64>() < self.write_fraction {
             vec![format!("UPDATE bench SET v = v + 1 WHERE k = {k}")]
@@ -109,7 +108,6 @@ impl TxSource for ReadWriteMix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn schema_preloads_rows() {
@@ -121,7 +119,7 @@ mod tests {
     #[test]
     fn contended_updates_stay_in_key_space() {
         let mut w = KeyedUpdates::contended(1000, 10, 0.8);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         for _ in 0..50 {
             let tx = w.next_tx(&mut rng);
             assert_eq!(tx.len(), 4); // BEGIN, 2 updates, COMMIT
@@ -132,7 +130,7 @@ mod tests {
     #[test]
     fn mix_respects_fraction_roughly() {
         let mut w = ReadWriteMix { total_keys: 100, write_fraction: 0.3 };
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let writes = (0..1000)
             .filter(|_| w.next_tx(&mut rng)[0].starts_with("UPDATE"))
             .count();

@@ -11,7 +11,7 @@ use replimid_simnet::{dur, SimTime};
 struct Inserts(i64);
 
 impl TxSource for Inserts {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         self.0 += 1;
         vec![format!("INSERT INTO events VALUES ({}, now())", self.0)]
     }

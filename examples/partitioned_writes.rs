@@ -14,7 +14,7 @@ struct OrderStream {
 }
 
 impl TxSource for OrderStream {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         let id = self.next;
         self.next += 1;
         if id % 10 == 0 {

@@ -11,7 +11,7 @@ use replimid_simnet::{dur, LinkSpec, NetworkModel};
 struct Writes(i64);
 
 impl TxSource for Writes {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         self.0 += 1;
         vec![format!("INSERT INTO log (id, site) VALUES ({}, {})", self.0, self.0 % 3)]
     }

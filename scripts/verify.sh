@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Tier-1 verification, runnable with no network access:
+#   1. guard: no external (registry) dependencies in any crate manifest
+#   2. cargo build --release --offline
+#   3. cargo test -q --offline
+#
+# The guard exists because this workspace is built in environments with no
+# registry access: a single external crate in a Cargo.toml breaks the build
+# before anything compiles (see DESIGN.md, "Hermetic-build policy").
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. No-external-dependency guard -----------------------------------
+# Every dependency line in every crate manifest must be a workspace or
+# path dependency. Anything else would be fetched from the registry.
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Lines inside [dependencies]/[dev-dependencies]/[build-dependencies]
+    # sections that are not workspace/path references.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies/) }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*[.=]/ {
+            if ($0 !~ /workspace[[:space:]]*=[[:space:]]*true/ &&
+                $0 !~ /\.workspace[[:space:]]*=/ &&
+                $0 !~ /path[[:space:]]*=/)
+                print FILENAME ": " $0
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: external dependency in $manifest:" >&2
+        echo "$bad" >&2
+        fail=1
+    fi
+done
+
+# Belt and braces: the crates this repo historically depended on must not
+# reappear anywhere in a crate manifest.
+if grep -rnE '^[[:space:]]*(rand|proptest|criterion)[[:space:]]*[.=]' \
+        Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: banned external crate referenced above" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "verify: dependency guard FAILED" >&2
+    exit 1
+fi
+echo "verify: dependency guard OK (workspace is hermetic)"
+
+# --- 2 + 3. Tier-1 build and tests, offline ----------------------------
+cargo build --release --offline
+cargo test -q --offline
+
+echo "verify: OK"

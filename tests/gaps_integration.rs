@@ -13,7 +13,7 @@ struct SeqInsert {
 }
 
 impl TxSource for SeqInsert {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         let k = self.next;
         self.next += 1;
         vec![format!("INSERT INTO bench VALUES ({k}, 1)")]

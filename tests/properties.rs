@@ -1,8 +1,10 @@
 //! Cluster-level property tests: convergence and exactly-once guarantees
-//! hold across randomized workloads, seeds, and fault timings.
+//! hold across randomized workloads, seeds, and fault timings. Runs on the
+//! in-tree `detcheck` harness (seeded cases; failures name the reproducing
+//! case seed — see crates/det).
 
-use proptest::prelude::*;
 use replimid_core::{Cluster, ClusterConfig, Mode, NondetPolicy, ScriptSource, TxSource};
+use replimid_det::{detcheck, DetRng};
 use replimid_simnet::{dur, SimTime};
 use replimid_workload::micro;
 
@@ -11,135 +13,153 @@ struct SeqInsert {
 }
 
 impl TxSource for SeqInsert {
-    fn next_tx(&mut self, _rng: &mut rand::rngs::StdRng) -> Vec<String> {
+    fn next_tx(&mut self, _rng: &mut DetRng) -> Vec<String> {
         let k = self.next;
         self.next += 1;
         vec![format!("INSERT INTO bench VALUES ({k}, 1)")]
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Statement-based multi-master converges for any seed and client count
-    /// under a safe rewrite policy.
-    #[test]
-    fn statement_replication_always_converges(
-        seed in 0u64..1000,
-        clients in 1usize..4,
-        backends in 2usize..4,
-    ) {
-        let mut cfg = ClusterConfig::new(
-            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
-            micro::schema("bench", 100),
-            "bench",
-        );
-        cfg.seed = seed;
-        cfg.backends_per_mw = backends;
-        let mut cluster = Cluster::build(cfg);
-        let mut handles = Vec::new();
-        for i in 0..clients {
-            handles.push(cluster.add_client(
-                SeqInsert { next: 10_000 * (i as i64 + 1) },
-                |cc| {
-                    cc.think_time_us = 700;
-                    cc.tx_limit = 150;
-                },
-            ));
-        }
-        cluster.run_for(dur::secs(4));
-        cluster.run_for(dur::secs(1)); // drain
-        let committed: u64 = handles
-            .iter()
-            .map(|&h| cluster.client_metrics(h).committed)
-            .sum();
-        prop_assert!(committed >= 100 * clients as u64);
-        let sums = cluster.backend_checksums();
-        let flat: Vec<u64> = sums.iter().flatten().copied().collect();
-        prop_assert!(flat.windows(2).all(|w| w[0] == w[1]), "diverged: {sums:?}");
+/// Statement-based multi-master converges for any seed and client count
+/// under a safe rewrite policy.
+fn check_statement_replication_converges(seed: u64, clients: usize, backends: usize) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 100),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = backends;
+    let mut cluster = Cluster::build(cfg);
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        handles.push(cluster.add_client(SeqInsert { next: 10_000 * (i as i64 + 1) }, |cc| {
+            cc.think_time_us = 700;
+            cc.tx_limit = 150;
+        }));
     }
+    cluster.run_for(dur::secs(4));
+    cluster.run_for(dur::secs(1)); // drain
+    let committed: u64 = handles.iter().map(|&h| cluster.client_metrics(h).committed).sum();
+    assert!(committed >= 100 * clients as u64, "committed {committed}");
+    let sums = cluster.backend_checksums();
+    let flat: Vec<u64> = sums.iter().flatten().copied().collect();
+    assert!(flat.windows(2).all(|w| w[0] == w[1]), "diverged: {sums:?}");
+}
 
-    /// Writeset certification never loses or duplicates an increment, even
-    /// under contention: final counter == total committed increments.
-    #[test]
-    fn certification_is_exactly_once(seed in 0u64..1000, contenders in 2usize..5) {
-        let mut cfg = ClusterConfig::new(
-            Mode::MultiMasterWriteset,
-            micro::schema("bench", 4),
-            "bench",
-        );
-        cfg.seed = seed;
-        let mut cluster = Cluster::build(cfg);
-        let mut handles = Vec::new();
-        for _ in 0..contenders {
-            handles.push(cluster.add_client(
-                ScriptSource::new(vec![vec![
-                    "BEGIN ISOLATION LEVEL SNAPSHOT".into(),
-                    "UPDATE bench SET v = v + 1 WHERE k = 0".into(),
-                    "COMMIT".into(),
-                ]]),
-                |cc| {
-                    cc.think_time_us = 900;
-                    cc.tx_limit = 60;
-                    cc.max_retries = 50;
-                },
-            ));
-        }
-        cluster.run_for(dur::secs(6));
-        cluster.run_for(dur::secs(1));
-        let committed: u64 = handles
-            .iter()
-            .map(|&h| cluster.client_metrics(h).committed)
-            .sum();
-        prop_assert!(committed > 0);
-        let v = cluster.with_backend_engine(0, 0, |e| {
-            let conn = e.connect("admin", "admin").unwrap();
-            e.execute(conn, "USE bench").unwrap();
-            e.execute(conn, "SELECT v FROM bench WHERE k = 0")
-                .unwrap()
-                .outcome
-                .rows()
-                .unwrap()
-                .rows[0][0]
-                .as_int()
-                .unwrap()
-        });
-        prop_assert_eq!(v as u64, committed, "lost or duplicated increments");
-        let sums = cluster.backend_checksums();
-        let flat: Vec<u64> = sums.iter().flatten().copied().collect();
-        prop_assert!(flat.windows(2).all(|w| w[0] == w[1]));
-    }
+#[test]
+fn statement_replication_always_converges() {
+    detcheck::check("statement_replication_always_converges", 8, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let clients = rng.gen_range(1usize..4);
+        let backends = rng.gen_range(2usize..4);
+        check_statement_replication_converges(seed, clients, backends);
+    });
+}
 
-    /// A crash/restart at a random time never prevents convergence: the
-    /// rejoined replica always matches the survivors after recovery.
-    #[test]
-    fn crash_recovery_always_converges(
-        seed in 0u64..1000,
-        crash_ms in 500u64..2_000,
-        down_ms in 200u64..1_500,
-        victim in 0usize..3,
-    ) {
-        let mut cfg = ClusterConfig::new(
-            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
-            micro::schema("bench", 50),
-            "bench",
-        );
-        cfg.seed = seed;
-        let mut cluster = Cluster::build(cfg);
-        let c = cluster.add_client(SeqInsert { next: 1_000 }, |cc| {
-            cc.think_time_us = 800;
-            cc.tx_limit = 1_500;
-        });
-        cluster.crash_backend_at(SimTime::from_millis(crash_ms), 0, victim);
-        cluster.restart_backend_at(SimTime::from_millis(crash_ms + down_ms), 0, victim);
-        cluster.run_for(dur::secs(7));
-        let m = cluster.client_metrics(c);
-        prop_assert!(m.committed >= 1_000, "committed {}", m.committed);
-        let sums = cluster.backend_checksums();
-        let flat: Vec<u64> = sums.iter().flatten().copied().collect();
-        prop_assert!(
-            flat.windows(2).all(|w| w[0] == w[1]),
-            "diverged after recovery (victim {victim}): {sums:?}"
-        );
+/// Regression preserved from the proptest era
+/// (tests/properties.proptest-regressions, case a413ef28…): seed 36 with
+/// 3 clients against 2 backends once diverged.
+#[test]
+fn regression_statement_replication_seed_36_3_clients_2_backends() {
+    check_statement_replication_converges(36, 3, 2);
+}
+
+/// Writeset certification never loses or duplicates an increment, even
+/// under contention: final counter == total committed increments.
+fn check_certification_exactly_once(seed: u64, contenders: usize) {
+    let mut cfg =
+        ClusterConfig::new(Mode::MultiMasterWriteset, micro::schema("bench", 4), "bench");
+    cfg.seed = seed;
+    let mut cluster = Cluster::build(cfg);
+    let mut handles = Vec::new();
+    for _ in 0..contenders {
+        handles.push(cluster.add_client(
+            ScriptSource::new(vec![vec![
+                "BEGIN ISOLATION LEVEL SNAPSHOT".into(),
+                "UPDATE bench SET v = v + 1 WHERE k = 0".into(),
+                "COMMIT".into(),
+            ]]),
+            |cc| {
+                cc.think_time_us = 900;
+                cc.tx_limit = 60;
+                cc.max_retries = 50;
+            },
+        ));
     }
+    cluster.run_for(dur::secs(6));
+    cluster.run_for(dur::secs(1));
+    let committed: u64 = handles.iter().map(|&h| cluster.client_metrics(h).committed).sum();
+    assert!(committed > 0);
+    let v = cluster.with_backend_engine(0, 0, |e| {
+        let conn = e.connect("admin", "admin").unwrap();
+        e.execute(conn, "USE bench").unwrap();
+        e.execute(conn, "SELECT v FROM bench WHERE k = 0")
+            .unwrap()
+            .outcome
+            .rows()
+            .unwrap()
+            .rows[0][0]
+            .as_int()
+            .unwrap()
+    });
+    assert_eq!(v as u64, committed, "lost or duplicated increments");
+    let sums = cluster.backend_checksums();
+    let flat: Vec<u64> = sums.iter().flatten().copied().collect();
+    assert!(flat.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn certification_is_exactly_once() {
+    detcheck::check("certification_is_exactly_once", 8, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let contenders = rng.gen_range(2usize..5);
+        check_certification_exactly_once(seed, contenders);
+    });
+}
+
+/// Regression preserved from the proptest era
+/// (tests/properties.proptest-regressions, case 340ca626…): seed 301 with
+/// 4 contenders once lost an increment.
+#[test]
+fn regression_certification_seed_301_4_contenders() {
+    check_certification_exactly_once(301, 4);
+}
+
+/// A crash/restart at a random time never prevents convergence: the
+/// rejoined replica always matches the survivors after recovery.
+fn check_crash_recovery_converges(seed: u64, crash_ms: u64, down_ms: u64, victim: usize) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 50),
+        "bench",
+    );
+    cfg.seed = seed;
+    let mut cluster = Cluster::build(cfg);
+    let c = cluster.add_client(SeqInsert { next: 1_000 }, |cc| {
+        cc.think_time_us = 800;
+        cc.tx_limit = 1_500;
+    });
+    cluster.crash_backend_at(SimTime::from_millis(crash_ms), 0, victim);
+    cluster.restart_backend_at(SimTime::from_millis(crash_ms + down_ms), 0, victim);
+    cluster.run_for(dur::secs(7));
+    let m = cluster.client_metrics(c);
+    assert!(m.committed >= 1_000, "committed {}", m.committed);
+    let sums = cluster.backend_checksums();
+    let flat: Vec<u64> = sums.iter().flatten().copied().collect();
+    assert!(
+        flat.windows(2).all(|w| w[0] == w[1]),
+        "diverged after recovery (victim {victim}): {sums:?}"
+    );
+}
+
+#[test]
+fn crash_recovery_always_converges() {
+    detcheck::check("crash_recovery_always_converges", 8, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let crash_ms = rng.gen_range(500u64..2_000);
+        let down_ms = rng.gen_range(200u64..1_500);
+        let victim = rng.gen_range(0usize..3);
+        check_crash_recovery_converges(seed, crash_ms, down_ms, victim);
+    });
 }
