@@ -11,19 +11,19 @@
 use replimid_bench::{aggregate, mm_statement_cfg, run_and_drain, tps, SeqInsert, Table};
 use replimid_core::{
     AdminCmd, BackendId, Cluster, ClusterConfig, Mode, NondetPolicy, PartitionScheme,
-    Partitioner, Policy, ReplayMode, ScriptSource,
+    Partitioner, Policy, QuarantineConfig, ReplayMode, ScriptSource,
 };
 use replimid_gcs::{
-    Action, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol,
+    Action, AdaptiveConfig, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol,
 };
-use replimid_simnet::{dur, LinkSpec, NetworkModel, NodeId, SimTime};
-use replimid_workload::{micro, FaultSchedule};
+use replimid_simnet::{dur, LinkFault, LinkSpec, NetworkModel, NodeId, SimTime};
+use replimid_workload::{micro, FaultSchedule, GrayFaultSchedule, GrayKind, GraySpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-        "E14", "E15",
+        "E14", "E15", "E16",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -47,6 +47,7 @@ fn main() {
             "E13" => e13_backup(),
             "E14" => e14_group_communication(),
             "E15" => e15_slave_lag(),
+            "E16" => e16_gray_failure_campaign(),
             _ => unreachable!(),
         }
     }
@@ -924,6 +925,7 @@ fn e14_group_communication() {
                     protocol: proto,
                     token_timeout_us: 2_000_000,
                     flush_timeout_us: 2_000_000,
+                    adaptive: None,
                 };
                 let nodes: Vec<NodeId> = (0..group)
                     .map(|i| {
@@ -1032,4 +1034,206 @@ fn e15_slave_lag() {
     }
     t.print();
     println!("  (the paper's fix — \"slow down the master\" — corresponds to raising\n   client think time until final lag returns to ~0)\n");
+}
+
+// ---------------------------------------------------------------------
+// E16 — gray-failure campaign: brownouts, flaky links, quarantine,
+// adaptive detection, degraded read-only
+// ---------------------------------------------------------------------
+
+/// Read-mostly mix with occasional full scans. The scans matter: under a
+/// brownout they occupy the backend long enough to cross a fixed silence
+/// timeout, which a point read (~40µs) never does.
+struct GrayMix {
+    total_keys: i64,
+    write_fraction: f64,
+    scan_fraction: f64,
+}
+
+impl replimid_core::TxSource for GrayMix {
+    fn next_tx(&mut self, rng: &mut replimid_det::DetRng) -> Vec<String> {
+        let d: f64 = rng.gen();
+        let k = rng.gen_range(0..self.total_keys);
+        if d < self.write_fraction {
+            vec![format!("UPDATE bench SET v = v + 1 WHERE k = {k}")]
+        } else if d < self.write_fraction + self.scan_fraction {
+            vec!["SELECT COUNT(v) FROM bench".to_string()]
+        } else {
+            vec![format!("SELECT v FROM bench WHERE k = {k}")]
+        }
+    }
+}
+
+fn e16_gray_failure_campaign() {
+    banner(
+        "E16",
+        "gray-failure campaign: brownouts & flaky links vs quarantine/adaptive (§4.1.3, §5.1)",
+    );
+    let secs: u64 = 30;
+    let rows = 4_000usize;
+    // One seeded gray schedule, applied verbatim to every config so the
+    // four arms face the identical fault sequence. Brownouts stretch
+    // service times (backlog builds, op timeouts fire); flaky links drop
+    // and delay messages (silence gaps fool the fixed heartbeat timeout).
+    let mut rng = replimid_det::DetRng::seed_from_u64(160);
+    let spec = GraySpec {
+        accel: 1_200_000.0,
+        mean_episode_us: dur::secs(2),
+        min_episode_us: dur::millis(800),
+        brownout_ratio: 0.5,
+        brownout_factor: (6.0, 10.0),
+        link: LinkFault { drop_prob: 0.25, dup_prob: 0.05, jitter_us: 40_000 },
+    };
+    let schedule = GrayFaultSchedule::poisson(&mut rng, 3, dur::secs(secs), spec);
+    let brownouts = schedule
+        .faults
+        .iter()
+        .filter(|f| matches!(f.kind, GrayKind::Brownout { .. }))
+        .count();
+    println!(
+        "  schedule: {} gray episodes over {secs}s ({brownouts} brownouts, {} flaky links); no node ever crashes\n",
+        schedule.len(),
+        schedule.len() - brownouts,
+    );
+    let mut t = Table::new(&[
+        "config", "goodput tps", "p99 ms", "false evict", "trips", "rejoins", "availability",
+        "nines",
+    ]);
+    for (label, quarantine, adaptive) in [
+        ("baseline", false, false),
+        ("quarantine", true, false),
+        ("adaptive", false, true),
+        ("quarantine+adaptive", true, true),
+    ] {
+        let mut cfg = mm_statement_cfg(rows);
+        // Round-robin read routing so the comparison isolates the
+        // health-driven mechanisms (LPRF would partially route around a
+        // backlogged replica on its own).
+        cfg.mw.policy = Policy::RoundRobin;
+        // Aggressive fixed detector: the tuning that finds real crashes
+        // fast is exactly the one a browned-out scan or a jitter spike
+        // fools (§4.3.4.2).
+        cfg.mw.heartbeat = HeartbeatConfig { interval_us: 10_000, timeout_us: 30_000 };
+        cfg.mw.op_timeout_us = 1_000_000;
+        if quarantine {
+            cfg.mw.quarantine = Some(QuarantineConfig::default());
+        }
+        if adaptive {
+            cfg.mw.adaptive_detection = Some(AdaptiveConfig {
+                min_timeout_us: 30_000,
+                max_timeout_us: 2_000_000,
+                factor: 1.5,
+                k: 4.0,
+                window: 32,
+            });
+        }
+        let mut cluster = Cluster::build(cfg);
+        let clients: Vec<NodeId> = (0..12)
+            .map(|_| {
+                cluster.add_client(
+                    GrayMix {
+                        total_keys: rows as i64,
+                        write_fraction: 0.05,
+                        scan_fraction: 0.06,
+                    },
+                    |cc| {
+                        cc.think_time_us = 500;
+                        cc.request_timeout_us = 2_000_000;
+                    },
+                )
+            })
+            .collect();
+        for f in &schedule.faults {
+            match f.kind {
+                GrayKind::Brownout { factor } => {
+                    cluster.brownout_backend_at(f.start, 0, f.node, factor);
+                    cluster.clear_brownout_at(f.end, 0, f.node);
+                }
+                GrayKind::FlakyLink { fault } => {
+                    cluster.flaky_link_at(f.start, 0, f.node, fault);
+                    cluster.clear_flaky_link_at(f.end, 0, f.node);
+                }
+            }
+        }
+        run_and_drain(&mut cluster, secs);
+        let agg = aggregate(&mut cluster, &clients);
+        let mw = cluster.mw_metrics(0);
+        t.row(&[
+            label.to_string(),
+            format!("{:.0}", tps(agg.committed, secs)),
+            format!("{:.1}", agg.p99_tx_us as f64 / 1e3),
+            mw.counters.false_evictions.to_string(),
+            mw.counters.quarantine_trips.to_string(),
+            mw.counters.quarantine_rejoins.to_string(),
+            format!("{:.6}", mw.availability.availability()),
+            format!("{:.2}", mw.availability.nines()),
+        ]);
+        let _ = clients;
+    }
+    t.print();
+    println!(
+        "  (every backend stays alive throughout: each \"false evict\" is a healthy\n   node lost to the detector; quarantine routes around brownouts, adaptive\n   thresholds stop stretched pongs from reading as death — §4.3.4.2)\n"
+    );
+
+    // (b) Degraded read-only mode: write quorum lost, reads keep flowing.
+    println!("  write-quorum loss: backends 1+2 crash at t=2s, restart at t=6s (of 9s):\n");
+    let mut t = Table::new(&[
+        "degrade mode", "read tps during loss", "writes during loss", "write rejects",
+        "degraded ms", "outages",
+    ]);
+    for degrade in [false, true] {
+        let mut cfg = mm_statement_cfg(500);
+        cfg.mw.degrade_to_read_only = degrade;
+        let mut cluster = Cluster::build(cfg);
+        let readers: Vec<NodeId> = (0..4)
+            .map(|_| {
+                cluster.add_client(micro::PointReads { total_keys: 500 }, |cc| {
+                    cc.think_time_us = 500;
+                })
+            })
+            .collect();
+        let writers: Vec<NodeId> = (0..2i64)
+            .map(|w| {
+                cluster.add_client(SeqInsert::new(1_000_000 * (w + 1)), |cc| {
+                    cc.think_time_us = 1_000;
+                    cc.request_timeout_us = 300_000;
+                })
+            })
+            .collect();
+        cluster.crash_backend_at(SimTime::from_secs(2), 0, 1);
+        cluster.crash_backend_at(SimTime::from_millis(2_050), 0, 2);
+        cluster.restart_backend_at(SimTime::from_secs(6), 0, 1);
+        cluster.restart_backend_at(SimTime::from_secs(6), 0, 2);
+        cluster.run_for(dur::secs(9));
+        // Commit counts over seconds 3..=5, fully inside the quorum loss.
+        let count_window = |nodes: &[NodeId], cluster: &mut Cluster| -> u64 {
+            nodes
+                .iter()
+                .map(|&n| {
+                    cluster
+                        .client_metrics(n)
+                        .commits_per_sec
+                        .iter()
+                        .filter(|&(&s, _)| (3..=5).contains(&s))
+                        .map(|(_, &c)| c)
+                        .sum::<u64>()
+                })
+                .sum()
+        };
+        let reads_during = count_window(&readers, &mut cluster);
+        let writes_during = count_window(&writers, &mut cluster);
+        let mw = cluster.mw_metrics(0);
+        t.row(&[
+            if degrade { "read-only" } else { "off (unsafe writes)" }.to_string(),
+            format!("{:.0}", reads_during as f64 / 3.0),
+            writes_during.to_string(),
+            mw.counters.degraded_write_rejects.to_string(),
+            format!("{:.0}", mw.degraded.total_us() as f64 / 1e3),
+            mw.availability.outage_count().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "  (with the flag off a lone survivor silently accepts quorum-less writes;\n   read-only mode fails them fast with a retryable Degraded error while the\n   survivors keep serving reads — degraded time is tracked, not downtime)\n"
+    );
 }

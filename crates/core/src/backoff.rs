@@ -1,0 +1,99 @@
+//! Deterministic capped exponential backoff with jitter.
+//!
+//! Clients that retry aborted transactions or fail over after a timeout
+//! with zero delay synchronize into retry storms: every client that lost a
+//! request to the same failed backend resends at the same instant, and the
+//! surviving replicas absorb a thundering herd exactly when they are most
+//! loaded (the paper's §4.3.4.2 load-induced-timeout spiral). The standard
+//! antidote is exponential backoff with jitter; "equal jitter" (half
+//! deterministic, half uniform) keeps a guaranteed minimum delay so two
+//! clients with adjacent RNG draws still spread out.
+//!
+//! All randomness comes from the caller's seeded [`DetRng`], so schedules
+//! are replayable bit-for-bit.
+
+use replimid_det::DetRng;
+
+/// Backoff policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay scale for the first retry.
+    pub base_us: u64,
+    /// Ceiling on the exponential growth.
+    pub cap_us: u64,
+}
+
+impl BackoffConfig {
+    /// Client-retry tuning: first retry ~2-4ms, capped at 200ms.
+    pub fn client() -> Self {
+        BackoffConfig { base_us: 4_000, cap_us: 200_000 }
+    }
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig::client()
+    }
+}
+
+/// The delay before retry number `attempt` (0-based): equal jitter over
+/// `min(base << attempt, cap)` — at least half the exponential window,
+/// at most the whole window.
+pub fn delay_us(cfg: BackoffConfig, attempt: u32, rng: &mut DetRng) -> u64 {
+    let window = cfg
+        .base_us
+        .saturating_mul(1u64 << attempt.min(32))
+        .min(cfg.cap_us)
+        .max(1);
+    let half = window / 2;
+    half + rng.gen_range(0..=window - half)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_and_caps() {
+        let cfg = BackoffConfig { base_us: 1_000, cap_us: 16_000 };
+        let mut rng = DetRng::seed_from_u64(1);
+        for attempt in 0..12 {
+            let window = (1_000u64 << attempt.min(32)).min(16_000);
+            let d = delay_us(cfg, attempt, &mut rng);
+            assert!(d >= window / 2, "attempt {attempt}: {d} < min");
+            assert!(d <= window, "attempt {attempt}: {d} > window");
+        }
+        // Far past the cap, the window stays put.
+        let d = delay_us(cfg, 30, &mut rng);
+        assert!((8_000..=16_000).contains(&d));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let cfg = BackoffConfig::client();
+        let mut rng = DetRng::seed_from_u64(2);
+        let d = delay_us(cfg, u32::MAX, &mut rng);
+        assert!(d <= cfg.cap_us);
+    }
+
+    #[test]
+    fn jitter_spreads_adjacent_clients() {
+        let cfg = BackoffConfig { base_us: 10_000, cap_us: 80_000 };
+        let mut a = DetRng::seed_from_u64(100);
+        let mut b = DetRng::seed_from_u64(101);
+        let spread = (0..20)
+            .filter(|&i| delay_us(cfg, i % 4, &mut a) != delay_us(cfg, i % 4, &mut b))
+            .count();
+        assert!(spread >= 15, "only {spread}/20 differed");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = BackoffConfig::client();
+        let draw = |seed| {
+            let mut rng = DetRng::seed_from_u64(seed);
+            (0..8).map(|i| delay_us(cfg, i, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+    }
+}

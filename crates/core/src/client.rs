@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 use replimid_det::DetRng;
 use replimid_simnet::{Actor, Ctx, NodeId};
 
+use crate::backoff::{self, BackoffConfig};
 use crate::metrics::Histogram;
 use crate::msg::{ClientRequest, Msg, ReplyError, SessionId};
 
@@ -52,6 +53,11 @@ pub struct ClientConfig {
     /// Stop issuing new transactions after this many completed (0 = run
     /// until the simulation ends).
     pub tx_limit: u64,
+    /// Capped exponential backoff (with jitter) applied before abort
+    /// retries and timeout failovers. Zero-delay retries synchronize every
+    /// victim of a failure into a thundering herd against the survivors —
+    /// the §4.3.4.2 load-induced-timeout spiral.
+    pub backoff: BackoffConfig,
 }
 
 impl ClientConfig {
@@ -63,6 +69,7 @@ impl ClientConfig {
             request_timeout_us: 500_000,
             max_retries: 5,
             tx_limit: 0,
+            backoff: BackoffConfig::client(),
         }
     }
 }
@@ -103,6 +110,10 @@ impl Default for ClientMetrics {
 }
 
 const TIMER_THINK: u64 = 1;
+/// Backed-off retry of an aborted transaction.
+const TIMER_RETRY: u64 = 2;
+/// Backed-off failover resend after a request timeout.
+const TIMER_RESEND: u64 = 3;
 const TIMER_TIMEOUT_BASE: u64 = 100;
 
 enum Phase {
@@ -111,6 +122,8 @@ enum Phase {
     Running { tx: Vec<String>, index: usize, started_us: u64, sent_us: u64, retries: u32 },
     /// Cleaning up a failed transaction before retrying or skipping.
     RollingBack { tx: Vec<String>, started_us: u64, retries: u32, retry: bool },
+    /// Waiting out the retry backoff before re-attempting `tx`.
+    BackingOff { tx: Vec<String>, retries: u32 },
     Done,
 }
 
@@ -122,6 +135,10 @@ pub struct Client {
     phase: Phase,
     stmt_seq: u64,
     mw_index: usize,
+    /// Consecutive timeouts on the current statement (backoff exponent).
+    timeout_streak: u32,
+    /// Statement the pending TIMER_RESEND belongs to (staleness guard).
+    resend_seq: u64,
     pub metrics: ClientMetrics,
 }
 
@@ -133,6 +150,8 @@ impl Client {
             phase: Phase::Idle,
             stmt_seq: 0,
             mw_index: 0,
+            timeout_streak: 0,
+            resend_seq: 0,
             metrics: ClientMetrics::default(),
         }
     }
@@ -201,6 +220,7 @@ impl Client {
         if stmt_seq != self.stmt_seq {
             return; // stale (timed-out request answered late)
         }
+        self.timeout_streak = 0;
         let now = ctx.now().micros();
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Running { tx, index, started_us, sent_us, retries } => {
@@ -232,7 +252,11 @@ impl Client {
             Phase::RollingBack { tx, started_us, retries, retry } => {
                 // Rollback acknowledged (or failed — either way, move on).
                 if retry {
-                    self.start_attempt(ctx, tx, retries + 1);
+                    // Back off before the retry: every victim of the same
+                    // conflict/failure retrying at once re-creates it.
+                    let delay = backoff::delay_us(self.cfg.backoff, retries, ctx.rng());
+                    self.phase = Phase::BackingOff { tx, retries };
+                    ctx.set_timer(delay, TIMER_RETRY);
                 } else {
                     let _ = started_us;
                     self.phase = Phase::Idle;
@@ -260,8 +284,23 @@ impl Client {
             .entry(ctx.now().micros() / 1_000_000)
             .or_insert(0) += 1;
         // Fail over to the next middleware and retry the same statement —
-        // the dedup key (session, stmt_seq) makes this safe.
+        // the dedup key (session, stmt_seq) makes this safe. The resend is
+        // delayed by a backed-off, jittered amount: every client that timed
+        // out on the same dead node would otherwise arrive at the survivor
+        // in lockstep, exactly when it is absorbing the failover load.
         self.mw_index += 1;
+        let attempt = self.timeout_streak;
+        self.timeout_streak += 1;
+        self.resend_seq = self.stmt_seq;
+        let delay = backoff::delay_us(self.cfg.backoff, attempt, ctx.rng());
+        ctx.set_timer(delay, TIMER_RESEND);
+    }
+
+    fn fire_resend(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Stale if a reply arrived during the backoff.
+        if self.resend_seq != self.stmt_seq {
+            return;
+        }
         let sql = match &self.phase {
             Phase::Running { tx, index, .. } => tx[*index].clone(),
             Phase::RollingBack { .. } => "ROLLBACK".into(),
@@ -298,6 +337,17 @@ impl Actor<Msg> for Client {
                     self.begin_tx(ctx);
                 }
             }
+            TIMER_RETRY => {
+                if let Phase::BackingOff { .. } = self.phase {
+                    let Phase::BackingOff { tx, retries } =
+                        std::mem::replace(&mut self.phase, Phase::Idle)
+                    else {
+                        unreachable!()
+                    };
+                    self.start_attempt(ctx, tx, retries + 1);
+                }
+            }
+            TIMER_RESEND => self.fire_resend(ctx),
             t if t >= TIMER_TIMEOUT_BASE => self.on_timeout(ctx, t - TIMER_TIMEOUT_BASE),
             _ => {}
         }

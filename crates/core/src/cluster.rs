@@ -4,7 +4,7 @@
 //! surface used by examples, integration tests, and the experiment binary.
 
 use replimid_det::DetRng;
-use replimid_simnet::{ControlOp, NetworkModel, NodeId, Sim, SimTime};
+use replimid_simnet::{ControlOp, LinkFault, NetworkModel, NodeId, Sim, SimTime};
 use replimid_sql::{Engine, EngineConfig, ADMIN_PASSWORD, ADMIN_USER};
 
 use crate::client::{Client, ClientConfig, ClientMetrics, TxSource};
@@ -157,6 +157,32 @@ impl Cluster {
         self.sim.schedule(at, ControlOp::Restart(self.mw_nodes[mw]));
     }
 
+    /// Gray failure: stretch a backend's service times by `factor` starting
+    /// at `at` (slow-but-alive; pings still answer, just late).
+    pub fn brownout_backend_at(&mut self, at: SimTime, mw: usize, backend: usize, factor: f64) {
+        self.sim.schedule(at, ControlOp::SetBrownout(self.db_nodes[mw][backend], factor));
+    }
+
+    pub fn clear_brownout_at(&mut self, at: SimTime, mw: usize, backend: usize) {
+        self.sim.schedule(at, ControlOp::ClearBrownout(self.db_nodes[mw][backend]));
+    }
+
+    /// Gray failure: overlay loss/duplication/jitter on the middleware <->
+    /// backend link (both directions) without severing it.
+    pub fn flaky_link_at(&mut self, at: SimTime, mw: usize, backend: usize, fault: LinkFault) {
+        self.sim.schedule(
+            at,
+            ControlOp::SetLinkFault(self.mw_nodes[mw], self.db_nodes[mw][backend], fault),
+        );
+    }
+
+    pub fn clear_flaky_link_at(&mut self, at: SimTime, mw: usize, backend: usize) {
+        self.sim.schedule(
+            at,
+            ControlOp::ClearLinkFault(self.mw_nodes[mw], self.db_nodes[mw][backend]),
+        );
+    }
+
     pub fn partition_at(&mut self, at: SimTime, groups: Vec<Vec<NodeId>>) {
         self.sim.schedule(at, ControlOp::Partition(groups));
     }
@@ -194,6 +220,7 @@ impl Cluster {
         self.sim.with_actor::<Middleware, _>(node, |m| {
             let mut snap = m.metrics.clone();
             snap.availability.finish(now);
+            snap.degraded.finish(now);
             snap
         })
     }

@@ -3,7 +3,7 @@
 //! semantics (sessions and in-flight transactions die; durable state and the
 //! binlog survive), and the apply paths used by log shipping and recovery.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::engine::ConnId;
@@ -36,6 +36,12 @@ pub struct DbNode {
     /// Highest ordered-statement sequence executed (total order / recovery
     /// replay idempotence). Durable metadata, like the binlog itself.
     ordered_applied: u64,
+    /// Op ids already processed: the endpoint half of reliable transport.
+    /// Flaky links can deliver a message twice (`LinkFault::dup_prob`);
+    /// a real TCP stack dedups retransmits before the app sees them, so a
+    /// duplicated operation must not execute twice. Volatile (lost on
+    /// crash, like the connections the ops arrived on).
+    seen_ops: HashSet<u64>,
 }
 
 impl DbNode {
@@ -52,6 +58,7 @@ impl DbNode {
             repl_conn: None,
             applied_lsn,
             ordered_applied: 0,
+            seen_ops: HashSet::new(),
         }
     }
 
@@ -359,9 +366,32 @@ fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
     group_cost.into_iter().max().unwrap_or(0)
 }
 
+/// The op id carried by an operation, if it expects a response.
+fn op_id(op: &DbOp) -> Option<u64> {
+    match op {
+        DbOp::Execute { op, .. }
+        | DbOp::PrepareWriteset { op, .. }
+        | DbOp::ApplyWriteset { op, .. }
+        | DbOp::ApplyBinlog { op, .. }
+        | DbOp::BinlogAfter { op, .. }
+        | DbOp::Dump { op, .. }
+        | DbOp::Restore { op, .. }
+        | DbOp::Checksum { op, .. }
+        | DbOp::Ping { op } => Some(*op),
+        DbOp::Disconnect { .. } => None,
+    }
+}
+
 impl Actor<Msg> for DbNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
         if let Msg::Db(op) = msg {
+            // Transport-level dedup: a link-fault duplicate of an already-
+            // processed op is dropped here, as TCP would.
+            if let Some(id) = op_id(&op) {
+                if !self.seen_ops.insert(id) {
+                    return;
+                }
+            }
             if let Some(resp) = self.handle(ctx, op) {
                 // The response leaves only after this operation's own
                 // service time (accumulated via `consume`) has elapsed.
@@ -385,5 +415,6 @@ impl Actor<Msg> for DbNode {
         if let Some(c) = self.repl_conn.take() {
             self.engine.disconnect(c);
         }
+        self.seen_ops.clear();
     }
 }

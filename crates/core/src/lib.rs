@@ -4,11 +4,13 @@
 //! reproduction of Cecchet, Candea & Ailamaki (SIGMOD 2008). See DESIGN.md
 //! at the workspace root for the architecture and the per-experiment index.
 
+pub mod backoff;
 pub mod balancer;
 pub mod certifier;
 pub mod client;
 pub mod cluster;
 pub mod db_node;
+pub mod health;
 pub mod metrics;
 pub mod middleware;
 pub mod msg;
@@ -16,12 +18,14 @@ pub mod partition;
 pub mod recovery;
 pub mod rewrite;
 
+pub use backoff::{delay_us as backoff_delay_us, BackoffConfig};
 pub use balancer::{Balancer, Granularity, Policy};
 pub use certifier::{Certifier, Verdict};
 pub use client::{Client, ClientConfig, ClientMetrics, ScriptSource, TxSource};
 pub use cluster::{Cluster, ClusterConfig};
 pub use db_node::DbNode;
-pub use metrics::{AvailabilityTracker, Counters, Histogram};
+pub use health::{HealthEvent, HealthState, HealthTracker, QuarantineConfig};
+pub use metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};
 pub use middleware::{Middleware, Mode, MwConfig, MwMetrics, ReadPolicy};
 pub use msg::{AdminCmd, BackendId, ClientReply, ClientRequest, Msg, ReplyBody, ReplyError, SessionId};
 pub use partition::{PartitionScheme, Partitioner, Route};

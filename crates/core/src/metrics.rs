@@ -196,6 +196,67 @@ pub struct Counters {
     pub failovers: u64,
     pub lost_transactions: u64,
     pub divergence_detected: u64,
+    /// Backends quarantined by the latency circuit breaker.
+    pub quarantine_trips: u64,
+    /// Half-open probe reads routed to quarantined backends.
+    pub quarantine_probes: u64,
+    /// Quarantined backends that passed a probe and rejoined rotation.
+    pub quarantine_rejoins: u64,
+    /// Failovers where the oracle says the backend was actually alive —
+    /// the detector was fooled by a brownout or lossy link.
+    pub false_evictions: u64,
+    /// Writes rejected fast because the cluster was in degraded read-only
+    /// mode (write quorum lost).
+    pub degraded_write_rejects: u64,
+    /// Tripwire: reads that reached a quarantined backend through the
+    /// normal path (must stay 0 — probes are counted separately).
+    pub reads_routed_to_quarantined: u64,
+}
+
+/// Tracks time spent in degraded read-only mode (write quorum lost but
+/// reads still served). Degraded time is *not* downtime — that distinction
+/// is the point — so it gets its own tracker beside [`AvailabilityTracker`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradedTracker {
+    since: Option<u64>,
+    total_us: u64,
+    episodes: u64,
+}
+
+impl DegradedTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_degraded(&self) -> bool {
+        self.since.is_some()
+    }
+
+    pub fn enter(&mut self, now_us: u64) {
+        if self.since.is_none() {
+            self.since = Some(now_us);
+            self.episodes += 1;
+        }
+    }
+
+    pub fn exit(&mut self, now_us: u64) {
+        if let Some(start) = self.since.take() {
+            self.total_us += now_us.saturating_sub(start);
+        }
+    }
+
+    /// Close the observation window (still-degraded time counts).
+    pub fn finish(&mut self, end_us: u64) {
+        self.exit(end_us);
+    }
+
+    pub fn total_us(&self) -> u64 {
+        self.total_us
+    }
+
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +325,23 @@ mod tests {
         let a = t.availability();
         assert!((0.8..0.85).contains(&a), "availability {a}");
         assert!(t.nines() < 1.0);
+    }
+
+    #[test]
+    fn degraded_tracker_episodes() {
+        let mut d = DegradedTracker::new();
+        assert!(!d.is_degraded());
+        d.enter(1_000);
+        d.enter(2_000); // idempotent while degraded
+        assert!(d.is_degraded());
+        d.exit(5_000);
+        assert_eq!(d.total_us(), 4_000);
+        assert_eq!(d.episodes(), 1);
+        d.enter(10_000);
+        d.finish(12_000);
+        assert_eq!(d.total_us(), 6_000);
+        assert_eq!(d.episodes(), 2);
+        assert!(!d.is_degraded());
     }
 
     #[test]

@@ -25,14 +25,18 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use replimid_gcs::{Action as GAction, GcsConfig, GroupMember, HeartbeatConfig, MemberId};
+use replimid_gcs::{
+    Action as GAction, AdaptiveConfig, AdaptiveThreshold, GcsConfig, GroupMember,
+    HeartbeatConfig, MemberId,
+};
 use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::ast::Statement;
 use replimid_sql::{parse_statement, Lsn, SqlError, Writeset};
 
 use crate::balancer::{Balancer, Granularity, Policy};
 use crate::certifier::{Certifier, Verdict};
-use crate::metrics::{AvailabilityTracker, Counters, Histogram};
+use crate::health::{HealthEvent, HealthTracker, QuarantineConfig};
+use crate::metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};
 use crate::msg::{
     AdminCmd, ApplySpace, BackendId, ClientReply, ClientRequest, DbOp, DbResp, Msg, ReplEvent,
     ReplyBody, ReplyError, SessionId,
@@ -111,6 +115,23 @@ pub struct MwConfig {
     /// strict majority of the peers — the C-and-A-over-P stance. Off by
     /// default (a 2-replica middleware pair has no useful majority).
     pub require_majority: bool,
+    /// Latency circuit breaker for gray failures: quarantine backends whose
+    /// completed-op latency degrades far past their own baseline. Off
+    /// (`None`) by default — quarantine filters read routing and delegate
+    /// selection only; replication fan-out always includes quarantined
+    /// backends so they stay consistent.
+    pub quarantine: Option<QuarantineConfig>,
+    /// Degrade to read-only instead of hard unavailability when fewer than
+    /// floor(n/2)+1 backends are online: reads keep flowing off the
+    /// survivors, writes fail fast with [`ReplyError::Degraded`]. Off by
+    /// default.
+    pub degrade_to_read_only: bool,
+    /// Accrual-style adaptive silence thresholds for *backend* failure
+    /// detection (§4.3.4.2): a browned-out backend whose pongs stretch
+    /// raises its own timeout instead of being evicted. The fixed
+    /// `heartbeat.timeout_us` should equal the adaptive floor. Off (`None`)
+    /// by default.
+    pub adaptive_detection: Option<AdaptiveConfig>,
 }
 
 impl MwConfig {
@@ -129,6 +150,9 @@ impl MwConfig {
             barrier_threshold: 16,
             default_db: None,
             require_majority: false,
+            quarantine: None,
+            degrade_to_read_only: false,
+            adaptive_detection: None,
         }
     }
 }
@@ -323,6 +347,11 @@ pub struct MwMetrics {
     pub failover_times: Vec<u64>,
     /// Completed rejoins: (backend index, recovery start µs, online µs).
     pub recoveries: Vec<(usize, u64, u64)>,
+    /// Time spent in degraded read-only mode (write quorum lost).
+    pub degraded: DegradedTracker,
+    /// Quarantine transition log: (µs, backend index, event). Mirrors the
+    /// per-backend [`HealthTracker`] logs for post-run assertions.
+    pub quarantine_events: Vec<(u64, usize, HealthEvent)>,
 }
 
 impl Default for MwMetrics {
@@ -336,6 +365,8 @@ impl Default for MwMetrics {
             backups: Vec::new(),
             failover_times: Vec::new(),
             recoveries: Vec::new(),
+            degraded: DegradedTracker::new(),
+            quarantine_events: Vec::new(),
         }
     }
 }
@@ -376,6 +407,14 @@ pub struct Middleware {
     ship_busy: HashSet<BackendId>,
     /// Recovery start times (backend -> µs), for rejoin-duration metrics.
     recovery_started: HashMap<BackendId, u64>,
+    /// Per-backend latency health (only consulted when cfg.quarantine set).
+    health: Vec<HealthTracker>,
+    /// How many health events per backend are already mirrored to metrics.
+    health_seen: Vec<usize>,
+    /// Backend -> op id of its in-flight half-open probe read.
+    probe_op: HashMap<BackendId, u64>,
+    /// Per-backend learned silence thresholds (cfg.adaptive_detection).
+    pong_adaptive: Vec<AdaptiveThreshold>,
 }
 
 impl Middleware {
@@ -384,6 +423,11 @@ impl Middleware {
         let group = GroupMember::new(MemberId(me_idx), members, cfg.gcs, 0);
         let n = backends.len();
         let balancer = Balancer::new(cfg.granularity, cfg.policy.clone(), n);
+        let qcfg = cfg.quarantine.unwrap_or_default();
+        let pong_adaptive = match cfg.adaptive_detection {
+            Some(ad) => (0..n).map(|_| AdaptiveThreshold::new(ad)).collect(),
+            None => Vec::new(),
+        };
         Middleware {
             cfg,
             peers,
@@ -420,6 +464,10 @@ impl Middleware {
             next_retry: 0,
             ship_busy: HashSet::new(),
             recovery_started: HashMap::new(),
+            health: (0..n).map(|_| HealthTracker::new(qcfg)).collect(),
+            health_seen: vec![0; n],
+            probe_op: HashMap::new(),
+            pong_adaptive,
         }
     }
 
@@ -440,6 +488,83 @@ impl Middleware {
         self.healthy().into_iter().filter(|&b| b != self.master).collect()
     }
 
+    fn is_quarantined(&self, b: BackendId) -> bool {
+        self.cfg.quarantine.is_some() && self.health[b.0].quarantined()
+    }
+
+    /// Online AND not quarantined — the read-routing health bar.
+    fn read_ok(&self, b: BackendId) -> bool {
+        self.backends[b.0].online() && !self.is_quarantined(b)
+    }
+
+    /// Candidates for read routing / delegate selection: quarantined
+    /// backends are filtered out, but if that would empty the set we fall
+    /// back to every online backend — a slow answer beats no answer.
+    fn filter_quarantined(&self, candidates: Vec<BackendId>) -> Vec<BackendId> {
+        if self.cfg.quarantine.is_none() {
+            return candidates;
+        }
+        let filtered: Vec<BackendId> =
+            candidates.iter().copied().filter(|&b| !self.is_quarantined(b)).collect();
+        if filtered.is_empty() {
+            candidates
+        } else {
+            filtered
+        }
+    }
+
+    fn routable(&self) -> Vec<BackendId> {
+        self.filter_quarantined(self.healthy())
+    }
+
+    /// Writes are allowed unless degraded read-only mode is on and the
+    /// online-backend count fell below the write-quorum floor.
+    fn write_quorum_ok(&self) -> bool {
+        !self.cfg.degrade_to_read_only
+            || self.healthy().len() >= self.backends.len() / 2 + 1
+    }
+
+    /// Re-evaluate degraded read-only mode after a backend state change.
+    fn update_degraded(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.cfg.degrade_to_read_only {
+            return;
+        }
+        let now = ctx.now().micros();
+        if self.healthy().len() < self.backends.len() / 2 + 1 {
+            self.metrics.degraded.enter(now);
+        } else {
+            self.metrics.degraded.exit(now);
+        }
+    }
+
+    /// Mirror new health-tracker events into the metrics log.
+    fn sync_health_events(&mut self, i: usize) {
+        let events = self.health[i].events();
+        for &(t, ev) in &events[self.health_seen[i]..] {
+            self.metrics.quarantine_events.push((t, i, ev));
+        }
+        self.health_seen[i] = self.health[i].events().len();
+    }
+
+    /// Score a completed op's latency against the backend's health EWMA;
+    /// probe completions resolve the half-open state instead.
+    fn score_completion(&mut self, now: u64, backend: BackendId, started: Option<u64>, op: u64) {
+        if self.cfg.quarantine.is_none() {
+            return;
+        }
+        let Some(t0) = started else { return };
+        let lat = now.saturating_sub(t0);
+        if self.probe_op.get(&backend) == Some(&op) {
+            self.probe_op.remove(&backend);
+            if self.health[backend.0].probe_completed(now, lat) {
+                self.metrics.counters.quarantine_rejoins += 1;
+            }
+        } else if self.health[backend.0].on_completion(now, lat) {
+            self.metrics.counters.quarantine_trips += 1;
+        }
+        self.sync_health_events(backend.0);
+    }
+
     fn alloc_op(&mut self, ctx: &mut Ctx<'_, Msg>, p: Pending) -> u64 {
         let op = self.next_op;
         self.next_op += 1;
@@ -449,11 +574,12 @@ impl Middleware {
         op
     }
 
-    fn send_db(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, p: Pending, mk: impl FnOnce(u64) -> DbOp) {
+    fn send_db(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, p: Pending, mk: impl FnOnce(u64) -> DbOp) -> u64 {
         let node = self.backends[backend.0].node;
         let op = self.alloc_op(ctx, p);
         self.balancer.dispatched(backend);
         ctx.send(node, Msg::Db(mk(op)));
+        op
     }
 
     fn run_gcs_actions(&mut self, ctx: &mut Ctx<'_, Msg>, actions: Vec<GAction<ReplEvent>>) {
@@ -610,8 +736,8 @@ impl Middleware {
             match pinned {
                 Some(b) if self.backends[b.0].online() => Some(b),
                 _ => {
-                    let healthy = self.healthy();
-                    self.balancer.pick(&healthy)
+                    let candidates = self.routable();
+                    self.balancer.pick(&candidates)
                 }
             }
         };
@@ -660,6 +786,16 @@ impl Middleware {
             );
             return;
         }
+        if !self.write_quorum_ok() {
+            self.metrics.counters.degraded_write_rejects += 1;
+            self.reply(
+                ctx,
+                req.session,
+                req.stmt_seq,
+                Err(ReplyError::Degraded("write quorum lost: cluster is read-only".into())),
+            );
+            return;
+        }
         // Writes (and BEGIN/COMMIT/ROLLBACK, which shape snapshots) are
         // rewritten then totally ordered.
         self.metrics.counters.writes += 1;
@@ -700,41 +836,65 @@ impl Middleware {
 
     fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
         self.metrics.counters.reads += 1;
-        let backend = self.pick_read_backend(req.session, ms_mode);
-        let Some(backend) = backend else {
+        let picked = self.pick_read_backend(req.session, ms_mode);
+        let Some((backend, is_probe)) = picked else {
             self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
             return;
         };
         {
             let s = self.sessions.get_mut(&req.session).unwrap();
             s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::Read { backend } });
-            if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() {
+            if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() && !is_probe {
                 s.sticky = Some(backend);
             }
         }
         let session = req.session;
         let sql = req.sql;
-        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+        let op = self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
             DbOp::Execute { op, conn: session.0, sql, seq: None }
         });
+        if is_probe {
+            let now = ctx.now().micros();
+            self.metrics.counters.quarantine_probes += 1;
+            self.health[backend.0].probe_sent(now);
+            self.probe_op.insert(backend, op);
+            self.sync_health_events(backend.0);
+        } else if self.is_quarantined(backend) {
+            // Tripwire (should stay 0): a normal read slipped through the
+            // quarantine filter — only the fallback path can do this, and
+            // only when every online backend is quarantined.
+            self.metrics.counters.reads_routed_to_quarantined += 1;
+        }
     }
 
-    fn pick_read_backend(&mut self, session: SessionId, ms_mode: bool) -> Option<BackendId> {
+    /// Returns the backend to read from plus whether this read doubles as
+    /// the half-open quarantine probe.
+    fn pick_read_backend(&mut self, session: SessionId, ms_mode: bool) -> Option<(BackendId, bool)> {
+        // Half-open probes first: a quarantined backend whose dwell expired
+        // gets exactly one live read routed at it (lowest index wins).
+        if self.cfg.quarantine.is_some() {
+            for i in 0..self.backends.len() {
+                if self.backends[i].online() && self.health[i].wants_probe() {
+                    return Some((BackendId(i), true));
+                }
+            }
+        }
         let s = self.sessions.get(&session)?;
-        // Granularity stickiness.
+        // Granularity stickiness. A quarantined sticky backend is treated
+        // like an offline one: health filtering beats stickiness.
         match self.balancer.granularity {
             Granularity::Connection => {
                 if let Some(b) = s.sticky {
-                    if self.backends[b.0].online() {
-                        return Some(b);
+                    if self.read_ok(b) {
+                        return Some((b, false));
                     }
                 }
             }
             Granularity::Transaction => {
                 if s.in_tx {
                     if let Some(b) = s.sticky {
-                        if self.backends[b.0].online() {
-                            return Some(b);
+                        if self.read_ok(b) {
+                            return Some((b, false));
                         }
                     }
                 }
@@ -744,12 +904,12 @@ impl Middleware {
         // Session consistency.
         if self.cfg.read_policy == ReadPolicy::SessionSticky {
             if let Some(b) = s.last_write_backend {
-                if self.backends[b.0].online() {
-                    return Some(b);
+                if self.read_ok(b) {
+                    return Some((b, false));
                 }
             }
-            if ms_mode && self.backends[self.master.0].online() {
-                return Some(self.master);
+            if ms_mode && self.read_ok(self.master) {
+                return Some((self.master, false));
             }
         }
         let candidates = if ms_mode {
@@ -767,6 +927,7 @@ impl Middleware {
         } else {
             self.healthy()
         };
+        let candidates = self.filter_quarantined(candidates);
         let choice = self.balancer.pick(&candidates);
         if let Some(b) = choice {
             let sess = self.sessions.get_mut(&session).unwrap();
@@ -776,7 +937,7 @@ impl Middleware {
                 _ => {}
             }
         }
-        choice
+        choice.map(|b| (b, false))
     }
 
     /// Totally-ordered event arrives (identically at every peer).
@@ -873,14 +1034,24 @@ impl Middleware {
             );
             return;
         }
+        if !stmt.is_read_only() && !self.write_quorum_ok() {
+            self.metrics.counters.degraded_write_rejects += 1;
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Degraded("write quorum lost: cluster is read-only".into())),
+            );
+            return;
+        }
         let (in_tx, delegate) = {
             let s = self.sessions.get(&session).unwrap();
             (s.in_tx, s.sticky)
         };
         match &stmt {
             Statement::Begin { .. } => {
-                let healthy = self.healthy();
-                let Some(backend) = self.balancer.pick(&healthy) else {
+                let candidates = self.routable();
+                let Some(backend) = self.balancer.pick(&candidates) else {
                     self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("no delegate".into())));
                     return;
                 };
@@ -984,8 +1155,8 @@ impl Middleware {
                     });
                 } else {
                     // Autocommit write: BEGIN; stmt; then certify+commit.
-                    let healthy = self.healthy();
-                    let Some(backend) = self.balancer.pick(&healthy) else {
+                    let candidates = self.routable();
+                    let Some(backend) = self.balancer.pick(&candidates) else {
                         self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("no delegate".into())));
                         return;
                     };
@@ -1122,6 +1293,16 @@ impl Middleware {
             self.route_read(ctx, req, true);
             return;
         }
+        if !self.write_quorum_ok() {
+            self.metrics.counters.degraded_write_rejects += 1;
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Degraded("write quorum lost: cluster is read-only".into())),
+            );
+            return;
+        }
         let master = self.master;
         if !self.backends[master.0].online() {
             self.reply(ctx, session, req.stmt_seq, Err(ReplyError::Unavailable("master down".into())));
@@ -1191,6 +1372,16 @@ impl Middleware {
         let route = partitioner.route(&stmt);
         let groups = groups.clone();
         let read_only = stmt.is_read_only();
+        if !read_only && !self.write_quorum_ok() {
+            self.metrics.counters.degraded_write_rejects += 1;
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Degraded("write quorum lost: cluster is read-only".into())),
+            );
+            return;
+        }
         let targets: Vec<BackendId> = match (&route, read_only) {
             (Route::Single(p), true) => {
                 // Read: one replica of the owning partition.
@@ -1274,16 +1465,20 @@ impl Middleware {
     fn on_db_resp(&mut self, ctx: &mut Ctx<'_, Msg>, resp: DbResp) {
         let op = resp.op();
         let Some(pending) = self.pending.remove(&op) else { return };
-        self.op_started.remove(&op);
+        let started = self.op_started.remove(&op);
         match pending {
             Pending::ClientExec { session, backend } => {
                 self.balancer.completed(backend);
-                self.backends[backend.0].last_pong_us = ctx.now().micros();
+                let now = ctx.now().micros();
+                self.touch_liveness(backend, now);
+                self.score_completion(now, backend, started, op);
                 self.finish_client_exec(ctx, session, backend, resp);
             }
             Pending::GroupExec { group, backend } => {
                 self.balancer.completed(backend);
-                self.backends[backend.0].last_pong_us = ctx.now().micros();
+                let now = ctx.now().micros();
+                self.touch_liveness(backend, now);
+                self.score_completion(now, backend, started, op);
                 self.finish_group_exec(ctx, group, backend, resp, false);
             }
             Pending::Prepare { session, backend } => {
@@ -1325,7 +1520,7 @@ impl Middleware {
                     DbResp::ApplyOk { applied_lsn, .. } => {
                         let b = &mut self.backends[backend.0];
                         b.applied_lsn = b.applied_lsn.max(applied_lsn);
-                        b.last_pong_us = ctx.now().micros();
+                        self.touch_liveness(backend, ctx.now().micros());
                     }
                     DbResp::ApplyErr { .. } => {
                         // Partial progress is learned from the next Pong;
@@ -1805,10 +2000,34 @@ impl Middleware {
     // Failure detection / failover / recovery
     // ------------------------------------------------------------------
 
+    /// Refresh a backend's liveness clock. With adaptive detection on, the
+    /// observed silence gap feeds that backend's learned threshold, so
+    /// stretched-but-alive traffic (brownout, load) raises the timeout
+    /// instead of tripping it.
+    fn touch_liveness(&mut self, backend: BackendId, now: u64) {
+        let last = self.backends[backend.0].last_pong_us;
+        if let Some(th) = self.pong_adaptive.get_mut(backend.0) {
+            let gap = now.saturating_sub(last);
+            if last > 0 && gap > 0 {
+                th.observe(gap);
+            }
+        }
+        self.backends[backend.0].last_pong_us = now;
+    }
+
+    /// The silence threshold currently applied to a backend: the learned
+    /// adaptive one when enabled, the fixed heartbeat timeout otherwise.
+    fn silence_timeout_us(&self, backend: usize) -> u64 {
+        self.pong_adaptive
+            .get(backend)
+            .map(|t| t.timeout_us())
+            .unwrap_or(self.cfg.heartbeat.timeout_us)
+    }
+
     fn note_pong(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, applied_lsn: Lsn, head: Lsn) {
         let now = ctx.now().micros();
         let was_down = self.backends[backend.0].state == BackendState::Down;
-        self.backends[backend.0].last_pong_us = now;
+        self.touch_liveness(backend, now);
         if matches!(self.cfg.mode, Mode::MasterSlave { .. }) {
             // The master reports its binlog head; slaves report the foreign
             // LSN they applied.
@@ -1829,12 +2048,25 @@ impl Middleware {
     fn ping_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.set_timer(self.cfg.heartbeat.interval_us, TIMER_PING);
         let now = ctx.now().micros();
-        // Detect silent backends.
-        let timeout = self.cfg.heartbeat.timeout_us;
+        // Advance quarantine dwell timers (Quarantined -> half-open).
+        if self.cfg.quarantine.is_some() {
+            for i in 0..self.backends.len() {
+                if self.backends[i].online() {
+                    self.health[i].tick(now);
+                }
+            }
+        }
+        // Detect silent backends (per-backend threshold when adaptive).
         for i in 0..self.backends.len() {
             let b = BackendId(i);
             let silent = now.saturating_sub(self.backends[i].last_pong_us);
+            let timeout = self.silence_timeout_us(i);
             if self.backends[i].online() && self.backends[i].last_pong_us > 0 && silent > timeout {
+                if !ctx.oracle_is_crashed(self.backends[i].node) {
+                    // The backend was alive — a brownout or lossy link
+                    // fooled the detector (oracle measurement only).
+                    self.metrics.counters.false_evictions += 1;
+                }
                 self.backend_failed(ctx, b);
             }
         }
@@ -1872,6 +2104,17 @@ impl Middleware {
         self.log.checkpoint(backend, applied);
         self.metrics.counters.failovers += 1;
         self.metrics.failover_times.push(ctx.now().micros());
+        // A dead backend's latency history is meaningless when it returns;
+        // any in-flight probe died with it.
+        self.probe_op.remove(&backend);
+        if self.cfg.quarantine.is_some() {
+            self.health[backend.0].reset(ctx.now().micros());
+            self.sync_health_events(backend.0);
+        }
+        // The adaptive gap history deliberately survives the eviction: the
+        // silence distribution is a property of the backend and its link,
+        // and wiping it on every flap would keep the detector permanently
+        // naive about a still-degraded node (evict/rejoin storms).
 
         // Fail in-flight ops against this backend, in dispatch (op id)
         // order: map iteration order is not deterministic across processes,
@@ -1930,6 +2173,7 @@ impl Middleware {
                 s.sticky = None;
             }
         }
+        self.update_degraded(ctx);
     }
 
     /// Promote the most caught-up slave. Returns the 1-safe loss estimate
@@ -1989,6 +2233,7 @@ impl Middleware {
             if let Some(start) = self.recovery_started.remove(&backend) {
                 self.metrics.recoveries.push((backend.0, start, ctx.now().micros()));
             }
+            self.update_degraded(ctx);
             if self.barrier_for == Some(backend) {
                 self.barrier_for = None;
                 while let Some(ev) = self.buffered_deliveries.pop_front() {
@@ -2124,6 +2369,7 @@ impl Middleware {
                 if let Some(start) = self.recovery_started.remove(&backend) {
                     self.metrics.recoveries.push((backend.0, start, ctx.now().micros()));
                 }
+                self.update_degraded(ctx);
             }
             _ => {
                 // Catch up from the recovery log starting at the position
@@ -2187,6 +2433,9 @@ impl Middleware {
             _ => {}
         }
         if let Some(b) = pending_backend(&p) {
+            if !ctx.oracle_is_crashed(self.backends[b.0].node) {
+                self.metrics.counters.false_evictions += 1;
+            }
             self.backend_failed(ctx, b);
         }
     }
@@ -2209,6 +2458,16 @@ impl Middleware {
 
     pub fn recovery_state(&self, b: BackendId) -> String {
         format!("{:?}", self.backends[b.0].state)
+    }
+
+    /// Quarantine state of a backend (harness/test introspection).
+    pub fn backend_health_state(&self, b: BackendId) -> crate::health::HealthState {
+        self.health[b.0].state()
+    }
+
+    /// True if the cluster is currently in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.metrics.degraded.is_degraded()
     }
 
     /// Debug snapshot: per-backend (state, applied_lsn, applied_seq) plus

@@ -40,6 +40,10 @@ pub enum ReplyError {
     /// The middleware refused the statement (e.g. unrewritable
     /// non-determinism under statement replication, §4.3.2).
     Rejected(String),
+    /// Write quorum lost but reads still flow: the cluster degraded to
+    /// read-only rather than going dark. Writes fail fast with this error
+    /// so clients can back off and retry instead of hanging on a timeout.
+    Degraded(String),
 }
 
 impl ReplyError {
@@ -48,6 +52,7 @@ impl ReplyError {
             ReplyError::Sql(e) => e.is_retryable(),
             ReplyError::Unavailable(_) => true,
             ReplyError::Rejected(_) => false,
+            ReplyError::Degraded(_) => true,
         }
     }
 }
@@ -233,6 +238,7 @@ mod tests {
     fn reply_error_retryability() {
         assert!(ReplyError::Unavailable("x".into()).is_retryable());
         assert!(!ReplyError::Rejected("x".into()).is_retryable());
+        assert!(ReplyError::Degraded("x".into()).is_retryable());
         assert!(ReplyError::Sql(SqlError::SerializationFailure("r".into())).is_retryable());
         assert!(!ReplyError::Sql(SqlError::DuplicateKey("k".into())).is_retryable());
     }

@@ -5,8 +5,17 @@
 //! timeouts misclassify slow-but-alive nodes under load. This detector is
 //! parameterized so experiment E11 can sweep exactly that tradeoff: a
 //! "TCP-default" configuration is just `HeartbeatConfig::tcp_default()`.
+//!
+//! The *adaptive* mode ([`AdaptiveThreshold`], accrual-style after Hayashibara
+//! et al.'s φ detector) replaces the fixed timeout with a per-peer threshold
+//! learned from observed heartbeat inter-arrival times: a browned-out or
+//! loaded peer whose heartbeats stretch raises its own threshold instead of
+//! being declared dead — exactly the "slow connections classified as failed"
+//! false positive §4.3.4.2 warns about. The fixed timeout remains the floor
+//! (adaptive detection never fires *faster* than the configured timeout) and
+//! a hard cap bounds detection time for real crashes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::types::MemberId;
 
@@ -31,6 +40,77 @@ impl HeartbeatConfig {
     }
 }
 
+/// Knobs for the accrual-style adaptive threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Floor: adaptive detection never fires faster than this (use the
+    /// fixed timeout you would otherwise have configured).
+    pub min_timeout_us: u64,
+    /// Cap: bounds detection time for real crashes no matter how noisy the
+    /// observed history was.
+    pub max_timeout_us: u64,
+    /// Safety multiplier on the learned threshold.
+    pub factor: f64,
+    /// How many standard deviations above the mean gap still count as
+    /// alive.
+    pub k: f64,
+    /// Inter-arrival history window (draws beyond it are forgotten).
+    pub window: usize,
+}
+
+impl AdaptiveConfig {
+    /// Adaptive companion to [`HeartbeatConfig::lan`]: same 100ms floor,
+    /// 2s cap.
+    pub fn lan() -> Self {
+        AdaptiveConfig {
+            min_timeout_us: 100_000,
+            max_timeout_us: 2_000_000,
+            factor: 1.5,
+            k: 4.0,
+            window: 32,
+        }
+    }
+}
+
+/// Learned suspicion threshold over one peer's heartbeat inter-arrival
+/// history. Deterministic: plain windowed mean/variance, no clocks of its
+/// own — the embedder feeds observed gaps.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    cfg: AdaptiveConfig,
+    gaps: VecDeque<u64>,
+}
+
+impl AdaptiveThreshold {
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        AdaptiveThreshold { cfg, gaps: VecDeque::new() }
+    }
+
+    /// Record one observed inter-arrival gap.
+    pub fn observe(&mut self, gap_us: u64) {
+        self.gaps.push_back(gap_us);
+        while self.gaps.len() > self.cfg.window.max(1) {
+            self.gaps.pop_front();
+        }
+    }
+
+    /// The current suspicion threshold:
+    /// `clamp(min, factor * (mean + k * std), max)`.
+    ///
+    /// With a short history the floor applies (behaves exactly like the
+    /// fixed-timeout detector until enough gaps are seen).
+    pub fn timeout_us(&self) -> u64 {
+        if self.gaps.len() < 4 {
+            return self.cfg.min_timeout_us;
+        }
+        let n = self.gaps.len() as f64;
+        let mean = self.gaps.iter().map(|&g| g as f64).sum::<f64>() / n;
+        let var = self.gaps.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / n;
+        let learned = (self.cfg.factor * (mean + self.cfg.k * var.sqrt())) as u64;
+        learned.clamp(self.cfg.min_timeout_us, self.cfg.max_timeout_us)
+    }
+}
+
 /// Per-peer liveness tracking. Pure state machine: the embedder feeds
 /// heartbeats and clock ticks.
 #[derive(Debug, Clone)]
@@ -39,6 +119,8 @@ pub struct FailureDetector {
     /// Last time we heard from each monitored peer.
     last_heard: HashMap<MemberId, u64>,
     suspected: HashMap<MemberId, bool>,
+    /// When set, per-peer learned thresholds replace the fixed timeout.
+    adaptive: Option<(AdaptiveConfig, HashMap<MemberId, AdaptiveThreshold>)>,
 }
 
 /// Liveness transitions reported by the detector.
@@ -59,11 +141,39 @@ impl FailureDetector {
             last_heard.insert(p, now);
             suspected.insert(p, false);
         }
-        FailureDetector { config, last_heard, suspected }
+        FailureDetector { config, last_heard, suspected, adaptive: None }
+    }
+
+    /// Like [`FailureDetector::new`] but with per-peer adaptive thresholds.
+    pub fn new_adaptive(
+        config: HeartbeatConfig,
+        adaptive: AdaptiveConfig,
+        peers: impl IntoIterator<Item = MemberId>,
+        now: u64,
+    ) -> Self {
+        let mut fd = Self::new(config, peers, now);
+        let per: HashMap<MemberId, AdaptiveThreshold> = fd
+            .last_heard
+            .keys()
+            .map(|&p| (p, AdaptiveThreshold::new(adaptive)))
+            .collect();
+        fd.adaptive = Some((adaptive, per));
+        fd
     }
 
     pub fn config(&self) -> HeartbeatConfig {
         self.config
+    }
+
+    /// The threshold currently applied to `peer`.
+    pub fn timeout_for(&self, peer: MemberId) -> u64 {
+        match &self.adaptive {
+            Some((_, per)) => per
+                .get(&peer)
+                .map(|t| t.timeout_us())
+                .unwrap_or(self.config.timeout_us),
+            None => self.config.timeout_us,
+        }
     }
 
     /// Replace the monitored set (view change); fresh peers start unheard-
@@ -76,12 +186,29 @@ impl FailureDetector {
             self.last_heard.insert(p, heard);
             self.suspected.insert(p, false);
         }
+        if let Some((cfg, per)) = &mut self.adaptive {
+            // Departed peers' histories are dropped; surviving peers keep
+            // theirs; joiners start fresh.
+            let cfg = *cfg;
+            per.retain(|p, _| self.last_heard.contains_key(p));
+            for &p in self.last_heard.keys() {
+                per.entry(p).or_insert_with(|| AdaptiveThreshold::new(cfg));
+            }
+        }
     }
 
     /// A message (heartbeat or any traffic) arrived from `from` at `now`.
     pub fn heard_from(&mut self, from: MemberId, now: u64) -> Option<FdEvent> {
         if let Some(t) = self.last_heard.get_mut(&from) {
+            let gap = now.saturating_sub(*t);
             *t = (*t).max(now);
+            if let Some((_, per)) = &mut self.adaptive {
+                if gap > 0 {
+                    if let Some(th) = per.get_mut(&from) {
+                        th.observe(gap);
+                    }
+                }
+            }
             if self.suspected.insert(from, false) == Some(true) {
                 return Some(FdEvent::Restore(from));
             }
@@ -89,7 +216,7 @@ impl FailureDetector {
         None
     }
 
-    /// Periodic check: which peers crossed the timeout at `now`?
+    /// Periodic check: which peers crossed their timeout at `now`?
     pub fn tick(&mut self, now: u64) -> Vec<FdEvent> {
         // Walk peers in id order: map iteration order varies per process,
         // and the event order matters when several peers time out at once.
@@ -100,7 +227,7 @@ impl FailureDetector {
         for (peer, heard) in peers {
             let silent = now.saturating_sub(heard);
             let was = self.suspected.get(&peer).copied().unwrap_or(false);
-            if silent > self.config.timeout_us && !was {
+            if silent > self.timeout_for(peer) && !was {
                 self.suspected.insert(peer, true);
                 events.push(FdEvent::Suspect(peer));
             }
@@ -193,6 +320,70 @@ mod tests {
     fn unknown_peers_ignored() {
         let mut d = fd(100);
         assert_eq!(d.heard_from(MemberId(9), 10), None);
+    }
+
+    #[test]
+    fn adaptive_threshold_learns_and_clamps() {
+        let cfg = AdaptiveConfig {
+            min_timeout_us: 100,
+            max_timeout_us: 10_000,
+            factor: 1.5,
+            k: 4.0,
+            window: 8,
+        };
+        let mut t = AdaptiveThreshold::new(cfg);
+        assert_eq!(t.timeout_us(), 100, "floor before history");
+        for _ in 0..8 {
+            t.observe(20);
+        }
+        assert_eq!(t.timeout_us(), 100, "regular fast beats: floor applies");
+        // Gaps stretch 20x (brownout): the threshold follows them up.
+        for _ in 0..8 {
+            t.observe(400);
+        }
+        let th = t.timeout_us();
+        assert!(th >= 600, "learned threshold {th}");
+        assert!(th <= 10_000, "cap respected");
+        // Absurd history still clamps at the cap.
+        for _ in 0..8 {
+            t.observe(1_000_000);
+        }
+        assert_eq!(t.timeout_us(), 10_000);
+    }
+
+    #[test]
+    fn adaptive_detector_tolerates_stretched_beats_but_catches_silence() {
+        let hb = HeartbeatConfig { interval_us: 10, timeout_us: 100 };
+        let ad = AdaptiveConfig {
+            min_timeout_us: 100,
+            max_timeout_us: 5_000,
+            factor: 1.5,
+            k: 4.0,
+            window: 8,
+        };
+        // A brownout stretches heartbeat gaps progressively (backlog builds
+        // up): 20µs beats ramp 15%/beat to 400µs. The fixed 100µs timeout
+        // false-positives as soon as a gap crosses it; the adaptive
+        // threshold tracks the ramp.
+        let mut fixed = FailureDetector::new(hb, [MemberId(1)], 0);
+        let mut adaptive = FailureDetector::new_adaptive(hb, ad, [MemberId(1)], 0);
+        let mut fixed_suspects = 0;
+        let mut adaptive_suspects = 0;
+        let mut gap = 20.0f64;
+        let mut now = 0u64;
+        for _ in 0..40 {
+            now += gap as u64;
+            gap = (gap * 1.15).min(400.0);
+            fixed_suspects += fixed.tick(now).len();
+            adaptive_suspects += adaptive.tick(now).len();
+            fixed.heard_from(MemberId(1), now);
+            adaptive.heard_from(MemberId(1), now);
+        }
+        assert!(fixed_suspects > 0, "fixed timeout false-positives on stretched beats");
+        assert_eq!(adaptive_suspects, 0, "adaptive threshold absorbs the stretch");
+        // True silence still gets caught, bounded by the cap.
+        let events = adaptive.tick(now + 6_000);
+        assert_eq!(events, vec![FdEvent::Suspect(MemberId(1))]);
     }
 
     #[test]

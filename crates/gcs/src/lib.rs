@@ -17,6 +17,6 @@ pub mod member;
 pub mod types;
 
 pub use buffer::DeliveryBuffer;
-pub use detector::{FailureDetector, FdEvent, HeartbeatConfig};
+pub use detector::{AdaptiveConfig, AdaptiveThreshold, FailureDetector, FdEvent, HeartbeatConfig};
 pub use member::{GcsConfig, GroupMember, TICK_TAG};
 pub use types::{Action, GcsMsg, MemberId, MsgId, OrderProtocol, OrderedRecord, View, ViewId};

@@ -28,7 +28,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use crate::buffer::DeliveryBuffer;
-use crate::detector::{FailureDetector, FdEvent, HeartbeatConfig};
+use crate::detector::{AdaptiveConfig, FailureDetector, FdEvent, HeartbeatConfig};
 use crate::types::{
     Action, GcsMsg, MemberId, MsgId, OrderProtocol, OrderedRecord, View, ViewId,
 };
@@ -45,6 +45,11 @@ pub struct GcsConfig {
     pub token_timeout_us: u64,
     /// How long a flush may stall before another coordinator retries.
     pub flush_timeout_us: u64,
+    /// When set, the failure detector learns per-peer suspicion thresholds
+    /// (accrual-style) instead of applying the fixed heartbeat timeout, so
+    /// a browned-out peer's stretched heartbeats do not cascade into false
+    /// view changes (§4.3.4.2).
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl GcsConfig {
@@ -54,7 +59,13 @@ impl GcsConfig {
             protocol,
             token_timeout_us: 300_000,
             flush_timeout_us: 500_000,
+            adaptive: None,
         }
+    }
+
+    /// LAN tuning with adaptive suspicion enabled.
+    pub fn lan_adaptive(protocol: OrderProtocol) -> Self {
+        GcsConfig { adaptive: Some(AdaptiveConfig::lan()), ..Self::lan(protocol) }
     }
 }
 
@@ -106,7 +117,10 @@ impl<P: Clone> GroupMember<P> {
         let view = View::new(ViewId(0), initial);
         assert!(view.contains(me), "founding member must be in the initial view");
         let peers: Vec<MemberId> = view.members.iter().copied().filter(|&m| m != me).collect();
-        let fd = FailureDetector::new(config.heartbeat, peers, now);
+        let fd = match config.adaptive {
+            Some(ad) => FailureDetector::new_adaptive(config.heartbeat, ad, peers, now),
+            None => FailureDetector::new(config.heartbeat, peers, now),
+        };
         let contacts = view.members.clone();
         GroupMember {
             me,

@@ -13,6 +13,6 @@ pub mod net;
 pub mod sim;
 pub mod time;
 
-pub use net::{LinkSpec, NetworkModel, NodeId};
+pub use net::{Delivery, LinkFault, LinkSpec, NetworkModel, NodeId};
 pub use sim::{Actor, AnyActor, ControlOp, Ctx, Sim, SimStats};
 pub use time::{dur, SimTime};

@@ -1,10 +1,17 @@
-//! Network model: per-link latency/jitter, message loss, and partitions.
+//! Network model: per-link latency/jitter, message loss, duplication,
+//! partitions, and transient gray-failure episodes.
 //!
 //! Partitions are first-class because the paper (§4.3.4.3) complains that
 //! "split brain" is treated theoretically while real clusters lose whole
 //! racks at once. A partition here blocks messages at *send* time in both
 //! directions between groups; messages already in flight still arrive
 //! (packets on the wire).
+//!
+//! Gray failures (§4.1.3, §5.1): a [`LinkFault`] overlays extra loss,
+//! duplication, and jitter spikes on a link *for a while* without severing
+//! it — the flaky-switch / failing-NIC case that clean crash+partition
+//! models miss. Episodes are installed and cleared at runtime (via
+//! `ControlOp::SetLinkFault` / `ClearLinkFault` in the kernel).
 
 use std::collections::{HashMap, HashSet};
 
@@ -50,6 +57,46 @@ impl LinkSpec {
     }
 }
 
+/// A transient degradation episode overlaid on a link's base [`LinkSpec`]:
+/// the link stays up but loses, duplicates, and delays traffic. All fields
+/// add to (never replace) the base link behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkFault {
+    /// Extra probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered *twice* (retransmit
+    /// storm / routing flap).
+    pub dup_prob: f64,
+    /// Extra uniform jitter added on top of the base link's: [0, this].
+    pub jitter_us: u64,
+}
+
+impl LinkFault {
+    /// A plausibly flaky LAN segment: 10% loss, 5% duplication, multi-ms
+    /// jitter spikes.
+    pub fn flaky() -> Self {
+        LinkFault { drop_prob: 0.10, dup_prob: 0.05, jitter_us: 5_000 }
+    }
+}
+
+/// The fate of a message decided by [`NetworkModel::transit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered once after this many microseconds.
+    Once(u64),
+    /// Delivered twice (duplication fault): primary and duplicate delays.
+    Twice(u64, u64),
+}
+
+impl Delivery {
+    /// The primary copy's delay.
+    pub fn delay(&self) -> u64 {
+        match *self {
+            Delivery::Once(d) | Delivery::Twice(d, _) => d,
+        }
+    }
+}
+
 /// The cluster's network.
 #[derive(Debug, Clone)]
 pub struct NetworkModel {
@@ -57,11 +104,18 @@ pub struct NetworkModel {
     overrides: HashMap<(NodeId, NodeId), LinkSpec>,
     /// Unordered blocked pairs (partitioned).
     blocked: HashSet<(NodeId, NodeId)>,
+    /// Active gray-failure episodes, per directed link.
+    faults: HashMap<(NodeId, NodeId), LinkFault>,
 }
 
 impl NetworkModel {
     pub fn new(default_link: LinkSpec) -> Self {
-        NetworkModel { default_link, overrides: HashMap::new(), blocked: HashSet::new() }
+        NetworkModel {
+            default_link,
+            overrides: HashMap::new(),
+            blocked: HashSet::new(),
+            faults: HashMap::new(),
+        }
     }
 
     pub fn lan() -> Self {
@@ -121,9 +175,40 @@ impl NetworkModel {
         self.blocked.contains(&Self::key(a, b))
     }
 
-    /// Decide the fate of a message: `None` = dropped, `Some(delay)` =
-    /// delivered after `delay` microseconds.
-    pub fn transit(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Option<u64> {
+    /// Start a gray-failure episode on one directed link.
+    pub fn set_fault(&mut self, from: NodeId, to: NodeId, fault: LinkFault) {
+        self.faults.insert((from, to), fault);
+    }
+
+    /// Start a gray-failure episode on both directions of a pair.
+    pub fn set_fault_symmetric(&mut self, a: NodeId, b: NodeId, fault: LinkFault) {
+        self.set_fault(a, b, fault);
+        self.set_fault(b, a, fault);
+    }
+
+    /// End the episode on one directed link.
+    pub fn clear_fault(&mut self, from: NodeId, to: NodeId) {
+        self.faults.remove(&(from, to));
+    }
+
+    /// End the episode on both directions of a pair.
+    pub fn clear_fault_symmetric(&mut self, a: NodeId, b: NodeId) {
+        self.clear_fault(a, b);
+        self.clear_fault(b, a);
+    }
+
+    pub fn fault(&self, from: NodeId, to: NodeId) -> Option<LinkFault> {
+        self.faults.get(&(from, to)).copied()
+    }
+
+    /// Decide the fate of a message: `None` = dropped, `Some(Delivery)` =
+    /// delivered once or (duplication fault) twice.
+    ///
+    /// RNG discipline: every draw is gated behind a non-zero knob, so a
+    /// fault-free link consumes exactly the draws it always did — installing
+    /// the gray-failure machinery does not shift any pre-existing seeded
+    /// stream.
+    pub fn transit(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Option<Delivery> {
         if self.is_blocked(from, to) {
             return None;
         }
@@ -131,8 +216,28 @@ impl NetworkModel {
         if spec.drop_prob > 0.0 && rng.gen::<f64>() < spec.drop_prob {
             return None;
         }
+        let fault = if from == to { None } else { self.fault(from, to) };
+        if let Some(f) = fault {
+            if f.drop_prob > 0.0 && rng.gen::<f64>() < f.drop_prob {
+                return None;
+            }
+        }
         let jitter = if spec.jitter_us > 0 { rng.gen_range(0..=spec.jitter_us) } else { 0 };
-        Some(spec.latency_us + jitter)
+        let spike = match fault {
+            Some(f) if f.jitter_us > 0 => rng.gen_range(0..=f.jitter_us),
+            _ => 0,
+        };
+        let delay = spec.latency_us + jitter + spike;
+        if let Some(f) = fault {
+            if f.dup_prob > 0.0 && rng.gen::<f64>() < f.dup_prob {
+                // The duplicate trails the original by its own jitter draw
+                // (at least 1µs so the copies are distinguishable in time).
+                let span = spec.jitter_us + f.jitter_us;
+                let trail = if span > 0 { rng.gen_range(1..=span) } else { 1 };
+                return Some(Delivery::Twice(delay, delay + trail));
+            }
+        }
+        Some(Delivery::Once(delay))
     }
 }
 
@@ -158,12 +263,12 @@ mod tests {
         let mut net = NetworkModel::lan();
         let mut rng = DetRng::seed_from_u64(1);
         let (a, b) = (NodeId(0), NodeId(1));
-        let d = net.transit(a, b, &mut rng).unwrap();
+        let d = net.transit(a, b, &mut rng).unwrap().delay();
         assert!((100..=150).contains(&d), "delay {d}");
         net.block_pair(a, b);
         assert!(net.transit(a, b, &mut rng).is_none());
         // Loopback is free even when partitioned from everyone.
-        assert_eq!(net.transit(a, a, &mut rng), Some(0));
+        assert_eq!(net.transit(a, a, &mut rng), Some(Delivery::Once(0)));
     }
 
     #[test]
@@ -174,6 +279,54 @@ mod tests {
         let delivered = (0..200).filter(|_| net.transit(a, b, &mut rng).is_some()).count();
         assert!((60..140).contains(&delivered), "delivered {delivered}");
         let _ = net.set_link(a, b, LinkSpec::local());
-        assert_eq!(net.transit(a, b, &mut rng), Some(0));
+        assert_eq!(net.transit(a, b, &mut rng), Some(Delivery::Once(0)));
+    }
+
+    #[test]
+    fn fault_free_links_draw_identically_with_and_without_machinery() {
+        // Installing a fault on one link must not perturb the RNG stream
+        // seen by other links (draw-count preservation).
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let plain = NetworkModel::lan();
+        let mut faulted = NetworkModel::lan();
+        faulted.set_fault_symmetric(a, c, LinkFault::flaky());
+        let mut r1 = DetRng::seed_from_u64(3);
+        let mut r2 = DetRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(plain.transit(a, b, &mut r1), faulted.transit(a, b, &mut r2));
+        }
+    }
+
+    #[test]
+    fn link_fault_drops_duplicates_and_spikes() {
+        let mut net = NetworkModel::new(LinkSpec { latency_us: 10, jitter_us: 0, drop_prob: 0.0 });
+        let (a, b) = (NodeId(0), NodeId(1));
+        net.set_fault(a, b, LinkFault { drop_prob: 0.3, dup_prob: 0.3, jitter_us: 1_000 });
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut dropped = 0;
+        let mut dups = 0;
+        let mut spiked = 0;
+        for _ in 0..400 {
+            match net.transit(a, b, &mut rng) {
+                None => dropped += 1,
+                Some(Delivery::Once(d)) => {
+                    if d > 10 {
+                        spiked += 1;
+                    }
+                }
+                Some(Delivery::Twice(d, d2)) => {
+                    assert!(d2 > d, "duplicate trails the original");
+                    dups += 1;
+                }
+            }
+        }
+        assert!((60..180).contains(&dropped), "dropped {dropped}");
+        assert!((30..150).contains(&dups), "dups {dups}");
+        assert!(spiked > 100, "spiked {spiked}");
+        // Clearing the episode restores clean behaviour.
+        net.clear_fault(a, b);
+        assert_eq!(net.transit(a, b, &mut rng), Some(Delivery::Once(10)));
+        // The reverse direction never had a fault.
+        assert_eq!(net.fault(b, a), None);
     }
 }

@@ -7,7 +7,7 @@ use std::collections::BinaryHeap;
 
 use replimid_det::DetRng;
 
-use crate::net::{NetworkModel, NodeId};
+use crate::net::{Delivery, LinkFault, NetworkModel, NodeId};
 use crate::time::SimTime;
 
 /// A simulated process. `M` is the message type of the whole simulation
@@ -56,24 +56,49 @@ impl<M> Ctx<'_, M> {
     /// jitter never reorders two messages between the same pair of nodes).
     /// Sending to a crashed node silently loses the message at delivery time
     /// (connection reset).
-    pub fn send(&mut self, to: NodeId, msg: M) {
+    pub fn send(&mut self, to: NodeId, msg: M)
+    where
+        M: Clone,
+    {
         self.send_after(to, msg, 0);
     }
 
     /// Send with an extra sender-side delay before the message leaves —
     /// e.g. a response that must not depart before the service time the
     /// sender consumed for producing it has elapsed.
-    pub fn send_after(&mut self, to: NodeId, msg: M, extra_us: u64) {
+    pub fn send_after(&mut self, to: NodeId, msg: M, extra_us: u64)
+    where
+        M: Clone,
+    {
         self.stats.messages_sent += 1;
         match self.net.transit(self.me, to, self.rng) {
-            Some(delay) => {
-                let mut at = self.now + extra_us + delay;
+            Some(delivery) => {
+                let dup_delay = match delivery {
+                    Delivery::Once(_) => None,
+                    Delivery::Twice(_, d2) => Some(d2),
+                };
+                let mut at = self.now + extra_us + delivery.delay();
                 let horizon = self.fifo.entry((self.me, to)).or_insert(SimTime::ZERO);
                 if at < *horizon {
                     at = *horizon;
                 }
                 *horizon = at;
-                self.queue.push(at, EventKind::Deliver { to, from: self.me, msg });
+                if let Some(d2) = dup_delay {
+                    // Duplication fault: a second copy trails the first. It
+                    // advances the FIFO horizon like any later send, so it
+                    // never reorders against subsequent traffic.
+                    self.stats.messages_duplicated += 1;
+                    let mut at2 = self.now + extra_us + d2;
+                    let horizon = self.fifo.get_mut(&(self.me, to)).unwrap();
+                    if at2 < *horizon {
+                        at2 = *horizon;
+                    }
+                    *horizon = at2;
+                    self.queue.push(at, EventKind::Deliver { to, from: self.me, msg: msg.clone() });
+                    self.queue.push(at2, EventKind::Deliver { to, from: self.me, msg });
+                } else {
+                    self.queue.push(at, EventKind::Deliver { to, from: self.me, msg });
+                }
             }
             None => self.stats.messages_dropped += 1,
         }
@@ -90,8 +115,18 @@ impl<M> Ctx<'_, M> {
     /// Account `service_us` of serial processing on this node: subsequent
     /// message deliveries queue behind it (single-server queue). Returns the
     /// time at which the node becomes free again.
+    ///
+    /// During a brownout (`ControlOp::SetBrownout`) every consumed service
+    /// time is stretched by the node's slow factor — the node is *slow but
+    /// alive* (§4.1.3's failing-battery anecdote), still answering but
+    /// building backlog.
     pub fn consume(&mut self, service_us: u64) -> SimTime {
         let m = &mut self.meta[self.me.0];
+        let service_us = if m.slow_factor != 1.0 {
+            (service_us as f64 * m.slow_factor) as u64
+        } else {
+            service_us
+        };
         let start = m.busy_until.max(self.now);
         m.busy_until = start + service_us;
         self.stats.busy_us_total += service_us;
@@ -123,6 +158,16 @@ pub enum ControlOp {
     Restart(NodeId),
     Partition(Vec<Vec<NodeId>>),
     Heal,
+    /// Gray failure: stretch the node's service times by this factor
+    /// (slow-but-alive, §4.1.3). A factor of 1.0 is a no-op.
+    SetBrownout(NodeId, f64),
+    /// End a brownout (service times return to nominal).
+    ClearBrownout(NodeId),
+    /// Gray failure: overlay loss/duplication/jitter on both directions of
+    /// a link without severing it.
+    SetLinkFault(NodeId, NodeId, LinkFault),
+    /// End a link-fault episode (both directions).
+    ClearLinkFault(NodeId, NodeId),
 }
 
 enum EventKind<M> {
@@ -177,12 +222,20 @@ impl<M> EventQueue<M> {
     }
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 struct NodeMeta {
     crashed: bool,
     busy_until: SimTime,
     /// Bumped on restart so pre-crash timers are invalidated.
     epoch: u64,
+    /// Brownout multiplier on consumed service time; 1.0 = nominal.
+    slow_factor: f64,
+}
+
+impl Default for NodeMeta {
+    fn default() -> Self {
+        NodeMeta { crashed: false, busy_until: SimTime::ZERO, epoch: 0, slow_factor: 1.0 }
+    }
 }
 
 /// Aggregate kernel statistics.
@@ -190,6 +243,7 @@ struct NodeMeta {
 pub struct SimStats {
     pub messages_sent: u64,
     pub messages_dropped: u64,
+    pub messages_duplicated: u64,
     pub events_processed: u64,
     pub busy_us_total: u64,
 }
@@ -359,6 +413,18 @@ impl<M> Sim<M> {
                 self.net.partition(&refs);
             }
             ControlOp::Heal => self.net.heal(),
+            ControlOp::SetBrownout(node, factor) => {
+                self.meta[node.0].slow_factor = if factor > 0.0 { factor } else { 1.0 };
+            }
+            ControlOp::ClearBrownout(node) => {
+                self.meta[node.0].slow_factor = 1.0;
+            }
+            ControlOp::SetLinkFault(a, b, fault) => {
+                self.net.set_fault_symmetric(a, b, fault);
+            }
+            ControlOp::ClearLinkFault(a, b) => {
+                self.net.clear_fault_symmetric(a, b);
+            }
         }
     }
 
@@ -516,6 +582,63 @@ mod tests {
         sim.run_until(SimTime::from_millis(5));
         sim.with_actor::<Pinger, _>(a, |p| assert!(p.pongs.is_empty()));
         assert!(sim.stats().messages_dropped >= 1);
+    }
+
+    #[test]
+    fn brownout_stretches_service_then_recovers() {
+        let mut sim = Sim::new(NetworkModel::new(crate::net::LinkSpec::local()), 4);
+        let b = sim.add_node(Busy { handled: vec![] });
+        sim.schedule(SimTime::ZERO, ControlOp::SetBrownout(b, 5.0));
+        sim.inject(SimTime(1), b, Msg::Ping(0)); // 5ms under brownout
+        sim.inject(SimTime(2), b, Msg::Ping(0)); // queues behind it
+        sim.schedule(SimTime::from_millis(6), ControlOp::ClearBrownout(b));
+        sim.inject(SimTime::from_millis(20), b, Msg::Ping(0)); // nominal again
+        sim.run_to_quiescence();
+        sim.with_actor::<Busy, _>(b, |busy| {
+            assert_eq!(busy.handled[0], 1);
+            assert_eq!(busy.handled[1], 5_001, "second waited out 5x service");
+            assert_eq!(busy.handled[2], 20_000);
+        });
+        // Nominal service resumed: total busy = 5ms + 5ms + 1ms.
+        assert_eq!(sim.stats().busy_us_total, 11_000);
+    }
+
+    #[test]
+    fn link_fault_control_duplicates_and_clears() {
+        // A sender that pings on two timers: once during the dup episode,
+        // once after it clears.
+        struct SendTwice {
+            peer: usize,
+        }
+        impl Actor<Msg> for SendTwice {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(dur::millis(1), 1);
+                ctx.set_timer(dur::millis(5), 2);
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                ctx.send(NodeId(self.peer), Msg::Ping(tag as u32));
+            }
+        }
+        // Zero-jitter base link + dup_prob 1.0: every send during the
+        // episode delivers exactly twice, FIFO preserved.
+        let mut sim = Sim::new(NetworkModel::new(crate::net::LinkSpec::local()), 6);
+        let sink = sim.add_node(Busy { handled: vec![] });
+        let src = sim.add_node(SendTwice { peer: 0 });
+        sim.schedule(
+            SimTime::ZERO,
+            ControlOp::SetLinkFault(
+                src,
+                sink,
+                crate::net::LinkFault { drop_prob: 0.0, dup_prob: 1.0, jitter_us: 0 },
+            ),
+        );
+        sim.schedule(SimTime::from_millis(4), ControlOp::ClearLinkFault(src, sink));
+        sim.run_to_quiescence();
+        sim.with_actor::<Busy, _>(sink, |b| {
+            assert_eq!(b.handled.len(), 3, "ping 1 twice, ping 2 once");
+        });
+        assert_eq!(sim.stats().messages_duplicated, 1);
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! (software or hardware) occurs per day per 200 processors". A schedule
 //! draws exponential inter-failure times at a configurable multiple of that
 //! rate (virtual hours are cheap) and pairs each crash with a repair delay.
+//!
+//! Beyond clean crashes, [`GrayFaultSchedule`] draws *gray* episodes from
+//! the same Poisson machinery: brownouts (a node slows down but stays
+//! alive — §4.1.3's failing RAID battery) and flaky links (loss,
+//! duplication, jitter spikes without severing the link). These are the
+//! failures §5.1 says evaluations never inject.
 
 use replimid_det::DetRng;
-use replimid_simnet::{dur, SimTime};
+use replimid_simnet::{dur, LinkFault, SimTime};
 
 /// One planned fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +82,144 @@ impl FaultSchedule {
     pub fn len(&self) -> usize {
         self.faults.len()
     }
+
+    /// Drop faults that would put more than `max_concurrent` nodes down at
+    /// once. An unconstrained Poisson draw can (and at high acceleration
+    /// does) take every replica down simultaneously, silently turning an
+    /// availability campaign into a permanent quorum loss; campaigns that
+    /// want to measure *degradation* rather than total outage cap the
+    /// overlap. Purely a deterministic post-process: the RNG stream behind
+    /// the schedule is unchanged.
+    pub fn capped(mut self, max_concurrent: usize) -> Self {
+        let mut kept: Vec<Fault> = Vec::new();
+        // Restart times of kept faults still in progress (sorted walk over
+        // crash times keeps this correct).
+        let mut active: Vec<SimTime> = Vec::new();
+        for f in self.faults {
+            active.retain(|&r| r > f.crash_at);
+            if active.len() < max_concurrent {
+                active.push(f.restart_at);
+                kept.push(f);
+            }
+        }
+        self.faults = kept;
+        self
+    }
+
+    /// The largest number of faults simultaneously in progress.
+    pub fn max_concurrent(&self) -> usize {
+        let mut best = 0;
+        for f in &self.faults {
+            let overlapping = self
+                .faults
+                .iter()
+                .filter(|g| g.crash_at <= f.crash_at && g.restart_at > f.crash_at)
+                .count();
+            best = best.max(overlapping);
+        }
+        best
+    }
+}
+
+/// What a gray episode does to its victim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GrayKind {
+    /// The node's service times stretch by this factor; it keeps answering.
+    Brownout { factor: f64 },
+    /// The node's links lose/duplicate/delay messages without dropping.
+    FlakyLink { fault: LinkFault },
+}
+
+/// One planned gray-failure episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrayFault {
+    /// Which node (index into the caller's node list).
+    pub node: usize,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub kind: GrayKind,
+}
+
+/// Severity knobs for a gray-failure campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct GraySpec {
+    /// Multiplier on the paper's base failure rate (like `poisson`'s).
+    pub accel: f64,
+    /// Mean episode length (exponential), floored at `min_episode_us`.
+    pub mean_episode_us: u64,
+    pub min_episode_us: u64,
+    /// Fraction of episodes that are brownouts (the rest are flaky links).
+    pub brownout_ratio: f64,
+    /// Brownout severity drawn uniformly from this range.
+    pub brownout_factor: (f64, f64),
+    /// Severity used for flaky-link episodes.
+    pub link: LinkFault,
+}
+
+impl Default for GraySpec {
+    fn default() -> Self {
+        GraySpec {
+            accel: 1.0,
+            mean_episode_us: dur::secs(2),
+            min_episode_us: dur::millis(200),
+            brownout_ratio: 0.5,
+            brownout_factor: (4.0, 10.0),
+            link: LinkFault::flaky(),
+        }
+    }
+}
+
+/// Gray episodes drawn from the same per-node Poisson process as
+/// [`FaultSchedule::poisson`].
+#[derive(Debug, Clone)]
+pub struct GrayFaultSchedule {
+    pub faults: Vec<GrayFault>,
+}
+
+impl GrayFaultSchedule {
+    pub fn poisson(rng: &mut DetRng, nodes: usize, horizon_us: u64, spec: GraySpec) -> Self {
+        let mut faults = Vec::new();
+        let per_node_rate = spec.accel / PAPER_MTTF_US_PER_NODE;
+        for node in 0..nodes {
+            let mut t = 0.0f64;
+            loop {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                t += -u.ln() / per_node_rate;
+                if t >= horizon_us as f64 {
+                    break;
+                }
+                let start = SimTime(t as u64);
+                let du: f64 = rng.gen::<f64>().max(1e-12);
+                let len = ((-du.ln() * spec.mean_episode_us as f64) as u64).max(spec.min_episode_us);
+                let end = start + len;
+                let kind = if rng.gen::<f64>() < spec.brownout_ratio {
+                    let (lo, hi) = spec.brownout_factor;
+                    GrayKind::Brownout { factor: lo + rng.gen::<f64>() * (hi - lo).max(0.0) }
+                } else {
+                    GrayKind::FlakyLink { fault: spec.link }
+                };
+                faults.push(GrayFault { node, start, end, kind });
+                t = end.micros() as f64;
+            }
+        }
+        faults.sort_by_key(|f| (f.start, f.node));
+        GrayFaultSchedule { faults }
+    }
+
+    /// A single planned episode (targeted tests).
+    pub fn single(node: usize, start: SimTime, len_us: u64, kind: GrayKind) -> Self {
+        GrayFaultSchedule {
+            faults: vec![GrayFault { node, start, end: start + len_us, kind }],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +242,60 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(11);
         let fast = FaultSchedule::poisson(&mut rng, 10, dur::hours(1), 10_000.0, dur::minutes(1));
         assert!(fast.len() > slow.len() * 10, "{} vs {}", fast.len(), slow.len());
+    }
+
+    #[test]
+    fn cap_bounds_concurrent_faults() {
+        let mut rng = DetRng::seed_from_u64(13);
+        // Aggressive acceleration + long repairs: plenty of overlap, and
+        // with 5 nodes the uncapped draw takes everything down at once.
+        let s = FaultSchedule::poisson(&mut rng, 5, dur::minutes(10), 3_000_000.0, dur::minutes(1));
+        assert!(s.max_concurrent() >= 3, "premise: uncapped overlap ({})", s.max_concurrent());
+        let total = s.len();
+        let capped = s.capped(2);
+        assert!(capped.max_concurrent() <= 2, "cap violated: {}", capped.max_concurrent());
+        assert!(!capped.is_empty() && capped.len() < total, "cap dropped some faults");
+        for f in &capped.faults {
+            assert!(f.restart_at > f.crash_at);
+        }
+    }
+
+    #[test]
+    fn cap_is_a_noop_when_never_exceeded() {
+        let s = FaultSchedule::single(0, SimTime(1_000), dur::millis(100));
+        let before = s.faults.clone();
+        assert_eq!(s.capped(1).faults, before);
+    }
+
+    #[test]
+    fn gray_schedule_draws_both_kinds_deterministically() {
+        let draw = || {
+            let mut rng = DetRng::seed_from_u64(21);
+            GrayFaultSchedule::poisson(
+                &mut rng,
+                8,
+                dur::minutes(5),
+                GraySpec { accel: 500_000.0, ..GraySpec::default() },
+            )
+        };
+        let s = draw();
+        assert!(s.len() >= 4, "got {}", s.len());
+        let brownouts = s
+            .faults
+            .iter()
+            .filter(|f| matches!(f.kind, GrayKind::Brownout { .. }))
+            .count();
+        assert!(brownouts > 0 && brownouts < s.len(), "both kinds present");
+        for f in &s.faults {
+            assert!(f.end > f.start);
+            assert!(f.start.micros() < dur::minutes(5));
+            if let GrayKind::Brownout { factor } = f.kind {
+                assert!((4.0..=10.0).contains(&factor), "factor {factor}");
+            }
+        }
+        // Sorted and same-seed reproducible.
+        assert!(s.faults.windows(2).all(|w| w[0].start <= w[1].start));
+        assert_eq!(s.faults, draw().faults);
     }
 
     #[test]

@@ -30,5 +30,5 @@ pub use auction::Auction;
 pub use batch::BatchUpdate;
 pub use bookstore::Bookstore;
 pub use broker::Broker;
-pub use faults::FaultSchedule;
+pub use faults::{FaultSchedule, GrayFault, GrayFaultSchedule, GrayKind, GraySpec};
 pub use micro::{KeyedUpdates, PointReads, ReadWriteMix};

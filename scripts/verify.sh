@@ -3,6 +3,8 @@
 #   1. guard: no external (registry) dependencies in any crate manifest
 #   2. cargo build --release --offline
 #   3. cargo test -q --offline
+#   4. determinism: the full experiments suite, run twice, must be
+#      byte-identical (same seeds => same numbers, see DESIGN.md)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -52,5 +54,22 @@ echo "verify: dependency guard OK (workspace is hermetic)"
 # --- 2 + 3. Tier-1 build and tests, offline ----------------------------
 cargo build --release --offline
 cargo test -q --offline
+
+# --- 4. Determinism check ----------------------------------------------
+# Every experiment draws from fixed seeds, so two runs must agree on every
+# byte. A diff here means nondeterminism leaked into the simulation (wall
+# clock, hash order, thread timing), which invalidates every table in
+# EXPERIMENTS.md.
+out_a=$(mktemp)
+out_b=$(mktemp)
+trap 'rm -f "$out_a" "$out_b"' EXIT
+cargo run --release -q --offline -p replimid-bench --bin experiments > "$out_a"
+cargo run --release -q --offline -p replimid-bench --bin experiments > "$out_b"
+if ! diff -q "$out_a" "$out_b" > /dev/null; then
+    echo "verify: determinism FAILED — two same-seed runs differ:" >&2
+    diff "$out_a" "$out_b" | head -20 >&2
+    exit 1
+fi
+echo "verify: determinism OK (two experiment runs byte-identical)"
 
 echo "verify: OK"
