@@ -34,6 +34,7 @@ pub struct Certifier {
     /// older than everything active can be pruned by the caller via
     /// `prune_before`.
     max_window: usize,
+    stats: CertifierStats,
 }
 
 /// Outcome of certification.
@@ -45,9 +46,35 @@ pub enum Verdict {
     Abort,
 }
 
+/// Running totals for the certification stage, deterministic from the
+/// ordered request stream (every replica's copy agrees). Snapshotted into
+/// `MwMetrics` for per-run reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertifierStats {
+    /// Certification requests processed.
+    pub checks: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    /// Writeset keys examined across all checks.
+    pub keys_checked: u64,
+    /// Largest conflict window observed (certified transactions retained).
+    pub max_window: usize,
+}
+
 impl Certifier {
     pub fn new() -> Self {
-        Certifier { pos: 0, window: Vec::new(), last_writer: HashMap::new(), max_window: 65_536 }
+        Certifier {
+            pos: 0,
+            window: Vec::new(),
+            last_writer: HashMap::new(),
+            max_window: 65_536,
+            stats: CertifierStats::default(),
+        }
+    }
+
+    /// Snapshot of the running certification statistics.
+    pub fn stats(&self) -> CertifierStats {
+        self.stats
     }
 
     /// Current position; transactions snapshot this when they begin.
@@ -66,13 +93,17 @@ impl Certifier {
     ) -> Verdict {
         let keys: Vec<WsKey> = ws.keys(&pk_of);
         let hashes: Vec<u64> = keys.iter().map(WsKey::hash).collect();
+        self.stats.checks += 1;
+        self.stats.keys_checked += hashes.len() as u64;
         for h in &hashes {
             if let Some(&writer_pos) = self.last_writer.get(h) {
                 if writer_pos > start_pos {
+                    self.stats.aborts += 1;
                     return Verdict::Abort;
                 }
             }
         }
+        self.stats.commits += 1;
         // Passed: record it.
         self.pos += 1;
         let pos = self.pos;
@@ -80,6 +111,7 @@ impl Certifier {
             self.last_writer.insert(h, pos);
         }
         self.window.push(Certified { pos, key_hashes: hashes });
+        self.stats.max_window = self.stats.max_window.max(self.window.len());
         if self.window.len() > self.max_window {
             let cutoff = self.window[self.window.len() - self.max_window].pos;
             self.prune_before(cutoff);
@@ -179,6 +211,21 @@ mod tests {
             verdicts
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_track_checks_and_verdicts() {
+        let mut c = Certifier::new();
+        let s = c.position();
+        assert_eq!(c.certify(s, &ws(&[1, 2]), pk), Verdict::Commit);
+        assert_eq!(c.certify(s, &ws(&[2]), pk), Verdict::Abort);
+        assert_eq!(c.certify(c.position(), &ws(&[3]), pk), Verdict::Commit);
+        let st = c.stats();
+        assert_eq!(st.checks, 3);
+        assert_eq!(st.commits, 2);
+        assert_eq!(st.aborts, 1);
+        assert_eq!(st.keys_checked, 4);
+        assert_eq!(st.max_window, 2);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use replimid_simnet::{Actor, Ctx, NodeId};
 use crate::backoff::{self, BackoffConfig};
 use crate::metrics::Histogram;
 use crate::msg::{ClientRequest, Msg, ReplyError, SessionId};
+use crate::trace::{Stage, TraceId, TraceSink};
 
 /// Produces the next transaction to run: a list of SQL statements. Include
 /// BEGIN/COMMIT explicitly for multi-statement transactions; single
@@ -75,7 +76,7 @@ impl ClientConfig {
 }
 
 /// Per-client measurements.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ClientMetrics {
     pub committed: u64,
     pub aborted: u64,
@@ -90,23 +91,9 @@ pub struct ClientMetrics {
     pub errors_per_sec: BTreeMap<u64, u64>,
     /// The most recent error, for diagnostics.
     pub last_error: Option<String>,
-}
-
-impl Default for ClientMetrics {
-    fn default() -> Self {
-        ClientMetrics {
-            committed: 0,
-            aborted: 0,
-            failed: 0,
-            timeouts: 0,
-            failovers: 0,
-            stmt_latency: Histogram::new(),
-            tx_latency: Histogram::new(),
-            commits_per_sec: BTreeMap::new(),
-            errors_per_sec: BTreeMap::new(),
-            last_error: None,
-        }
-    }
+    /// Client-side trace spans: one trace per transaction (spanning every
+    /// retry attempt), tiled by ClientRtt / Retry / Backoff / Rollback.
+    pub trace: TraceSink,
 }
 
 const TIMER_THINK: u64 = 1;
@@ -139,6 +126,10 @@ pub struct Client {
     timeout_streak: u32,
     /// Statement the pending TIMER_RESEND belongs to (staleness guard).
     resend_seq: u64,
+    /// Per-client transaction counter (low bits of the trace id).
+    trace_ctr: u64,
+    /// Trace id of the in-flight transaction (0 = none open).
+    cur_trace: u64,
     pub metrics: ClientMetrics,
 }
 
@@ -152,7 +143,24 @@ impl Client {
             mw_index: 0,
             timeout_streak: 0,
             resend_seq: 0,
+            trace_ctr: 0,
+            cur_trace: 0,
             metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// Attribute the window since this trace's previous event to `stage`.
+    fn trace_span(&mut self, stage: Stage, now_us: u64) {
+        if self.cur_trace != 0 {
+            self.metrics.trace.span(TraceId(self.cur_trace), stage, now_us);
+        }
+    }
+
+    /// Close the in-flight transaction's trace at `now_us`.
+    fn trace_end(&mut self, now_us: u64) {
+        if self.cur_trace != 0 {
+            self.metrics.trace.end(TraceId(self.cur_trace), now_us);
+            self.cur_trace = 0;
         }
     }
 
@@ -161,7 +169,12 @@ impl Client {
     }
 
     fn send_current(&mut self, ctx: &mut Ctx<'_, Msg>, sql: String) {
-        let req = ClientRequest { session: self.cfg.session, stmt_seq: self.stmt_seq, sql };
+        let req = ClientRequest {
+            session: self.cfg.session,
+            stmt_seq: self.stmt_seq,
+            trace: self.cur_trace,
+            sql,
+        };
         let mw = self.middleware();
         ctx.send(mw, Msg::Request(req));
         ctx.set_timer(self.cfg.request_timeout_us, TIMER_TIMEOUT_BASE + self.stmt_seq);
@@ -179,6 +192,12 @@ impl Client {
             self.phase = Phase::Done;
             return;
         }
+        // One trace per transaction, spanning every retry attempt; ids are
+        // globally unique and monotone per client (session in the high
+        // bits), which the sink's bounded eviction relies on.
+        self.trace_ctr += 1;
+        self.cur_trace = (self.cfg.session.0 << 24) | self.trace_ctr;
+        self.metrics.trace.begin(TraceId(self.cur_trace), ctx.now().micros());
         self.start_attempt(ctx, tx, 0);
     }
 
@@ -195,6 +214,7 @@ impl Client {
         self.metrics.committed += 1;
         self.metrics.tx_latency.record(now - started_us);
         *self.metrics.commits_per_sec.entry(now / 1_000_000).or_insert(0) += 1;
+        self.trace_end(now);
         self.phase = Phase::Idle;
         ctx.set_timer(self.cfg.think_time_us.max(1), TIMER_THINK);
     }
@@ -225,6 +245,7 @@ impl Client {
         match std::mem::replace(&mut self.phase, Phase::Idle) {
             Phase::Running { tx, index, started_us, sent_us, retries } => {
                 self.metrics.stmt_latency.record(now - sent_us);
+                self.trace_span(Stage::ClientRtt, now);
                 match result {
                     Ok(()) => {
                         if index + 1 < tx.len() {
@@ -251,6 +272,7 @@ impl Client {
             }
             Phase::RollingBack { tx, started_us, retries, retry } => {
                 // Rollback acknowledged (or failed — either way, move on).
+                self.trace_span(Stage::Rollback, now);
                 if retry {
                     // Back off before the retry: every victim of the same
                     // conflict/failure retrying at once re-creates it.
@@ -259,6 +281,7 @@ impl Client {
                     ctx.set_timer(delay, TIMER_RETRY);
                 } else {
                     let _ = started_us;
+                    self.trace_end(now);
                     self.phase = Phase::Idle;
                     ctx.set_timer(self.cfg.think_time_us.max(1), TIMER_THINK);
                 }
@@ -278,6 +301,8 @@ impl Client {
         }
         self.metrics.timeouts += 1;
         self.metrics.failovers += 1;
+        // The wait on the (presumed dead) request counts as retry time.
+        self.trace_span(Stage::Retry, ctx.now().micros());
         *self
             .metrics
             .errors_per_sec
@@ -306,6 +331,8 @@ impl Client {
             Phase::RollingBack { .. } => "ROLLBACK".into(),
             _ => return,
         };
+        // The backed-off wait between timeout and resend is retry time too.
+        self.trace_span(Stage::Retry, ctx.now().micros());
         if let Phase::Running { sent_us, .. } = &mut self.phase {
             *sent_us = ctx.now().micros();
         }
@@ -344,6 +371,7 @@ impl Actor<Msg> for Client {
                     else {
                         unreachable!()
                     };
+                    self.trace_span(Stage::Backoff, ctx.now().micros());
                     self.start_attempt(ctx, tx, retries + 1);
                 }
             }

@@ -225,6 +225,13 @@ impl Cluster {
         })
     }
 
+    /// A database node's service-time trace sink (`Stage::DbService` spans
+    /// recorded per operation).
+    pub fn db_trace(&mut self, mw: usize, backend: usize) -> crate::trace::TraceSink {
+        let node = self.db_nodes[mw][backend];
+        self.sim.with_actor::<DbNode, _>(node, |d| d.trace.clone())
+    }
+
     /// Data checksums of every backend (divergence detection across the
     /// whole cluster).
     pub fn backend_checksums(&mut self) -> Vec<Vec<u64>> {

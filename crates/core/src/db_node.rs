@@ -10,6 +10,7 @@ use replimid_sql::engine::ConnId;
 use replimid_sql::{BinlogEntry, DumpOptions, Engine, Lsn, Outcome, SqlError, ADMIN_PASSWORD, ADMIN_USER};
 
 use crate::msg::{CommitNote, DbOp, DbResp, Msg, ReplyBody};
+use crate::trace::{Stage, TraceSink};
 
 /// Virtual cost constants specific to node-level operations.
 pub mod cost {
@@ -42,6 +43,9 @@ pub struct DbNode {
     /// duplicated operation must not execute twice. Volatile (lost on
     /// crash, like the connections the ops arrived on).
     seen_ops: HashSet<u64>,
+    /// Per-operation service-time attribution (`Stage::DbService` spans,
+    /// detached: db work is not tied to one client trace window).
+    pub trace: TraceSink,
 }
 
 impl DbNode {
@@ -59,6 +63,7 @@ impl DbNode {
             applied_lsn,
             ordered_applied: 0,
             seen_ops: HashSet::new(),
+            trace: TraceSink::new(),
         }
     }
 
@@ -323,7 +328,7 @@ fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
     let mut group_of_table: Map<(String, String), usize> = Map::new();
     let mut parent: Vec<usize> = Vec::new();
     let mut group_cost: Vec<u64> = Vec::new();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -396,6 +401,8 @@ impl Actor<Msg> for DbNode {
                 // The response leaves only after this operation's own
                 // service time (accumulated via `consume`) has elapsed.
                 let service = ctx.backlog_us();
+                let now = ctx.now().micros();
+                self.trace.record_detached(Stage::DbService, now, now + service);
                 ctx.send_after(from, Msg::DbR(resp), service);
             }
         }

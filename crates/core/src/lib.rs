@@ -17,10 +17,11 @@ pub mod msg;
 pub mod partition;
 pub mod recovery;
 pub mod rewrite;
+pub mod trace;
 
 pub use backoff::{delay_us as backoff_delay_us, BackoffConfig};
 pub use balancer::{Balancer, Granularity, Policy};
-pub use certifier::{Certifier, Verdict};
+pub use certifier::{Certifier, CertifierStats, Verdict};
 pub use client::{Client, ClientConfig, ClientMetrics, ScriptSource, TxSource};
 pub use cluster::{Cluster, ClusterConfig};
 pub use db_node::DbNode;
@@ -31,3 +32,4 @@ pub use msg::{AdminCmd, BackendId, ClientReply, ClientRequest, Msg, ReplyBody, R
 pub use partition::{PartitionScheme, Partitioner, Route};
 pub use recovery::{RecoveryLog, ReplayMode};
 pub use rewrite::NondetPolicy;
+pub use trace::{CompletedTrace, SpanRec, Stage, TraceId, TraceSink, TraceSummary};

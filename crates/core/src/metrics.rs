@@ -29,6 +29,12 @@ impl Histogram {
         self.count
     }
 
+    /// Exact sum of all recorded samples (µs). Buckets are approximate;
+    /// the sum is not — trace reconciliation depends on that.
+    pub fn sum_us(&self) -> u64 {
+        self.sum
+    }
+
     pub fn mean_us(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -107,21 +113,27 @@ impl AvailabilityTracker {
         }
         match (ok, self.down_since) {
             (false, None) => self.down_since = Some(now_us.max(self.last_ok)),
-            (true, Some(start)) => {
-                if now_us >= start {
-                    self.outages.push((start, now_us));
-                    self.down_since = None;
-                }
+            // A success backdated before the outage started (failure
+            // reports carry dispatch times, and `start` is clamped to
+            // `last_ok`, which can sit in this report's future) proves
+            // nothing about recovery: the outage stays open. Pushing
+            // `(start, now_us)` there would invert the window and
+            // underflow `downtime_us`.
+            (true, Some(start)) if now_us >= start => {
+                self.outages.push((start, now_us));
+                self.down_since = None;
             }
             _ => {}
         }
     }
 
-    /// Close the observation window at `end_us`.
+    /// Close the observation window at `end_us`. An open outage can start
+    /// *after* `end_us` (backdated failure clamped to a later `last_ok`);
+    /// clamp so the recorded window is never inverted.
     pub fn finish(&mut self, end_us: u64) {
         self.last_event = self.last_event.max(end_us);
         if let Some(start) = self.down_since.take() {
-            self.outages.push((start, end_us));
+            self.outages.push((start, end_us.max(start)));
         }
     }
 
@@ -130,7 +142,9 @@ impl AvailabilityTracker {
     }
 
     pub fn downtime_us(&self) -> u64 {
-        self.outages.iter().map(|(s, e)| e - s).sum()
+        // Both push sites guarantee e >= s; saturate anyway so a bad window
+        // can never panic the metrics path.
+        self.outages.iter().map(|(s, e)| e.saturating_sub(*s)).sum()
     }
 
     pub fn observed_us(&self) -> u64 {
@@ -325,6 +339,36 @@ mod tests {
         let a = t.availability();
         assert!((0.8..0.85).contains(&a), "availability {a}");
         assert!(t.nines() < 1.0);
+    }
+
+    #[test]
+    fn availability_backdated_reports_never_invert_windows() {
+        // Failure reports are backdated to the failed request's dispatch
+        // time (see Middleware::backend_failed), so `record(t0, false)` with
+        // t0 in the past is normal. The outage start is clamped to the last
+        // observed success — which can be *later* than a subsequently
+        // reported success or an early `finish`.
+        let mut t = AvailabilityTracker::new();
+        t.record(5_000_000, true); // last_ok = 5s
+        t.record(1_000_000, false); // backdated failure -> outage opens at 5s
+        t.record(3_000_000, true); // backdated success: outage must stay open
+        assert_eq!(t.outage_count(), 0);
+        // Closing the window before the clamped start must not push an
+        // inverted (start > end) outage; downtime stays 0, no underflow.
+        t.finish(2_000_000);
+        assert_eq!(t.outage_count(), 1);
+        assert_eq!(t.downtime_us(), 0);
+        let _ = t.mttr_us();
+        assert!(t.availability() <= 1.0);
+
+        // Same shape, but the repair arrives after the clamped start: the
+        // window is (5s, 6s), exactly 1s of downtime.
+        let mut t = AvailabilityTracker::new();
+        t.record(5_000_000, true);
+        t.record(1_000_000, false);
+        t.record(6_000_000, true);
+        assert_eq!(t.outage_count(), 1);
+        assert_eq!(t.downtime_us(), 1_000_000);
     }
 
     #[test]

@@ -44,6 +44,7 @@ use crate::msg::{
 use crate::partition::{Partitioner, Route};
 use crate::recovery::{RecoveryLog, ReplayMode};
 use crate::rewrite::{prepare_for_broadcast, NondetPolicy};
+use crate::trace::{Stage, TraceId, TraceSink};
 
 /// Timer tags (1 is reserved by the GCS tick).
 const TIMER_PING: u64 = 2;
@@ -352,6 +353,11 @@ pub struct MwMetrics {
     /// Quarantine transition log: (µs, backend index, event). Mirrors the
     /// per-backend [`HealthTracker`] logs for post-run assertions.
     pub quarantine_events: Vec<(u64, usize, HealthEvent)>,
+    /// Per-request latency attribution: one trace window per admitted
+    /// statement, spans recorded at each middleware stage transition.
+    pub trace: TraceSink,
+    /// Certification-stage statistics (writeset mode).
+    pub certifier: crate::certifier::CertifierStats,
 }
 
 impl Default for MwMetrics {
@@ -367,8 +373,22 @@ impl Default for MwMetrics {
             recoveries: Vec::new(),
             degraded: DegradedTracker::new(),
             quarantine_events: Vec::new(),
+            trace: TraceSink::new(),
+            certifier: crate::certifier::CertifierStats::default(),
         }
     }
+}
+
+/// Admission-time record for one client statement: when it arrived, which
+/// transaction trace it belongs to (0 = untraced), and whether it was
+/// classified read-only. The classification is decided once, here, so the
+/// reply path cannot mislabel the latency sample (reads that complete
+/// through the generic write-side reply used to be counted as writes).
+#[derive(Debug, Clone, Copy)]
+struct ReqMeta {
+    start_us: u64,
+    trace: u64,
+    is_read: bool,
 }
 
 /// The middleware actor.
@@ -396,8 +416,10 @@ pub struct Middleware {
     master: BackendId,
     shipping_inflight: bool,
     pub metrics: MwMetrics,
-    /// Statement-arrival times for latency accounting.
-    request_started: HashMap<(SessionId, u64), u64>,
+    /// Per-statement admission record for latency accounting: arrival time,
+    /// the client's transaction trace id, and the read/write classification
+    /// that routes the reply-side latency sample.
+    request_started: HashMap<(SessionId, u64), ReqMeta>,
     /// 2-safe commits: the master's reply body held until slaves confirm.
     two_safe_bodies: HashMap<SessionId, ReplyBody>,
     /// Writeset applications awaiting retry (timer tag -> work).
@@ -521,7 +543,7 @@ impl Middleware {
     /// online-backend count fell below the write-quorum floor.
     fn write_quorum_ok(&self) -> bool {
         !self.cfg.degrade_to_read_only
-            || self.healthy().len() >= self.backends.len() / 2 + 1
+            || self.healthy().len() > self.backends.len() / 2
     }
 
     /// Re-evaluate degraded read-only mode after a backend state change.
@@ -621,12 +643,7 @@ impl Middleware {
         let now = ctx.now().micros();
         let ok = !matches!(result, Err(ReplyError::Unavailable(_)));
         self.metrics.availability.record(now, ok);
-        if let Some(start) = self.request_started.remove(&(session, stmt_seq)) {
-            let lat = now.saturating_sub(start);
-            // Classify by the session's current op; default to write.
-            self.metrics.write_latency.record(lat);
-            let _ = lat;
-        }
+        self.close_request(session, stmt_seq, now);
         let Some(s) = self.sessions.get_mut(&session) else { return };
         let reply = ClientReply { session, stmt_seq, result };
         s.last_replied = stmt_seq;
@@ -642,9 +659,7 @@ impl Middleware {
     /// downtime stories (the ticket broker) are about update availability.
     fn reply_read(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, result: Result<ReplyBody, ReplyError>) {
         let now = ctx.now().micros();
-        if let Some(start) = self.request_started.remove(&(session, stmt_seq)) {
-            self.metrics.read_latency.record(now.saturating_sub(start));
-        }
+        self.close_request(session, stmt_seq, now);
         let Some(s) = self.sessions.get_mut(&session) else { return };
         let reply = ClientReply { session, stmt_seq, result };
         s.last_replied = stmt_seq;
@@ -652,6 +667,35 @@ impl Middleware {
         s.current = None;
         if let Some(client) = s.client {
             ctx.send(client, Msg::Reply(reply));
+        }
+    }
+
+    /// Close a statement's latency window: route the sample to the
+    /// histogram matching the admission-time classification and seal its
+    /// trace (any time since the last recorded span falls into
+    /// `Stage::Other`, the instrumentation-coverage gauge).
+    fn close_request(&mut self, session: SessionId, stmt_seq: u64, now: u64) {
+        if let Some(meta) = self.request_started.remove(&(session, stmt_seq)) {
+            let lat = now.saturating_sub(meta.start_us);
+            if meta.is_read {
+                self.metrics.read_latency.record(lat);
+            } else {
+                self.metrics.write_latency.record(lat);
+            }
+            if meta.trace != 0 {
+                self.metrics.trace.end(TraceId(meta.trace), now);
+            }
+        }
+    }
+
+    /// Record a stage span on the trace window of an in-flight statement.
+    /// No-op for untraced or already-closed requests, so call sites never
+    /// need to guard.
+    fn mw_span(&mut self, session: SessionId, stmt_seq: u64, stage: Stage, now_us: u64) {
+        if let Some(meta) = self.request_started.get(&(session, stmt_seq)) {
+            if meta.trace != 0 {
+                self.metrics.trace.span(TraceId(meta.trace), stage, now_us);
+            }
         }
     }
 
@@ -681,7 +725,13 @@ impl Middleware {
                 }
             }
         }
-        self.request_started.insert((req.session, req.stmt_seq), now);
+        self.request_started.insert(
+            (req.session, req.stmt_seq),
+            ReqMeta { start_us: now, trace: req.trace, is_read: false },
+        );
+        if req.trace != 0 {
+            self.metrics.trace.begin(TraceId(req.trace), now);
+        }
 
         let stmt = match parse_statement(&req.sql) {
             Ok(s) => s,
@@ -690,6 +740,19 @@ impl Middleware {
                 return;
             }
         };
+
+        // Read/write classification happens once, here: BEGIN/COMMIT/
+        // ROLLBACK shape snapshots and stay on the write side even though
+        // they are "read-only" to the parser.
+        let is_read = stmt.is_read_only()
+            && !matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback);
+        if let Some(meta) = self.request_started.get_mut(&(req.session, req.stmt_seq)) {
+            meta.is_read = is_read;
+        }
+        // Admission is instantaneous in virtual time (the middleware has no
+        // modeled ingress queue); the zero-width span marks the stage so
+        // per-stage counts still show every admitted statement.
+        self.mw_span(req.session, req.stmt_seq, Stage::Admission, now);
 
         // Temp-table handling is mode-independent: once a session touches a
         // temporary table it is pinned to one backend, and those statements
@@ -841,6 +904,7 @@ impl Middleware {
             self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
             return;
         };
+        self.mw_span(req.session, req.stmt_seq, Stage::BalancerPick, ctx.now().micros());
         {
             let s = self.sessions.get_mut(&req.session).unwrap();
             s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::Read { backend } });
@@ -980,6 +1044,10 @@ impl Middleware {
             let s = self.session(session, None);
             matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq)
         };
+        if origin {
+            // Publish → self-delivery through the total order.
+            self.mw_span(session, stmt_seq, Stage::Order, ctx.now().micros());
+        }
 
         let targets = self.healthy();
         if targets.is_empty() {
@@ -1191,6 +1259,7 @@ impl Middleware {
         // Log certified writesets for recovery. In writeset mode the log
         // holds exactly the certified stream, so the log seq IS the
         // certification position.
+        self.metrics.certifier = self.certifier.stats();
         let mut cert_pos = 0;
         if verdict == Verdict::Commit {
             cert_pos = self.log.append_ws(ws.clone());
@@ -1199,6 +1268,11 @@ impl Middleware {
             let s = self.session(session, None);
             matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq && matches!(c.kind, CurrentKind::WsCertifyWait))
         };
+        if origin {
+            // Certify publish → delivery plus the (instantaneous) conflict
+            // check itself.
+            self.mw_span(session, stmt_seq, Stage::Certify, ctx.now().micros());
+        }
         match verdict {
             Verdict::Abort => {
                 self.metrics.counters.certification_failures += 1;
@@ -1566,6 +1640,8 @@ impl Middleware {
             None => return,
         };
         let stmt_seq = current.stmt_seq;
+        // Whatever happened since the last span was waiting on this backend.
+        self.mw_span(session, stmt_seq, Stage::Execute, ctx.now().micros());
         match current.kind {
             CurrentKind::Read { .. } => match resp {
                 DbResp::ExecOk { body, .. } => {
@@ -1700,6 +1776,9 @@ impl Middleware {
                 None => Err(ReplyError::Unavailable("all backends failed".into())),
             };
             if g.origin {
+                // Delivery (or arrival, in partitioned mode) → slowest
+                // backend done.
+                self.mw_span(g.session, g.stmt_seq, Stage::Execute, ctx.now().micros());
                 self.reply(ctx, g.session, g.stmt_seq, result);
             } else if result.is_ok() {
                 // Sequoia-style transparent failover (§4.3.3): every peer
@@ -1725,6 +1804,8 @@ impl Middleware {
             Some(c) => c,
             None => return,
         };
+        // Writeset extraction is backend work: charge it to Execute.
+        self.mw_span(session, current.stmt_seq, Stage::Execute, ctx.now().micros());
         match resp {
             DbResp::WritesetOut { ws, .. } => {
                 let start_pos = self.sessions.get(&session).map(|s| s.start_cert_pos).unwrap_or(0);
@@ -1826,6 +1907,8 @@ impl Middleware {
                 self.metrics.counters.divergence_detected += 1;
             }
             self.metrics.counters.commits += 1;
+            // Certification → last replica acknowledged.
+            self.mw_span(session, current.stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, current.stmt_seq, Ok(ReplyBody::Ack));
         } else {
             let s = self.sessions.get_mut(&session).unwrap();
@@ -1892,6 +1975,7 @@ impl Middleware {
         };
         if slaves.is_empty() || entries.is_empty() {
             let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            self.mw_span(session, stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, stmt_seq, Ok(body));
             return;
         }
@@ -1934,6 +2018,8 @@ impl Middleware {
         let remaining = remaining.saturating_sub(1);
         if remaining == 0 {
             let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            // 2-safe shipping: commit → every slave confirmed the tail.
+            self.mw_span(session, current.stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, current.stmt_seq, Ok(body));
         } else {
             let s = self.sessions.get_mut(&session).unwrap();

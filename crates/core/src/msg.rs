@@ -20,6 +20,9 @@ pub struct ClientRequest {
     /// Monotonic per-session statement number: lets a middleware replica
     /// deduplicate retries after a failover (§4.3.3).
     pub stmt_seq: u64,
+    /// The transaction trace this statement belongs to (latency
+    /// attribution, see `trace::TraceSink`). 0 = untraced.
+    pub trace: u64,
     pub sql: String,
 }
 

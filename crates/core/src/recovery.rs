@@ -181,6 +181,12 @@ impl RecoveryLog {
     }
 
     fn truncate(&mut self, up_to: u64) -> usize {
+        // Clamp to the head: truncating "past the end" must not push
+        // `truncated` beyond `next_seq - 1`, or the dense-position
+        // invariant (entries[i].seq == truncated + 1 + i) breaks for every
+        // later append — `void` would silently skip live entries and
+        // `read_after` would demand full resync for seqs that exist.
+        let up_to = up_to.min(self.head());
         if up_to <= self.truncated {
             return 0;
         }
@@ -200,7 +206,7 @@ impl RecoveryLog {
                 let mut group_of_table: HashMap<&str, usize> = HashMap::new();
                 let mut group_cost: Vec<u64> = Vec::new();
                 let mut parent: Vec<usize> = Vec::new();
-                fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+                fn find(parent: &mut [usize], mut x: usize) -> usize {
                     while parent[x] != x {
                         parent[x] = parent[parent[x]];
                         x = parent[x];
@@ -312,6 +318,70 @@ mod tests {
         let parallel = RecoveryLog::replay_cost_us(entries, ReplayMode::Parallel, 10);
         // t1+t2 merge into one 30us chain; t3 alone is 10us.
         assert_eq!(parallel, 30);
+    }
+
+    /// Pins the exact truncation-boundary contract after `force_truncate`:
+    /// `read_after(seq)` is `None` (full resync) strictly below the
+    /// truncation point, `Some` starting at the first surviving entry at
+    /// exactly `seq == truncated`, and `Some(&[])` (caught up) at the head.
+    #[test]
+    fn force_truncate_boundary_semantics() {
+        let mut l = log_with(10);
+        assert_eq!(l.force_truncate(6), 6);
+
+        // seq < truncated: the entries this replica still needs are gone.
+        assert!(l.read_after(5, 100).is_none(), "below boundary: full resync");
+        // seq == truncated: everything the caller needs survives — the
+        // first entry handed back is exactly truncated + 1.
+        let tail = l.read_after(6, 100).unwrap();
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].seq, 7);
+        // seq == head: caught up, empty tail (NOT a resync signal).
+        assert_eq!(l.read_after(10, 100).unwrap().len(), 0);
+        // Re-truncating at or below the boundary is a no-op.
+        assert_eq!(l.force_truncate(6), 0);
+        assert_eq!(l.force_truncate(3), 0);
+    }
+
+    #[test]
+    fn void_at_truncation_boundary() {
+        let mut l = log_with(10);
+        l.force_truncate(6);
+        // Voiding at or below the boundary is a no-op (entry purged).
+        l.void(6);
+        l.void(1);
+        // The first surviving entry (seq 7) is index 0: voiding it must
+        // hit that entry, not its neighbour.
+        assert!(!l.read_after(6, 100).unwrap()[0].is_writeset());
+        l.void(7);
+        let tail = l.read_after(6, 100).unwrap();
+        assert!(tail[0].is_writeset(), "seq 7 payload replaced with no-op writeset");
+        assert!(tail[0].tables.is_empty());
+        assert!(!tail[1].is_writeset(), "seq 8 untouched");
+        // Voiding the head entry works too (last index).
+        l.void(10);
+        assert!(l.read_after(9, 100).unwrap()[0].is_writeset());
+    }
+
+    /// Regression for the over-truncation off-by-one: forcing the boundary
+    /// past the head used to leave `truncated > head`, so entries appended
+    /// afterwards were unreachable (`read_after` -> `None`) and unvoidable.
+    #[test]
+    fn force_truncate_past_head_clamps_to_head() {
+        let mut l = log_with(5);
+        assert_eq!(l.force_truncate(100), 5, "only 5 entries existed to purge");
+        assert_eq!(l.head(), 5);
+        // The boundary clamped to the head: reading at the head yields an
+        // empty tail, not a resync.
+        assert_eq!(l.read_after(5, 100).unwrap().len(), 0);
+        let seq = l.append_sql(None, "UPDATE t0 SET x = 1".into(), vec!["t0".into()]);
+        assert_eq!(seq, 6);
+        // The fresh entry is dense with the boundary and fully reachable.
+        let tail = l.read_after(5, 100).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 6);
+        l.void(6);
+        assert!(l.read_after(5, 100).unwrap()[0].is_writeset(), "fresh entry voidable");
     }
 
     #[test]

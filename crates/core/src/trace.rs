@@ -1,0 +1,489 @@
+//! Transaction-level tracing with per-stage latency attribution (§5.1).
+//!
+//! Every client transaction carries a [`TraceId`]; each layer (client,
+//! middleware, database node) owns a [`TraceSink`] and appends virtual-time
+//! [`SpanRec`]s at its event transitions. Because spans are recorded with a
+//! per-trace *cursor* — every event records the window since the previous
+//! event on that trace and advances the cursor — the spans of a completed
+//! trace tile its end-to-end window exactly: no lost and no double-counted
+//! time. Any interval a stage forgot to claim surfaces as [`Stage::Other`]
+//! instead of silently vanishing, so the reconciliation property
+//! (`Σ stage_us == end - start`) holds by construction and the `Other` row
+//! in a breakdown table is the instrumentation-coverage gauge.
+//!
+//! All timestamps are simnet virtual microseconds: two same-seed runs
+//! produce bit-identical traces, and the experiments double-run diff in
+//! `scripts/verify.sh` covers every number derived from them.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::metrics::Histogram;
+
+/// Globally unique transaction trace id (allocated by the issuing client:
+/// session id in the high bits, per-client transaction counter in the low).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// The span taxonomy. Client-side stages and middleware-side stages live in
+/// the same enum so one waterfall can interleave both sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Request arrival → dispatch decision at the middleware (queueing /
+    /// parse / dedup; instantaneous in the simulator, recorded for count).
+    Admission,
+    /// Load-balancer pick (zero-width marker; the pick itself is free).
+    BalancerPick,
+    /// Total-order wait: GCS publish → self-delivery at the origin.
+    Order,
+    /// Backend execution window as observed by the middleware (dispatch →
+    /// response), including writeset extraction.
+    Execute,
+    /// Certification wait: Certify publish → ordered verdict at the origin.
+    Certify,
+    /// Replication fan-out: commit/apply fan-out → last peer ack.
+    Fanout,
+    /// Client-side: statement sent → timeout fired, and the backed-off
+    /// failover resend wait that follows.
+    Retry,
+    /// Client-side: abort-retry backoff timer wait.
+    Backoff,
+    /// Client-side: ROLLBACK round trip after a failed attempt.
+    Rollback,
+    /// Client-side: statement send → reply (the full middleware round trip
+    /// as the client sees it, network included).
+    ClientRtt,
+    /// Database-node busy window for one operation (queue + service time).
+    DbService,
+    /// Residual time no stage claimed (tiling catch-all; should stay 0).
+    Other,
+}
+
+pub const N_STAGES: usize = 12;
+
+impl Stage {
+    pub const ALL: [Stage; N_STAGES] = [
+        Stage::Admission,
+        Stage::BalancerPick,
+        Stage::Order,
+        Stage::Execute,
+        Stage::Certify,
+        Stage::Fanout,
+        Stage::Retry,
+        Stage::Backoff,
+        Stage::Rollback,
+        Stage::ClientRtt,
+        Stage::DbService,
+        Stage::Other,
+    ];
+
+    pub fn idx(self) -> usize {
+        match self {
+            Stage::Admission => 0,
+            Stage::BalancerPick => 1,
+            Stage::Order => 2,
+            Stage::Execute => 3,
+            Stage::Certify => 4,
+            Stage::Fanout => 5,
+            Stage::Retry => 6,
+            Stage::Backoff => 7,
+            Stage::Rollback => 8,
+            Stage::ClientRtt => 9,
+            Stage::DbService => 10,
+            Stage::Other => 11,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admission => "admission",
+            Stage::BalancerPick => "balancer-pick",
+            Stage::Order => "order",
+            Stage::Execute => "execute",
+            Stage::Certify => "certify",
+            Stage::Fanout => "fanout",
+            Stage::Retry => "retry",
+            Stage::Backoff => "backoff",
+            Stage::Rollback => "rollback",
+            Stage::ClientRtt => "client-rtt",
+            Stage::DbService => "db-service",
+            Stage::Other => "other",
+        }
+    }
+}
+
+/// One recorded span: `stage` owned the trace's time from `start_us` to
+/// `end_us` (virtual microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRec {
+    pub stage: Stage,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl SpanRec {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenTrace {
+    start_us: u64,
+    cursor_us: u64,
+    spans: Vec<SpanRec>,
+}
+
+/// Compact record of a completed trace: enough for the reconciliation
+/// property and per-second series without retaining every span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub trace: TraceId,
+    pub start_us: u64,
+    pub end_us: u64,
+    /// Total microseconds attributed to each stage (indexed by
+    /// [`Stage::idx`]); sums to exactly `end_us - start_us`.
+    pub stage_us: [u64; N_STAGES],
+    pub span_count: u32,
+}
+
+impl TraceSummary {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// A completed trace retained with full spans (top-K slowest only), so a
+/// waterfall can be rendered after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedTrace {
+    pub trace: TraceId,
+    pub start_us: u64,
+    pub end_us: u64,
+    pub spans: Vec<SpanRec>,
+}
+
+impl CompletedTrace {
+    pub fn duration_us(&self) -> u64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Bounded, deterministic in-memory sink for trace spans.
+///
+/// - per-stage [`Histogram`]s aggregate every span ever recorded;
+/// - a capped ring buffer keeps the most recent [`TraceSummary`]s;
+/// - the top-K slowest completed traces are retained with full spans for
+///   waterfall rendering.
+///
+/// All internal collections are ordered (BTreeMap / sorted Vec) and every
+/// bound evicts deterministically, so two same-seed runs produce identical
+/// sinks.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    stage_hist: Vec<Histogram>,
+    open: BTreeMap<u64, OpenTrace>,
+    completed: VecDeque<TraceSummary>,
+    slowest: Vec<CompletedTrace>,
+    /// Completed traces ever recorded (ring evictions included).
+    pub completed_count: u64,
+    /// Open traces evicted before completion (bound pressure) plus spans
+    /// addressed to traces this sink never opened.
+    pub dropped: u64,
+    max_open: usize,
+    ring_cap: usize,
+    top_k: usize,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink {
+    pub fn new() -> Self {
+        Self::with_bounds(4096, 4096, 8)
+    }
+
+    pub fn with_bounds(max_open: usize, ring_cap: usize, top_k: usize) -> Self {
+        TraceSink {
+            stage_hist: (0..N_STAGES).map(|_| Histogram::new()).collect(),
+            open: BTreeMap::new(),
+            completed: VecDeque::new(),
+            slowest: Vec::new(),
+            completed_count: 0,
+            dropped: 0,
+            max_open: max_open.max(1),
+            ring_cap,
+            top_k,
+        }
+    }
+
+    /// Open a trace window at `now_us`. Re-opening an id already open is a
+    /// no-op (resends dedup upstream; first arrival wins).
+    pub fn begin(&mut self, trace: TraceId, now_us: u64) {
+        if self.open.contains_key(&trace.0) {
+            return;
+        }
+        if self.open.len() >= self.max_open {
+            // Trace ids are allocated monotonically, so the smallest key is
+            // the oldest open trace: evict it deterministically.
+            if let Some((&oldest, _)) = self.open.iter().next() {
+                self.open.remove(&oldest);
+                self.dropped += 1;
+            }
+        }
+        self.open.insert(
+            trace.0,
+            OpenTrace { start_us: now_us, cursor_us: now_us, spans: Vec::new() },
+        );
+    }
+
+    /// Attribute the window since the trace's last event to `stage` and
+    /// advance the cursor to `now_us`. Unknown/evicted traces are counted
+    /// in `dropped` and otherwise ignored.
+    pub fn span(&mut self, trace: TraceId, stage: Stage, now_us: u64) {
+        let Some(open) = self.open.get_mut(&trace.0) else {
+            self.dropped += 1;
+            return;
+        };
+        let start = open.cursor_us;
+        let end = now_us.max(start);
+        open.spans.push(SpanRec { stage, start_us: start, end_us: end });
+        open.cursor_us = end;
+        self.stage_hist[stage.idx()].record(end - start);
+    }
+
+    /// Close a trace at `now_us`. Residual time the stages did not claim is
+    /// attributed to [`Stage::Other`], preserving exact tiling.
+    pub fn end(&mut self, trace: TraceId, now_us: u64) {
+        let Some(mut open) = self.open.remove(&trace.0) else {
+            self.dropped += 1;
+            return;
+        };
+        let end = now_us.max(open.cursor_us);
+        if end > open.cursor_us {
+            open.spans
+                .push(SpanRec { stage: Stage::Other, start_us: open.cursor_us, end_us: end });
+            self.stage_hist[Stage::Other.idx()].record(end - open.cursor_us);
+        }
+        let mut stage_us = [0u64; N_STAGES];
+        for s in &open.spans {
+            stage_us[s.stage.idx()] += s.duration_us();
+        }
+        let summary = TraceSummary {
+            trace,
+            start_us: open.start_us,
+            end_us: end,
+            stage_us,
+            span_count: open.spans.len() as u32,
+        };
+        self.completed_count += 1;
+        if self.ring_cap > 0 {
+            if self.completed.len() >= self.ring_cap {
+                self.completed.pop_front();
+            }
+            self.completed.push_back(summary);
+        }
+        if self.top_k > 0 {
+            self.slowest.push(CompletedTrace {
+                trace,
+                start_us: open.start_us,
+                end_us: end,
+                spans: open.spans,
+            });
+            // Slowest first; ties broken by trace id so eviction is
+            // deterministic.
+            self.slowest
+                .sort_by(|a, b| b.duration_us().cmp(&a.duration_us()).then(a.trace.cmp(&b.trace)));
+            self.slowest.truncate(self.top_k);
+        }
+    }
+
+    /// Record a stand-alone span into the stage histograms without opening
+    /// a trace window (used by layers that observe work keyed by op id
+    /// rather than owning the transaction, e.g. database-node service time).
+    pub fn record_detached(&mut self, stage: Stage, start_us: u64, end_us: u64) {
+        self.stage_hist[stage.idx()].record(end_us.saturating_sub(start_us));
+    }
+
+    pub fn stage_histogram(&self, stage: Stage) -> &Histogram {
+        &self.stage_hist[stage.idx()]
+    }
+
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Most recent completed-trace summaries, oldest first.
+    pub fn completed(&self) -> impl Iterator<Item = &TraceSummary> {
+        self.completed.iter()
+    }
+
+    /// Top-K slowest completed traces, slowest first, with full spans.
+    pub fn slowest(&self) -> &[CompletedTrace] {
+        &self.slowest
+    }
+
+    /// Merge another sink's aggregates (stage histograms, counters, top-K,
+    /// ring). Open traces are not merged.
+    pub fn merge(&mut self, other: &TraceSink) {
+        for (a, b) in self.stage_hist.iter_mut().zip(&other.stage_hist) {
+            a.merge(b);
+        }
+        self.completed_count += other.completed_count;
+        self.dropped += other.dropped;
+        for s in &other.completed {
+            if self.ring_cap > 0 {
+                if self.completed.len() >= self.ring_cap {
+                    self.completed.pop_front();
+                }
+                self.completed.push_back(s.clone());
+            }
+        }
+        if self.top_k > 0 {
+            self.slowest.extend(other.slowest.iter().cloned());
+            self.slowest
+                .sort_by(|a, b| b.duration_us().cmp(&a.duration_us()).then(a.trace.cmp(&b.trace)));
+            self.slowest.truncate(self.top_k);
+        }
+    }
+
+    /// Render an ASCII waterfall for a captured trace (must be in the
+    /// top-K ring). Bars are scaled to the trace's end-to-end window.
+    pub fn waterfall(&self, trace: TraceId) -> Option<String> {
+        let t = self.slowest.iter().find(|t| t.trace == trace)?;
+        Some(render_waterfall(t))
+    }
+}
+
+/// ASCII waterfall: one row per span, bar offset/width proportional to the
+/// span's position in the trace's end-to-end window.
+pub fn render_waterfall(t: &CompletedTrace) -> String {
+    const COLS: usize = 48;
+    let total = t.duration_us().max(1);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {} — {} us end-to-end, {} spans\n",
+        t.trace.0,
+        t.duration_us(),
+        t.spans.len()
+    ));
+    for s in &t.spans {
+        let off = ((s.start_us - t.start_us) as u128 * COLS as u128 / total as u128) as usize;
+        let mut width =
+            ((s.duration_us() as u128 * COLS as u128).div_ceil(total as u128)) as usize;
+        if s.duration_us() == 0 {
+            width = 0;
+        }
+        let off = off.min(COLS);
+        let width = width.min(COLS - off);
+        let mut bar = String::new();
+        bar.push_str(&" ".repeat(off));
+        if width == 0 {
+            bar.push('|');
+        } else {
+            bar.push_str(&"#".repeat(width));
+        }
+        out.push_str(&format!(
+            "  {:<13} [{bar:<cols$}] {:>8} us\n",
+            s.stage.name(),
+            s.duration_us(),
+            cols = COLS + 1,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_tile_exactly() {
+        let mut sink = TraceSink::new();
+        let t = TraceId(7);
+        sink.begin(t, 100);
+        sink.span(t, Stage::Admission, 100); // zero-width
+        sink.span(t, Stage::Order, 350);
+        sink.span(t, Stage::Execute, 900);
+        sink.end(t, 1_000); // 100us unclaimed -> Other
+        let s = sink.completed().next().unwrap();
+        assert_eq!(s.duration_us(), 900);
+        assert_eq!(s.stage_us.iter().sum::<u64>(), 900);
+        assert_eq!(s.stage_us[Stage::Order.idx()], 250);
+        assert_eq!(s.stage_us[Stage::Execute.idx()], 550);
+        assert_eq!(s.stage_us[Stage::Other.idx()], 100);
+        assert_eq!(sink.completed_count, 1);
+        assert_eq!(sink.open_count(), 0);
+    }
+
+    #[test]
+    fn top_k_keeps_slowest_deterministically() {
+        let mut sink = TraceSink::with_bounds(64, 64, 2);
+        for (id, dur) in [(1u64, 500u64), (2, 900), (3, 900), (4, 100)] {
+            let t = TraceId(id);
+            sink.begin(t, 0);
+            sink.span(t, Stage::Execute, dur);
+            sink.end(t, dur);
+        }
+        let slow: Vec<u64> = sink.slowest().iter().map(|t| t.trace.0).collect();
+        // Ties (2, 3) break toward the lower trace id.
+        assert_eq!(slow, vec![2, 3]);
+        assert!(sink.waterfall(TraceId(2)).unwrap().contains("900 us"));
+        assert!(sink.waterfall(TraceId(4)).is_none());
+    }
+
+    #[test]
+    fn open_bound_evicts_oldest() {
+        let mut sink = TraceSink::with_bounds(2, 8, 2);
+        sink.begin(TraceId(1), 0);
+        sink.begin(TraceId(2), 0);
+        sink.begin(TraceId(3), 0); // evicts 1
+        assert_eq!(sink.open_count(), 2);
+        assert_eq!(sink.dropped, 1);
+        sink.end(TraceId(1), 10); // already evicted: dropped, not completed
+        assert_eq!(sink.dropped, 2);
+        assert_eq!(sink.completed_count, 0);
+    }
+
+    #[test]
+    fn backwards_clock_is_clamped() {
+        let mut sink = TraceSink::new();
+        let t = TraceId(1);
+        sink.begin(t, 100);
+        sink.span(t, Stage::Execute, 50); // never happens in simnet; clamp
+        sink.end(t, 80);
+        let s = sink.completed().next().unwrap();
+        assert_eq!(s.duration_us(), 0);
+        assert_eq!(s.stage_us.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_is_bounded() {
+        let mut sink = TraceSink::with_bounds(8, 3, 1);
+        for id in 0..10u64 {
+            sink.begin(TraceId(id), id * 10);
+            sink.end(TraceId(id), id * 10 + 5);
+        }
+        assert_eq!(sink.completed_count, 10);
+        let kept: Vec<u64> = sink.completed().map(|s| s.trace.0).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn waterfall_renders_all_spans() {
+        let mut sink = TraceSink::new();
+        let t = TraceId(42);
+        sink.begin(t, 0);
+        sink.span(t, Stage::Admission, 0);
+        sink.span(t, Stage::Order, 400);
+        sink.span(t, Stage::Execute, 1_000);
+        sink.end(t, 1_000);
+        let w = sink.waterfall(t).unwrap();
+        assert!(w.contains("admission"));
+        assert!(w.contains("order"));
+        assert!(w.contains("execute"));
+        assert!(w.contains("1000 us end-to-end"));
+    }
+}

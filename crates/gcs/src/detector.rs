@@ -106,8 +106,15 @@ impl AdaptiveThreshold {
         let n = self.gaps.len() as f64;
         let mean = self.gaps.iter().map(|&g| g as f64).sum::<f64>() / n;
         let var = self.gaps.iter().map(|&g| (g as f64 - mean).powi(2)).sum::<f64>() / n;
-        let learned = (self.cfg.factor * (mean + self.cfg.k * var.sqrt())) as u64;
-        learned.clamp(self.cfg.min_timeout_us, self.cfg.max_timeout_us)
+        // Clamp in the f64 domain, *before* the u64 cast: a NaN (poisoned
+        // factor/k) or negative product would otherwise ride the cast's
+        // saturation semantics instead of an explicit floor, and a learned
+        // timeout of 0 evicts every peer on the next tick.
+        let learned = self.cfg.factor * (mean + self.cfg.k * var.sqrt());
+        let floor = self.cfg.min_timeout_us as f64;
+        let ceil = self.cfg.max_timeout_us as f64;
+        let clamped = if learned.is_finite() { learned.clamp(floor, ceil) } else { floor };
+        clamped as u64
     }
 }
 
@@ -349,6 +356,49 @@ mod tests {
             t.observe(1_000_000);
         }
         assert_eq!(t.timeout_us(), 10_000);
+    }
+
+    #[test]
+    fn adaptive_threshold_short_history_and_nan_hold_the_floor() {
+        let cfg = AdaptiveConfig {
+            min_timeout_us: 100,
+            max_timeout_us: 10_000,
+            factor: 1.5,
+            k: 4.0,
+            window: 8,
+        };
+        // Zero and one samples: the learned path must not run at all (a
+        // single gap has zero variance and would anchor the threshold to
+        // one possibly-tiny observation).
+        let mut t = AdaptiveThreshold::new(cfg);
+        assert_eq!(t.timeout_us(), 100, "no samples: floor");
+        t.observe(3);
+        assert_eq!(t.timeout_us(), 100, "single sample: floor");
+
+        // NaN-poisoned config (factor * anything = NaN): the threshold
+        // must clamp to the configured floor in the f64 domain, never
+        // collapse toward 0 and evict every peer.
+        let mut t = AdaptiveThreshold::new(AdaptiveConfig { factor: f64::NAN, ..cfg });
+        for _ in 0..8 {
+            t.observe(20);
+        }
+        assert_eq!(t.timeout_us(), 100, "NaN learned value: floor");
+
+        // Same for an infinity (overflowed k): any non-finite learned
+        // value falls back to the floor rather than trusting saturation.
+        let mut t = AdaptiveThreshold::new(AdaptiveConfig { k: f64::INFINITY, ..cfg });
+        for g in [10, 20, 30, 40] {
+            t.observe(g);
+        }
+        assert_eq!(t.timeout_us(), 100, "non-finite learned value: floor");
+
+        // Negative factor (misconfiguration) floors instead of casting a
+        // negative f64 to 0.
+        let mut t = AdaptiveThreshold::new(AdaptiveConfig { factor: -2.0, ..cfg });
+        for _ in 0..8 {
+            t.observe(500);
+        }
+        assert_eq!(t.timeout_us(), 100, "negative learned value: floor");
     }
 
     #[test]

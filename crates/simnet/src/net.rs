@@ -278,7 +278,7 @@ mod tests {
         let (a, b) = (NodeId(0), NodeId(1));
         let delivered = (0..200).filter(|_| net.transit(a, b, &mut rng).is_some()).count();
         assert!((60..140).contains(&delivered), "delivered {delivered}");
-        let _ = net.set_link(a, b, LinkSpec::local());
+        net.set_link(a, b, LinkSpec::local());
         assert_eq!(net.transit(a, b, &mut rng), Some(Delivery::Once(0)));
     }
 

@@ -491,11 +491,7 @@ impl Statement {
                     w.walk(f);
                 }
             }
-            Statement::Delete { filter, .. } => {
-                if let Some(w) = filter {
-                    w.walk(f);
-                }
-            }
+            Statement::Delete { filter: Some(w), .. } => w.walk(f),
             Statement::Select(s) => s.walk_exprs(f),
             Statement::Call { args, .. } => {
                 for a in args {
@@ -532,11 +528,7 @@ impl Statement {
                     w.walk_mut(f);
                 }
             }
-            Statement::Delete { filter, .. } => {
-                if let Some(w) = filter {
-                    w.walk_mut(f);
-                }
-            }
+            Statement::Delete { filter: Some(w), .. } => w.walk_mut(f),
             Statement::Select(s) => s.walk_exprs_mut(f),
             Statement::Call { args, .. } => {
                 for a in args {

@@ -92,13 +92,13 @@ impl AuthRegistry {
             .get(user)
             .ok_or_else(|| SqlError::AccessDenied(format!("unknown user {user}")))?;
         let held = u.grants.get(database).copied();
-        let ok = match (held, needed) {
-            (Some(Privilege::All), _) => true,
-            (Some(Privilege::Read), Privilege::Read) => true,
-            (Some(Privilege::Write), Privilege::Write) => true,
-            (Some(Privilege::Write), Privilege::Read) => true,
-            _ => false,
-        };
+        let ok = matches!(
+            (held, needed),
+            (Some(Privilege::All), _)
+                | (Some(Privilege::Read), Privilege::Read)
+                | (Some(Privilege::Write), Privilege::Write)
+                | (Some(Privilege::Write), Privilege::Read)
+        );
         if ok {
             Ok(())
         } else {

@@ -20,18 +20,12 @@ use crate::mvcc::CommitTs;
 use crate::value::Value;
 
 /// What to include in a dump.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DumpOptions {
     /// Users and grants. Default **false** (the §4.1.5 gap).
     pub include_principals: bool,
     /// Triggers and stored procedures. Default **false**.
     pub include_programs: bool,
-}
-
-impl Default for DumpOptions {
-    fn default() -> Self {
-        DumpOptions { include_principals: false, include_programs: false }
-    }
 }
 
 impl DumpOptions {

@@ -273,7 +273,7 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv<'_>, row: &RowScope<'_>) -> Result<Va
         }
         Expr::Exists { select, negated } => {
             let rs = crate::exec::select::execute_select(select, env, row)?;
-            Ok(Value::Bool(!rs.rows.is_empty() != *negated))
+            Ok(Value::Bool(rs.rows.is_empty() == *negated))
         }
         Expr::Function { name, args } => eval_function(name, args, env, row),
     }

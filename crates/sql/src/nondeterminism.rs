@@ -71,11 +71,7 @@ pub fn analyze(stmt: &Statement) -> TaintReport {
             }
             InsertSource::Select(s) => scan_select(s, &mut report),
         },
-        Statement::Delete { filter, .. } => {
-            if let Some(w) = filter {
-                scan_expr(w, false, &mut report);
-            }
-        }
+        Statement::Delete { filter: Some(w), .. } => scan_expr(w, false, &mut report),
         Statement::Select(s) => scan_select(s, &mut report),
         Statement::Call { args, name: _ } => {
             for a in args {
@@ -122,10 +118,10 @@ fn scan_select(s: &Select, report: &mut TaintReport) {
         }
         Expr::InSelect { select, .. }
         | Expr::ScalarSubquery(select)
-        | Expr::Exists { select, .. } => {
-            if select.limit.is_some() && select.order_by.is_empty() {
-                report.unordered_limit = true;
-            }
+        | Expr::Exists { select, .. }
+            if select.limit.is_some() && select.order_by.is_empty() =>
+        {
+            report.unordered_limit = true;
         }
         _ => {}
     });

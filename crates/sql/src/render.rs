@@ -255,7 +255,6 @@ fn write_body(f: &mut fmt::Formatter<'_>, body: &[Statement]) -> fmt::Result {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::parser::parse_statement;
 
     fn round_trip(sql: &str) {

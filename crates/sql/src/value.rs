@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nulls_first() {
-        let mut vs = vec![Value::Int(1), Value::Null, Value::Text("a".into())];
+        let mut vs = [Value::Int(1), Value::Null, Value::Text("a".into())];
         vs.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[2], Value::Text("a".into()));

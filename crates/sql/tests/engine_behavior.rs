@@ -2,7 +2,7 @@
 //! paper section whose gap each group exercises.
 
 use replimid_sql::engine::{ConnId, Engine, EngineConfig};
-use replimid_sql::{DumpOptions, IsolationLevel, Outcome, SqlError, Value, ADMIN_PASSWORD, ADMIN_USER};
+use replimid_sql::{DumpOptions, Outcome, SqlError, Value, ADMIN_PASSWORD, ADMIN_USER};
 
 fn setup() -> (Engine, ConnId) {
     let (mut e, c) = Engine::with_database("shop");

@@ -3,7 +3,8 @@
 #   1. guard: no external (registry) dependencies in any crate manifest
 #   2. cargo build --release --offline
 #   3. cargo test -q --offline
-#   4. determinism: the full experiments suite, run twice, must be
+#   4. cargo clippy --offline --all-targets -- -D warnings (lint-clean)
+#   5. determinism: the full experiments suite, run twice, must be
 #      byte-identical (same seeds => same numbers, see DESIGN.md)
 #
 # The guard exists because this workspace is built in environments with no
@@ -55,7 +56,18 @@ echo "verify: dependency guard OK (workspace is hermetic)"
 cargo build --release --offline
 cargo test -q --offline
 
-# --- 4. Determinism check ----------------------------------------------
+# --- 4. Lint gate -------------------------------------------------------
+# The workspace stays clippy-clean: warnings are errors across every
+# target (libs, bins, tests). Skipped gracefully on toolchains without a
+# clippy component.
+if cargo clippy --version > /dev/null 2>&1; then
+    cargo clippy --offline --all-targets -- -D warnings
+    echo "verify: clippy OK (no warnings, all targets)"
+else
+    echo "verify: clippy unavailable on this toolchain, skipping lint gate"
+fi
+
+# --- 5. Determinism check ----------------------------------------------
 # Every experiment draws from fixed seeds, so two runs must agree on every
 # byte. A diff here means nondeterminism leaked into the simulation (wall
 # clock, hash order, thread timing), which invalidates every table in

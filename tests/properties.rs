@@ -4,8 +4,8 @@
 //! case seed — see crates/det).
 
 use replimid_core::{
-    Cluster, ClusterConfig, HealthEvent, Mode, MwMetrics, NondetPolicy, Policy, QuarantineConfig,
-    ScriptSource, TxSource,
+    ClientMetrics, Cluster, ClusterConfig, HealthEvent, Mode, MwMetrics, NondetPolicy, Policy,
+    QuarantineConfig, ScriptSource, Stage, TxSource,
 };
 use replimid_det::{detcheck, DetRng};
 use replimid_simnet::{dur, SimTime};
@@ -167,6 +167,98 @@ fn crash_recovery_always_converges() {
     });
 }
 
+/// Clean (fault-free) statement-replication run used by the tracing
+/// reconciliation property: no retries, so every latency sample has
+/// exactly one trace window behind it.
+fn run_trace_case(seed: u64, clients: usize, backends: usize) -> (Vec<ClientMetrics>, MwMetrics) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 100),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = backends;
+    let mut cluster = Cluster::build(cfg);
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        handles.push(cluster.add_client(SeqInsert { next: 20_000 * (i as i64 + 1) }, |cc| {
+            cc.think_time_us = 700;
+            cc.tx_limit = 120;
+        }));
+    }
+    cluster.run_for(dur::secs(4));
+    cluster.run_for(dur::secs(1)); // drain
+    let cms: Vec<ClientMetrics> = handles.iter().map(|&h| cluster.client_metrics(h)).collect();
+    (cms, cluster.mw_metrics(0))
+}
+
+/// Latency attribution is exact, complete, and deterministic:
+///
+/// 1. every completed trace's per-stage spans tile its end-to-end window
+///    with zero time in `Stage::Other` (no lost or double-counted time);
+/// 2. client traces correspond 1:1 with committed transactions and sum to
+///    the `tx_latency` histogram exactly;
+/// 3. middleware trace windows correspond 1:1 with read/write latency
+///    samples and sum to those histograms exactly;
+/// 4. two same-seed runs produce bit-identical trace histories.
+#[test]
+fn traces_tile_and_reconcile_with_latency_histograms() {
+    detcheck::check("traces_tile_and_reconcile_with_latency_histograms", 4, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let clients = rng.gen_range(1usize..4);
+        let backends = rng.gen_range(2usize..4);
+        let (cms, mw) = run_trace_case(seed, clients, backends);
+
+        let other = Stage::Other.idx();
+        for cm in &cms {
+            assert_eq!(cm.trace.open_count(), 0, "client left a trace open");
+            let mut sum = 0u64;
+            let mut n = 0u64;
+            for t in cm.trace.completed() {
+                assert_eq!(
+                    t.stage_us.iter().sum::<u64>(),
+                    t.duration_us(),
+                    "spans must tile the trace exactly"
+                );
+                assert_eq!(t.stage_us[other], 0, "unattributed client time");
+                sum += t.duration_us();
+                n += 1;
+            }
+            assert_eq!(n, cm.committed, "one completed trace per committed transaction");
+            assert_eq!(sum, cm.tx_latency.sum_us(), "client trace time != tx latency");
+        }
+
+        assert_eq!(mw.trace.open_count(), 0, "middleware left a trace open");
+        assert_eq!(mw.trace.dropped, 0);
+        let mut sum = 0u64;
+        for t in mw.trace.completed() {
+            assert_eq!(t.stage_us.iter().sum::<u64>(), t.duration_us());
+            assert_eq!(t.stage_us[other], 0, "unattributed middleware time");
+            sum += t.duration_us();
+        }
+        assert_eq!(
+            mw.trace.completed_count,
+            mw.read_latency.count() + mw.write_latency.count(),
+            "latency samples and trace windows must correspond 1:1"
+        );
+        assert_eq!(
+            sum,
+            mw.read_latency.sum_us() + mw.write_latency.sum_us(),
+            "middleware trace time != recorded latency"
+        );
+
+        let (cms2, mw2) = run_trace_case(seed, clients, backends);
+        let a: Vec<_> = mw.trace.completed().cloned().collect();
+        let b: Vec<_> = mw2.trace.completed().cloned().collect();
+        assert_eq!(a, b, "same seed produced different middleware traces");
+        for (x, y) in cms.iter().zip(&cms2) {
+            let xa: Vec<_> = x.trace.completed().cloned().collect();
+            let ya: Vec<_> = y.trace.completed().cloned().collect();
+            assert_eq!(xa, ya, "same seed produced different client traces");
+        }
+    });
+}
+
 /// Scan-only readers: service time dominates the scored latency, so a
 /// brownout factor of f shows up as roughly f x the healthy latency
 /// (point reads are network-dominated and can hide a mild brownout from
@@ -238,7 +330,7 @@ fn quarantine_shields_reads_and_rejoins() {
         // 500ms, so the last word on backend 1 must be a rejoin. (It may
         // also have rejoined mid-brownout and re-tripped — flapping is
         // allowed, ending the run quarantined is not.)
-        let last = a.quarantine_events.iter().filter(|&&(_, b, _)| b == 1).last();
+        let last = a.quarantine_events.iter().rfind(|&&(_, b, _)| b == 1);
         assert!(
             matches!(last, Some((_, _, HealthEvent::Rejoin))),
             "victim did not end the run rejoined: {:?}",

@@ -32,7 +32,7 @@ impl SeqInsert {
 impl replimid_core::TxSource for SeqInsert {
     fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
         self.since_read += 1;
-        if self.since_read % 5 == 0 {
+        if self.since_read.is_multiple_of(5) {
             return vec!["SELECT COUNT(*) FROM items".into()];
         }
         let k = self.next;
