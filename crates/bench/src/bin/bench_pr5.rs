@@ -1,0 +1,73 @@
+//! PR5 perf trajectory: the E18 group-commit operating points, re-measured
+//! through the [`timing`] harness and emitted as `BENCH_pr5.json` in the
+//! working directory so successive PRs can track throughput and latency at
+//! fixed points instead of eyeballing experiment tables.
+//!
+//! Usage:
+//!   cargo run --release -p replimid-bench --bin bench_pr5
+//!
+//! With `--test` each point runs once (smoke mode) and no JSON is written,
+//! matching the other timing benches.
+
+use replimid_bench::timing::Runner;
+use replimid_bench::{group_commit_cfg, run_and_drain, tps, ShardedInsert};
+use replimid_core::{Cluster, MwMetrics};
+
+/// Virtual seconds per measurement run. Short on purpose: the JSON tracks
+/// trend direction across PRs, not publication-grade numbers (E18 does the
+/// full sweep).
+const SECS: u64 = 3;
+
+fn run_point(clients: usize, think_us: u64, batch_max: usize, deadline_us: u64) -> MwMetrics {
+    let mut cluster = Cluster::build(group_commit_cfg(batch_max, deadline_us));
+    for i in 0..clients {
+        cluster.add_client(ShardedInsert::new(10_000_000 * (i as i64 + 1)), |cc| {
+            cc.think_time_us = think_us;
+            cc.request_timeout_us = 2_000_000;
+        });
+    }
+    run_and_drain(&mut cluster, SECS);
+    cluster.mw_metrics(0)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let mut r = Runner::from_args();
+    // The corners of the E18 sweep: batching off vs the batch=8/200µs sweet
+    // spot, at the lightest and heaviest load. The low-load pair prices the
+    // deadline wait; the saturated pair is the headline speedup.
+    let points: [(&str, usize, u64, usize, u64); 4] = [
+        ("low_off", 2, 5_000, 1, 0),
+        ("low_b8_d200", 2, 5_000, 8, 200),
+        ("saturated_off", 32, 100, 1, 0),
+        ("saturated_b8_d200", 32, 100, 8, 200),
+    ];
+    let mut rows = Vec::new();
+    for (name, clients, think_us, batch_max, deadline_us) in points {
+        let mut last: Option<MwMetrics> = None;
+        r.bench(name, 1, || {
+            last = Some(run_point(clients, think_us, batch_max, deadline_us));
+        });
+        // The simulator is deterministic, so every sample sees the same
+        // virtual-time metrics; keep the last run's.
+        let mw = last.expect("bench closure runs at least once");
+        rows.push(format!(
+            "    {{\"point\": \"{name}\", \"clients\": {clients}, \"think_us\": {think_us}, \
+             \"batch_max\": {batch_max}, \"deadline_us\": {deadline_us}, \
+             \"write_tps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+            tps(mw.counters.writes, SECS),
+            mw.write_latency.quantile_us(0.5),
+            mw.write_latency.quantile_us(0.99),
+        ));
+    }
+    r.finish();
+    if !test_mode {
+        let json = format!(
+            "{{\n  \"bench\": \"pr5_group_commit\",\n  \"virtual_secs\": {SECS},\n  \
+             \"points\": [\n{}\n  ]\n}}\n",
+            rows.join(",\n")
+        );
+        std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+        println!("wrote BENCH_pr5.json");
+    }
+}

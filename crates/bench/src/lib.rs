@@ -40,6 +40,47 @@ pub fn mm_statement_cfg(rows: usize) -> ClusterConfig {
     )
 }
 
+/// A fresh-key insert stream sharded round-robin over `t0..t7`; the E18 /
+/// PR5-bench write workload. Disjoint tables give the grouped batch apply
+/// at the backends parallelism to exploit.
+pub struct ShardedInsert {
+    next: i64,
+}
+
+impl ShardedInsert {
+    pub fn new(base: i64) -> Self {
+        ShardedInsert { next: base }
+    }
+}
+
+impl TxSource for ShardedInsert {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 8)]
+    }
+}
+
+/// Statement-mode cluster over 8 disjoint single-row tables with the
+/// group-commit knobs set as given; `batch_max = 1` disables batching and
+/// takes the exact pre-batching code path. Round-robin routing so the
+/// numbers are not shaped by latency-aware placement.
+pub fn group_commit_cfg(batch_max: usize, deadline_us: u64) -> ClusterConfig {
+    let mut schema = vec!["CREATE DATABASE bench".to_string(), "USE bench".to_string()];
+    for i in 0..8 {
+        schema.push(format!("CREATE TABLE t{i} (k INT PRIMARY KEY, v INT)"));
+    }
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema,
+        "bench",
+    );
+    cfg.mw.policy = replimid_core::Policy::RoundRobin;
+    cfg.mw.batch_max = batch_max;
+    cfg.mw.batch_deadline_us = deadline_us;
+    cfg
+}
+
 /// Aggregate committed/aborted/latency across a set of clients.
 pub struct Agg {
     pub committed: u64,

@@ -40,11 +40,14 @@ impl Default for BackoffConfig {
 /// `min(base << attempt, cap)` — at least half the exponential window,
 /// at most the whole window.
 pub fn delay_us(cfg: BackoffConfig, attempt: u32, rng: &mut DetRng) -> u64 {
-    let window = cfg
-        .base_us
-        .saturating_mul(1u64 << attempt.min(32))
-        .min(cfg.cap_us)
-        .max(1);
+    // The exponential factor saturates rather than clamping the exponent:
+    // `1 << attempt.min(32)` used to plateau the window at `base << 32`,
+    // below the configured cap whenever `cap_us > base_us << 32`, so huge
+    // attempt counts stopped short of the ceiling. `checked_shl` is None
+    // once the shift reaches the bit width, at which point the factor (and
+    // the window, via `saturating_mul`) pins to the cap exactly.
+    let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+    let window = cfg.base_us.saturating_mul(factor).min(cfg.cap_us).max(1);
     let half = window / 2;
     half + rng.gen_range(0..=window - half)
 }
@@ -85,6 +88,42 @@ mod tests {
             .filter(|&i| delay_us(cfg, i % 4, &mut a) != delay_us(cfg, i % 4, &mut b))
             .count();
         assert!(spread >= 15, "only {spread}/20 differed");
+    }
+
+    /// The delay window `min(base·2^attempt, cap)` — recomputed here in
+    /// wide arithmetic, independent of the implementation — is monotone
+    /// nondecreasing in the attempt number, reaches the cap exactly once
+    /// the exponential passes it, and bounds every drawn delay to
+    /// `[window/2, window]`, for any config and seed. The old
+    /// `1 << attempt.min(32)` clamp failed this: with `cap > base << 32`
+    /// the window plateaued below the cap for attempts ≥ 32.
+    #[test]
+    fn delays_are_monotone_up_to_the_cap_for_all_attempts() {
+        replimid_det::detcheck::check("backoff_monotone_up_to_cap", 64, |rng| {
+            let cfg = BackoffConfig {
+                base_us: rng.gen_range(0..=1u64 << 40),
+                cap_us: rng.gen_range(1..=u64::MAX >> 1),
+            };
+            let mut prev_window = 0u64;
+            for attempt in (0..=70u32).chain([100, 10_000, u32::MAX]) {
+                let factor = 1u128 << attempt.min(127);
+                let window = (cfg.base_us as u128)
+                    .saturating_mul(factor)
+                    .min(cfg.cap_us as u128)
+                    .max(1) as u64;
+                assert!(
+                    window >= prev_window,
+                    "window shrank at attempt {attempt}: {window} < {prev_window} ({cfg:?})"
+                );
+                if attempt >= 64 && cfg.base_us > 0 {
+                    assert_eq!(window, cfg.cap_us.max(1), "cap not reached at {attempt}");
+                }
+                let d = delay_us(cfg, attempt, rng);
+                assert!(d >= window / 2, "attempt {attempt}: {d} below window floor ({cfg:?})");
+                assert!(d <= window, "attempt {attempt}: {d} above window ({cfg:?})");
+                prev_window = window;
+            }
+        });
     }
 
     #[test]

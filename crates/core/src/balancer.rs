@@ -56,8 +56,34 @@ impl Balancer {
     }
 
     pub fn resize(&mut self, backends: usize) {
+        // Shrinking truncates per-id state, so a later grow re-creates the
+        // dropped ids zeroed instead of resurrecting their old counters: an
+        // id that comes back is a fresh replica, not the one that left with
+        // requests still charged against it.
+        self.outstanding.truncate(backends);
+        self.weighted_credit.truncate(backends);
         self.outstanding.resize(backends, 0);
         self.weighted_credit.resize(backends, 0.0);
+        // The stable-id cursor may point past the new range after a shrink.
+        if backends > 0 {
+            self.rr_cursor %= backends;
+        } else {
+            self.rr_cursor = 0;
+        }
+    }
+
+    /// Forget per-backend scheduler state for `b` (failure eviction). Ops
+    /// in flight to a failed backend are drained as failures and never
+    /// reach [`completed`](Self::completed), so without this the phantom
+    /// `outstanding` count survives the outage and LPRF starves the replica
+    /// when it rejoins (and Weighted hands it a stale credit balance).
+    pub fn reset(&mut self, b: BackendId) {
+        if let Some(o) = self.outstanding.get_mut(b.0) {
+            *o = 0;
+        }
+        if let Some(c) = self.weighted_credit.get_mut(b.0) {
+            *c = 0.0;
+        }
     }
 
     /// Pick a backend among `healthy` (indices into the backend list).
@@ -213,6 +239,38 @@ mod tests {
         }
         assert_eq!(counts[0] + counts[1], 400);
         assert!((290..=310).contains(&counts[0]), "counts {counts:?}");
+    }
+
+    #[test]
+    fn resize_shrink_then_grow_does_not_resurrect_counters() {
+        let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 4);
+        for _ in 0..5 {
+            b.dispatched(BackendId(3));
+        }
+        b.dispatched(BackendId(2));
+        b.resize(2); // ids 2 and 3 leave with ops still charged
+        b.resize(4); // the id range grows back
+        assert_eq!(b.outstanding(BackendId(2)), 0, "stale counter resurrected");
+        assert_eq!(b.outstanding(BackendId(3)), 0, "stale counter resurrected");
+        // LPRF must treat the re-grown ids as fresh, not as loaded.
+        b.dispatched(BackendId(0));
+        assert_eq!(b.pick(&ids(&[0, 3])), Some(BackendId(3)));
+    }
+
+    #[test]
+    fn eviction_reset_clears_phantom_outstanding() {
+        let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 3);
+        // Backend 1 dies with 3 ops in flight: they drain as failures and
+        // are never `completed`.
+        for _ in 0..3 {
+            b.dispatched(BackendId(1));
+        }
+        b.reset(BackendId(1));
+        assert_eq!(b.outstanding(BackendId(1)), 0);
+        // After rejoin, LPRF must not starve the replica behind phantom load.
+        b.dispatched(BackendId(0));
+        b.dispatched(BackendId(2));
+        assert_eq!(b.pick(&ids(&[0, 1, 2])), Some(BackendId(1)));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::engine::ConnId;
 use replimid_sql::{BinlogEntry, DumpOptions, Engine, Lsn, Outcome, SqlError, ADMIN_PASSWORD, ADMIN_USER};
 
-use crate::msg::{CommitNote, DbOp, DbResp, Msg, ReplyBody};
+use crate::msg::{BatchExecResult, CommitNote, DbOp, DbResp, Msg, ReplyBody};
 use crate::trace::{Stage, TraceSink};
 
 /// Virtual cost constants specific to node-level operations.
@@ -165,6 +165,66 @@ impl DbNode {
                     }
                 };
                 Some(resp)
+            }
+            DbOp::ExecuteBatch { op, stmts } => {
+                let mut results = Vec::with_capacity(stmts.len());
+                // Per-statement table sets for the parallel-replay grouping:
+                // statements writing disjoint tables apply concurrently, so
+                // the batch is charged the longest dependent chain, not the
+                // sum — this is where grouped apply beats N round-trips.
+                let mut tables: Vec<Vec<(String, String)>> = Vec::new();
+                let mut costs: Vec<u64> = Vec::new();
+                for stmt in stmts {
+                    if let Some(sq) = stmt.seq {
+                        if sq <= self.ordered_applied {
+                            // Same idempotence contract as `Execute`.
+                            results.push(BatchExecResult::Ok {
+                                body: ReplyBody::Ack,
+                                commit: None,
+                                tainted: false,
+                            });
+                            continue;
+                        }
+                    }
+                    match self
+                        .conn_for(stmt.conn)
+                        .and_then(|c| self.engine.execute(c, &stmt.sql))
+                    {
+                        Ok(res) => {
+                            let body = match res.outcome {
+                                Outcome::Rows(rs) => ReplyBody::Rows(rs),
+                                Outcome::Affected(n) => ReplyBody::Affected(n),
+                                Outcome::Ack => ReplyBody::Ack,
+                            };
+                            let commit = res.commit.map(|c| CommitNote {
+                                writeset: c.writeset,
+                                lsn: self.engine.binlog_head(),
+                            });
+                            // Statements on one connection serialize even
+                            // when their tables are disjoint: chain them
+                            // with a synthetic per-connection key ("\0" is
+                            // not a legal database name).
+                            let mut tbls = commit
+                                .as_ref()
+                                .map(|c| c.writeset.tables())
+                                .unwrap_or_default();
+                            tbls.push(("\0conn".into(), stmt.conn.to_string()));
+                            tables.push(tbls);
+                            costs.push(res.cost.cpu_us);
+                            if let Some(sq) = stmt.seq {
+                                self.ordered_applied = self.ordered_applied.max(sq);
+                            }
+                            results.push(BatchExecResult::Ok { body, commit, tainted: res.tainted });
+                        }
+                        Err(err) => {
+                            tables.push(vec![("\0conn".into(), stmt.conn.to_string())]);
+                            costs.push(replimid_sql::result::cost_model::STATEMENT_BASE_US);
+                            results.push(BatchExecResult::Err { err });
+                        }
+                    }
+                }
+                ctx.consume(self.scaled(grouped_chain_cost(&tables, &costs)));
+                Some(DbResp::ExecBatchOut { op, results })
             }
             DbOp::PrepareWriteset { op, conn } => {
                 let resp = match self
@@ -324,6 +384,15 @@ impl DbNode {
 
 /// Longest chain over connected components of entries sharing tables.
 fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
+    let tables: Vec<Vec<(String, String)>> =
+        entries.iter().map(|e| e.writeset.tables()).collect();
+    grouped_chain_cost(&tables, costs)
+}
+
+/// Union-find core of the parallel cost model: items sharing any table key
+/// fall into one group whose costs sum; disjoint groups run concurrently,
+/// so the charge is the maximum group sum.
+fn grouped_chain_cost(tables: &[Vec<(String, String)>], costs: &[u64]) -> u64 {
     use std::collections::HashMap as Map;
     let mut group_of_table: Map<(String, String), usize> = Map::new();
     let mut parent: Vec<usize> = Vec::new();
@@ -335,10 +404,9 @@ fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
         }
         x
     }
-    for (e, &cost) in entries.iter().zip(costs) {
-        let tables = e.writeset.tables();
+    for (item_tables, &cost) in tables.iter().zip(costs) {
         let mut target: Option<usize> = None;
-        for t in &tables {
+        for t in item_tables {
             if let Some(&g) = group_of_table.get(t) {
                 let root = find(&mut parent, g);
                 match target {
@@ -363,8 +431,8 @@ fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
                 parent.len() - 1
             }
         };
-        for t in tables {
-            group_of_table.insert(t, g);
+        for t in item_tables {
+            group_of_table.insert(t.clone(), g);
         }
         group_cost[g] += cost;
     }
@@ -375,6 +443,7 @@ fn parallel_cost(entries: &[BinlogEntry], costs: &[u64]) -> u64 {
 fn op_id(op: &DbOp) -> Option<u64> {
     match op {
         DbOp::Execute { op, .. }
+        | DbOp::ExecuteBatch { op, .. }
         | DbOp::PrepareWriteset { op, .. }
         | DbOp::ApplyWriteset { op, .. }
         | DbOp::ApplyBinlog { op, .. }

@@ -225,6 +225,10 @@ pub struct Counters {
     /// Tripwire: reads that reached a quarantined backend through the
     /// normal path (must stay 0 — probes are counted separately).
     pub reads_routed_to_quarantined: u64,
+    /// Group-commit flushes triggered by the batch filling (`batch_max`).
+    pub batch_flush_size: u64,
+    /// Group-commit flushes triggered by the deadline timer.
+    pub batch_flush_deadline: u64,
 }
 
 /// Tracks time spent in degraded read-only mode (write quorum lost but

@@ -49,6 +49,8 @@ use crate::trace::{Stage, TraceId, TraceSink};
 /// Timer tags (1 is reserved by the GCS tick).
 const TIMER_PING: u64 = 2;
 const TIMER_SHIP: u64 = 3;
+/// Group-commit flush deadline (write-path batching).
+const TIMER_BATCH: u64 = 4;
 /// Op-timeout timers: TIMER_OP_BASE + op id.
 const TIMER_OP_BASE: u64 = 1_000_000_000;
 /// Retry timers for writeset applications blocked by a local uncommitted
@@ -133,6 +135,16 @@ pub struct MwConfig {
     /// `heartbeat.timeout_us` should equal the adaptive floor. Off (`None`)
     /// by default.
     pub adaptive_detection: Option<AdaptiveConfig>,
+    /// Group-commit batching on the totally-ordered write path: admitted
+    /// writes accumulate until `batch_max` events are buffered (size flush)
+    /// or `batch_deadline_us` elapses since the first buffered event
+    /// (deadline flush), then ship as ONE total-order slot. 1 disables
+    /// batching entirely — the write path is byte-identical to the
+    /// unbatched implementation.
+    pub batch_max: usize,
+    /// Deadline for a partially-filled batch (virtual µs). Irrelevant when
+    /// `batch_max <= 1`.
+    pub batch_deadline_us: u64,
 }
 
 impl MwConfig {
@@ -154,6 +166,8 @@ impl MwConfig {
             quarantine: None,
             degrade_to_read_only: false,
             adaptive_detection: None,
+            batch_max: 1,
+            batch_deadline_us: 200,
         }
     }
 }
@@ -319,6 +333,9 @@ struct ExecGroup {
 enum Pending {
     ClientExec { session: SessionId, backend: BackendId },
     GroupExec { group: u64, backend: BackendId },
+    /// One grouped `ExecuteBatch` covering a whole flushed batch at one
+    /// backend; `groups` are the per-statement exec groups, in batch order.
+    GroupExecBatch { groups: Vec<u64>, backend: BackendId },
     Prepare { session: SessionId, backend: BackendId },
     DelegateCommit { session: SessionId, backend: BackendId, pos: u64 },
     ApplyWs { session: Option<SessionId>, backend: BackendId, ws: Writeset, attempts: u32, pos: u64 },
@@ -358,6 +375,9 @@ pub struct MwMetrics {
     pub trace: TraceSink,
     /// Certification-stage statistics (writeset mode).
     pub certifier: crate::certifier::CertifierStats,
+    /// Flushed group-commit batch sizes (events per flush). Empty when
+    /// batching is off.
+    pub batch_sizes: Histogram,
 }
 
 impl Default for MwMetrics {
@@ -375,6 +395,7 @@ impl Default for MwMetrics {
             quarantine_events: Vec::new(),
             trace: TraceSink::new(),
             certifier: crate::certifier::CertifierStats::default(),
+            batch_sizes: Histogram::new(),
         }
     }
 }
@@ -437,6 +458,17 @@ pub struct Middleware {
     probe_op: HashMap<BackendId, u64>,
     /// Per-backend learned silence thresholds (cfg.adaptive_detection).
     pong_adaptive: Vec<AdaptiveThreshold>,
+    /// Admitted write-path events awaiting a group-commit flush.
+    publish_batch: Vec<ReplEvent>,
+    /// A `TIMER_BATCH` deadline is outstanding.
+    batch_timer_armed: bool,
+}
+
+/// Why a group-commit batch left the buffer.
+#[derive(Debug, Clone, Copy)]
+enum FlushReason {
+    Size,
+    Deadline,
 }
 
 impl Middleware {
@@ -490,6 +522,8 @@ impl Middleware {
             health_seen: vec![0; n],
             probe_op: HashMap::new(),
             pong_adaptive,
+            publish_batch: Vec::new(),
+            batch_timer_armed: false,
         }
     }
 
@@ -621,6 +655,53 @@ impl Middleware {
     fn publish(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
         let actions = self.group.publish(ev, ctx.now().micros());
         self.run_gcs_actions(ctx, actions);
+    }
+
+    /// Route a write-path event through group-commit batching: buffer it
+    /// until the batch fills (`batch_max`) or the flush deadline fires.
+    /// With batching off (`batch_max <= 1`) this IS [`publish`] — no
+    /// buffering, no timers, no extra RNG draws — so the unbatched write
+    /// path reproduces the pre-batching implementation bit for bit.
+    fn publish_write(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
+        if self.cfg.batch_max <= 1 {
+            self.publish(ctx, ev);
+            return;
+        }
+        self.publish_batch.push(ev);
+        if self.publish_batch.len() >= self.cfg.batch_max {
+            self.flush_batch(ctx, FlushReason::Size);
+        } else if !self.batch_timer_armed {
+            self.batch_timer_armed = true;
+            ctx.set_timer(self.cfg.batch_deadline_us, TIMER_BATCH);
+        }
+    }
+
+    /// Ship the buffered batch as ONE total-order slot. The buffered
+    /// admission order is preserved verbatim inside the `Batch` event.
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_, Msg>, reason: FlushReason) {
+        if self.publish_batch.is_empty() {
+            return;
+        }
+        self.batch_timer_armed = false;
+        let events = std::mem::take(&mut self.publish_batch);
+        self.metrics.batch_sizes.record(events.len() as u64);
+        match reason {
+            FlushReason::Size => self.metrics.counters.batch_flush_size += 1,
+            FlushReason::Deadline => self.metrics.counters.batch_flush_deadline += 1,
+        }
+        // Each origin statement waited in the buffer from its admission-side
+        // publish until now: that window is `BatchWait`, so E17-style tiling
+        // still reconciles (the `Order` span then covers flush → delivery).
+        let now = ctx.now().micros();
+        for ev in &events {
+            let (session, stmt_seq) = match ev {
+                ReplEvent::Statement { session, stmt_seq, .. } => (*session, *stmt_seq),
+                ReplEvent::Certify { session, stmt_seq, .. } => (*session, *stmt_seq),
+                _ => continue,
+            };
+            self.mw_span(session, stmt_seq, Stage::BatchWait, now);
+        }
+        self.publish(ctx, ReplEvent::Batch { events });
     }
 
     /// §4.3.4.3: are we on the majority side of a (possible) partition?
@@ -894,7 +975,7 @@ impl Middleware {
                 }
             }
         }
-        self.publish(ctx, ReplEvent::Statement { session: req.session, stmt_seq: req.stmt_seq, sql });
+        self.publish_write(ctx, ReplEvent::Statement { session: req.session, stmt_seq: req.stmt_seq, sql });
     }
 
     fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
@@ -1024,6 +1105,135 @@ impl Middleware {
             ReplEvent::SessionEnd { session } => {
                 self.sessions.remove(&session);
             }
+            ReplEvent::Batch { events } => self.deliver_batch(ctx, events),
+        }
+    }
+
+    /// A group-committed batch arrives (one total-order slot). Statements
+    /// fan out to each backend as ONE grouped message; certification
+    /// requests go to the certifier in one call. Both preserve the
+    /// admission order recorded in the event vector.
+    fn deliver_batch(&mut self, ctx: &mut Ctx<'_, Msg>, events: Vec<ReplEvent>) {
+        let mut stmts: Vec<(SessionId, u64, String)> = Vec::new();
+        let mut certs: Vec<(SessionId, u64, u64, Writeset)> = Vec::new();
+        for ev in events {
+            match ev {
+                ReplEvent::Statement { session, stmt_seq, sql } => {
+                    stmts.push((session, stmt_seq, sql))
+                }
+                ReplEvent::Certify { session, stmt_seq, start_pos, ws } => {
+                    certs.push((session, stmt_seq, start_pos, ws))
+                }
+                ReplEvent::SessionEnd { session } => {
+                    self.sessions.remove(&session);
+                }
+                // Batches never nest (publish_write only buffers leaves).
+                ReplEvent::Batch { .. } => {}
+            }
+        }
+        if !stmts.is_empty() {
+            self.deliver_statement_batch(ctx, stmts);
+        }
+        if !certs.is_empty() {
+            self.deliver_certify_batch(ctx, certs);
+        }
+    }
+
+    /// Grouped form of [`deliver_statement`]: the batch's statements take a
+    /// dense recovery-log seq range and each backend receives one
+    /// `ExecuteBatch` message instead of one `Execute` per statement, which
+    /// is where group commit wins — one network round-trip and one
+    /// parallel-replay-grouped cost charge per backend per flush.
+    fn deliver_statement_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        stmts: Vec<(SessionId, u64, String)>,
+    ) {
+        let now = ctx.now().micros();
+        // Append the whole batch first: seqs are dense ([head+1 ..= head+n]).
+        let mut entries: Vec<(SessionId, u64, String, u64, bool)> = Vec::with_capacity(stmts.len());
+        for (session, stmt_seq, sql) in stmts {
+            let tables: Vec<String> = parse_statement(&sql)
+                .map(|s| s.written_tables().into_iter().map(|t| t.name).collect())
+                .unwrap_or_default();
+            let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
+            let origin = {
+                let s = self.session(session, None);
+                matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq)
+            };
+            if origin {
+                // Flush → self-delivery through the total order.
+                self.mw_span(session, stmt_seq, Stage::Order, now);
+            }
+            entries.push((session, stmt_seq, sql, log_seq, origin));
+        }
+        let targets = self.healthy();
+        if targets.is_empty() {
+            for (session, stmt_seq, _, log_seq, origin) in entries {
+                self.log.void(log_seq);
+                if origin {
+                    self.reply(ctx, session, stmt_seq, Err(ReplyError::Unavailable("no backend".into())));
+                }
+            }
+            return;
+        }
+        // One exec group per statement — the reply/divergence bookkeeping is
+        // untouched; only the transport is grouped.
+        let mut groups: Vec<u64> = Vec::with_capacity(entries.len());
+        for &(session, stmt_seq, _, log_seq, origin) in &entries {
+            let group_id = self.next_group;
+            self.next_group += 1;
+            self.exec_groups.insert(
+                group_id,
+                ExecGroup {
+                    session,
+                    stmt_seq,
+                    remaining: targets.len(),
+                    canonical: None,
+                    origin,
+                    log_seq,
+                },
+            );
+            if origin {
+                let s = self.sessions.get_mut(&session).unwrap();
+                s.current = Some(Current { stmt_seq, kind: CurrentKind::ExecGroup { group: group_id } });
+            }
+            groups.push(group_id);
+        }
+        for backend in targets {
+            let batch: Vec<crate::msg::BatchStmt> = entries
+                .iter()
+                .map(|(session, _, sql, log_seq, _)| crate::msg::BatchStmt {
+                    conn: session.0,
+                    sql: sql.clone(),
+                    seq: Some(*log_seq),
+                })
+                .collect();
+            let groups = groups.clone();
+            self.send_db(ctx, backend, Pending::GroupExecBatch { groups, backend }, move |op| {
+                DbOp::ExecuteBatch { op, stmts: batch }
+            });
+        }
+    }
+
+    /// Grouped form of [`deliver_certify`]: the whole flush goes to the
+    /// certifier in one call, conflict state carrying across the batch in
+    /// admission order, then each verdict finalizes exactly as in the
+    /// unbatched path.
+    fn deliver_certify_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        certs: Vec<(SessionId, u64, u64, Writeset)>,
+    ) {
+        let pk_map = &self.cfg.pk_map;
+        let items: Vec<(u64, &Writeset)> =
+            certs.iter().map(|(_, _, start_pos, ws)| (*start_pos, ws)).collect();
+        let verdicts = self.certifier.certify_batch(&items, |db, t| {
+            pk_map.get(&(db.to_string(), t.to_string())).copied()
+        });
+        self.metrics.certifier = self.certifier.stats();
+        for ((session, stmt_seq, _, ws), verdict) in certs.into_iter().zip(verdicts) {
+            self.finish_certify(ctx, session, stmt_seq, ws, verdict);
         }
     }
 
@@ -1256,10 +1466,17 @@ impl Middleware {
         let verdict = self.certifier.certify(start_pos, &ws, |db, t| {
             pk_map.get(&(db.to_string(), t.to_string())).copied()
         });
+        self.metrics.certifier = self.certifier.stats();
+        self.finish_certify(ctx, session, stmt_seq, ws, verdict);
+    }
+
+    /// Everything after the certification verdict: log the writeset, reply
+    /// to the origin on abort, or fan the commit out. Shared between the
+    /// single-event and batched delivery paths.
+    fn finish_certify(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, ws: Writeset, verdict: Verdict) {
         // Log certified writesets for recovery. In writeset mode the log
         // holds exactly the certified stream, so the log seq IS the
         // certification position.
-        self.metrics.certifier = self.certifier.stats();
         let mut cert_pos = 0;
         if verdict == Verdict::Commit {
             cert_pos = self.log.append_ws(ws.clone());
@@ -1555,6 +1772,32 @@ impl Middleware {
                 self.score_completion(now, backend, started, op);
                 self.finish_group_exec(ctx, group, backend, resp, false);
             }
+            Pending::GroupExecBatch { groups, backend } => {
+                self.balancer.completed(backend);
+                let now = ctx.now().micros();
+                self.touch_liveness(backend, now);
+                self.score_completion(now, backend, started, op);
+                if let DbResp::ExecBatchOut { results, .. } = resp {
+                    // One grouped response resolves every statement's exec
+                    // group, in batch order, exactly as N `Execute` replies
+                    // would have.
+                    for (group, r) in groups.into_iter().zip(results) {
+                        let stmt_resp = match r {
+                            crate::msg::BatchExecResult::Ok { body, commit, tainted } => {
+                                DbResp::ExecOk { op: 0, body, commit, tainted }
+                            }
+                            crate::msg::BatchExecResult::Err { err } => {
+                                DbResp::ExecErr { op: 0, err }
+                            }
+                        };
+                        self.finish_group_exec(ctx, group, backend, stmt_resp, false);
+                    }
+                } else {
+                    for group in groups {
+                        self.finish_group_exec(ctx, group, backend, DbResp::RestoreOk { op: 0 }, true);
+                    }
+                }
+            }
             Pending::Prepare { session, backend } => {
                 self.balancer.completed(backend);
                 self.finish_prepare(ctx, session, resp);
@@ -1816,7 +2059,7 @@ impl Middleware {
                         kind: CurrentKind::WsCertifyWait,
                     });
                 }
-                self.publish(ctx, ReplEvent::Certify {
+                self.publish_write(ctx, ReplEvent::Certify {
                     session,
                     stmt_seq: current.stmt_seq,
                     start_pos,
@@ -2187,6 +2430,11 @@ impl Middleware {
         }
         self.ship_busy.remove(&backend);
         self.backends[backend.0].state = BackendState::Down;
+        // The drain below fails this backend's in-flight ops without ever
+        // calling `balancer.completed`, so its outstanding count would
+        // survive the outage as phantom load and starve the replica under
+        // LPRF when it rejoins.
+        self.balancer.reset(backend);
         self.log.checkpoint(backend, applied);
         self.metrics.counters.failovers += 1;
         self.metrics.failover_times.push(ctx.now().micros());
@@ -2236,6 +2484,11 @@ impl Middleware {
                 }
                 Pending::GroupExec { group, backend } => {
                     self.finish_group_exec(ctx, group, backend, DbResp::RestoreOk { op: 0 }, true);
+                }
+                Pending::GroupExecBatch { groups, backend } => {
+                    for group in groups {
+                        self.finish_group_exec(ctx, group, backend, DbResp::RestoreOk { op: 0 }, true);
+                    }
                 }
                 Pending::DelegateCommit { session, .. } | Pending::ApplyWs { session: Some(session), .. } => {
                     self.finish_ws_part(ctx, Some(session), DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend failed".into()) });
@@ -2293,7 +2546,7 @@ impl Middleware {
         if std::env::var("REPLIMID_DEBUG").is_ok() {
             eprintln!("[{}us] start_log_recovery b{} from={from} head={}", ctx.now().micros(), backend.0, self.log.head());
         }
-        if self.log.read_after(from, 1).is_none() {
+        if self.log.read_after(from, 1).is_err() {
             // Log truncated past the checkpoint: full resync.
             self.start_full_resync(ctx, backend);
             return;
@@ -2335,11 +2588,18 @@ impl Middleware {
             // Final hop: global barrier (live writes buffer until done).
             self.barrier_for = Some(backend);
         }
-        let batch = self
-            .log
-            .read_after(next, self.cfg.recovery_batch)
-            .map(|e| e.to_vec())
-            .unwrap_or_default();
+        let batch = match self.log.read_after(next, self.cfg.recovery_batch) {
+            Ok(entries) => entries.to_vec(),
+            Err(_) => {
+                // The log was truncated (e.g. purged past this replica's
+                // checkpoint) *after* recovery started: replay can no longer
+                // reach the head. Silently returning here left the backend
+                // in `Recovering` forever — escalate to a full resync, the
+                // explicit needs-full-resync signal `read_after` now carries.
+                self.start_full_resync(ctx, backend);
+                return;
+            }
+        };
         if batch.is_empty() {
             return;
         }
@@ -2516,6 +2776,14 @@ impl Middleware {
             // ping_tick. Treating a stale ping timeout as a failure would
             // kill a backend that just finished recovering.
             Pending::Ping { .. } => return,
+            // The batch op is already out of `pending`, so the
+            // backend_failed drain below cannot see it: fail its groups
+            // here or their origins hang forever.
+            Pending::GroupExecBatch { groups, backend } => {
+                for &group in groups {
+                    self.finish_group_exec(ctx, group, *backend, DbResp::RestoreOk { op: 0 }, true);
+                }
+            }
             _ => {}
         }
         if let Some(b) = pending_backend(&p) {
@@ -2586,6 +2854,7 @@ fn pending_backend(p: &Pending) -> Option<BackendId> {
     match p {
         Pending::ClientExec { backend, .. }
         | Pending::GroupExec { backend, .. }
+        | Pending::GroupExecBatch { backend, .. }
         | Pending::ApplyWs { backend, .. }
         | Pending::Prepare { backend, .. }
         | Pending::DelegateCommit { backend, .. }
@@ -2635,6 +2904,10 @@ impl Actor<Msg> for Middleware {
             }
             TIMER_PING => self.ping_tick(ctx),
             TIMER_SHIP => self.ship_tick(ctx),
+            TIMER_BATCH => {
+                self.batch_timer_armed = false;
+                self.flush_batch(ctx, FlushReason::Deadline);
+            }
             t if t >= TIMER_OP_BASE => {
                 let op = t - TIMER_OP_BASE;
                 if self.pending.contains_key(&op) {

@@ -95,6 +95,12 @@ pub enum DbOp {
     /// has often no information on which transactions committed prior to
     /// the failure; this information is only known to the database").
     Execute { op: u64, conn: u64, sql: String, seq: Option<u64> },
+    /// Execute a group-committed batch of ordered statements as one message.
+    /// Statements run in batch order on their own connections; the node
+    /// skips already-applied `seq`s individually (same idempotence contract
+    /// as `Execute`) and charges the batch's cost via the parallel-replay
+    /// grouping over written tables, which is where grouped apply wins.
+    ExecuteBatch { op: u64, stmts: Vec<BatchStmt> },
     /// Extract the open transaction's writeset (certification path).
     PrepareWriteset { op: u64, conn: u64 },
     /// Apply a certified writeset as one transaction.
@@ -131,6 +137,23 @@ pub enum DbOp {
     Disconnect { conn: u64 },
 }
 
+/// One statement of a grouped [`DbOp::ExecuteBatch`].
+#[derive(Debug, Clone)]
+pub struct BatchStmt {
+    pub conn: u64,
+    pub sql: String,
+    /// Replication-log position (see [`DbOp::Execute`]'s `seq`).
+    pub seq: Option<u64>,
+}
+
+/// Per-statement outcome inside an [`DbResp::ExecBatchOut`]: the payload
+/// the corresponding `ExecOk`/`ExecErr` would have carried.
+#[derive(Debug, Clone)]
+pub enum BatchExecResult {
+    Ok { body: ReplyBody, commit: Option<CommitNote>, tainted: bool },
+    Err { err: SqlError },
+}
+
 /// Database node responses.
 #[derive(Debug, Clone)]
 pub enum DbResp {
@@ -142,6 +165,8 @@ pub enum DbResp {
         tainted: bool,
     },
     ExecErr { op: u64, err: SqlError },
+    /// Results of a grouped execute, one per statement, in batch order.
+    ExecBatchOut { op: u64, results: Vec<BatchExecResult> },
     WritesetOut { op: u64, ws: Box<Writeset> },
     BinlogOut {
         op: u64,
@@ -163,6 +188,7 @@ impl DbResp {
         match self {
             DbResp::ExecOk { op, .. }
             | DbResp::ExecErr { op, .. }
+            | DbResp::ExecBatchOut { op, .. }
             | DbResp::WritesetOut { op, .. }
             | DbResp::BinlogOut { op, .. }
             | DbResp::DumpOut { op, .. }
@@ -204,6 +230,10 @@ pub enum ReplEvent {
     },
     /// Session teardown (propagated so peers drop replicated session state).
     SessionEnd { session: SessionId },
+    /// A group-committed batch: the contained events occupy ONE total-order
+    /// slot and are applied in vector order at every peer, so the admission
+    /// order inside the batch is preserved exactly. Batches never nest.
+    Batch { events: Vec<ReplEvent> },
 }
 
 /// Management commands injected by the operator/harness (§4.4: backup and

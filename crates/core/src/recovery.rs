@@ -86,6 +86,17 @@ pub fn to_binlog_entries(entries: &[LogEntry]) -> Vec<BinlogEntry> {
         .collect()
 }
 
+/// Needs-full-resync signal from [`RecoveryLog::read_after`]: the rejoiner's
+/// checkpoint fell below the truncation boundary, so the log can no longer
+/// bring it up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogTruncated {
+    /// The checkpoint the rejoiner asked to read after.
+    pub checkpoint: u64,
+    /// The truncation boundary it fell below.
+    pub truncated: u64,
+}
+
 #[derive(Debug, Clone)]
 pub struct RecoveryLog {
     entries: Vec<LogEntry>,
@@ -156,15 +167,18 @@ impl RecoveryLog {
         self.checkpoints.get(&backend).copied()
     }
 
-    /// Entries after `seq`, up to `limit`. `None` if the log was truncated
-    /// past the checkpoint (full resync from a dump required).
-    pub fn read_after(&self, seq: u64, limit: usize) -> Option<&[LogEntry]> {
+    /// Entries after `seq`, up to `limit`. An empty tail means the caller
+    /// is caught up. `Err(LogTruncated)` is the explicit needs-full-resync
+    /// signal: the log was truncated past the checkpoint, the entries this
+    /// replica needs are gone, and the only way back is a dump restore —
+    /// callers must not treat it like an empty (or misaligned) slice.
+    pub fn read_after(&self, seq: u64, limit: usize) -> Result<&[LogEntry], LogTruncated> {
         if seq < self.truncated {
-            return None;
+            return Err(LogTruncated { checkpoint: seq, truncated: self.truncated });
         }
         let skip = (seq - self.truncated) as usize;
         let slice = &self.entries[skip.min(self.entries.len())..];
-        Some(&slice[..slice.len().min(limit)])
+        Ok(&slice[..slice.len().min(limit)])
     }
 
     /// Purge entries at or below the minimum checkpoint across backends
@@ -291,7 +305,7 @@ mod tests {
         l.checkpoint(BackendId(0), 4);
         l.checkpoint(BackendId(1), 7);
         assert_eq!(l.purge_to_min_checkpoint(), 4);
-        assert!(l.read_after(2, 10).is_none(), "behind truncation point");
+        assert!(l.read_after(2, 10).is_err(), "behind truncation point");
         assert_eq!(l.read_after(4, 100).unwrap().len(), 6);
         assert_eq!(l.checkpoint_of(BackendId(0)), Some(4));
     }
@@ -321,16 +335,17 @@ mod tests {
     }
 
     /// Pins the exact truncation-boundary contract after `force_truncate`:
-    /// `read_after(seq)` is `None` (full resync) strictly below the
-    /// truncation point, `Some` starting at the first surviving entry at
-    /// exactly `seq == truncated`, and `Some(&[])` (caught up) at the head.
+    /// `read_after(seq)` is `Err(LogTruncated)` (full resync) strictly
+    /// below the truncation point, `Ok` starting at the first surviving
+    /// entry at exactly `seq == truncated`, and `Ok(&[])` (caught up) at
+    /// the head.
     #[test]
     fn force_truncate_boundary_semantics() {
         let mut l = log_with(10);
         assert_eq!(l.force_truncate(6), 6);
 
         // seq < truncated: the entries this replica still needs are gone.
-        assert!(l.read_after(5, 100).is_none(), "below boundary: full resync");
+        assert!(l.read_after(5, 100).is_err(), "below boundary: full resync");
         // seq == truncated: everything the caller needs survives — the
         // first entry handed back is exactly truncated + 1.
         let tail = l.read_after(6, 100).unwrap();
@@ -341,6 +356,31 @@ mod tests {
         // Re-truncating at or below the boundary is a no-op.
         assert_eq!(l.force_truncate(6), 0);
         assert_eq!(l.force_truncate(3), 0);
+    }
+
+    /// Regression for the rejoin-after-truncation contract: a rejoiner's
+    /// checkpoint relative to the boundary must yield, respectively, the
+    /// explicit needs-full-resync error (strictly below), the surviving
+    /// tail (exactly at), and a caught-up empty tail (at the head) — never
+    /// a silently misaligned or empty slice.
+    #[test]
+    fn rejoiner_checkpoint_vs_truncation_boundary() {
+        let mut l = log_with(10);
+        l.force_truncate(6);
+
+        // checkpoint < truncated: explicit full-resync signal, carrying
+        // both positions so the caller can log/act on the gap.
+        let err = l.read_after(3, 100).unwrap_err();
+        assert_eq!(err, LogTruncated { checkpoint: 3, truncated: 6 });
+
+        // checkpoint == truncated: the whole surviving tail, correctly
+        // aligned (first entry is exactly truncated + 1).
+        let tail = l.read_after(6, 100).unwrap();
+        assert_eq!(tail.len(), 4);
+        assert!(tail.iter().enumerate().all(|(i, e)| e.seq == 7 + i as u64), "misaligned tail");
+
+        // checkpoint == head: caught up — an empty Ok, not a resync.
+        assert_eq!(l.read_after(l.head(), 100), Ok(&[][..]));
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum Stage {
     Admission,
     /// Load-balancer pick (zero-width marker; the pick itself is free).
     BalancerPick,
+    /// Group-commit buffering: admission → batch flush (size or deadline).
+    /// Zero-width when batching is off (`batch_max <= 1`).
+    BatchWait,
     /// Total-order wait: GCS publish → self-delivery at the origin.
     Order,
     /// Backend execution window as observed by the middleware (dispatch →
@@ -58,12 +61,13 @@ pub enum Stage {
     Other,
 }
 
-pub const N_STAGES: usize = 12;
+pub const N_STAGES: usize = 13;
 
 impl Stage {
     pub const ALL: [Stage; N_STAGES] = [
         Stage::Admission,
         Stage::BalancerPick,
+        Stage::BatchWait,
         Stage::Order,
         Stage::Execute,
         Stage::Certify,
@@ -80,16 +84,17 @@ impl Stage {
         match self {
             Stage::Admission => 0,
             Stage::BalancerPick => 1,
-            Stage::Order => 2,
-            Stage::Execute => 3,
-            Stage::Certify => 4,
-            Stage::Fanout => 5,
-            Stage::Retry => 6,
-            Stage::Backoff => 7,
-            Stage::Rollback => 8,
-            Stage::ClientRtt => 9,
-            Stage::DbService => 10,
-            Stage::Other => 11,
+            Stage::BatchWait => 2,
+            Stage::Order => 3,
+            Stage::Execute => 4,
+            Stage::Certify => 5,
+            Stage::Fanout => 6,
+            Stage::Retry => 7,
+            Stage::Backoff => 8,
+            Stage::Rollback => 9,
+            Stage::ClientRtt => 10,
+            Stage::DbService => 11,
+            Stage::Other => 12,
         }
     }
 
@@ -97,6 +102,7 @@ impl Stage {
         match self {
             Stage::Admission => "admission",
             Stage::BalancerPick => "balancer-pick",
+            Stage::BatchWait => "batch-wait",
             Stage::Order => "order",
             Stage::Execute => "execute",
             Stage::Certify => "certify",

@@ -6,6 +6,8 @@
 #   4. cargo clippy --offline --all-targets -- -D warnings (lint-clean)
 #   5. determinism: the full experiments suite, run twice, must be
 #      byte-identical (same seeds => same numbers, see DESIGN.md)
+#   6. perf trajectory: re-measure the E18 group-commit operating points
+#      and write BENCH_pr5.json (tps + p50/p99 per point)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -83,5 +85,12 @@ if ! diff -q "$out_a" "$out_b" > /dev/null; then
     exit 1
 fi
 echo "verify: determinism OK (two experiment runs byte-identical)"
+
+# --- 6. Perf trajectory -------------------------------------------------
+# Re-measure the E18 group-commit operating points through the timing
+# harness and leave BENCH_pr5.json at the repo root, so later PRs can
+# compare throughput/latency at fixed points instead of re-reading tables.
+cargo run --release -q --offline -p replimid-bench --bin bench_pr5
+echo "verify: perf trajectory OK (BENCH_pr5.json written)"
 
 echo "verify: OK"

@@ -259,6 +259,119 @@ fn traces_tile_and_reconcile_with_latency_histograms() {
     });
 }
 
+/// One run of the group-commit comparison harness: disjoint-key inserts on
+/// statement-based multi-master, with a bounded per-client transaction
+/// allotment so both arms finish everything well inside the run window.
+fn run_batch_case(
+    seed: u64,
+    clients: usize,
+    batch_max: usize,
+    deadline_us: u64,
+) -> (Vec<ClientMetrics>, MwMetrics, Vec<Vec<u64>>) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 100),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = 3;
+    cfg.mw.batch_max = batch_max;
+    cfg.mw.batch_deadline_us = deadline_us;
+    let mut cluster = Cluster::build(cfg);
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        handles.push(cluster.add_client(SeqInsert { next: 20_000 * (i as i64 + 1) }, |cc| {
+            cc.think_time_us = 500;
+            cc.tx_limit = 60;
+        }));
+    }
+    cluster.run_for(dur::secs(4));
+    cluster.run_for(dur::secs(1)); // drain
+    let cms: Vec<ClientMetrics> = handles.iter().map(|&h| cluster.client_metrics(h)).collect();
+    let sums = cluster.backend_checksums();
+    (cms, cluster.mw_metrics(0), sums)
+}
+
+/// Group-commit batching is an optimization, not a semantic change: for the
+/// same seed, `batch_max = 1` and `batch_max = N` commit every client's full
+/// allotment, expose identical abort sets, and converge every backend to the
+/// *same* final state as each other AND as the unbatched arm. Trace tiling
+/// stays exact in both arms (`Stage::Other == 0`, with `BatchWait` absent
+/// from the control arm), and each arm reruns bit-identically.
+#[test]
+fn group_commit_batching_preserves_outcomes() {
+    detcheck::check("group_commit_batching_preserves_outcomes", 4, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let clients = rng.gen_range(2usize..5);
+        let batch_max = rng.gen_range(2usize..17);
+        let deadline_us = rng.gen_range(100u64..1500);
+        let (c1, m1, s1) = run_batch_case(seed, clients, 1, 200);
+        let (cb, mb, sb) = run_batch_case(seed, clients, batch_max, deadline_us);
+
+        // Both arms complete the whole workload, abort-free (disjoint keys).
+        for (cm, label) in c1.iter().map(|c| (c, "batch=1")).chain(cb.iter().map(|c| (c, "batched"))) {
+            assert_eq!(cm.committed, 60, "{label}: incomplete allotment");
+            assert_eq!(cm.aborted, 0, "{label}: unexpected aborts");
+            assert_eq!(cm.failed, 0, "{label}: failed transactions");
+        }
+
+        // Convergence within each arm, and the same state across arms.
+        let flat1: Vec<u64> = s1.iter().flatten().copied().collect();
+        let flatb: Vec<u64> = sb.iter().flatten().copied().collect();
+        assert!(flat1.windows(2).all(|w| w[0] == w[1]), "batch=1 diverged: {s1:?}");
+        assert!(flatb.windows(2).all(|w| w[0] == w[1]), "batched diverged: {sb:?}");
+        assert_eq!(flat1[0], flatb[0], "batched arm reached a different final state");
+
+        // Batching is observable exactly when enabled, and every flush is
+        // accounted to a reason.
+        assert_eq!(m1.batch_sizes.count(), 0, "control arm flushed batches");
+        assert_eq!(m1.counters.batch_flush_size + m1.counters.batch_flush_deadline, 0);
+        assert!(mb.batch_sizes.count() > 0, "batched arm never flushed");
+        assert_eq!(
+            mb.counters.batch_flush_size + mb.counters.batch_flush_deadline,
+            mb.batch_sizes.count(),
+            "flush-reason counters must partition the flushes"
+        );
+        // Every admitted write passed through exactly one flush.
+        assert_eq!(mb.batch_sizes.sum_us(), mb.counters.writes, "events batched != writes admitted");
+
+        // Trace tiling stays exact in both arms.
+        let other = Stage::Other.idx();
+        let bw = Stage::BatchWait.idx();
+        for (mw, label) in [(&m1, "batch=1"), (&mb, "batched")] {
+            assert_eq!(mw.trace.open_count(), 0, "{label}: trace left open");
+            for t in mw.trace.completed() {
+                assert_eq!(t.stage_us.iter().sum::<u64>(), t.duration_us(), "{label}: spans must tile");
+                assert_eq!(t.stage_us[other], 0, "{label}: unattributed time");
+            }
+        }
+        assert!(
+            m1.trace.completed().all(|t| t.stage_us[bw] == 0),
+            "control arm recorded batch-wait time"
+        );
+        assert!(
+            mb.trace.completed().any(|t| t.stage_us[bw] > 0),
+            "batched arm recorded no batch-wait time"
+        );
+
+        // Each arm reruns bit-identically (timers and buffering included).
+        let (c1r, m1r, s1r) = run_batch_case(seed, clients, 1, 200);
+        let (cbr, mbr, sbr) = run_batch_case(seed, clients, batch_max, deadline_us);
+        assert_eq!(s1, s1r, "batch=1 rerun diverged");
+        assert_eq!(sb, sbr, "batched rerun diverged");
+        let t1: Vec<_> = m1.trace.completed().cloned().collect();
+        let t1r: Vec<_> = m1r.trace.completed().cloned().collect();
+        let tb: Vec<_> = mb.trace.completed().cloned().collect();
+        let tbr: Vec<_> = mbr.trace.completed().cloned().collect();
+        assert_eq!(t1, t1r, "batch=1 rerun traces differ");
+        assert_eq!(tb, tbr, "batched rerun traces differ");
+        for (x, y) in c1.iter().zip(&c1r).chain(cb.iter().zip(&cbr)) {
+            assert_eq!(x.committed, y.committed);
+            assert_eq!(x.aborted, y.aborted);
+        }
+    });
+}
+
 /// Scan-only readers: service time dominates the scored latency, so a
 /// brownout factor of f shows up as roughly f x the healthy latency
 /// (point reads are network-dominated and can hide a mild brownout from
