@@ -139,6 +139,30 @@ impl Balancer {
         }
     }
 
+    /// Pick among `candidates` restricted by a parallel `eligible` mask
+    /// (freshness-constrained routing). Delegates to [`pick`](Self::pick)
+    /// on the filtered slice, so the policy invariants carry over
+    /// unchanged — notably the stable-id round-robin cursor, which keeps
+    /// rotating fairly even when every call filters a different subset
+    /// (the same property `round_robin_no_repeat_when_replica_fails_mid_rotation`
+    /// pins down for health filtering). Returns `None` when no candidate
+    /// is eligible; the caller decides whether to wait or fall back.
+    pub fn pick_fresh(&mut self, candidates: &[BackendId], eligible: &[bool]) -> Option<BackendId> {
+        debug_assert_eq!(candidates.len(), eligible.len());
+        if eligible.iter().all(|&e| e) {
+            return self.pick(candidates);
+        }
+        let filtered: Vec<BackendId> = candidates
+            .iter()
+            .zip(eligible)
+            .filter_map(|(&b, &e)| e.then_some(b))
+            .collect();
+        if filtered.is_empty() {
+            return None;
+        }
+        self.pick(&filtered)
+    }
+
     /// Track an operation dispatched to `b` (LPRF input).
     pub fn dispatched(&mut self, b: BackendId) {
         if let Some(o) = self.outstanding.get_mut(b.0) {
@@ -277,5 +301,89 @@ mod tests {
     fn no_backend_means_none() {
         let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 2);
         assert_eq!(b.pick(&[]), None);
+    }
+
+    #[test]
+    fn pick_fresh_filters_by_mask() {
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 3);
+        let all = ids(&[0, 1, 2]);
+        // Only backend 1 is fresh: it must be picked regardless of cursor.
+        assert_eq!(b.pick_fresh(&all, &[false, true, false]), Some(BackendId(1)));
+        assert_eq!(b.pick_fresh(&all, &[false, true, false]), Some(BackendId(1)));
+        // Nobody fresh: the caller gets None, never a stale replica.
+        assert_eq!(b.pick_fresh(&all, &[false, false, false]), None);
+        // All fresh: behaves exactly like pick().
+        assert_eq!(b.pick_fresh(&all, &[true, true, true]), Some(BackendId(2)));
+    }
+
+    #[test]
+    fn filtered_pick_fairness_bounded_round_robin() {
+        // Freshness filtering hands pick() a *different* subset on almost
+        // every call. The stable-id cursor must still spread load: over
+        // many picks with random ~75%-eligible masks, every backend gets
+        // a share, and no backend hogs the rotation.
+        let mut b = Balancer::new(Granularity::Query, Policy::RoundRobin, 4);
+        let all = ids(&[0, 1, 2, 3]);
+        let mut counts = [0u64; 4];
+        let mut x: u64 = 0x9e3779b97f4a7c15; // deterministic xorshift
+        for _ in 0..4000 {
+            let mut mask = [false; 4];
+            loop {
+                for m in mask.iter_mut() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *m = !x.is_multiple_of(4); // eligible with p = 3/4
+                }
+                if mask.iter().any(|&m| m) {
+                    break;
+                }
+            }
+            let picked = b.pick_fresh(&all, &mask).unwrap();
+            assert!(mask[picked.0], "picked a masked-out backend");
+            counts[picked.0] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "a backend was starved: {counts:?}");
+        assert!(max <= 2 * min, "rotation skew out of bounds: {counts:?}");
+    }
+
+    #[test]
+    fn filtered_pick_fairness_bounded_lprf() {
+        // LPRF under the same masks with a dispatch/complete model: each
+        // pick dispatches one op that completes two picks later. LPRF
+        // equalizes queue depth, not rotation — its low-id tie-break skews
+        // pick counts at light load — so unlike round-robin the guarantee
+        // is eligibility plus starvation-freedom, not the 2x bound.
+        let mut b = Balancer::new(Granularity::Query, Policy::Lprf, 4);
+        let all = ids(&[0, 1, 2, 3]);
+        let mut counts = [0u64; 4];
+        let mut inflight: Vec<BackendId> = Vec::new();
+        let mut x: u64 = 0x243f6a8885a308d3;
+        for _ in 0..4000 {
+            let mut mask = [false; 4];
+            loop {
+                for m in mask.iter_mut() {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    *m = !x.is_multiple_of(4);
+                }
+                if mask.iter().any(|&m| m) {
+                    break;
+                }
+            }
+            let picked = b.pick_fresh(&all, &mask).unwrap();
+            assert!(mask[picked.0]);
+            counts[picked.0] += 1;
+            b.dispatched(picked);
+            inflight.push(picked);
+            if inflight.len() > 2 {
+                b.completed(inflight.remove(0));
+            }
+        }
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "a backend was starved: {counts:?}");
     }
 }

@@ -9,6 +9,7 @@ use replimid_sql::{Engine, EngineConfig, ADMIN_PASSWORD, ADMIN_USER};
 
 use crate::client::{Client, ClientConfig, ClientMetrics, TxSource};
 use crate::db_node::DbNode;
+use crate::fleet::{FleetConfig, FleetMetrics, SessionFleet};
 use crate::middleware::{Middleware, Mode, MwConfig, MwMetrics};
 use crate::msg::{BackendId, Msg, SessionId};
 
@@ -128,6 +129,25 @@ impl Cluster {
         node
     }
 
+    /// Add a [`SessionFleet`]: one actor multiplexing `sessions` closed-loop
+    /// sessions against middleware `mw` (the 10⁵–10⁶-session driver for the
+    /// freshness experiments). `configure` tweaks the default fleet config;
+    /// the session-id block (including headroom for churn) is reserved here
+    /// so later `add_client` calls cannot collide.
+    pub fn add_session_fleet(
+        &mut self,
+        mw: usize,
+        sessions: usize,
+        configure: impl FnOnce(&mut FleetConfig),
+    ) -> NodeId {
+        let first = self.next_session;
+        // Reserve the live block plus generous churn headroom.
+        self.next_session += sessions as u64 * 64;
+        let mut fc = FleetConfig::new(first, sessions, self.mw_nodes[mw]);
+        configure(&mut fc);
+        self.sim.add_node(SessionFleet::new(fc))
+    }
+
     pub fn run_for(&mut self, duration_us: u64) {
         let until = self.sim.now() + duration_us;
         self.sim.run_until(until);
@@ -212,6 +232,10 @@ impl Cluster {
             .iter()
             .map(|&n| self.sim.with_actor::<Client, _>(n, |c| c.metrics.committed))
             .sum()
+    }
+
+    pub fn fleet_metrics(&mut self, node: NodeId) -> FleetMetrics {
+        self.sim.with_actor::<SessionFleet, _>(node, |f| f.metrics.clone())
     }
 
     pub fn mw_metrics(&mut self, mw: usize) -> MwMetrics {

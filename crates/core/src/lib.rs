@@ -10,6 +10,7 @@ pub mod certifier;
 pub mod client;
 pub mod cluster;
 pub mod db_node;
+pub mod fleet;
 pub mod health;
 pub mod metrics;
 pub mod middleware;
@@ -17,6 +18,7 @@ pub mod msg;
 pub mod partition;
 pub mod recovery;
 pub mod rewrite;
+pub mod session;
 pub mod trace;
 
 pub use backoff::{delay_us as backoff_delay_us, BackoffConfig};
@@ -25,6 +27,7 @@ pub use certifier::{Certifier, CertifierStats, Verdict};
 pub use client::{Client, ClientConfig, ClientMetrics, ScriptSource, TxSource};
 pub use cluster::{Cluster, ClusterConfig};
 pub use db_node::DbNode;
+pub use fleet::{FleetConfig, FleetMetrics, SessionFleet};
 pub use health::{HealthEvent, HealthState, HealthTracker, QuarantineConfig};
 pub use metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};
 pub use middleware::{Middleware, Mode, MwConfig, MwMetrics, ReadPolicy};
@@ -32,4 +35,5 @@ pub use msg::{AdminCmd, BackendId, ClientReply, ClientRequest, Msg, ReplyBody, R
 pub use partition::{PartitionScheme, Partitioner, Route};
 pub use recovery::{RecoveryLog, ReplayMode};
 pub use rewrite::NondetPolicy;
+pub use session::SessionTable;
 pub use trace::{CompletedTrace, SpanRec, Stage, TraceId, TraceSink, TraceSummary};

@@ -229,6 +229,17 @@ pub struct Counters {
     pub batch_flush_size: u64,
     /// Group-commit flushes triggered by the deadline timer.
     pub batch_flush_deadline: u64,
+    /// Freshness-routed reads where at least one online candidate was
+    /// excluded as stale (the freshness filter actually bit).
+    pub fresh_filtered_stale: u64,
+    /// Freshness-routed reads that fell back to the primary because no
+    /// replica had caught up to the session's stamp.
+    pub fresh_fallback_primary: u64,
+    /// Reads parked in the freshness wait queue until a replica caught up.
+    pub freshness_waits: u64,
+    /// Parked reads whose wait deadline expired (served by the primary or
+    /// failed as unavailable).
+    pub freshness_wait_timeouts: u64,
 }
 
 /// Tracks time spent in degraded read-only mode (write quorum lost but

@@ -44,6 +44,7 @@ use crate::msg::{
 use crate::partition::{Partitioner, Route};
 use crate::recovery::{RecoveryLog, ReplayMode};
 use crate::rewrite::{prepare_for_broadcast, NondetPolicy};
+use crate::session::SessionTable;
 use crate::trace::{Stage, TraceId, TraceSink};
 
 /// Timer tags (1 is reserved by the GCS tick).
@@ -53,6 +54,10 @@ const TIMER_SHIP: u64 = 3;
 const TIMER_BATCH: u64 = 4;
 /// Op-timeout timers: TIMER_OP_BASE + op id.
 const TIMER_OP_BASE: u64 = 1_000_000_000;
+/// Freshness-wait deadlines: TIMER_FRESH_BASE + waiter id. A read parked
+/// for a fresh-enough replica is released early by `drain_fresh_waiters`;
+/// this timer is the wait-or-primary escape hatch.
+const TIMER_FRESH_BASE: u64 = 500_000_000;
 /// Retry timers for writeset applications blocked by a local uncommitted
 /// transaction (released once that transaction certifies/aborts).
 const TIMER_RETRY_BASE: u64 = 1_000;
@@ -90,6 +95,14 @@ pub enum ReadPolicy {
     Any,
     /// Read where you last wrote (session consistency / strong session SI).
     SessionSticky,
+    /// Freshness-constrained routing (the Hihooi design): any replica whose
+    /// applied position has reached the session's last committed write
+    /// qualifies — reads spread across every fresh replica instead of
+    /// pinning to one, and read-your-writes holds by construction. When no
+    /// replica qualifies the read parks until the freshness vector catches
+    /// up, bounded by `MwConfig::freshness_wait_max_us` (then
+    /// wait-or-primary kicks in).
+    Fresh,
 }
 
 #[derive(Debug, Clone)]
@@ -145,6 +158,12 @@ pub struct MwConfig {
     /// Deadline for a partially-filled batch (virtual µs). Irrelevant when
     /// `batch_max <= 1`.
     pub batch_deadline_us: u64,
+    /// [`ReadPolicy::Fresh`] only: how long a read may park waiting for a
+    /// fresh-enough replica before the wait-or-primary fallback serves it
+    /// (master-slave: the master, which is always fresh; multi-master: the
+    /// most caught-up candidate). Bounds read latency under replication
+    /// lag without giving up freshness in the common case.
+    pub freshness_wait_max_us: u64,
 }
 
 impl MwConfig {
@@ -168,6 +187,7 @@ impl MwConfig {
             adaptive_detection: None,
             batch_max: 1,
             batch_deadline_us: 200,
+            freshness_wait_max_us: 20_000,
         }
     }
 }
@@ -272,6 +292,9 @@ enum CurrentKind {
         #[allow(dead_code)]
         backend: BackendId,
     },
+    /// Read parked in the freshness wait queue ([`ReadPolicy::Fresh`]):
+    /// no replica had applied the session's last committed write yet.
+    FreshWait,
 }
 
 #[derive(Debug, Clone)]
@@ -296,6 +319,20 @@ struct Sess {
     start_cert_pos: u64,
     last_write_us: u64,
     last_write_backend: Option<BackendId>,
+    /// The session's freshness stamp: position of its last acknowledged
+    /// write in the mode's replication space (recovery-log seq for
+    /// statement replication, certification position for writeset mode,
+    /// master binlog LSN for master-slave). A replica is fresh for this
+    /// session iff its applied position has reached the stamp.
+    last_commit_stamp: u64,
+    /// Open per-statement admission records (was the middleware-global
+    /// `request_started` map, which `SessionEnd` leaked): (stmt_seq, meta).
+    /// At most a handful in flight per session; dropped with the session.
+    open_reqs: Vec<(u64, ReqMeta)>,
+    /// 2-safe commits: the master's reply body held until slaves confirm
+    /// (was the middleware-global `two_safe_bodies` map — same leak, plus a
+    /// stale body could be drained by a later commit of a reused session).
+    two_safe_body: Option<ReplyBody>,
 }
 
 impl Sess {
@@ -313,6 +350,9 @@ impl Sess {
             start_cert_pos: 0,
             last_write_us: 0,
             last_write_backend: None,
+            last_commit_stamp: 0,
+            open_reqs: Vec::new(),
+            two_safe_body: None,
         }
     }
 }
@@ -422,7 +462,11 @@ pub struct Middleware {
     group: GroupMember<ReplEvent>,
     backends: Vec<Backend>,
     balancer: Balancer,
-    sessions: HashMap<SessionId, Sess>,
+    /// Per-session state, keyed by `SessionId.0`. A flat slab + index
+    /// rather than a `HashMap`: at 10⁵–10⁶ concurrent sessions the hot
+    /// path is O(bytes) per session and iteration order is deterministic
+    /// (std's RandomState is not) — see [`SessionTable`].
+    sessions: SessionTable<Sess>,
     pending: HashMap<u64, Pending>,
     op_started: HashMap<u64, u64>,
     next_op: u64,
@@ -437,12 +481,11 @@ pub struct Middleware {
     master: BackendId,
     shipping_inflight: bool,
     pub metrics: MwMetrics,
-    /// Per-statement admission record for latency accounting: arrival time,
-    /// the client's transaction trace id, and the read/write classification
-    /// that routes the reply-side latency sample.
-    request_started: HashMap<(SessionId, u64), ReqMeta>,
-    /// 2-safe commits: the master's reply body held until slaves confirm.
-    two_safe_bodies: HashMap<SessionId, ReplyBody>,
+    /// Reads parked for a fresh-enough replica ([`ReadPolicy::Fresh`]),
+    /// keyed by waiter id: BTreeMap so drains run in park order
+    /// (deterministic and FIFO-fair).
+    fresh_waiters: std::collections::BTreeMap<u64, FreshWaiter>,
+    next_fresh: u64,
     /// Writeset applications awaiting retry (timer tag -> work).
     apply_retries: HashMap<u64, (BackendId, Writeset, Option<SessionId>, u32, u64)>,
     next_retry: u64,
@@ -469,6 +512,17 @@ pub struct Middleware {
 enum FlushReason {
     Size,
     Deadline,
+}
+
+/// One read parked until a replica catches up to `stamp` (or the wait
+/// deadline fires).
+#[derive(Debug, Clone)]
+struct FreshWaiter {
+    session: SessionId,
+    stmt_seq: u64,
+    sql: String,
+    stamp: u64,
+    ms_mode: bool,
 }
 
 impl Middleware {
@@ -499,7 +553,7 @@ impl Middleware {
                 })
                 .collect(),
             balancer,
-            sessions: HashMap::new(),
+            sessions: SessionTable::new(),
             pending: HashMap::new(),
             op_started: HashMap::new(),
             next_op: 1,
@@ -512,8 +566,8 @@ impl Middleware {
             master: BackendId(0),
             shipping_inflight: false,
             metrics: MwMetrics::default(),
-            request_started: HashMap::new(),
-            two_safe_bodies: HashMap::new(),
+            fresh_waiters: std::collections::BTreeMap::new(),
+            next_fresh: 0,
             apply_retries: HashMap::new(),
             next_retry: 0,
             ship_busy: HashSet::new(),
@@ -713,7 +767,7 @@ impl Middleware {
     }
 
     fn session(&mut self, id: SessionId, client: Option<NodeId>) -> &mut Sess {
-        let s = self.sessions.entry(id).or_insert_with(|| Sess::new(client));
+        let s = self.sessions.get_or_insert_with(id.0, || Sess::new(client));
         if client.is_some() {
             s.client = client.or(s.client);
         }
@@ -725,7 +779,7 @@ impl Middleware {
         let ok = !matches!(result, Err(ReplyError::Unavailable(_)));
         self.metrics.availability.record(now, ok);
         self.close_request(session, stmt_seq, now);
-        let Some(s) = self.sessions.get_mut(&session) else { return };
+        let Some(s) = self.sessions.get_mut(session.0) else { return };
         let reply = ClientReply { session, stmt_seq, result };
         s.last_replied = stmt_seq;
         s.cached = Some(reply.clone());
@@ -741,7 +795,7 @@ impl Middleware {
     fn reply_read(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, result: Result<ReplyBody, ReplyError>) {
         let now = ctx.now().micros();
         self.close_request(session, stmt_seq, now);
-        let Some(s) = self.sessions.get_mut(&session) else { return };
+        let Some(s) = self.sessions.get_mut(session.0) else { return };
         let reply = ClientReply { session, stmt_seq, result };
         s.last_replied = stmt_seq;
         s.cached = Some(reply.clone());
@@ -756,7 +810,11 @@ impl Middleware {
     /// trace (any time since the last recorded span falls into
     /// `Stage::Other`, the instrumentation-coverage gauge).
     fn close_request(&mut self, session: SessionId, stmt_seq: u64, now: u64) {
-        if let Some(meta) = self.request_started.remove(&(session, stmt_seq)) {
+        let meta = self.sessions.get_mut(session.0).and_then(|s| {
+            let pos = s.open_reqs.iter().position(|(seq, _)| *seq == stmt_seq)?;
+            Some(s.open_reqs.swap_remove(pos).1)
+        });
+        if let Some(meta) = meta {
             let lat = now.saturating_sub(meta.start_us);
             if meta.is_read {
                 self.metrics.read_latency.record(lat);
@@ -773,9 +831,14 @@ impl Middleware {
     /// No-op for untraced or already-closed requests, so call sites never
     /// need to guard.
     fn mw_span(&mut self, session: SessionId, stmt_seq: u64, stage: Stage, now_us: u64) {
-        if let Some(meta) = self.request_started.get(&(session, stmt_seq)) {
-            if meta.trace != 0 {
-                self.metrics.trace.span(TraceId(meta.trace), stage, now_us);
+        let trace = self
+            .sessions
+            .get(session.0)
+            .and_then(|s| s.open_reqs.iter().find(|(seq, _)| *seq == stmt_seq))
+            .map(|(_, m)| m.trace);
+        if let Some(trace) = trace {
+            if trace != 0 {
+                self.metrics.trace.span(TraceId(trace), stage, now_us);
             }
         }
     }
@@ -806,10 +869,11 @@ impl Middleware {
                 }
             }
         }
-        self.request_started.insert(
-            (req.session, req.stmt_seq),
-            ReqMeta { start_us: now, trace: req.trace, is_read: false },
-        );
+        self.sessions
+            .get_mut(req.session.0)
+            .unwrap()
+            .open_reqs
+            .push((req.stmt_seq, ReqMeta { start_us: now, trace: req.trace, is_read: false }));
         if req.trace != 0 {
             self.metrics.trace.begin(TraceId(req.trace), now);
         }
@@ -827,7 +891,11 @@ impl Middleware {
         // they are "read-only" to the parser.
         let is_read = stmt.is_read_only()
             && !matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback);
-        if let Some(meta) = self.request_started.get_mut(&(req.session, req.stmt_seq)) {
+        if let Some((_, meta)) = self
+            .sessions
+            .get_mut(req.session.0)
+            .and_then(|s| s.open_reqs.iter_mut().find(|(seq, _)| *seq == req.stmt_seq))
+        {
             meta.is_read = is_read;
         }
         // Admission is instantaneous in virtual time (the middleware has no
@@ -857,7 +925,7 @@ impl Middleware {
     fn handle_temp_stickiness(&mut self, ctx: &mut Ctx<'_, Msg>, req: &ClientRequest, stmt: &Statement) -> bool {
         let is_create_temp = matches!(stmt, Statement::CreateTable { temporary: true, .. });
         let touches_temp = {
-            let s = self.sessions.get(&req.session).expect("session exists");
+            let s = self.sessions.get(req.session.0).expect("session exists");
             if s.temp_tables.is_empty() && !is_create_temp {
                 false
             } else {
@@ -876,7 +944,7 @@ impl Middleware {
         // Pin the session (now and forever: the middleware cannot know when
         // the temp table's true lifespan ends, §4.1.4).
         let backend = {
-            let pinned = self.sessions.get(&req.session).unwrap().sticky;
+            let pinned = self.sessions.get(req.session.0).unwrap().sticky;
             match pinned {
                 Some(b) if self.backends[b.0].online() => Some(b),
                 _ => {
@@ -890,7 +958,7 @@ impl Middleware {
             return true;
         };
         {
-            let s = self.sessions.get_mut(&req.session).unwrap();
+            let s = self.sessions.get_mut(req.session.0).unwrap();
             s.sticky = Some(backend);
             s.temp_pinned = true;
             if let Statement::CreateTable { name, temporary: true, .. } = stmt {
@@ -959,7 +1027,7 @@ impl Middleware {
             }
         };
         {
-            let s = self.sessions.get_mut(&req.session).unwrap();
+            let s = self.sessions.get_mut(req.session.0).unwrap();
             s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::OrderedWait });
             match &stmt {
                 Statement::Begin { .. } => {
@@ -980,6 +1048,10 @@ impl Middleware {
 
     fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
         self.metrics.counters.reads += 1;
+        if self.cfg.read_policy == ReadPolicy::Fresh {
+            self.route_read_fresh(ctx, req, ms_mode);
+            return;
+        }
         let picked = self.pick_read_backend(req.session, ms_mode);
         let Some((backend, is_probe)) = picked else {
             self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
@@ -987,7 +1059,7 @@ impl Middleware {
         };
         self.mw_span(req.session, req.stmt_seq, Stage::BalancerPick, ctx.now().micros());
         {
-            let s = self.sessions.get_mut(&req.session).unwrap();
+            let s = self.sessions.get_mut(req.session.0).unwrap();
             s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::Read { backend } });
             if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() && !is_probe {
                 s.sticky = Some(backend);
@@ -1024,7 +1096,7 @@ impl Middleware {
                 }
             }
         }
-        let s = self.sessions.get(&session)?;
+        let s = self.sessions.get(session.0)?;
         // Granularity stickiness. A quarantined sticky backend is treated
         // like an offline one: health filtering beats stickiness.
         match self.balancer.granularity {
@@ -1057,6 +1129,23 @@ impl Middleware {
                 return Some((self.master, false));
             }
         }
+        let candidates = self.read_candidates(ms_mode);
+        let choice = self.balancer.pick(&candidates);
+        if let Some(b) = choice {
+            let sess = self.sessions.get_mut(session.0).unwrap();
+            match self.balancer.granularity {
+                Granularity::Connection => sess.sticky = Some(b),
+                Granularity::Transaction if sess.in_tx => sess.sticky = Some(b),
+                _ => {}
+            }
+        }
+        choice.map(|b| (b, false))
+    }
+
+    /// The candidate set reads route over: health-filtered, then
+    /// quarantine-filtered. In master-slave mode reads prefer the slaves
+    /// and fall back to (or include, with `read_master`) the master.
+    fn read_candidates(&self, ms_mode: bool) -> Vec<BackendId> {
         let candidates = if ms_mode {
             let read_master = matches!(self.cfg.mode, Mode::MasterSlave { read_master: true, .. });
             let slaves = self.slaves();
@@ -1072,17 +1161,266 @@ impl Middleware {
         } else {
             self.healthy()
         };
-        let candidates = self.filter_quarantined(candidates);
-        let choice = self.balancer.pick(&candidates);
-        if let Some(b) = choice {
-            let sess = self.sessions.get_mut(&session).unwrap();
-            match self.balancer.granularity {
-                Granularity::Connection => sess.sticky = Some(b),
-                Granularity::Transaction if sess.in_tx => sess.sticky = Some(b),
-                _ => {}
+        self.filter_quarantined(candidates)
+    }
+
+    // ------------------------------------------------------------------
+    // Freshness-constrained read routing (`ReadPolicy::Fresh`)
+    // ------------------------------------------------------------------
+
+    /// A backend's applied position in the space session stamps live in.
+    /// Master-slave: the master's binlog LSN space (the master itself is
+    /// fresh by definition). Writeset mode: certified-writeset positions.
+    /// Statement modes: ordered-statement sequence numbers.
+    fn fresh_pos(&self, b: BackendId, ms_mode: bool) -> u64 {
+        if ms_mode {
+            if b == self.master {
+                u64::MAX
+            } else {
+                self.backends[b.0].applied_lsn.0
+            }
+        } else {
+            match self.cfg.mode {
+                Mode::MultiMasterWriteset => self.backends[b.0].cert_mark.value(),
+                _ => self.backends[b.0].applied_seq,
             }
         }
-        choice.map(|b| (b, false))
+    }
+
+    /// Has `b` applied this session's last committed write?
+    fn backend_fresh(&self, b: BackendId, stamp: u64, ms_mode: bool) -> bool {
+        stamp == 0 || self.fresh_pos(b, ms_mode) >= stamp
+    }
+
+    /// Freshness-constrained read path. Mirrors `route_read`'s probe and
+    /// stickiness handling, but every routing decision is first cut down
+    /// to replicas that have applied the session's last committed write;
+    /// when none qualify the read parks until the freshness vector
+    /// catches up (bounded by `freshness_wait_max_us`).
+    fn route_read_fresh(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
+        let stamp = self.sessions.get(req.session.0).map(|s| s.last_commit_stamp).unwrap_or(0);
+        // Half-open probes keep working under Fresh, but only a probe
+        // target that is also fresh may carry this session's read — a
+        // stale probe would itself violate read-your-writes.
+        if self.cfg.quarantine.is_some() {
+            for i in 0..self.backends.len() {
+                if self.backends[i].online()
+                    && self.health[i].wants_probe()
+                    && self.backend_fresh(BackendId(i), stamp, ms_mode)
+                {
+                    self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, BackendId(i), true);
+                    return;
+                }
+            }
+        }
+        // Granularity stickiness holds only while the sticky backend is
+        // both healthy and fresh.
+        let sticky = match (self.balancer.granularity, self.sessions.get(req.session.0)) {
+            (Granularity::Connection, Some(s)) => s.sticky,
+            (Granularity::Transaction, Some(s)) if s.in_tx => s.sticky,
+            _ => None,
+        };
+        if let Some(b) = sticky {
+            if self.read_ok(b) && self.backend_fresh(b, stamp, ms_mode) {
+                self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, b, false);
+                return;
+            }
+        }
+        let candidates = self.read_candidates(ms_mode);
+        if candidates.is_empty() {
+            self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
+            return;
+        }
+        let fresh_mask: Vec<bool> =
+            candidates.iter().map(|&b| self.backend_fresh(b, stamp, ms_mode)).collect();
+        if fresh_mask.iter().any(|f| !f) {
+            self.metrics.counters.fresh_filtered_stale += 1;
+        }
+        if let Some(b) = self.balancer.pick_fresh(&candidates, &fresh_mask) {
+            {
+                let s = self.sessions.get_mut(req.session.0).unwrap();
+                match self.balancer.granularity {
+                    Granularity::Connection => s.sticky = Some(b),
+                    Granularity::Transaction if s.in_tx => s.sticky = Some(b),
+                    _ => {}
+                }
+            }
+            self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, b, false);
+            return;
+        }
+        // No fresh replica right now: park until one catches up, with the
+        // wait-or-primary deadline as the escape hatch.
+        self.metrics.counters.freshness_waits += 1;
+        let id = self.next_fresh;
+        self.next_fresh += 1;
+        {
+            let s = self.sessions.get_mut(req.session.0).unwrap();
+            s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::FreshWait });
+        }
+        self.fresh_waiters.insert(
+            id,
+            FreshWaiter { session: req.session, stmt_seq: req.stmt_seq, sql: req.sql, stamp, ms_mode },
+        );
+        ctx.set_timer(self.cfg.freshness_wait_max_us, TIMER_FRESH_BASE + id);
+    }
+
+    /// Common dispatch tail for freshness-routed reads — the same
+    /// bookkeeping `route_read` does after its pick.
+    fn dispatch_fresh_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: SessionId,
+        stmt_seq: u64,
+        sql: String,
+        backend: BackendId,
+        is_probe: bool,
+    ) {
+        self.mw_span(session, stmt_seq, Stage::BalancerPick, ctx.now().micros());
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            let ms = matches!(self.cfg.mode, Mode::MasterSlave { .. });
+            eprintln!(
+                "[{}us] fresh dispatch sess={} -> b{} stamp={} pos={} probe={is_probe}",
+                ctx.now().micros(),
+                session.0,
+                backend.0,
+                self.sessions.get(session.0).map(|s| s.last_commit_stamp).unwrap_or(0),
+                self.fresh_pos(backend, ms),
+            );
+        }
+        {
+            let s = self.sessions.get_mut(session.0).unwrap();
+            s.current = Some(Current { stmt_seq, kind: CurrentKind::Read { backend } });
+            if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() && !is_probe {
+                s.sticky = Some(backend);
+            }
+        }
+        let op = self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+            DbOp::Execute { op, conn: session.0, sql, seq: None }
+        });
+        if is_probe {
+            let now = ctx.now().micros();
+            self.metrics.counters.quarantine_probes += 1;
+            self.health[backend.0].probe_sent(now);
+            self.probe_op.insert(backend, op);
+            self.sync_health_events(backend.0);
+        } else if self.is_quarantined(backend) {
+            self.metrics.counters.reads_routed_to_quarantined += 1;
+            if std::env::var("REPLIMID_DEBUG").is_ok() {
+                eprintln!("[{}us] QUARANTINED read -> b{}", ctx.now().micros(), backend.0);
+            }
+        }
+    }
+
+    /// Re-run the routing decision for parked reads after any event that
+    /// can advance the freshness vector (apply acks, pongs, recovery
+    /// completion, quarantine flips, master promotion). Allocation-free
+    /// no-op when nothing is parked, so hooks call it unconditionally
+    /// without disturbing the freshness-off byte path.
+    fn drain_fresh_waiters(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.fresh_waiters.is_empty() {
+            return;
+        }
+        // BTreeMap order = waiter-id order = park order: FIFO and
+        // deterministic.
+        let ids: Vec<u64> = self.fresh_waiters.keys().copied().collect();
+        for id in ids {
+            let Some(w) = self.fresh_waiters.get(&id) else { continue };
+            // The session may have moved on (torn down, or the statement
+            // superseded): drop stale waiters instead of dispatching.
+            let still_wanted = self
+                .sessions
+                .get(w.session.0)
+                .and_then(|s| s.current.as_ref())
+                .map(|c| c.stmt_seq == w.stmt_seq && matches!(c.kind, CurrentKind::FreshWait))
+                .unwrap_or(false);
+            if !still_wanted {
+                self.fresh_waiters.remove(&id);
+                continue;
+            }
+            let candidates = self.read_candidates(w.ms_mode);
+            let fresh_mask: Vec<bool> =
+                candidates.iter().map(|&b| self.backend_fresh(b, w.stamp, w.ms_mode)).collect();
+            let Some(b) = self.balancer.pick_fresh(&candidates, &fresh_mask) else { continue };
+            let w = self.fresh_waiters.remove(&id).unwrap();
+            // The parked window is the FreshnessWait stage; the dispatch
+            // below records its (zero-width) BalancerPick after it, so the
+            // E17 stage tiling stays exact.
+            self.mw_span(w.session, w.stmt_seq, Stage::FreshnessWait, ctx.now().micros());
+            self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, b, false);
+        }
+    }
+
+    /// Wait-or-primary deadline fired for waiter `id`. Master-slave mode
+    /// escalates to the master, which is fresh by definition — RYW still
+    /// holds, the cost was latency plus master load. Multi-master modes
+    /// have no always-fresh node, so the deadline trades strictness for
+    /// liveness: fall back to the most caught-up candidate.
+    fn fresh_wait_timed_out(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
+        let Some(w) = self.fresh_waiters.get(&id) else { return };
+        let still_wanted = self
+            .sessions
+            .get(w.session.0)
+            .and_then(|s| s.current.as_ref())
+            .map(|c| c.stmt_seq == w.stmt_seq && matches!(c.kind, CurrentKind::FreshWait))
+            .unwrap_or(false);
+        let w = self.fresh_waiters.remove(&id).unwrap();
+        if !still_wanted {
+            return;
+        }
+        self.metrics.counters.freshness_wait_timeouts += 1;
+        let fallback = if w.ms_mode {
+            if self.read_ok(self.master) {
+                Some(self.master)
+            } else {
+                // The master is unreadable (quarantined, or mid-failover):
+                // the most caught-up slave may still predate this session's
+                // write, and a stale answer is the one thing this policy
+                // must never give. Re-park — the read drains the moment a
+                // slave catches up or the master comes back.
+                let id = self.next_fresh;
+                self.next_fresh += 1;
+                self.fresh_waiters.insert(id, w);
+                ctx.set_timer(self.cfg.freshness_wait_max_us, TIMER_FRESH_BASE + id);
+                return;
+            }
+        } else {
+            // Writeset-replicated modes ack a commit only after every
+            // in-rotation replica applied it, so the most caught-up healthy
+            // candidate covers every acked stamp. Ties break to the lowest
+            // id (max_by_key keys are unique thanks to the Reverse(id)).
+            self.read_candidates(w.ms_mode)
+                .into_iter()
+                .max_by_key(|&b| (self.fresh_pos(b, w.ms_mode), std::cmp::Reverse(b.0)))
+        };
+        self.mw_span(w.session, w.stmt_seq, Stage::FreshnessWait, ctx.now().micros());
+        match fallback {
+            Some(b) => {
+                self.metrics.counters.fresh_fallback_primary += 1;
+                self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, b, false);
+            }
+            None => {
+                self.reply_read(
+                    ctx,
+                    w.session,
+                    w.stmt_seq,
+                    Err(ReplyError::Unavailable("no fresh backend for read".into())),
+                );
+            }
+        }
+    }
+
+    /// Full session teardown: the slab entry goes — taking its open
+    /// request metas and any stashed 2-safe body with it — and so do the
+    /// session's parked reads. Pre-PR, `SessionEnd` removed only the
+    /// session struct while the side maps (`request_started`,
+    /// `two_safe_bodies`) kept their entries forever: a leak at session
+    /// churn. Folding that metadata into `Sess` fixes it by construction.
+    fn end_session(&mut self, session: SessionId) {
+        self.sessions.remove(session.0);
+        if !self.fresh_waiters.is_empty() {
+            // Stale deadline timers for removed waiters fire harmlessly.
+            self.fresh_waiters.retain(|_, w| w.session != session);
+        }
     }
 
     /// Totally-ordered event arrives (identically at every peer).
@@ -1103,7 +1441,7 @@ impl Middleware {
                 self.deliver_certify(ctx, session, stmt_seq, start_pos, ws)
             }
             ReplEvent::SessionEnd { session } => {
-                self.sessions.remove(&session);
+                self.end_session(session);
             }
             ReplEvent::Batch { events } => self.deliver_batch(ctx, events),
         }
@@ -1125,7 +1463,7 @@ impl Middleware {
                     certs.push((session, stmt_seq, start_pos, ws))
                 }
                 ReplEvent::SessionEnd { session } => {
-                    self.sessions.remove(&session);
+                    self.end_session(session);
                 }
                 // Batches never nest (publish_write only buffers leaves).
                 ReplEvent::Batch { .. } => {}
@@ -1195,7 +1533,7 @@ impl Middleware {
                 },
             );
             if origin {
-                let s = self.sessions.get_mut(&session).unwrap();
+                let s = self.sessions.get_mut(session.0).unwrap();
                 s.current = Some(Current { stmt_seq, kind: CurrentKind::ExecGroup { group: group_id } });
             }
             groups.push(group_id);
@@ -1283,7 +1621,7 @@ impl Middleware {
             },
         );
         if origin {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current { stmt_seq, kind: CurrentKind::ExecGroup { group: group_id } });
         }
         for backend in targets {
@@ -1323,7 +1661,7 @@ impl Middleware {
             return;
         }
         let (in_tx, delegate) = {
-            let s = self.sessions.get(&session).unwrap();
+            let s = self.sessions.get(session.0).unwrap();
             (s.in_tx, s.sticky)
         };
         match &stmt {
@@ -1334,7 +1672,7 @@ impl Middleware {
                     return;
                 };
                 {
-                    let s = self.sessions.get_mut(&session).unwrap();
+                    let s = self.sessions.get_mut(session.0).unwrap();
                     s.in_tx = true;
                     s.wrote_in_tx = false;
                     s.sticky = Some(backend);
@@ -1356,11 +1694,11 @@ impl Middleware {
                     return;
                 }
                 let backend = delegate.unwrap();
-                let wrote = self.sessions.get(&session).unwrap().wrote_in_tx;
+                let wrote = self.sessions.get(session.0).unwrap().wrote_in_tx;
                 if !wrote {
                     // Read-only transaction: commit locally, no certification.
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.in_tx = false;
                         s.current = Some(Current {
                             stmt_seq: req.stmt_seq,
@@ -1373,7 +1711,7 @@ impl Middleware {
                     return;
                 }
                 {
-                    let s = self.sessions.get_mut(&session).unwrap();
+                    let s = self.sessions.get_mut(session.0).unwrap();
                     s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::WsPrepare });
                 }
                 self.send_db(ctx, backend, Pending::Prepare { session, backend }, move |op| {
@@ -1383,7 +1721,7 @@ impl Middleware {
             Statement::Rollback => {
                 let backend = delegate;
                 {
-                    let s = self.sessions.get_mut(&session).unwrap();
+                    let s = self.sessions.get_mut(session.0).unwrap();
                     s.in_tx = false;
                     s.wrote_in_tx = false;
                     s.current = Some(Current {
@@ -1416,7 +1754,7 @@ impl Middleware {
                         return;
                     };
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         if write {
                             s.wrote_in_tx = true;
                             s.last_write_us = ctx.now().micros();
@@ -1439,7 +1777,7 @@ impl Middleware {
                         return;
                     };
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.in_tx = true;
                         s.wrote_in_tx = true;
                         s.sticky = Some(backend);
@@ -1494,7 +1832,7 @@ impl Middleware {
             Verdict::Abort => {
                 self.metrics.counters.certification_failures += 1;
                 if origin {
-                    let delegate = self.sessions.get(&session).and_then(|s| s.sticky);
+                    let delegate = self.sessions.get(session.0).and_then(|s| s.sticky);
                     if let Some(backend) = delegate {
                         if self.backends[backend.0].online() {
                             self.send_db(ctx, backend, Pending::FireAndForget, move |op| {
@@ -1503,7 +1841,7 @@ impl Middleware {
                         }
                     }
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.in_tx = false;
                         s.wrote_in_tx = false;
                     }
@@ -1520,7 +1858,13 @@ impl Middleware {
                 }
             }
             Verdict::Commit => {
-                let delegate = if origin { self.sessions.get(&session).and_then(|s| s.sticky) } else { None };
+                {
+                    // Freshness stamp: reads for this session must come
+                    // from a backend whose cert mark reached this position.
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    s.last_commit_stamp = s.last_commit_stamp.max(cert_pos);
+                }
+                let delegate = if origin { self.sessions.get(session.0).and_then(|s| s.sticky) } else { None };
                 let mut remaining = 0;
                 let targets = self.healthy();
                 for backend in targets {
@@ -1555,7 +1899,7 @@ impl Middleware {
                 }
                 if origin {
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.in_tx = false;
                         s.current = Some(Current {
                             stmt_seq,
@@ -1579,7 +1923,7 @@ impl Middleware {
         let session = req.session;
         let write_path = !stmt.is_read_only()
             || matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback)
-            || self.sessions.get(&session).map(|s| s.in_tx).unwrap_or(false);
+            || self.sessions.get(session.0).map(|s| s.in_tx).unwrap_or(false);
         if !write_path {
             self.route_read(ctx, req, true);
             return;
@@ -1600,7 +1944,7 @@ impl Middleware {
             return;
         }
         {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             match &stmt {
                 Statement::Begin { .. } => {
                     s.in_tx = true;
@@ -1732,7 +2076,7 @@ impl Middleware {
             },
         );
         {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current {
                 stmt_seq: req.stmt_seq,
                 kind: CurrentKind::ExecGroup { group: group_id },
@@ -1875,10 +2219,13 @@ impl Middleware {
             }
             Pending::FireAndForget => {}
         }
+        // Any response can have advanced the freshness vector (apply acks,
+        // pongs, cert marks, recovery completion): release parked reads.
+        self.drain_fresh_waiters(ctx);
     }
 
     fn finish_client_exec(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, backend: BackendId, resp: DbResp) {
-        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+        let current = match self.sessions.get(session.0).and_then(|s| s.current.clone()) {
             Some(c) => c,
             None => return,
         };
@@ -1915,7 +2262,7 @@ impl Middleware {
                     // The delegate's snapshot now exists: every certified
                     // writeset at or below its watermark is visible to it.
                     let mark = self.backends[backend.0].cert_mark.value();
-                    if let Some(s) = self.sessions.get_mut(&session) {
+                    if let Some(s) = self.sessions.get_mut(session.0) {
                         s.start_cert_pos = mark;
                     }
                     let Some(sql) = then_sql else {
@@ -1923,7 +2270,7 @@ impl Middleware {
                         return;
                     };
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.current = Some(Current {
                             stmt_seq,
                             kind: CurrentKind::WsStmt { autocommit: then_autocommit },
@@ -1942,7 +2289,7 @@ impl Middleware {
                 DbResp::ExecOk { .. } => {
                     // Autocommit write executed; now certify + commit.
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.current = Some(Current { stmt_seq, kind: CurrentKind::WsPrepare });
                     }
                     self.send_db(ctx, backend, Pending::Prepare { session, backend }, move |op| {
@@ -1952,7 +2299,7 @@ impl Middleware {
                 DbResp::ExecErr { err, .. } => {
                     // Roll back the implicit transaction.
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.in_tx = false;
                         s.wrote_in_tx = false;
                     }
@@ -2018,6 +2365,13 @@ impl Middleware {
                 }
                 None => Err(ReplyError::Unavailable("all backends failed".into())),
             };
+            if g.log_seq > 0 && result.is_ok() {
+                // Freshness stamp: the write is applied up to this ordered
+                // seq; later reads for the session require at least it.
+                if let Some(sess) = self.sessions.get_mut(g.session.0) {
+                    sess.last_commit_stamp = sess.last_commit_stamp.max(g.log_seq);
+                }
+            }
             if g.origin {
                 // Delivery (or arrival, in partitioned mode) → slowest
                 // backend done.
@@ -2028,7 +2382,7 @@ impl Middleware {
                 // caches the outcome of the ordered statement, so a client
                 // that retries here after its home middleware died gets the
                 // cached reply instead of a re-execution.
-                if let Some(sess) = self.sessions.get_mut(&g.session) {
+                if let Some(sess) = self.sessions.get_mut(g.session.0) {
                     if g.stmt_seq > sess.last_replied {
                         sess.last_replied = g.stmt_seq;
                         sess.cached = Some(ClientReply {
@@ -2043,7 +2397,7 @@ impl Middleware {
     }
 
     fn finish_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, resp: DbResp) {
-        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+        let current = match self.sessions.get(session.0).and_then(|s| s.current.clone()) {
             Some(c) => c,
             None => return,
         };
@@ -2051,9 +2405,9 @@ impl Middleware {
         self.mw_span(session, current.stmt_seq, Stage::Execute, ctx.now().micros());
         match resp {
             DbResp::WritesetOut { ws, .. } => {
-                let start_pos = self.sessions.get(&session).map(|s| s.start_cert_pos).unwrap_or(0);
+                let start_pos = self.sessions.get(session.0).map(|s| s.start_cert_pos).unwrap_or(0);
                 {
-                    let s = self.sessions.get_mut(&session).unwrap();
+                    let s = self.sessions.get_mut(session.0).unwrap();
                     s.current = Some(Current {
                         stmt_seq: current.stmt_seq,
                         kind: CurrentKind::WsCertifyWait,
@@ -2136,7 +2490,7 @@ impl Middleware {
 
     fn finish_ws_part(&mut self, ctx: &mut Ctx<'_, Msg>, session: Option<SessionId>, resp: DbResp) {
         let Some(session) = session else { return };
-        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+        let current = match self.sessions.get(session.0).and_then(|s| s.current.clone()) {
             Some(c) => c,
             None => return,
         };
@@ -2154,7 +2508,7 @@ impl Middleware {
             self.mw_span(session, current.stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, current.stmt_seq, Ok(ReplyBody::Ack));
         } else {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current {
                 stmt_seq: current.stmt_seq,
                 kind: CurrentKind::WsFinalize { remaining, failed },
@@ -2171,11 +2525,17 @@ impl Middleware {
                     self.metrics.counters.commits += 1;
                     self.backends[self.master.0].applied_lsn =
                         commit.as_ref().map(|c| c.lsn).unwrap_or(Lsn(0));
+                    // Freshness stamp: slaves are fresh for this session
+                    // once their shipped-apply position reaches this LSN.
+                    let lsn = commit.as_ref().map(|c| c.lsn.0).unwrap_or(0);
+                    if let Some(s) = self.sessions.get_mut(session.0) {
+                        s.last_commit_stamp = s.last_commit_stamp.max(lsn);
+                    }
                 }
                 if two_safe && committed && !self.slaves().is_empty() {
                     // Fetch the unshipped tail and push it synchronously.
                     {
-                        let s = self.sessions.get_mut(&session).unwrap();
+                        let s = self.sessions.get_mut(session.0).unwrap();
                         s.current = Some(Current {
                             stmt_seq,
                             kind: CurrentKind::MsTwoSafe { remaining: 0 },
@@ -2183,7 +2543,7 @@ impl Middleware {
                         s.cached = None;
                     }
                     // Stash the body to return after slave acks.
-                    self.two_safe_bodies.insert(session, body);
+                    self.sessions.get_mut(session.0).unwrap().two_safe_body = Some(body);
                     let min_applied = self
                         .slaves()
                         .iter()
@@ -2212,18 +2572,22 @@ impl Middleware {
         let Mode::MasterSlave { use_writesets, parallel_apply, .. } = self.cfg.mode else { return };
         let DbResp::BinlogOut { entries, head, .. } = resp else { return };
         let slaves = self.slaves();
-        let stmt_seq = match self.sessions.get(&session).and_then(|s| s.current.as_ref()) {
+        let stmt_seq = match self.sessions.get(session.0).and_then(|s| s.current.as_ref()) {
             Some(c) => c.stmt_seq,
             None => return,
         };
         if slaves.is_empty() || entries.is_empty() {
-            let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            let body = self
+                .sessions
+                .get_mut(session.0)
+                .and_then(|s| s.two_safe_body.take())
+                .unwrap_or(ReplyBody::Ack);
             self.mw_span(session, stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, stmt_seq, Ok(body));
             return;
         }
         {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current {
                 stmt_seq,
                 kind: CurrentKind::MsTwoSafe { remaining: slaves.len() },
@@ -2253,19 +2617,23 @@ impl Middleware {
     }
 
     fn finish_two_safe_part(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId) {
-        let current = match self.sessions.get(&session).and_then(|s| s.current.clone()) {
+        let current = match self.sessions.get(session.0).and_then(|s| s.current.clone()) {
             Some(c) => c,
             None => return,
         };
         let CurrentKind::MsTwoSafe { remaining } = current.kind else { return };
         let remaining = remaining.saturating_sub(1);
         if remaining == 0 {
-            let body = self.two_safe_bodies.remove(&session).unwrap_or(ReplyBody::Ack);
+            let body = self
+                .sessions
+                .get_mut(session.0)
+                .and_then(|s| s.two_safe_body.take())
+                .unwrap_or(ReplyBody::Ack);
             // 2-safe shipping: commit → every slave confirmed the tail.
             self.mw_span(session, current.stmt_seq, Stage::Fanout, ctx.now().micros());
             self.reply(ctx, session, current.stmt_seq, Ok(body));
         } else {
-            let s = self.sessions.get_mut(&session).unwrap();
+            let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current {
                 stmt_seq: current.stmt_seq,
                 kind: CurrentKind::MsTwoSafe { remaining },
@@ -2471,12 +2839,12 @@ impl Middleware {
             match p {
                 Pending::ClientExec { session, .. } | Pending::Prepare { session, .. } => {
                     // In-flight transaction lost with the node (§4.3.3).
-                    if let Some(s) = self.sessions.get_mut(&session) {
+                    if let Some(s) = self.sessions.get_mut(session.0) {
                         s.in_tx = false;
                         s.wrote_in_tx = false;
                         s.sticky = None;
                     }
-                    let seq = self.sessions.get(&session).and_then(|s| s.current.as_ref().map(|c| c.stmt_seq));
+                    let seq = self.sessions.get(session.0).and_then(|s| s.current.as_ref().map(|c| c.stmt_seq));
                     if let Some(seq) = seq {
                         self.metrics.counters.lost_transactions += 1;
                         self.reply(ctx, session, seq, Err(ReplyError::Unavailable("backend failed mid-request".into())));
@@ -2513,6 +2881,9 @@ impl Middleware {
             }
         }
         self.update_degraded(ctx);
+        // Failover changes the freshness picture (a promoted master is
+        // fresh by definition): re-decide parked reads.
+        self.drain_fresh_waiters(ctx);
     }
 
     /// Promote the most caught-up slave. Returns the 1-safe loss estimate
@@ -2753,6 +3124,11 @@ impl Middleware {
             AdminCmd::RemoveBackend { backend } => {
                 self.backend_failed(ctx, backend);
             }
+            AdminCmd::EndSession { session } => {
+                // Teardown rides the total order so every peer drops its
+                // replicated copy of the session state at the same point.
+                self.publish_write(ctx, ReplEvent::SessionEnd { session });
+            }
         }
     }
 
@@ -2822,6 +3198,31 @@ impl Middleware {
     /// True if the cluster is currently in degraded read-only mode.
     pub fn is_degraded(&self) -> bool {
         self.metrics.degraded.is_degraded()
+    }
+
+    /// Live session entries (leak regression tests).
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Session-keyed residue: (session entries, open request metas,
+    /// stashed 2-safe bodies). All three must return to zero once every
+    /// session has ended — the PR 6 leak regression asserts exactly that.
+    pub fn session_residue(&self) -> (usize, usize, usize) {
+        let mut reqs = 0;
+        let mut bodies = 0;
+        for (_, s) in self.sessions.iter() {
+            reqs += s.open_reqs.len();
+            if s.two_safe_body.is_some() {
+                bodies += 1;
+            }
+        }
+        (self.sessions.len(), reqs, bodies)
+    }
+
+    /// Reads currently parked waiting for a fresh replica.
+    pub fn fresh_waiter_count(&self) -> usize {
+        self.fresh_waiters.len()
     }
 
     /// Debug snapshot: per-backend (state, applied_lsn, applied_seq) plus
@@ -2914,6 +3315,7 @@ impl Actor<Msg> for Middleware {
                     self.op_timed_out(ctx, op);
                 }
             }
+            t if t >= TIMER_FRESH_BASE => self.fresh_wait_timed_out(ctx, t - TIMER_FRESH_BASE),
             t if t >= TIMER_RETRY_BASE => self.fire_apply_retry(ctx, t - TIMER_RETRY_BASE),
             _ => {}
         }

@@ -247,6 +247,11 @@ pub enum AdminCmd {
     Backup { backend: BackendId, hot: bool },
     /// Administratively remove a replica (planned maintenance, §4.4.2).
     RemoveBackend { backend: BackendId },
+    /// Tear down a client session (disconnect). The middleware publishes
+    /// `ReplEvent::SessionEnd` through the total order so every peer drops
+    /// the replicated session state — including latency metadata and
+    /// stashed 2-safe bodies, which used to leak (see `end_session`).
+    EndSession { session: SessionId },
 }
 
 /// Everything that can travel between nodes in the simulation.

@@ -1,0 +1,322 @@
+//! Flat session storage for the middleware hot path.
+//!
+//! `std::collections::HashMap<SessionId, Sess>` worked at thousands of
+//! sessions but is the wrong shape for the 10⁵–10⁶ range the paper's
+//! "middleware scales reads" claim implies: SipHash on every lookup,
+//! per-entry boxes scattered across the heap, and — worse for this
+//! codebase — process-randomized iteration order, which forces every
+//! whole-map walk to collect-and-sort to stay deterministic.
+//!
+//! [`SessionTable`] replaces it with two dense arrays:
+//!
+//! * a **slab** of value slots reusing freed indices LIFO, so per-session
+//!   cost is exactly the value's bytes plus one index entry, and whole-map
+//!   iteration is a linear scan in slot order (deterministic: slot
+//!   assignment depends only on the insertion/removal history, which is
+//!   itself deterministic in the simulator);
+//! * an **open-addressed index** (power-of-two capacity, linear probing,
+//!   tombstones, splitmix64 key scrambler) mapping the u64 session id to
+//!   its slot.
+//!
+//! No dependency on std's RandomState — same-seed runs produce identical
+//! layouts, which the double-run byte-diff gate in `scripts/verify.sh`
+//! relies on.
+
+const CTRL_EMPTY: u8 = 0;
+const CTRL_FULL: u8 = 1;
+const CTRL_TOMB: u8 = 2;
+
+/// Finalizer of splitmix64: a full-avalanche scrambler, so sequential
+/// session ids (the common allocation pattern) spread uniformly.
+#[inline]
+fn scramble(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Dense u64-keyed map: slab of values + open-addressed slot index.
+#[derive(Debug, Clone)]
+pub struct SessionTable<T> {
+    /// Value slots; `None` entries are on the free list.
+    slots: Vec<Option<(u64, T)>>,
+    /// Freed slot indices, reused LIFO.
+    free: Vec<u32>,
+    /// Index control bytes: empty / full / tombstone.
+    ctrl: Vec<u8>,
+    /// Index keys (valid where ctrl == FULL).
+    keys: Vec<u64>,
+    /// Index values: slot number (valid where ctrl == FULL).
+    slot_of: Vec<u32>,
+    len: usize,
+    /// Tombstones currently in the index (cleared on rehash).
+    tombs: usize,
+}
+
+impl<T> Default for SessionTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SessionTable<T> {
+    pub fn new() -> Self {
+        SessionTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+            ctrl: vec![CTRL_EMPTY; 16],
+            keys: vec![0; 16],
+            slot_of: vec![0; 16],
+            len: 0,
+            tombs: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index position of `key`, or the insertion position if absent.
+    /// Returns (position, found).
+    fn probe(&self, key: u64) -> (usize, bool) {
+        let mask = self.ctrl.len() - 1;
+        let mut i = (scramble(key) as usize) & mask;
+        let mut first_tomb: Option<usize> = None;
+        loop {
+            match self.ctrl[i] {
+                CTRL_EMPTY => return (first_tomb.unwrap_or(i), false),
+                CTRL_FULL if self.keys[i] == key => return (i, true),
+                CTRL_TOMB if first_tomb.is_none() => first_tomb = Some(i),
+                _ => {}
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Grow (or just de-tombstone) the index when load crosses 7/8.
+    fn maybe_rehash(&mut self) {
+        if (self.len + self.tombs + 1) * 8 < self.ctrl.len() * 7 {
+            return;
+        }
+        // Double only when genuinely full; a tombstone-heavy index rehashes
+        // in place at the same capacity.
+        let cap = if (self.len + 1) * 4 >= self.ctrl.len() * 3 {
+            self.ctrl.len() * 2
+        } else {
+            self.ctrl.len()
+        };
+        let old_ctrl = std::mem::replace(&mut self.ctrl, vec![CTRL_EMPTY; cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_slots = std::mem::replace(&mut self.slot_of, vec![0; cap]);
+        self.tombs = 0;
+        let mask = cap - 1;
+        for i in 0..old_ctrl.len() {
+            if old_ctrl[i] != CTRL_FULL {
+                continue;
+            }
+            let key = old_keys[i];
+            let mut j = (scramble(key) as usize) & mask;
+            while self.ctrl[j] == CTRL_FULL {
+                j = (j + 1) & mask;
+            }
+            self.ctrl[j] = CTRL_FULL;
+            self.keys[j] = key;
+            self.slot_of[j] = old_slots[i];
+        }
+    }
+
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.probe(key).1
+    }
+
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (i, found) = self.probe(key);
+        if !found {
+            return None;
+        }
+        self.slots[self.slot_of[i] as usize].as_ref().map(|(_, v)| v)
+    }
+
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (i, found) = self.probe(key);
+        if !found {
+            return None;
+        }
+        self.slots[self.slot_of[i] as usize].as_mut().map(|(_, v)| v)
+    }
+
+    /// Entry-style accessor: the existing value, or a fresh one from `f`.
+    pub fn get_or_insert_with(&mut self, key: u64, f: impl FnOnce() -> T) -> &mut T {
+        self.maybe_rehash();
+        let (i, found) = self.probe(key);
+        if found {
+            let slot = self.slot_of[i] as usize;
+            return self.slots[slot].as_mut().map(|(_, v)| v).unwrap();
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((key, f()));
+                s
+            }
+            None => {
+                self.slots.push(Some((key, f())));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if self.ctrl[i] == CTRL_TOMB {
+            self.tombs -= 1;
+        }
+        self.ctrl[i] = CTRL_FULL;
+        self.keys[i] = key;
+        self.slot_of[i] = slot;
+        self.len += 1;
+        self.slots[slot as usize].as_mut().map(|(_, v)| v).unwrap()
+    }
+
+    pub fn insert(&mut self, key: u64, value: T) -> Option<T> {
+        self.maybe_rehash();
+        let (i, found) = self.probe(key);
+        if found {
+            let slot = self.slot_of[i] as usize;
+            let old = self.slots[slot].replace((key, value));
+            return old.map(|(_, v)| v);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((key, value));
+                s
+            }
+            None => {
+                self.slots.push(Some((key, value)));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if self.ctrl[i] == CTRL_TOMB {
+            self.tombs -= 1;
+        }
+        self.ctrl[i] = CTRL_FULL;
+        self.keys[i] = key;
+        self.slot_of[i] = slot;
+        self.len += 1;
+        None
+    }
+
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (i, found) = self.probe(key);
+        if !found {
+            return None;
+        }
+        let slot = self.slot_of[i];
+        self.ctrl[i] = CTRL_TOMB;
+        self.tombs += 1;
+        self.len -= 1;
+        self.free.push(slot);
+        self.slots[slot as usize].take().map(|(_, v)| v)
+    }
+
+    /// Live entries in slot order. Slot order is a deterministic function
+    /// of the insertion/removal history — NOT sorted by key — so only
+    /// order-independent reads/mutations may rely on it.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    /// Mutable walk over live values in slot order (same caveat as
+    /// [`iter`](Self::iter)).
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().filter_map(|s| s.as_mut().map(|(_, v)| v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: SessionTable<String> = SessionTable::new();
+        assert!(t.is_empty());
+        for i in 0..100u64 {
+            assert!(t.insert(i, format!("v{i}")).is_none());
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u64 {
+            assert_eq!(t.get(i).unwrap(), &format!("v{i}"));
+        }
+        assert_eq!(t.remove(50).as_deref(), Some("v50"));
+        assert!(t.get(50).is_none());
+        assert_eq!(t.len(), 99);
+        assert!(t.remove(50).is_none());
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut t: SessionTable<u64> = SessionTable::new();
+        for i in 0..4u64 {
+            t.insert(i, i * 10);
+        }
+        let before = t.slots.len();
+        t.remove(1);
+        t.remove(3);
+        // LIFO reuse: slot of key 3 first, then slot of key 1.
+        t.insert(100, 1);
+        t.insert(101, 2);
+        assert_eq!(t.slots.len(), before, "no slab growth after reuse");
+        let keys: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![0, 101, 2, 100], "slot order reflects reuse");
+    }
+
+    #[test]
+    fn get_or_insert_with_is_entry_like() {
+        let mut t: SessionTable<Vec<u32>> = SessionTable::new();
+        t.get_or_insert_with(7, Vec::new).push(1);
+        t.get_or_insert_with(7, || panic!("must not re-create")).push(2);
+        assert_eq!(t.get(7).unwrap(), &vec![1, 2]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn survives_heavy_churn_and_rehash() {
+        let mut t: SessionTable<u64> = SessionTable::new();
+        // Repeated fill/drain cycles force tombstone accumulation and both
+        // same-capacity and doubling rehashes.
+        for round in 0..50u64 {
+            for i in 0..1_000u64 {
+                t.insert(round * 1_000_000 + i, i);
+            }
+            for i in 0..1_000u64 {
+                assert_eq!(t.remove(round * 1_000_000 + i), Some(i));
+            }
+            assert!(t.is_empty(), "round {round}");
+        }
+        // Slab stays bounded by the high-water mark, not total churn.
+        assert!(t.slots.len() <= 1_000, "slab len {}", t.slots.len());
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let mut t: SessionTable<&'static str> = SessionTable::new();
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(&"b"));
+    }
+
+    #[test]
+    fn values_mut_sees_every_entry() {
+        let mut t: SessionTable<u64> = SessionTable::new();
+        for i in 0..10u64 {
+            t.insert(i, 0);
+        }
+        t.remove(4);
+        for v in t.values_mut() {
+            *v += 1;
+        }
+        assert_eq!(t.iter().map(|(_, v)| *v).sum::<u64>(), 9);
+    }
+}

@@ -36,6 +36,11 @@ pub enum Stage {
     /// Group-commit buffering: admission → batch flush (size or deadline).
     /// Zero-width when batching is off (`batch_max <= 1`).
     BatchWait,
+    /// Freshness-constrained read routing: read parked because no replica
+    /// had applied the session's last committed write yet → dispatch once
+    /// the freshness vector catches up (or the wait deadline routes it to
+    /// the primary). Never recorded under `ReadPolicy::Any`.
+    FreshnessWait,
     /// Total-order wait: GCS publish → self-delivery at the origin.
     Order,
     /// Backend execution window as observed by the middleware (dispatch →
@@ -61,13 +66,14 @@ pub enum Stage {
     Other,
 }
 
-pub const N_STAGES: usize = 13;
+pub const N_STAGES: usize = 14;
 
 impl Stage {
     pub const ALL: [Stage; N_STAGES] = [
         Stage::Admission,
         Stage::BalancerPick,
         Stage::BatchWait,
+        Stage::FreshnessWait,
         Stage::Order,
         Stage::Execute,
         Stage::Certify,
@@ -85,16 +91,17 @@ impl Stage {
             Stage::Admission => 0,
             Stage::BalancerPick => 1,
             Stage::BatchWait => 2,
-            Stage::Order => 3,
-            Stage::Execute => 4,
-            Stage::Certify => 5,
-            Stage::Fanout => 6,
-            Stage::Retry => 7,
-            Stage::Backoff => 8,
-            Stage::Rollback => 9,
-            Stage::ClientRtt => 10,
-            Stage::DbService => 11,
-            Stage::Other => 12,
+            Stage::FreshnessWait => 3,
+            Stage::Order => 4,
+            Stage::Execute => 5,
+            Stage::Certify => 6,
+            Stage::Fanout => 7,
+            Stage::Retry => 8,
+            Stage::Backoff => 9,
+            Stage::Rollback => 10,
+            Stage::ClientRtt => 11,
+            Stage::DbService => 12,
+            Stage::Other => 13,
         }
     }
 
@@ -103,6 +110,7 @@ impl Stage {
             Stage::Admission => "admission",
             Stage::BalancerPick => "balancer-pick",
             Stage::BatchWait => "batch-wait",
+            Stage::FreshnessWait => "freshness-wait",
             Stage::Order => "order",
             Stage::Execute => "execute",
             Stage::Certify => "certify",

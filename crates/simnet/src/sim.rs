@@ -174,6 +174,10 @@ enum EventKind<M> {
     Deliver { to: NodeId, from: NodeId, msg: M },
     Timer { node: NodeId, tag: u64, epoch: u64 },
     Control(ControlOp),
+    /// Single wake marker for a busy node with held deliveries: fires at
+    /// the node's free time, carries the lowest held sequence number so it
+    /// sorts where that delivery would have (see `step`'s Deliver arm).
+    Wake { node: NodeId },
 }
 
 struct Event<M> {
@@ -271,6 +275,14 @@ pub struct Sim<M> {
     started: bool,
     stats: SimStats,
     fifo: std::collections::HashMap<(NodeId, NodeId), SimTime>,
+    /// Per-node arrival queue for deliveries that found the node busy,
+    /// ordered by sequence number (= FIFO arrival order). Invariant: a
+    /// node's map is non-empty iff `wake[node]` holds a scheduled `Wake`
+    /// marker. Re-heaping every deferred delivery once per service
+    /// completion is O(queue²); holding them here and waking once is not.
+    held: Vec<std::collections::BTreeMap<u64, (NodeId, M)>>,
+    /// Sequence number of the node's scheduled `Wake` marker, if any.
+    wake: Vec<Option<u64>>,
 }
 
 impl<M> Sim<M> {
@@ -285,6 +297,8 @@ impl<M> Sim<M> {
             started: false,
             stats: SimStats::default(),
             fifo: std::collections::HashMap::new(),
+            held: Vec::new(),
+            wake: Vec::new(),
         }
     }
 
@@ -292,6 +306,8 @@ impl<M> Sim<M> {
         let id = NodeId(self.actors.len());
         self.actors.push(Some(Box::new(actor)));
         self.meta.push(NodeMeta::default());
+        self.held.push(std::collections::BTreeMap::new());
+        self.wake.push(None);
         id
     }
 
@@ -374,12 +390,16 @@ impl<M> Sim<M> {
                     self.stats.messages_dropped += 1;
                     return true;
                 }
-                // Single-server queueing: if the node is busy, requeue the
-                // delivery for when it frees up, keeping its original seq so
-                // FIFO order survives the deferral.
+                // Single-server queueing: if the node is busy, park the
+                // delivery in its arrival queue. One `Wake` marker at the
+                // node's free time then drains the queue a message per
+                // service completion; the marker reuses the lowest held
+                // seq so it sorts exactly where that delivery would have.
                 if self.meta[to.0].busy_until > self.now {
-                    let at = self.meta[to.0].busy_until;
-                    self.queue.push_at_seq(at, ev.seq, EventKind::Deliver { to, from, msg });
+                    self.held[to.0].insert(ev.seq, (from, msg));
+                    if self.wake[to.0].is_none() {
+                        self.schedule_wake(to);
+                    }
                     return true;
                 }
                 self.with_ctx(to, |actor, ctx| actor.on_message(ctx, from, msg));
@@ -391,8 +411,43 @@ impl<M> Sim<M> {
                 self.with_ctx(node, |actor, ctx| actor.on_timer(ctx, tag));
             }
             EventKind::Control(op) => self.apply_control(op),
+            EventKind::Wake { node } => {
+                self.wake[node.0] = None;
+                if self.meta[node.0].crashed {
+                    // Deferred deliveries to a node that crashed in the
+                    // meantime are lost, exactly as if each had been
+                    // requeued and found the node dead.
+                    self.stats.messages_dropped += self.held[node.0].len() as u64;
+                    self.held[node.0].clear();
+                    return true;
+                }
+                if self.meta[node.0].busy_until > self.now {
+                    // Went busy again before the wake: re-aim at the new
+                    // free time.
+                    self.schedule_wake(node);
+                    return true;
+                }
+                let Some((&seq, _)) = self.held[node.0].iter().next() else { return true };
+                let (from, msg) = self.held[node.0].remove(&seq).expect("held delivery");
+                self.with_ctx(node, |actor, ctx| actor.on_message(ctx, from, msg));
+                if !self.held[node.0].is_empty() {
+                    self.schedule_wake(node);
+                }
+            }
         }
         true
+    }
+
+    /// (Re)schedule the `Wake` marker for a node with held deliveries, at
+    /// the node's free time, ordered by the lowest held sequence number.
+    /// The marker reuses that seq as its own: the delivery's original heap
+    /// slot was freed when it was parked, and there is at most one marker
+    /// per node, so the seq cannot collide.
+    fn schedule_wake(&mut self, node: NodeId) {
+        let Some((&seq, _)) = self.held[node.0].iter().next() else { return };
+        let at = self.meta[node.0].busy_until.max(self.now);
+        self.queue.push_at_seq(at, seq, EventKind::Wake { node });
+        self.wake[node.0] = Some(seq);
     }
 
     fn apply_control(&mut self, op: ControlOp) {

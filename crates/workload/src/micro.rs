@@ -20,6 +20,27 @@ pub fn schema(db: &str, rows: usize) -> Vec<String> {
     out
 }
 
+/// Schema for a fleet keyspace sharded over `bench_<t>` tables of at most
+/// `keys_per_table` rows each (`sessions` keys total; the last table may be
+/// short). The engine's cost model charges a scan per point query, so one
+/// huge table would make every read cost O(fleet size); fixed-size shards
+/// keep per-read cost constant as the fleet grows — the same disjoint-table
+/// trick the group-commit experiment (E18) uses on the write path.
+pub fn sharded_schema(db: &str, sessions: usize, keys_per_table: usize) -> Vec<String> {
+    let kpt = keys_per_table.max(1);
+    let mut out = vec![format!("CREATE DATABASE {db}"), format!("USE {db}")];
+    let tables = sessions.div_ceil(kpt).max(1);
+    for t in 0..tables {
+        out.push(format!("CREATE TABLE bench_{t} (k INT PRIMARY KEY, v INT NOT NULL)"));
+        let rows = (sessions - t * kpt).min(kpt);
+        for chunk in (0..rows).collect::<Vec<_>>().chunks(100) {
+            let values: Vec<String> = chunk.iter().map(|k| format!("({k}, 0)")).collect();
+            out.push(format!("INSERT INTO bench_{t} VALUES {}", values.join(", ")));
+        }
+    }
+    out
+}
+
 /// Transactions updating `writes_per_tx` keys drawn from a hot set of
 /// `hot_keys` out of `total_keys`: the smaller the hot set, the higher the
 /// conflict rate — the knob for the consistency-spectrum experiment (E10).
@@ -114,6 +135,19 @@ mod tests {
         let s = schema("d", 250);
         assert!(s.iter().filter(|x| x.starts_with("INSERT")).count() == 3);
         assert!(s[2].contains("PRIMARY KEY"));
+    }
+
+    #[test]
+    fn sharded_schema_splits_tables() {
+        let s = sharded_schema("d", 2_500, 1_000);
+        let creates: Vec<&String> =
+            s.iter().filter(|x| x.starts_with("CREATE TABLE")).collect();
+        assert_eq!(creates.len(), 3);
+        assert!(creates[2].contains("bench_2"));
+        // The short last shard holds the 500 leftover keys.
+        let last_inserts =
+            s.iter().filter(|x| x.starts_with("INSERT INTO bench_2")).count();
+        assert_eq!(last_inserts, 5);
     }
 
     #[test]

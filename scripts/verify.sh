@@ -8,6 +8,9 @@
 #      byte-identical (same seeds => same numbers, see DESIGN.md)
 #   6. perf trajectory: re-measure the E18 group-commit operating points
 #      and write BENCH_pr5.json (tps + p50/p99 per point)
+#   7. freshness trajectory: re-measure the E19 session-scale corner
+#      points under ReadPolicy::Fresh and write BENCH_pr6.json (read tps
+#      + p50/p99 at 10^3 and 10^5 sessions; asserts zero RYW violations)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -92,5 +95,12 @@ echo "verify: determinism OK (two experiment runs byte-identical)"
 # compare throughput/latency at fixed points instead of re-reading tables.
 cargo run --release -q --offline -p replimid-bench --bin bench_pr5
 echo "verify: perf trajectory OK (BENCH_pr5.json written)"
+
+# --- 7. Freshness trajectory --------------------------------------------
+# The E19 corner points (10^3 and 10^5 sessions, 4 backends) under
+# freshness-constrained routing. The bin itself asserts ryw_violations == 0
+# at both points, so this doubles as a read-your-writes gate.
+cargo run --release -q --offline -p replimid-bench --bin bench_pr6
+echo "verify: freshness trajectory OK (BENCH_pr6.json written)"
 
 echo "verify: OK"

@@ -4,8 +4,9 @@
 //! case seed — see crates/det).
 
 use replimid_core::{
-    ClientMetrics, Cluster, ClusterConfig, HealthEvent, Mode, MwMetrics, NondetPolicy, Policy,
-    QuarantineConfig, ScriptSource, Stage, TxSource,
+    AdminCmd, Balancer, ClientMetrics, Cluster, ClusterConfig, Granularity, HealthEvent, Mode,
+    MwMetrics, NondetPolicy, Policy, QuarantineConfig, ReadPolicy, ScriptSource, SessionId, Stage,
+    TxSource,
 };
 use replimid_det::{detcheck, DetRng};
 use replimid_simnet::{dur, SimTime};
@@ -459,5 +460,203 @@ fn quarantine_shields_reads_and_rejoins() {
         let b = run_quarantine_case(seed, clients, factor);
         assert_eq!(a.quarantine_events, b.quarantine_events, "same seed, different history");
         assert_eq!(a.counters.commits, b.counters.commits);
+    });
+}
+
+/// One freshness-routing run: a session fleet mixing reads and writes on
+/// slot-private keys against master-slave replication with lazy shipping,
+/// a mid-run brownout gray fault on slave 1, and the quarantine breaker
+/// armed. Returns (fleet metrics, middleware metrics).
+fn run_ryw_case(
+    seed: u64,
+    sessions: usize,
+    policy: ReadPolicy,
+    ship_ms: u64,
+) -> (replimid_core::FleetMetrics, MwMetrics) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MasterSlave {
+            two_safe: false,
+            ship_interval_us: ship_ms * 1_000,
+            use_writesets: false,
+            parallel_apply: false,
+            read_master: false,
+        },
+        micro::schema("bench", sessions),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = 3;
+    // Round-robin keeps the browned slave in rotation so the health score
+    // sees its degradation (same reasoning as run_quarantine_case).
+    cfg.mw.policy = Policy::RoundRobin;
+    cfg.mw.read_policy = policy;
+    cfg.mw.quarantine = Some(QuarantineConfig::default());
+    let mut cluster = Cluster::build(cfg);
+    let fleet = cluster.add_session_fleet(0, sessions, |fc| {
+        // Sized so the surviving slave absorbs the browned one's share
+        // without its own queueing delay crossing the breaker's 4x relative
+        // trip bar: the episode must stay a b1 story, not a capacity
+        // cascade that quarantines the whole cluster.
+        fc.think_time_us = 150_000;
+        fc.write_permille = 300;
+        fc.ramp_us = 300_000;
+    });
+    // PR 2-style gray episode: slave 1 browns out from 1s to 3s, trips the
+    // breaker, and must rejoin after the half-open probe.
+    cluster.brownout_backend_at(SimTime::from_millis(1_000), 0, 1, 10.0);
+    cluster.clear_brownout_at(SimTime::from_millis(3_000), 0, 1);
+    cluster.run_for(dur::secs(5));
+    (cluster.fleet_metrics(fleet), cluster.mw_metrics(0))
+}
+
+/// Read-your-writes holds under freshness routing for any seed and fleet
+/// size, *including* through a gray-failure quarantine/rejoin episode:
+///
+/// 1. no read ever observes a value older than the session's last
+///    acknowledged write (the fleet checks every read against its floor);
+/// 2. the freshness filter actually engaged (stale candidates were cut,
+///    and at least some reads parked or fell back — 1-safe lazy shipping
+///    guarantees lag windows);
+/// 3. the breaker tripped on the browned slave, and the same seed reruns
+///    bit-identically.
+///
+/// No `reads_routed_to_quarantined == 0` here, deliberately: when load
+/// shifts trip the breaker on *every* slave at once, `filter_quarantined`'s
+/// documented escape (a slow answer beats no answer) re-admits quarantined
+/// candidates — and the point of this property is that even then no read
+/// is ever stale. The leak-free guarantee under a contained episode is
+/// `quarantine_shields_reads_and_rejoins`'s job.
+#[test]
+fn read_your_writes_holds_under_gray_faults() {
+    detcheck::check("read_your_writes_holds_under_gray_faults", 3, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let sessions = rng.gen_range(40usize..120);
+        let (f, m) = run_ryw_case(seed, sessions, ReadPolicy::Fresh, 200);
+        assert!(f.reads > 0, "fleet read nothing");
+        assert!(f.writes > 0, "fleet wrote nothing");
+        assert_eq!(f.ryw_violations, 0, "stale read under ReadPolicy::Fresh");
+        assert!(
+            m.counters.fresh_filtered_stale > 0,
+            "freshness filter never engaged (lag windows must exist at 200ms shipping)"
+        );
+        assert!(
+            m.counters.freshness_waits + m.counters.fresh_fallback_primary > 0,
+            "no read ever parked or fell back — the wait path went unexercised"
+        );
+        assert!(
+            m.quarantine_events
+                .iter()
+                .any(|&(_, b, e)| b == 1 && matches!(e, HealthEvent::Trip { .. })),
+            "the brownout never tripped the breaker: {:?}",
+            m.quarantine_events
+        );
+        // Same seed => bit-identical freshness history.
+        let (f2, m2) = run_ryw_case(seed, sessions, ReadPolicy::Fresh, 200);
+        assert_eq!(f.reads, f2.reads);
+        assert_eq!(f.writes, f2.writes);
+        assert_eq!(f.errors, f2.errors);
+        assert_eq!(f.read_latency.sum_us(), f2.read_latency.sum_us());
+        assert_eq!(m.counters, m2.counters, "same seed, different counters");
+        assert_eq!(m.quarantine_events, m2.quarantine_events);
+    });
+}
+
+/// The control arm: with `ReadPolicy::Any` and slow (500ms) shipping, the
+/// same workload observably violates read-your-writes — demonstrating the
+/// bug class the freshness vector fixes (and that the RYW check above has
+/// teeth).
+#[test]
+fn freshness_off_allows_stale_reads() {
+    let (f, _) = run_ryw_case(7, 60, ReadPolicy::Any, 500);
+    assert!(f.reads > 0 && f.writes > 0);
+    assert!(
+        f.ryw_violations > 0,
+        "Any-policy reads off 500ms-lagged slaves should observe stale values"
+    );
+}
+
+/// Session teardown drains every session-keyed map. Pre-PR, `SessionEnd`
+/// removed the session struct but left `request_started` timing metadata
+/// and stashed `two_safe_bodies` entries behind forever; both now live
+/// inside `Sess` and die with it. N connect/write/disconnect cycles must
+/// leave the middleware with zero session residue.
+#[test]
+fn session_teardown_leaves_no_residue() {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 50),
+        "bench",
+    );
+    cfg.seed = 11;
+    let mut cluster = Cluster::build(cfg);
+    let clients = 6usize;
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        handles.push(cluster.add_client(SeqInsert { next: 10_000 * (i as i64 + 1) }, |cc| {
+            cc.think_time_us = 800;
+            cc.tx_limit = 20;
+        }));
+    }
+    cluster.run_for(dur::secs(4)); // every client finishes its allotment
+    for (h, _) in handles.iter().zip(0..) {
+        let committed = cluster.client_metrics(*h).committed;
+        assert_eq!(committed, 20, "client did not finish");
+    }
+    let before = cluster.with_middleware(0, |m| m.session_count());
+    assert_eq!(before, clients, "one session per client while connected");
+    // Disconnect every session (ordered teardown through the total order).
+    let now = cluster.now();
+    for s in 1..=clients as u64 {
+        cluster.admin_at(now, 0, AdminCmd::EndSession { session: SessionId(s) });
+    }
+    cluster.run_for(dur::secs(1));
+    let residue = cluster.with_middleware(0, |m| m.session_residue());
+    assert_eq!(residue, (0, 0, 0), "session-keyed state leaked past teardown");
+    assert_eq!(cluster.with_middleware(0, |m| m.fresh_waiter_count()), 0);
+}
+
+/// Balancer fairness survives per-call candidate filtering (the freshness
+/// cut hands `pick` a different subset on almost every call): for random
+/// backend counts and eligibility patterns, picks always land on eligible
+/// backends and nobody starves. Round-robin additionally keeps pick counts
+/// within a 2x min/max bound — its stable-id cursor is rotation-fair no
+/// matter how the mask churns. LPRF is exempt from the rotation bound on
+/// purpose: it equalizes queue depth, not pick counts, and its
+/// deterministic low-id tie-break skews rotation at light load.
+#[test]
+fn filtered_pick_fairness_bounded() {
+    detcheck::check("filtered_pick_fairness_bounded", 6, |rng| {
+        let n = rng.gen_range(3usize..6);
+        let rotation_bound = rng.gen_range(0u64..2) == 0;
+        let policy = if rotation_bound { Policy::RoundRobin } else { Policy::Lprf };
+        let mut b = Balancer::new(Granularity::Query, policy, n);
+        let all: Vec<_> = (0..n).map(replimid_core::BackendId).collect();
+        let mut counts = vec![0u64; n];
+        let mut inflight: Vec<replimid_core::BackendId> = Vec::new();
+        for _ in 0..3_000 {
+            let mut mask = vec![false; n];
+            loop {
+                for m in mask.iter_mut() {
+                    *m = rng.gen_range(0u64..4) != 0; // eligible with p = 3/4
+                }
+                if mask.iter().any(|&m| m) {
+                    break;
+                }
+            }
+            let picked = b.pick_fresh(&all, &mask).expect("nonempty mask");
+            assert!(mask[picked.0], "picked an ineligible backend");
+            counts[picked.0] += 1;
+            b.dispatched(picked);
+            inflight.push(picked);
+            if inflight.len() > 2 {
+                b.completed(inflight.remove(0));
+            }
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0, "a backend was starved: {counts:?}");
+        if rotation_bound {
+            assert!(max <= 2 * min, "filtered-pick skew out of bounds: {counts:?}");
+        }
     });
 }
