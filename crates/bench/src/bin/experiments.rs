@@ -21,13 +21,14 @@ use replimid_gcs::{
     Action, AdaptiveConfig, GcsConfig, GroupMember, HeartbeatConfig, MemberId, OrderProtocol,
 };
 use replimid_simnet::{dur, LinkFault, LinkSpec, NetworkModel, NodeId, SimTime};
+use replimid_sql::{CrashKind, DurabilityConfig};
 use replimid_workload::{micro, FaultSchedule, GrayFaultSchedule, GrayKind, GraySpec};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-        "E14", "E15", "E16", "E17", "E18", "E19",
+        "E14", "E15", "E16", "E17", "E18", "E19", "E20",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -55,6 +56,7 @@ fn main() {
             "E17" => e17_latency_attribution(),
             "E18" => e18_group_commit(),
             "E19" => e19_freshness_routing(),
+            "E20" => e20_durability(),
             _ => unreachable!(),
         }
     }
@@ -1694,4 +1696,222 @@ fn e19_freshness_routing() {
         rejoins,
         m.counters.reads_routed_to_quarantined,
     );
+
+    // -- (e) bounded staleness: the dial between `fresh` and `any` --
+    println!(
+        "\n  (e) bounded staleness — same cluster as (a), 20% writes: `k` is how\n  many log positions a replica may lag behind the session's own last\n  commit and still serve its reads. k=0 is exactly `fresh` (RYW holds\n  by construction); growing k releases reads earlier and trades a\n  bounded, *counted* staleness window for fewer parked reads — the\n  continuous consistency dial the §3.3 taxonomy samples only at its\n  endpoints. Here `ryw viol` is the measured price of the slack, not a\n  bug: it counts reads served inside the k-window.\n"
+    );
+    let mut t = Table::new(&[
+        "policy",
+        "read tps",
+        "ryw viol",
+        "stale cut",
+        "waits",
+        "to master",
+        "p50 r µs",
+        "p99 r µs",
+    ]);
+    for (label, policy) in [
+        ("k=0 (fresh)", ReadPolicy::BoundedStaleness(0)),
+        ("k=2", ReadPolicy::BoundedStaleness(2)),
+        ("k=8", ReadPolicy::BoundedStaleness(8)),
+        ("k=64", ReadPolicy::BoundedStaleness(64)),
+        ("any", ReadPolicy::Any),
+    ] {
+        let (f, m) = e19_arm(120, 4, policy, 50, 200, 45_000, secs, false, false);
+        if policy == ReadPolicy::BoundedStaleness(0) {
+            assert_eq!(f.ryw_violations, 0, "k=0 must behave exactly like `fresh`");
+        }
+        t.row(&[
+            label.to_string(),
+            format!("{:.0}", tps(f.reads, secs)),
+            f.ryw_violations.to_string(),
+            m.counters.fresh_filtered_stale.to_string(),
+            m.counters.freshness_waits.to_string(),
+            m.counters.fresh_fallback_primary.to_string(),
+            f.read_latency.quantile_us(0.5).to_string(),
+            f.read_latency.quantile_us(0.99).to_string(),
+        ]);
+    }
+    t.print();
+}
+
+// ---------------------------------------------------------------------
+// E20 — durable WAL + checkpoint recovery: measured MTTR
+// ---------------------------------------------------------------------
+
+/// Sequential inserts spread over 4 disjoint tables (same shape as E9's
+/// workload, distinct id blocks per client).
+struct E20Source {
+    next: i64,
+}
+
+impl replimid_core::TxSource for E20Source {
+    fn next_tx(&mut self, _r: &mut replimid_det::DetRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        vec![format!("INSERT INTO t{} VALUES ({k}, 1)", k % 4)]
+    }
+}
+
+/// One crash/recovery episode against a durable 3-backend statement-mode
+/// cluster. Returns the filled table row plus the recovered backend's
+/// wal/recovery numbers for the summary asserts.
+#[allow(clippy::too_many_arguments)]
+fn e20_episode(
+    checkpoint_every: u64,
+    kind: CrashKind,
+    truncate_log: bool,
+) -> Vec<String> {
+    let mut schema = vec!["CREATE DATABASE bench".to_string(), "USE bench".to_string()];
+    for i in 0..4 {
+        schema.push(format!("CREATE TABLE t{i} (k INT PRIMARY KEY, v INT)"));
+    }
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema,
+        "bench",
+    );
+    cfg.mw.recovery_batch = 256;
+    // Real durability under every backend: WAL mirrored from the binlog,
+    // fsync every 8 records (so lossy crash kinds have an unsynced tail to
+    // destroy), checkpoints every `checkpoint_every` commits (0 = never:
+    // recovery replays the whole log from the schema image).
+    cfg.engine.durability = Some(DurabilityConfig { checkpoint_every, fsync_every: 8 });
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..4 {
+        cluster.add_client(E20Source { next: 10_000_000 * (i + 1) }, |cc| {
+            cc.think_time_us = 400;
+            // Finite load: clients stop after 2000 transactions (~7 virtual
+            // seconds), so the tail of the run drains to quiescence and the
+            // end-of-run checksum comparison sees settled state rather than
+            // in-flight statements.
+            cc.tx_limit = 2_000;
+        });
+    }
+    // 2s of load, then the injected crash; 500ms outage; the rest of the
+    // run covers local replay + middleware rejoin.
+    cluster.run_for(dur::secs(2));
+    // Closed-loop pacing synchronizes the cluster with the checkpoint
+    // cadence: a fixed crash instant tends to land in the post-checkpoint
+    // lull where the WAL is empty and a lossy crash has nothing to
+    // destroy. Step forward (deterministically) until the WAL carries an
+    // unsynced tail so `lost-tail`/`torn-tail` hit the window they are
+    // meant to test; `clean` uses the same instant for comparability.
+    let mut pre_wal = cluster.backend_wal_stats(0, 2).expect("durability on");
+    for _ in 0..400 {
+        if pre_wal.wal_records >= 4 && pre_wal.wal_bytes > pre_wal.wal_synced_bytes {
+            break;
+        }
+        cluster.run_for(500);
+        pre_wal = cluster.backend_wal_stats(0, 2).expect("durability on");
+    }
+    let tail_exposed = pre_wal.wal_bytes > pre_wal.wal_synced_bytes;
+    let pre_pos = cluster.backend_ordered_applied(0, 2);
+    cluster.crash_backend_with(cluster.now() + 1, 0, 2, kind);
+    cluster.run_for(dur::millis(250));
+    if truncate_log {
+        // Operator-forced log truncation mid-outage: the rejoiner's
+        // checkpoint falls below the boundary and log recovery must
+        // escalate to a full resync (the PR 5 truncated-rejoin path, now
+        // exercised against a node that ALSO lost local WAL tail).
+        cluster.with_middleware(0, |m| {
+            let head = m.log.head();
+            m.log.force_truncate(head);
+        });
+    }
+    cluster.run_for(dur::millis(250));
+    cluster.restart_backend_at(cluster.now() + 1, 0, 2);
+    cluster.run_for(dur::secs(10));
+
+    let rec = cluster.backend_recovery(0, 2).expect("backend 2 restarted durably");
+    let lost_local = pre_pos.saturating_sub(rec.report.ordered_applied);
+    let mw = cluster.mw_metrics(0);
+    let rejoin_ms = mw
+        .recoveries
+        .iter()
+        .find(|&&(b, _, _)| b == 2)
+        .map(|&(_, s, e)| format!("{:.0}", (e - s) as f64 / 1e3))
+        .unwrap_or_else(|| "STUCK".into());
+    // The hard promise of the whole subsystem: whatever the crash destroyed
+    // locally, the recovered replica converges back to the cluster state —
+    // zero committed transactions lost.
+    // A lossy crash aimed at an exposed (unsynced) tail must actually lose
+    // something locally — otherwise the episode silently tested nothing.
+    if tail_exposed && kind != CrashKind::Clean {
+        assert!(
+            lost_local > 0,
+            "E20: {} crash over an unsynced WAL tail lost no local state \
+             (ckpt_every={checkpoint_every})",
+            kind.name()
+        );
+    }
+    let sums = cluster.backend_checksums();
+    assert!(
+        sums[0].windows(2).all(|w| w[0] == w[1]),
+        "E20: backends diverged after {} crash (ckpt_every={checkpoint_every}): {:?}",
+        kind.name(),
+        sums[0]
+    );
+    vec![
+        if checkpoint_every == 0 { "never".into() } else { checkpoint_every.to_string() },
+        kind.name().to_string(),
+        pre_wal.wal_records.to_string(),
+        if rec.report.checkpoint_loaded { rec.report.checkpoint_rows.to_string() } else { "-".into() },
+        rec.report.entries_replayed.to_string(),
+        if rec.report.torn_truncated { "yes".into() } else { "no".into() },
+        lost_local.to_string(),
+        format!("{:.1}", rec.local_us as f64 / 1e3),
+        rejoin_ms,
+    ]
+}
+
+fn e20_durability() {
+    banner(
+        "E20",
+        "durable WAL + checkpoint recovery: measured MTTR (crash kind x checkpoint interval)",
+    );
+    println!(
+        "  Every backend runs on a simulated block device: committed work is\n  mirrored into a checksummed WAL (fsync every 8 records), checkpoints\n  snapshot the engine and truncate the log. A crash destroys what real\n  crashes destroy — `clean` loses nothing, `lost-tail` drops everything\n  past the last fsync, `torn-tail` additionally leaves a half-written\n  record that recovery truncates at the first bad checksum. MTTR is\n  *measured*, not modeled: `local ms` is the restart's checkpoint load +\n  WAL replay + device IO in virtual time (Stage::Replay); `rejoin ms` is\n  the middleware resyncing the remainder through the recovery log, which\n  restarts from the NODE's reported position — after a lossy crash the\n  node is behind the middleware's own checkpoint (§4.4.2: only the\n  database knows what committed). `lost@node` counts ordered statements\n  the crash destroyed locally; every row must still converge to the\n  cluster checksum (zero committed loss), they are just re-fetched.\n"
+    );
+    let mut t = Table::new(&[
+        "ckpt every",
+        "crash",
+        "wal recs",
+        "ckpt rows",
+        "replayed",
+        "torn cut",
+        "lost@node",
+        "local ms",
+        "rejoin ms",
+    ]);
+    for checkpoint_every in [16u64, 256, 0] {
+        for kind in [CrashKind::Clean, CrashKind::LostTail, CrashKind::TornTail] {
+            t.row(&e20_episode(checkpoint_every, kind, false));
+        }
+    }
+    t.print();
+
+    // The escalation path: log truncated past the rejoiner's checkpoint
+    // while it was down AND the node lost its own WAL tail — log replay is
+    // impossible, the middleware must ship a full dump, and the node
+    // checkpoints the restored image so a later crash cannot resurrect
+    // pre-resync state.
+    println!(
+        "\n  truncated-rejoin escalation: the recovery log is force-truncated\n  mid-outage, so the torn-tail rejoiner cannot log-replay and takes the\n  dump-and-restore path instead (checkpointed on arrival):\n"
+    );
+    let mut t = Table::new(&[
+        "ckpt every",
+        "crash",
+        "wal recs",
+        "ckpt rows",
+        "replayed",
+        "torn cut",
+        "lost@node",
+        "local ms",
+        "rejoin ms",
+    ]);
+    t.row(&e20_episode(64, CrashKind::TornTail, true));
+    t.print();
+    println!();
 }

@@ -165,6 +165,52 @@ impl Cluster {
         self.sim.schedule(at, ControlOp::Crash(self.db_nodes[mw][backend]));
     }
 
+    /// Crash a backend at `at` with explicit durable-image semantics: how
+    /// much of the WAL tail the crash destroys (`CrashKind::Clean` loses
+    /// nothing, `LostTail` drops everything past the last fsync, `TornTail`
+    /// additionally leaves a half-written record for the scanner to
+    /// truncate). Only meaningful for backends built with
+    /// `EngineConfig::durability`; without it the kind is ignored and this
+    /// is exactly `crash_backend_at`.
+    pub fn crash_backend_with(
+        &mut self,
+        at: SimTime,
+        mw: usize,
+        backend: usize,
+        kind: replimid_sql::CrashKind,
+    ) {
+        let node = self.db_nodes[mw][backend];
+        self.sim.with_actor::<DbNode, _>(node, |d| d.set_pending_crash(kind));
+        self.sim.schedule(at, ControlOp::Crash(node));
+    }
+
+    /// The report of a backend's most recent durable restart (crash kind,
+    /// replay counts, measured local recovery time), if it has had one.
+    pub fn backend_recovery(
+        &mut self,
+        mw: usize,
+        backend: usize,
+    ) -> Option<crate::db_node::RecoveryInfo> {
+        let node = self.db_nodes[mw][backend];
+        self.sim.with_actor::<DbNode, _>(node, |d| d.last_recovery.clone())
+    }
+
+    /// A backend's ordered-statement apply position (durable metadata).
+    pub fn backend_ordered_applied(&mut self, mw: usize, backend: usize) -> u64 {
+        let node = self.db_nodes[mw][backend];
+        self.sim.with_actor::<DbNode, _>(node, |d| d.ordered_applied())
+    }
+
+    /// Durable-device statistics for a backend (None without durability).
+    pub fn backend_wal_stats(
+        &mut self,
+        mw: usize,
+        backend: usize,
+    ) -> Option<replimid_sql::WalStats> {
+        let node = self.db_nodes[mw][backend];
+        self.sim.with_actor::<DbNode, _>(node, |d| d.wal_stats())
+    }
+
     pub fn restart_backend_at(&mut self, at: SimTime, mw: usize, backend: usize) {
         self.sim.schedule(at, ControlOp::Restart(self.db_nodes[mw][backend]));
     }

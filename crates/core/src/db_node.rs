@@ -5,9 +5,12 @@
 
 use std::collections::{HashMap, HashSet};
 
-use replimid_simnet::{Actor, Ctx, NodeId};
+use replimid_simnet::{Actor, Ctx, DiskModel, NodeId};
 use replimid_sql::engine::ConnId;
-use replimid_sql::{BinlogEntry, DumpOptions, Engine, Lsn, Outcome, SqlError, ADMIN_PASSWORD, ADMIN_USER};
+use replimid_sql::{
+    BinlogEntry, CrashKind, DumpOptions, Engine, Lsn, Outcome, RecoveryReport, SqlError,
+    WalStats, ADMIN_PASSWORD, ADMIN_USER,
+};
 
 use crate::msg::{BatchExecResult, CommitNote, DbOp, DbResp, Msg, ReplyBody};
 use crate::trace::{Stage, TraceSink};
@@ -20,6 +23,21 @@ pub mod cost {
     pub const DUMP_BASE_US: u64 = 2_000;
     /// Checksum cost per call (scan-ish).
     pub const CHECKSUM_US: u64 = 500;
+}
+
+/// What a durable node's restart actually cost: the crash it recovered
+/// from, the storage layer's account of the work, and the virtual time the
+/// node spent unavailable to traffic while doing it (checkpoint load + WAL
+/// replay + device IO). This is the *local* half of MTTR; the middleware's
+/// rejoin window (`MwMetrics::recoveries`) is the other half.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    pub kind: CrashKind,
+    pub report: RecoveryReport,
+    /// Virtual microseconds the restart consumed before serving again.
+    pub local_us: u64,
+    /// When (virtual µs) the restart began.
+    pub at_us: u64,
 }
 
 /// One simulated database server.
@@ -46,6 +64,13 @@ pub struct DbNode {
     /// Per-operation service-time attribution (`Stage::DbService` spans,
     /// detached: db work is not tied to one client trace window).
     pub trace: TraceSink,
+    /// Timing model for the durable devices (no-op when the engine runs
+    /// without durability).
+    pub disk: DiskModel,
+    /// How the *next* crash mangles the durable image (consumed at restart).
+    pending_crash: CrashKind,
+    /// Report of the most recent durable restart, if any.
+    pub last_recovery: Option<RecoveryInfo>,
 }
 
 impl DbNode {
@@ -54,7 +79,7 @@ impl DbNode {
         // peers, so everything already in its binlog (the schema load)
         // counts as applied.
         let applied_lsn = engine.binlog_head();
-        DbNode {
+        let mut node = DbNode {
             engine,
             default_db,
             speed_factor: 1.0,
@@ -64,7 +89,21 @@ impl DbNode {
             ordered_applied: 0,
             seen_ops: HashSet::new(),
             trace: TraceSink::new(),
+            disk: DiskModel::default(),
+            pending_crash: CrashKind::Clean,
+            last_recovery: None,
+        };
+        if node.engine.has_durability() {
+            // The replica's initial disk image is a fsynced checkpoint of
+            // the freshly loaded schema: provisioning happens before the
+            // simulation starts, so the setup IO is free (not charged to
+            // virtual time). Without this, a crash before the first
+            // checkpoint could lose unsynced schema records and leave the
+            // node unable to replay ordered statements against it.
+            node.engine.wal_force_checkpoint(node.applied_lsn.0, 0);
+            let _ = node.engine.take_io();
         }
+        node
     }
 
     pub fn with_speed(mut self, factor: f64) -> Self {
@@ -82,6 +121,26 @@ impl DbNode {
 
     pub fn applied_lsn(&self) -> Lsn {
         self.applied_lsn
+    }
+
+    /// Highest ordered-statement sequence this node has applied.
+    pub fn ordered_applied(&self) -> u64 {
+        self.ordered_applied
+    }
+
+    /// Arm the crash injector: the next `ControlOp::Crash` of this node
+    /// mangles the durable image with `kind` semantics at restart time.
+    /// (Nothing reads the devices while the node is down and in-flight
+    /// sends to a crashed node are dropped, so applying the damage lazily
+    /// at restart is observationally identical to applying it at the
+    /// crash instant.)
+    pub fn set_pending_crash(&mut self, kind: CrashKind) {
+        self.pending_crash = kind;
+    }
+
+    /// Durable-device statistics, if this node runs with durability.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.engine.wal_stats()
     }
 
     fn conn_for(&mut self, token: u64) -> Result<ConnId, SqlError> {
@@ -107,6 +166,29 @@ impl DbNode {
 
     fn scaled(&self, us: u64) -> u64 {
         (us as f64 * self.speed_factor) as u64
+    }
+
+    /// Durable-storage maintenance after each operation: mirror freshly
+    /// committed binlog entries (and position advances) into the WAL, fsync
+    /// on policy, checkpoint on policy — then convert the device work into
+    /// virtual time on this node's queue. Runs *before* the response's
+    /// service time is read, so the commit's durability cost is part of the
+    /// latency the middleware observes (group commit, in effect, when one
+    /// message carried several transactions). No-op without durability.
+    fn wal_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.engine.has_durability() {
+            return;
+        }
+        let m = self.engine.wal_maintain(self.applied_lsn.0, self.ordered_applied);
+        let io = self.engine.take_io();
+        let mut us = self.disk.io_us(io.bytes_written, io.bytes_read, io.fsyncs);
+        if let Some(rows) = m.checkpoint_rows {
+            // Snapshotting engine state costs the same CPU as a dump.
+            us += cost::DUMP_BASE_US + rows * cost::DUMP_ROW_US;
+        }
+        if us > 0 {
+            ctx.consume(self.scaled(us));
+        }
     }
 
     fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, op: DbOp) -> Option<DbResp> {
@@ -270,6 +352,18 @@ impl DbNode {
                         ctx.consume(self.scaled(cost::DUMP_BASE_US + rows * cost::DUMP_ROW_US));
                         self.applied_lsn = baseline;
                         self.ordered_applied = ordered_baseline;
+                        if self.engine.has_durability() {
+                            // A full resync replaces the in-memory state
+                            // wholesale; checkpoint immediately so a stale
+                            // on-disk image cannot resurrect pre-resync
+                            // state at the next crash. (Device IO is
+                            // charged by the wal_tick after this handler.)
+                            self.engine
+                                .wal_force_checkpoint(self.applied_lsn.0, self.ordered_applied);
+                            ctx.consume(
+                                self.scaled(cost::DUMP_BASE_US + rows * cost::DUMP_ROW_US),
+                            );
+                        }
                         Some(DbResp::RestoreOk { op })
                     }
                     Err(err) => Some(DbResp::ApplyErr { op, err }),
@@ -292,6 +386,7 @@ impl DbNode {
                     op,
                     applied_lsn: self.applied_lsn,
                     head: self.engine.binlog_head(),
+                    ordered_applied: self.ordered_applied,
                 })
             }
             DbOp::Disconnect { conn } => {
@@ -466,9 +561,12 @@ impl Actor<Msg> for DbNode {
                     return;
                 }
             }
-            if let Some(resp) = self.handle(ctx, op) {
+            let resp = self.handle(ctx, op);
+            self.wal_tick(ctx);
+            if let Some(resp) = resp {
                 // The response leaves only after this operation's own
-                // service time (accumulated via `consume`) has elapsed.
+                // service time (accumulated via `consume`) has elapsed —
+                // including the WAL append/fsync the operation caused.
                 let service = ctx.backlog_us();
                 let now = ctx.now().micros();
                 self.trace.record_detached(Stage::DbService, now, now + service);
@@ -478,9 +576,40 @@ impl Actor<Msg> for DbNode {
     }
 
     fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        // Crash semantics: every session is gone; open transactions abort.
-        // Durable state (tables, binlog, counters) survives.
         self.engine.set_clock(ctx.now().micros() as i64);
+        if self.engine.has_durability() {
+            // Real crash semantics: the in-memory engine died with the
+            // process, so EVERYTHING volatile is gone — sessions included;
+            // the rebuilt engine has no connections to tear down. What
+            // survives is exactly what the durable devices hold, mangled
+            // by the injected crash kind, and the node pays for reading it
+            // back (checkpoint load + WAL replay + device IO) in virtual
+            // time before it can answer a single ping. That busy window is
+            // the local, *measured* half of MTTR.
+            self.conns.clear();
+            self.repl_conn = None;
+            self.seen_ops.clear();
+            let kind = std::mem::replace(&mut self.pending_crash, CrashKind::Clean);
+            let entropy = ctx.rng().next_u64();
+            let report = self.engine.crash_recover(kind, entropy);
+            self.applied_lsn = Lsn(report.applied_lsn);
+            self.ordered_applied = report.ordered_applied;
+            let io = self.engine.take_io();
+            let mut cpu = report.replay_cpu_us;
+            if report.checkpoint_loaded {
+                cpu += cost::DUMP_BASE_US + report.checkpoint_rows * cost::DUMP_ROW_US;
+            }
+            let local_us =
+                self.scaled(cpu + self.disk.io_us(io.bytes_written, io.bytes_read, io.fsyncs));
+            ctx.consume(local_us);
+            let now = ctx.now().micros();
+            self.trace.record_detached(Stage::Replay, now, now + local_us);
+            self.last_recovery = Some(RecoveryInfo { kind, report, local_us, at_us: now });
+            return;
+        }
+        // Legacy (non-durable) crash semantics: every session is gone; open
+        // transactions abort. Durable state (tables, binlog, counters)
+        // survives by fiat — the engine itself is kept.
         // Disconnect in token order: map drain order varies per process,
         // and disconnect releases engine-side state (temp tables, open tx).
         let mut conns: Vec<(u64, ConnId)> = self.conns.drain().collect();

@@ -26,7 +26,7 @@ pub use balancer::{Balancer, Granularity, Policy};
 pub use certifier::{Certifier, CertifierStats, Verdict};
 pub use client::{Client, ClientConfig, ClientMetrics, ScriptSource, TxSource};
 pub use cluster::{Cluster, ClusterConfig};
-pub use db_node::DbNode;
+pub use db_node::{DbNode, RecoveryInfo};
 pub use fleet::{FleetConfig, FleetMetrics, SessionFleet};
 pub use health::{HealthEvent, HealthState, HealthTracker, QuarantineConfig};
 pub use metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};

@@ -103,6 +103,28 @@ pub enum ReadPolicy {
     /// up, bounded by `MwConfig::freshness_wait_max_us` (then
     /// wait-or-primary kicks in).
     Fresh,
+    /// Freshness routing with a slack of `k` positions: a replica qualifies
+    /// for a session's read when its applied position is within `k` of the
+    /// session's last committed write (`fresh_pos >= stamp - k`). `k = 0`
+    /// is exactly [`ReadPolicy::Fresh`]; larger `k` trades bounded
+    /// read-your-writes violations for fewer parked reads — the continuous
+    /// consistency/performance dial the paper's §3.3 taxonomy only samples
+    /// at its endpoints.
+    BoundedStaleness(u64),
+}
+
+impl ReadPolicy {
+    /// How far behind a session's write stamp a replica may be and still
+    /// serve its reads: `Some(0)` for [`ReadPolicy::Fresh`], `Some(k)` for
+    /// [`ReadPolicy::BoundedStaleness`], `None` when freshness routing is
+    /// off entirely.
+    pub fn freshness_slack(&self) -> Option<u64> {
+        match self {
+            ReadPolicy::Fresh => Some(0),
+            ReadPolicy::BoundedStaleness(k) => Some(*k),
+            ReadPolicy::Any | ReadPolicy::SessionSticky => None,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -1048,7 +1070,7 @@ impl Middleware {
 
     fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
         self.metrics.counters.reads += 1;
-        if self.cfg.read_policy == ReadPolicy::Fresh {
+        if self.cfg.read_policy.freshness_slack().is_some() {
             self.route_read_fresh(ctx, req, ms_mode);
             return;
         }
@@ -1187,9 +1209,11 @@ impl Middleware {
         }
     }
 
-    /// Has `b` applied this session's last committed write?
+    /// Has `b` applied this session's last committed write — or come within
+    /// the policy's staleness slack of it?
     fn backend_fresh(&self, b: BackendId, stamp: u64, ms_mode: bool) -> bool {
-        stamp == 0 || self.fresh_pos(b, ms_mode) >= stamp
+        let need = stamp.saturating_sub(self.cfg.read_policy.freshness_slack().unwrap_or(0));
+        need == 0 || self.fresh_pos(b, ms_mode) >= need
     }
 
     /// Freshness-constrained read path. Mirrors `route_read`'s probe and
@@ -2162,8 +2186,8 @@ impl Middleware {
             }
             Pending::Ping { backend } => {
                 self.balancer.completed(backend);
-                if let DbResp::Pong { applied_lsn, head, .. } = resp {
-                    self.note_pong(ctx, backend, applied_lsn, head);
+                if let DbResp::Pong { applied_lsn, head, ordered_applied, .. } = resp {
+                    self.note_pong(ctx, backend, applied_lsn, head, ordered_applied);
                 }
             }
             Pending::ShipFetch => {
@@ -2460,8 +2484,11 @@ impl Middleware {
                 self.backend_failed(ctx, backend);
                 // A synthetic pong brings it straight back through recovery
                 // (the node itself is alive; only its state lagged).
+                // The node's durable ordered position is unknown here (no
+                // real pong was involved); u64::MAX defers to the
+                // middleware's own checkpoint.
                 let lsn = self.backends[backend.0].applied_lsn;
-                self.note_pong(ctx, backend, lsn, lsn);
+                self.note_pong(ctx, backend, lsn, lsn, u64::MAX);
             }
         }
         self.finish_ws_part(ctx, session, resp);
@@ -2721,7 +2748,14 @@ impl Middleware {
             .unwrap_or(self.cfg.heartbeat.timeout_us)
     }
 
-    fn note_pong(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, applied_lsn: Lsn, head: Lsn) {
+    fn note_pong(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        backend: BackendId,
+        applied_lsn: Lsn,
+        head: Lsn,
+        ordered_applied: u64,
+    ) {
         let now = ctx.now().micros();
         let was_down = self.backends[backend.0].state == BackendState::Down;
         self.touch_liveness(backend, now);
@@ -2737,7 +2771,7 @@ impl Middleware {
             self.recovery_started.insert(backend, now);
             match self.cfg.mode {
                 Mode::MasterSlave { .. } => self.start_full_resync(ctx, backend),
-                _ => self.start_log_recovery(ctx, backend),
+                _ => self.start_log_recovery(ctx, backend, ordered_applied),
             }
         }
     }
@@ -2912,8 +2946,15 @@ impl Middleware {
         lost
     }
 
-    fn start_log_recovery(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
-        let from = self.log.checkpoint_of(backend).unwrap_or(0);
+    /// `node_pos` is the ordered-statement position the node itself reports
+    /// as durably applied (its pong). With volatile-by-fiat nodes it is
+    /// always ≥ our checkpoint (the node cannot un-apply), so the `min` is
+    /// a no-op; with real durability a lossy crash (lost or torn WAL tail)
+    /// can leave the node *behind* what we saw acknowledged, and replaying
+    /// from our own checkpoint would silently skip the lost suffix — §4.4.2:
+    /// the database, not the middleware, knows what actually committed.
+    fn start_log_recovery(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, node_pos: u64) {
+        let from = self.log.checkpoint_of(backend).unwrap_or(0).min(node_pos);
         if std::env::var("REPLIMID_DEBUG").is_ok() {
             eprintln!("[{}us] start_log_recovery b{} from={from} head={}", ctx.now().micros(), backend.0, self.log.head());
         }

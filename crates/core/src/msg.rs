@@ -178,7 +178,16 @@ pub enum DbResp {
     DumpOut { op: u64, dump: Box<Dump>, head: Lsn },
     RestoreOk { op: u64 },
     ChecksumOut { op: u64, value: u64 },
-    Pong { op: u64, applied_lsn: Lsn, head: Lsn },
+    Pong {
+        op: u64,
+        applied_lsn: Lsn,
+        head: Lsn,
+        /// Highest ordered-statement sequence the node has durably applied.
+        /// After a lossy crash (lost/torn WAL tail) this can sit *below*
+        /// the middleware's recovery-log checkpoint for the backend; the
+        /// middleware must replay from the node's position, not its own.
+        ordered_applied: u64,
+    },
     ApplyOk { op: u64, applied_lsn: Lsn },
     ApplyErr { op: u64, err: SqlError },
 }

@@ -213,6 +213,15 @@ impl RecoveryLog {
     /// Estimate the *virtual* replay cost of a batch: serial replay costs
     /// the sum of per-entry costs; parallel replay costs the heaviest
     /// per-table-group chain (entries sharing any table serialize).
+    ///
+    /// This is a *model* — a flat per-entry price with no IO — kept for the
+    /// E9 what-if comparison of replay scheduling strategies. The MTTR
+    /// numbers reported by the durability experiments (E20) do not use it:
+    /// there, a restarted node pays the measured cost of loading its
+    /// checkpoint, scanning and re-executing its WAL suffix, and the
+    /// block-device time of both (`DbNode::on_restart`, `Stage::Replay`),
+    /// and the middleware-side rejoin window is clocked from real
+    /// recovery-log shipping.
     pub fn replay_cost_us(entries: &[LogEntry], mode: ReplayMode, per_entry_us: u64) -> u64 {
         match mode {
             ReplayMode::Serial => entries.len() as u64 * per_entry_us,

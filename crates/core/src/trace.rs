@@ -62,11 +62,15 @@ pub enum Stage {
     ClientRtt,
     /// Database-node busy window for one operation (queue + service time).
     DbService,
+    /// Database-node crash recovery: checkpoint load + WAL suffix replay +
+    /// durable-device IO, charged on restart (detached — recovery belongs
+    /// to no client transaction).
+    Replay,
     /// Residual time no stage claimed (tiling catch-all; should stay 0).
     Other,
 }
 
-pub const N_STAGES: usize = 14;
+pub const N_STAGES: usize = 15;
 
 impl Stage {
     pub const ALL: [Stage; N_STAGES] = [
@@ -83,6 +87,7 @@ impl Stage {
         Stage::Rollback,
         Stage::ClientRtt,
         Stage::DbService,
+        Stage::Replay,
         Stage::Other,
     ];
 
@@ -101,7 +106,8 @@ impl Stage {
             Stage::Rollback => 10,
             Stage::ClientRtt => 11,
             Stage::DbService => 12,
-            Stage::Other => 13,
+            Stage::Replay => 13,
+            Stage::Other => 14,
         }
     }
 
@@ -120,6 +126,7 @@ impl Stage {
             Stage::Rollback => "rollback",
             Stage::ClientRtt => "client-rtt",
             Stage::DbService => "db-service",
+            Stage::Replay => "replay",
             Stage::Other => "other",
         }
     }

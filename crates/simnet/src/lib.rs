@@ -9,10 +9,12 @@
 //! (§5.1) asks for benchmarks that integrate fault injection and replayable
 //! workloads; a seeded simulation gives exactly that.
 
+pub mod disk;
 pub mod net;
 pub mod sim;
 pub mod time;
 
+pub use disk::DiskModel;
 pub use net::{Delivery, LinkFault, LinkSpec, NetworkModel, NodeId};
 pub use sim::{Actor, AnyActor, ControlOp, Ctx, Sim, SimStats};
 pub use time::{dur, SimTime};

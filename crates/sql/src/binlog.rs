@@ -89,6 +89,24 @@ impl Binlog {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Reposition an empty log at `head`, as if entries `1..=head` had been
+    /// written and purged. Crash recovery rebases the reborn binlog at the
+    /// checkpoint's head: peers further behind than the checkpoint get an
+    /// honest `read_after == None` and must full-resync.
+    pub fn rebase(&mut self, head: u64) {
+        self.entries.clear();
+        self.truncated = head;
+        self.next_lsn = head + 1;
+    }
+
+    /// Re-append a preserved entry with its original LSN (crash-recovery
+    /// replay). Entries must arrive in LSN order at the current head.
+    pub fn push_raw(&mut self, entry: BinlogEntry) {
+        debug_assert_eq!(entry.lsn.0, self.next_lsn, "raw push out of order");
+        self.next_lsn = entry.lsn.0 + 1;
+        self.entries.push(entry);
+    }
 }
 
 #[cfg(test)]

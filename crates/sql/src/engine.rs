@@ -24,6 +24,7 @@ use crate::result::{CommitInfo, Cost, ExecResult, Outcome};
 use crate::sequence::Sequences;
 use crate::storage::{Table, TableSchema};
 use crate::value::Value;
+use crate::wal::WalMaintain;
 use crate::writeset::{CounterSync, Writeset};
 
 /// How the engine reacts to a failed statement inside an explicit
@@ -72,6 +73,11 @@ pub struct EngineConfig {
     /// Engine major version, for heterogeneous-cluster experiments: queries
     /// can be gated on replica versions by the middleware.
     pub version: u32,
+    /// Durable storage ([`crate::wal`]): committed transactions mirror into
+    /// an on-"disk" WAL, periodic checkpoints truncate it, and crash
+    /// recovery replays the suffix. `None` (the default) keeps the
+    /// pre-durability behavior where state survives crashes by fiat.
+    pub durability: Option<crate::wal::DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +92,7 @@ impl Default for EngineConfig {
             apply_counter_sync: false,
             features: FeatureSet::default(),
             version: 1,
+            durability: None,
         }
     }
 }
@@ -143,11 +150,13 @@ pub struct Engine {
     binlog: Binlog,
     sessions: HashMap<ConnId, Session>,
     next_conn: u64,
+    durable: Option<crate::wal::DurableStore>,
 }
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Self {
         let det = Determinism::new(config.seed);
+        let durable = config.durability.map(crate::wal::DurableStore::new);
         Engine {
             config,
             catalog: Catalog::new(),
@@ -158,6 +167,7 @@ impl Engine {
             binlog: Binlog::new(),
             sessions: HashMap::new(),
             next_conn: 1,
+            durable,
         }
     }
 
@@ -919,6 +929,191 @@ impl Engine {
             self.auth.restore_users(users.clone());
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durable storage (crate::wal): WAL mirroring, checkpoints, recovery
+    // ------------------------------------------------------------------
+
+    pub fn has_durability(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Mirror newly committed binlog entries into the WAL, record changed
+    /// replication positions, fsync per policy, and checkpoint per policy.
+    /// The node actor calls this after every operation and converts the
+    /// accumulated [`IoCounters`] into virtual time. No-op without
+    /// durability.
+    pub fn wal_maintain(&mut self, applied_lsn: u64, ordered_applied: u64) -> WalMaintain {
+        let mut out = WalMaintain::default();
+        let Some(store) = self.durable.as_mut() else {
+            return out;
+        };
+        let head = self.binlog.head().0;
+        if head > store.logged_head {
+            match self.binlog.read_after(Lsn(store.logged_head)) {
+                Some(entries) => {
+                    for e in entries {
+                        store.append_commit(e, applied_lsn, ordered_applied);
+                        out.appended += 1;
+                    }
+                }
+                // The binlog was purged past the mirror cursor (maintenance
+                // skipped across a truncation): resume at the current head.
+                None => store.logged_head = head,
+            }
+        } else if store.meta_changed(applied_lsn, ordered_applied) {
+            store.append_meta(applied_lsn, ordered_applied);
+            out.appended += 1;
+        }
+        store.maybe_fsync();
+        if store.should_checkpoint() {
+            out.checkpoint_rows = Some(self.wal_force_checkpoint(applied_lsn, ordered_applied));
+        }
+        out
+    }
+
+    /// Snapshot current state to the checkpoint device and truncate the
+    /// WAL, regardless of the periodic policy. Returns rows snapshotted
+    /// (for CPU cost accounting). No-op without durability.
+    pub fn wal_force_checkpoint(&mut self, applied_lsn: u64, ordered_applied: u64) -> u64 {
+        if self.durable.is_none() {
+            return 0;
+        }
+        let dump = self.dump(DumpOptions::full());
+        let rows = dump.row_count();
+        let c = crate::wal::Checkpoint {
+            dump,
+            applied_lsn,
+            ordered_applied,
+            binlog_head: self.binlog.head().0,
+        };
+        if let Some(store) = self.durable.as_mut() {
+            store.install_checkpoint(&c);
+        }
+        rows
+    }
+
+    /// Drain IO work performed since the last drain (node actors convert
+    /// this to virtual disk time).
+    pub fn take_io(&mut self) -> crate::wal::IoCounters {
+        self.durable.as_mut().map(|s| s.take_io()).unwrap_or_default()
+    }
+
+    pub fn wal_stats(&self) -> Option<crate::wal::WalStats> {
+        self.durable.as_ref().map(|s| s.stats())
+    }
+
+    /// Die and come back: apply crash semantics to the durable devices,
+    /// rebuild the engine from the latest checkpoint, truncate any torn
+    /// tail at the first bad checksum, and replay the surviving WAL suffix.
+    /// Returns what recovery measured; the caller charges IO + CPU time
+    /// and resyncs the remainder from peers.
+    pub fn crash_recover(
+        &mut self,
+        kind: crate::wal::CrashKind,
+        entropy: u64,
+    ) -> crate::wal::RecoveryReport {
+        let mut store = self.durable.take().expect("crash_recover requires durability");
+        store.crash(kind, entropy);
+        let (checkpoint, records, torn) = store.load();
+
+        // Rebirth: every byte of volatile state is gone; only the two
+        // device images survive.
+        let config = self.config.clone();
+        *self = Engine::new(EngineConfig { durability: None, ..config.clone() });
+        self.config = config;
+
+        let mut report =
+            crate::wal::RecoveryReport { torn_truncated: torn, ..Default::default() };
+        if let Some(c) = &checkpoint {
+            self.restore(&c.dump).expect("checkpoint restore");
+            self.binlog.rebase(c.binlog_head);
+            report.checkpoint_loaded = true;
+            report.checkpoint_rows = c.dump.row_count();
+            report.applied_lsn = c.applied_lsn;
+            report.ordered_applied = c.ordered_applied;
+        }
+
+        // Replay the suffix with binlog appends suppressed: each replayed
+        // entry is re-pushed verbatim afterwards, so the reborn binlog
+        // holds the original statements/writesets, not a paraphrase.
+        let binlog_was = self.config.binlog;
+        self.config.binlog = false;
+        let mut replay_conn: Option<ConnId> = None;
+        for rec in &records {
+            match rec {
+                crate::wal::WalRecord::Commit { entry, applied_lsn, ordered_applied } => {
+                    if entry.lsn.0 > self.binlog.head().0 {
+                        if !entry.writeset.is_empty() {
+                            let r = self
+                                .apply_writeset(&entry.writeset)
+                                .expect("WAL writeset replay against own checkpoint");
+                            report.replay_cpu_us +=
+                                r.cost.cpu_us.max(entry.writeset.len() as u64 * 4);
+                        } else {
+                            // Statement-only entries are auto-committed DDL.
+                            let conn = match replay_conn {
+                                Some(c) => c,
+                                None => {
+                                    let c = self
+                                        .connect(ADMIN_USER, crate::auth::ADMIN_PASSWORD)
+                                        .expect("replay connection");
+                                    replay_conn = Some(c);
+                                    c
+                                }
+                            };
+                            if let Some(db) = &entry.default_db {
+                                self.execute(conn, &format!("USE {db}"))
+                                    .expect("WAL replay USE");
+                            }
+                            for stmt in &entry.statements {
+                                let r =
+                                    self.execute(conn, stmt).expect("WAL DDL replay");
+                                report.replay_cpu_us += r.cost.cpu_us;
+                            }
+                        }
+                        self.binlog.push_raw(entry.clone());
+                        report.entries_replayed += 1;
+                    }
+                    report.applied_lsn = report.applied_lsn.max(*applied_lsn);
+                    report.ordered_applied = report.ordered_applied.max(*ordered_applied);
+                }
+                crate::wal::WalRecord::Meta { applied_lsn, ordered_applied } => {
+                    report.applied_lsn = report.applied_lsn.max(*applied_lsn);
+                    report.ordered_applied = report.ordered_applied.max(*ordered_applied);
+                }
+            }
+        }
+        if let Some(c) = replay_conn {
+            self.disconnect(c);
+        }
+        self.config.binlog = binlog_was;
+        store.rearm(self.binlog.head().0, report.applied_lsn, report.ordered_applied);
+        self.durable = Some(store);
+        report
+    }
+
+    /// Operator-facing backup: the full engine state in the exact byte
+    /// format crash recovery consumes ([`crate::wal::Checkpoint`]).
+    pub fn snapshot_bytes(&self, applied_lsn: u64, ordered_applied: u64) -> Vec<u8> {
+        let c = crate::wal::Checkpoint {
+            dump: self.dump(DumpOptions::full()),
+            applied_lsn,
+            ordered_applied,
+            binlog_head: self.binlog.head().0,
+        };
+        crate::wal::encode_checkpoint(&c)
+    }
+
+    /// Operator-facing restore from [`Engine::snapshot_bytes`] output (or a
+    /// checkpoint image lifted off a replica's durable device). Returns the
+    /// `(applied_lsn, ordered_applied)` positions the snapshot covers.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(u64, u64), SqlError> {
+        let c = crate::wal::decode_checkpoint(bytes)
+            .map_err(|e| SqlError::Internal(format!("snapshot decode: {e}")))?;
+        self.restore(&c.dump)?;
+        Ok((c.applied_lsn, c.ordered_applied))
     }
 
     /// Vacuum all tables (routine maintenance, §4.4.4). Returns versions

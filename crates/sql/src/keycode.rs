@@ -1,0 +1,197 @@
+//! Order-preserving key encoding for the durable log ([`crate::wal`]).
+//!
+//! Record keys on disk must compare in the same order as the logical
+//! positions they encode so a recovery scan (or a future range lookup over
+//! checkpoint segments) can treat the byte stream as already sorted — the
+//! same contract toydb's `keycode` and bitcask-style indexes rely on.
+//!
+//! Encodings (all comparisons are on the raw encoded bytes):
+//! - `u64`: big-endian — byte order equals numeric order.
+//! - `i64`: sign bit flipped, then big-endian — negative numbers sort
+//!   before positive ones.
+//! - bytes / strings: every `0x00` input byte is escaped as `0x00 0xff`,
+//!   and the value is terminated with `0x00 0x00`. A shared prefix thus
+//!   sorts before any extension, and no encoded value is a prefix of
+//!   another.
+
+/// Errors from the decoding half. The WAL treats any decode failure at the
+/// tail of the log as a torn write (truncate and move on); anywhere else it
+/// is corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeycodeError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// An escape sequence other than `00 ff` / terminator `00 00`.
+    BadEscape,
+    /// Decoded bytes were not valid UTF-8 (string decoding only).
+    BadUtf8,
+}
+
+/// Append the order-preserving encoding of `v` to `out`.
+pub fn encode_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Decode a `u64` written by [`encode_u64`]; returns the value and the rest
+/// of the input.
+pub fn decode_u64(input: &[u8]) -> Result<(u64, &[u8]), KeycodeError> {
+    if input.len() < 8 {
+        return Err(KeycodeError::Truncated);
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&input[..8]);
+    Ok((u64::from_be_bytes(buf), &input[8..]))
+}
+
+/// Append the order-preserving encoding of `v` to `out` (sign bit flipped so
+/// the byte order matches signed order).
+pub fn encode_i64(out: &mut Vec<u8>, v: i64) {
+    encode_u64(out, (v as u64) ^ (1 << 63));
+}
+
+/// Decode an `i64` written by [`encode_i64`].
+pub fn decode_i64(input: &[u8]) -> Result<(i64, &[u8]), KeycodeError> {
+    let (raw, rest) = decode_u64(input)?;
+    Ok(((raw ^ (1 << 63)) as i64, rest))
+}
+
+/// Append the escaped, terminated encoding of `bytes` to `out`.
+pub fn encode_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    for &b in bytes {
+        if b == 0x00 {
+            out.push(0x00);
+            out.push(0xff);
+        } else {
+            out.push(b);
+        }
+    }
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Decode a byte string written by [`encode_bytes`]; returns the value and
+/// the rest of the input.
+pub fn decode_bytes(input: &[u8]) -> Result<(Vec<u8>, &[u8]), KeycodeError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    loop {
+        match input.get(i) {
+            None => return Err(KeycodeError::Truncated),
+            Some(0x00) => match input.get(i + 1) {
+                None => return Err(KeycodeError::Truncated),
+                Some(0x00) => return Ok((out, &input[i + 2..])),
+                Some(0xff) => {
+                    out.push(0x00);
+                    i += 2;
+                }
+                Some(_) => return Err(KeycodeError::BadEscape),
+            },
+            Some(&b) => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Append the encoding of a UTF-8 string (same representation as
+/// [`encode_bytes`] over its bytes).
+pub fn encode_str(out: &mut Vec<u8>, s: &str) {
+    encode_bytes(out, s.as_bytes());
+}
+
+/// Decode a string written by [`encode_str`].
+pub fn decode_str(input: &[u8]) -> Result<(String, &[u8]), KeycodeError> {
+    let (bytes, rest) = decode_bytes(input)?;
+    let s = String::from_utf8(bytes).map_err(|_| KeycodeError::BadUtf8)?;
+    Ok((s, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use replimid_det::detcheck;
+
+    fn u64_bytes(v: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_u64(&mut out, v);
+        out
+    }
+
+    fn i64_bytes(v: i64) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_i64(&mut out, v);
+        out
+    }
+
+    fn str_bytes(s: &str) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_str(&mut out, s);
+        out
+    }
+
+    /// Known-answer vectors pin the on-disk representation: changing any of
+    /// these silently breaks every existing WAL/checkpoint image.
+    #[test]
+    fn kat_vectors() {
+        assert_eq!(u64_bytes(0), [0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(u64_bytes(1), [0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(u64_bytes(0x0102_0304_0506_0708), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(u64_bytes(u64::MAX), [0xff; 8]);
+
+        assert_eq!(i64_bytes(i64::MIN), [0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(i64_bytes(-1), [0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]);
+        assert_eq!(i64_bytes(0), [0x80, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(i64_bytes(1), [0x80, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(i64_bytes(i64::MAX), [0xff; 8]);
+
+        assert_eq!(str_bytes(""), [0x00, 0x00]);
+        assert_eq!(str_bytes("ab"), [b'a', b'b', 0x00, 0x00]);
+        let mut nul = Vec::new();
+        encode_bytes(&mut nul, &[0x00, 0x01]);
+        assert_eq!(nul, [0x00, 0xff, 0x01, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn decode_round_trips_and_rejects_garbage() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            let enc = u64_bytes(v);
+            assert_eq!(decode_u64(&enc).unwrap(), (v, &[][..]));
+        }
+        for v in [i64::MIN, -7, 0, 7, i64::MAX] {
+            let enc = i64_bytes(v);
+            assert_eq!(decode_i64(&enc).unwrap(), (v, &[][..]));
+        }
+        assert_eq!(decode_u64(&[1, 2, 3]), Err(KeycodeError::Truncated));
+        assert_eq!(decode_bytes(b"a"), Err(KeycodeError::Truncated));
+        assert_eq!(decode_bytes(&[0x00, 0x07]), Err(KeycodeError::BadEscape));
+        assert_eq!(decode_str(&[0xc3, 0x28, 0x00, 0x00]), Err(KeycodeError::BadUtf8));
+    }
+
+    #[test]
+    fn encoding_preserves_order() {
+        detcheck::check("keycode_u64_order", 300, |rng| {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            assert_eq!(a.cmp(&b), u64_bytes(a).cmp(&u64_bytes(b)));
+        });
+        detcheck::check("keycode_i64_order", 300, |rng| {
+            let a = rng.next_u64() as i64;
+            let b = rng.next_u64() as i64;
+            assert_eq!(a.cmp(&b), i64_bytes(a).cmp(&i64_bytes(b)));
+        });
+        detcheck::check("keycode_bytes_order", 300, |rng| {
+            let n = rng.gen_range(0..6) as usize;
+            let m = rng.gen_range(0..6) as usize;
+            let a: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4) as u8).collect();
+            let b: Vec<u8> = (0..m).map(|_| rng.gen_range(0..4) as u8).collect();
+            let mut ea = Vec::new();
+            let mut eb = Vec::new();
+            encode_bytes(&mut ea, &a);
+            encode_bytes(&mut eb, &b);
+            assert_eq!(a.cmp(&b), ea.cmp(&eb), "a={a:?} b={b:?}");
+            let (da, rest) = decode_bytes(&ea).unwrap();
+            assert_eq!((da, rest.len()), (a, 0));
+        });
+    }
+}

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod keycode;
 pub mod lexer;
 pub mod mvcc;
 pub mod nondeterminism;
@@ -57,6 +58,7 @@ pub mod result;
 pub mod sequence;
 pub mod storage;
 pub mod value;
+pub mod wal;
 pub mod writeset;
 
 pub use ast::{IsolationLevel, Privilege, Statement};
@@ -70,4 +72,7 @@ pub use nondeterminism::{analyze, rewrite_scalar_rand, rewrite_time_macros, Tain
 pub use parser::{parse_statement, parse_statements};
 pub use result::{Cost, ExecResult, Outcome, ResultSet};
 pub use value::{DataType, Value};
+pub use wal::{
+    Checkpoint, CrashKind, DurabilityConfig, IoCounters, RecoveryReport, WalStats,
+};
 pub use writeset::{Writeset, WsKey};

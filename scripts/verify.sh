@@ -11,6 +11,10 @@
 #   7. freshness trajectory: re-measure the E19 session-scale corner
 #      points under ReadPolicy::Fresh and write BENCH_pr6.json (read tps
 #      + p50/p99 at 10^3 and 10^5 sessions; asserts zero RYW violations)
+#   8. durability trajectory: run the crash matrix (clean / lost-tail /
+#      torn-tail x checkpoint interval) and write BENCH_pr7.json (MTTR
+#      p50/p99 + replay entries/sec per interval; the bin asserts zero
+#      committed-transaction loss in every episode)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -102,5 +106,14 @@ echo "verify: perf trajectory OK (BENCH_pr5.json written)"
 # at both points, so this doubles as a read-your-writes gate.
 cargo run --release -q --offline -p replimid-bench --bin bench_pr6
 echo "verify: freshness trajectory OK (BENCH_pr6.json written)"
+
+# --- 8. Durability trajectory -------------------------------------------
+# The PR 7 crash matrix: every (crash kind x checkpoint interval) episode
+# crashes a durable backend mid-load, restarts it, and requires the
+# recovered replica to reconverge with its peers — zero committed loss —
+# while measuring MTTR (checkpoint load + WAL replay + rejoin) in virtual
+# time. Fails loudly if any episode diverges.
+cargo run --release -q --offline -p replimid-bench --bin bench_pr7
+echo "verify: durability trajectory OK (BENCH_pr7.json written)"
 
 echo "verify: OK"
