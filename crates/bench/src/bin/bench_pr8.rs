@@ -1,0 +1,168 @@
+//! PR8 perf trajectory: the statement-processing fast path (parse-once
+//! admission, plan cache, parsed-statement fan-out), emitted as
+//! `BENCH_pr8.json` so successive PRs can track the pipeline's cost
+//! instead of eyeballing the E17/E21 tables.
+//!
+//! Three measurements:
+//!
+//! * stage attribution — the E18 insert mix (8 templates, fresh literals
+//!   every statement) under group commit 32/200µs with the plan cache off
+//!   vs on; Admission + Execute stage-µs from the middleware trace, the
+//!   combined cut, and the cache hit rate. The off arm is also run twice
+//!   and must be bit-identical: `plan_cache = 0` is the compatibility arm
+//!   and must not perturb one message, cost, or decision;
+//! * E18 corner points — write tps at (low, saturated) load x (batch off,
+//!   batch 32/1000µs), each with the cache off and on;
+//! * wall-clock parser microbenches (`bench::timing`; middleware CPU is
+//!   outside the simulator's cost model) — `parse_statement` vs the
+//!   cache's hit path (normalize+bind) vs its miss path (normalize+
+//!   template parse+bind). For one-row statements a hit costs about the
+//!   same as one plain parse (binding clones the template, cancelling
+//!   the parse saving) and about half a miss; the pipeline's wall-clock
+//!   win is the three downstream parses it removes (delivery-time table
+//!   extraction, certification, and every backend), which accrue on hit
+//!   and miss alike.
+//!
+//! Usage:
+//!   cargo run --release -p replimid-bench --bin bench_pr8
+//!
+//! With `--test` every simulated arm runs 1s and no JSON is written,
+//! matching the other timing benches.
+
+use replimid_bench::{group_commit_cfg, run_and_drain, timing, tps, ShardedInsert};
+use replimid_core::{Cluster, MwMetrics, Stage};
+use replimid_sql::{bind, normalize, parse_statement, CachedPlan};
+
+/// The E17-appendix stage arm: single-row inserts over 8 disjoint tables,
+/// 32 closed-loop clients under group commit 32/200µs, plan cache as given
+/// (0 = off). Batching amortizes the network hop, so the Execute span is
+/// mostly backend CPU and the parse share is visible.
+fn stage_arm(plan_cache: usize, secs: u64) -> MwMetrics {
+    let mut cfg = group_commit_cfg(32, 200);
+    cfg.mw.plan_cache = plan_cache;
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..32 {
+        cluster.add_client(ShardedInsert::new(10_000_000 * (i as i64 + 1)), |cc| {
+            cc.think_time_us = 100;
+            cc.request_timeout_us = 2_000_000;
+        });
+    }
+    run_and_drain(&mut cluster, secs);
+    cluster.mw_metrics(0)
+}
+
+/// One E18 corner: the group-commit insert workload at the given load and
+/// batch knobs, returning the write tps.
+fn corner(clients: usize, think_us: u64, batch_max: usize, deadline_us: u64, plan_cache: usize, secs: u64) -> f64 {
+    let mut cfg = group_commit_cfg(batch_max, deadline_us);
+    cfg.mw.plan_cache = plan_cache;
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..clients {
+        cluster.add_client(ShardedInsert::new(10_000_000 * (i as i64 + 1)), |cc| {
+            cc.think_time_us = think_us;
+            cc.request_timeout_us = 2_000_000;
+        });
+    }
+    run_and_drain(&mut cluster, secs);
+    tps(cluster.mw_metrics(0).counters.writes, secs)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let secs: u64 = if test_mode { 1 } else { 5 };
+
+    // -- stage attribution, cache off vs on ----------------------------
+    let off = stage_arm(0, secs);
+    let off2 = stage_arm(0, secs);
+    // The compatibility arm must be deterministic and cache-silent.
+    assert_eq!(off.counters, off2.counters, "cache-off arm is not bit-identical across reruns");
+    let t1: Vec<_> = off.trace.completed().cloned().collect();
+    let t2: Vec<_> = off2.trace.completed().cloned().collect();
+    assert_eq!(t1, t2, "cache-off arm traces differ across reruns");
+    assert_eq!(
+        off.counters.plan_cache_hits + off.counters.plan_cache_misses,
+        0,
+        "cache-off arm consulted the plan cache"
+    );
+    let on = stage_arm(256, secs);
+    let lookups = on.counters.plan_cache_hits + on.counters.plan_cache_misses;
+    assert!(on.counters.plan_cache_hits > 0, "plan cache never hit on an 8-template mix");
+    let hit_rate = on.counters.plan_cache_hits as f64 / lookups.max(1) as f64;
+
+    let sum2 = |m: &MwMetrics| {
+        let a = m.trace.stage_histogram(Stage::Admission);
+        let e = m.trace.stage_histogram(Stage::Execute);
+        (a.sum_us(), e.sum_us(), e.count(), e.mean_us())
+    };
+    let (adm_off, exec_off, n_off, mean_off) = sum2(&off);
+    let (adm_on, exec_on, n_on, mean_on) = sum2(&on);
+    let comb_off = adm_off + exec_off;
+    let comb_on = adm_on + exec_on;
+    let cut = 100.0 * comb_off.saturating_sub(comb_on) as f64 / comb_off.max(1) as f64;
+    println!(
+        "stage Admission+Execute: {:.1} ms off -> {:.1} ms on ({cut:.1}% cut), \
+         Execute mean {mean_off:.0} -> {mean_on:.0} µs ({n_off}/{n_on} spans), \
+         hit rate {:.1}%",
+        comb_off as f64 / 1e3,
+        comb_on as f64 / 1e3,
+        100.0 * hit_rate,
+    );
+
+    // -- E18 corner points ---------------------------------------------
+    let corners: [(&str, usize, u64, usize, u64); 4] = [
+        ("low/batch-off", 2, 5_000, 1, 0),
+        ("low/batch-32", 2, 5_000, 32, 1_000),
+        ("saturated/batch-off", 32, 100, 1, 0),
+        ("saturated/batch-32", 32, 100, 32, 1_000),
+    ];
+    let mut corner_rows = Vec::new();
+    for (label, clients, think_us, batch, ddl) in corners {
+        let t_off = corner(clients, think_us, batch, ddl, 0, secs);
+        let t_on = corner(clients, think_us, batch, ddl, 256, secs);
+        println!(
+            "corner {label}: {t_off:.0} tps off -> {t_on:.0} tps on ({:.2}x)",
+            t_on / t_off.max(1e-9)
+        );
+        corner_rows.push(format!(
+            "    {{\"corner\": \"{label}\", \"write_tps_cache_off\": {t_off:.0}, \
+             \"write_tps_cache_on\": {t_on:.0}}}"
+        ));
+    }
+
+    // -- wall-clock: the admission paths side by side ------------------
+    // (Non-deterministic, stdout only — the JSON stays seed-reproducible.)
+    let sql = "INSERT INTO t3 VALUES (10000042, 1)";
+    let nf = normalize(sql).expect("normalizable");
+    let plan = CachedPlan::prepare(&nf).expect("template parses");
+    let mut r = timing::Runner::from_args();
+    r.bench("parse_statement (cache off)", 20_000, || {
+        std::hint::black_box(parse_statement(std::hint::black_box(sql)).unwrap());
+    });
+    r.bench("normalize+bind (cache hit)", 20_000, || {
+        let nf = normalize(std::hint::black_box(sql)).unwrap();
+        std::hint::black_box(bind(&plan.template, &nf.params).unwrap());
+    });
+    r.bench("normalize+prepare+bind (miss)", 20_000, || {
+        let nf = normalize(std::hint::black_box(sql)).unwrap();
+        let p = CachedPlan::prepare(&nf).unwrap();
+        std::hint::black_box(bind(&p.template, &nf.params).unwrap());
+    });
+    r.finish();
+
+    if !test_mode {
+        let json = format!(
+            "{{\n  \"bench\": \"pr8_statement_fast_path\",\n  \
+             \"stage_us\": {{\"admission_off\": {adm_off}, \"execute_off\": {exec_off}, \
+             \"admission_on\": {adm_on}, \"execute_on\": {exec_on}, \
+             \"combined_cut_pct\": {cut:.1}}},\n  \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate_pct\": {:.1}}},\n  \
+             \"e18_corners\": [\n{}\n  ]\n}}\n",
+            on.counters.plan_cache_hits,
+            on.counters.plan_cache_misses,
+            100.0 * hit_rate,
+            corner_rows.join(",\n"),
+        );
+        std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+        println!("wrote BENCH_pr8.json");
+    }
+}

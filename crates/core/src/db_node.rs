@@ -248,6 +248,51 @@ impl DbNode {
                 };
                 Some(resp)
             }
+            DbOp::ExecutePlan { op, conn, plan, seq } => {
+                if let Some(sq) = seq {
+                    if sq <= self.ordered_applied {
+                        // Already applied before a failure was declared:
+                        // idempotent skip (same contract as `Execute`).
+                        return Some(DbResp::ExecOk {
+                            op,
+                            body: ReplyBody::Ack,
+                            commit: None,
+                            tainted: false,
+                        });
+                    }
+                }
+                let resp = match plan.bind().and_then(|stmt| {
+                    let c = self.conn_for(conn)?;
+                    self.engine.execute_prepared(c, &stmt)
+                }) {
+                    Ok(res) => {
+                        ctx.consume(self.scaled(res.cost.cpu_us));
+                        let body = match res.outcome {
+                            Outcome::Rows(rs) => ReplyBody::Rows(rs),
+                            Outcome::Affected(n) => ReplyBody::Affected(n),
+                            Outcome::Ack => ReplyBody::Ack,
+                        };
+                        let commit = res.commit.map(|c| CommitNote {
+                            writeset: c.writeset,
+                            lsn: self.engine.binlog_head(),
+                        });
+                        if let Some(sq) = seq {
+                            self.ordered_applied = self.ordered_applied.max(sq);
+                        }
+                        DbResp::ExecOk { op, body, commit, tainted: res.tainted }
+                    }
+                    Err(err) => {
+                        // No SQL text arrived, so no parse happened even on
+                        // the error path.
+                        ctx.consume(self.scaled(
+                            replimid_sql::result::cost_model::STATEMENT_BASE_US
+                                - replimid_sql::result::cost_model::PARSE_US,
+                        ));
+                        DbResp::ExecErr { op, err }
+                    }
+                };
+                Some(resp)
+            }
             DbOp::ExecuteBatch { op, stmts } => {
                 let mut results = Vec::with_capacity(stmts.len());
                 // Per-statement table sets for the parallel-replay grouping:
@@ -301,6 +346,63 @@ impl DbNode {
                         Err(err) => {
                             tables.push(vec![("\0conn".into(), stmt.conn.to_string())]);
                             costs.push(replimid_sql::result::cost_model::STATEMENT_BASE_US);
+                            results.push(BatchExecResult::Err { err });
+                        }
+                    }
+                }
+                ctx.consume(self.scaled(grouped_chain_cost(&tables, &costs)));
+                Some(DbResp::ExecBatchOut { op, results })
+            }
+            DbOp::ExecuteBatchPlan { op, stmts } => {
+                // Prepared-statement twin of `ExecuteBatch`: same grouped
+                // cost model, same idempotence, but each statement binds a
+                // shipped template instead of being parsed.
+                let mut results = Vec::with_capacity(stmts.len());
+                let mut tables: Vec<Vec<(String, String)>> = Vec::new();
+                let mut costs: Vec<u64> = Vec::new();
+                for stmt in stmts {
+                    if let Some(sq) = stmt.seq {
+                        if sq <= self.ordered_applied {
+                            results.push(BatchExecResult::Ok {
+                                body: ReplyBody::Ack,
+                                commit: None,
+                                tainted: false,
+                            });
+                            continue;
+                        }
+                    }
+                    match stmt.plan.bind().and_then(|bound| {
+                        let c = self.conn_for(stmt.conn)?;
+                        self.engine.execute_prepared(c, &bound)
+                    }) {
+                        Ok(res) => {
+                            let body = match res.outcome {
+                                Outcome::Rows(rs) => ReplyBody::Rows(rs),
+                                Outcome::Affected(n) => ReplyBody::Affected(n),
+                                Outcome::Ack => ReplyBody::Ack,
+                            };
+                            let commit = res.commit.map(|c| CommitNote {
+                                writeset: c.writeset,
+                                lsn: self.engine.binlog_head(),
+                            });
+                            let mut tbls = commit
+                                .as_ref()
+                                .map(|c| c.writeset.tables())
+                                .unwrap_or_default();
+                            tbls.push(("\0conn".into(), stmt.conn.to_string()));
+                            tables.push(tbls);
+                            costs.push(res.cost.cpu_us);
+                            if let Some(sq) = stmt.seq {
+                                self.ordered_applied = self.ordered_applied.max(sq);
+                            }
+                            results.push(BatchExecResult::Ok { body, commit, tainted: res.tainted });
+                        }
+                        Err(err) => {
+                            tables.push(vec![("\0conn".into(), stmt.conn.to_string())]);
+                            costs.push(
+                                replimid_sql::result::cost_model::STATEMENT_BASE_US
+                                    - replimid_sql::result::cost_model::PARSE_US,
+                            );
                             results.push(BatchExecResult::Err { err });
                         }
                     }
@@ -538,7 +640,9 @@ fn grouped_chain_cost(tables: &[Vec<(String, String)>], costs: &[u64]) -> u64 {
 fn op_id(op: &DbOp) -> Option<u64> {
     match op {
         DbOp::Execute { op, .. }
+        | DbOp::ExecutePlan { op, .. }
         | DbOp::ExecuteBatch { op, .. }
+        | DbOp::ExecuteBatchPlan { op, .. }
         | DbOp::PrepareWriteset { op, .. }
         | DbOp::ApplyWriteset { op, .. }
         | DbOp::ApplyBinlog { op, .. }

@@ -56,6 +56,12 @@ pub struct FleetConfig {
     /// Give up on a request after this long (counted as an error; the
     /// slot moves on so one lost reply cannot wedge it forever).
     pub request_timeout_us: u64,
+    /// Every Nth slot (N > 0, slot index ≠ 0) becomes a pure *observer*:
+    /// it never writes and reads its left neighbor's key instead of its
+    /// own. Observers are the monotonic-reads litmus — they have no writes
+    /// for a read-your-writes stamp to anchor to, so only a per-session
+    /// read floor can keep their view from going backwards. 0 = off.
+    pub observer_every: usize,
 }
 
 impl FleetConfig {
@@ -70,6 +76,7 @@ impl FleetConfig {
             churn_every: 0,
             keys_per_table: 0,
             request_timeout_us: 2_000_000,
+            observer_every: 0,
         }
     }
 }
@@ -83,6 +90,11 @@ pub struct FleetMetrics {
     /// Reads that observed a value older than the slot's last acknowledged
     /// write — must be 0 whenever the read policy guarantees RYW.
     pub ryw_violations: u64,
+    /// Reads that observed a value older than one a *previous read* of the
+    /// same session returned — the session went backwards in time. Must be
+    /// 0 under `ReadPolicy::MonotonicReads` (and under Fresh, which is
+    /// strictly stronger); `Any` routing produces these freely.
+    pub monotonic_violations: u64,
     /// Sessions torn down by churn.
     pub sessions_ended: u64,
     pub read_latency: Histogram,
@@ -105,6 +117,11 @@ struct Slot {
     next_val: u64,
     /// Highest value acknowledged as committed — the RYW floor.
     acked_val: u64,
+    /// Highest value any read has returned — the monotonic-reads floor.
+    /// Distinct from `acked_val`: a read can observe another slot's-epoch
+    /// value (after churn) or simply a replica ahead of the session's own
+    /// writes, and monotonicity must hold from there on.
+    last_seen_val: u64,
     pending: Option<PendingOp>,
     ops_done: u64,
     /// Monotone timer generation: a firing whose encoded epoch is older
@@ -131,6 +148,7 @@ impl SessionFleet {
                 stmt_seq: 0,
                 next_val: 1,
                 acked_val: 0,
+                last_seen_val: 0,
                 pending: None,
                 ops_done: 0,
                 epoch: 0,
@@ -157,11 +175,17 @@ impl SessionFleet {
         // Deterministic per-op read/write mix (no RNG: the decision must
         // not perturb shared RNG state consumed by other actors).
         let slot = &self.slots[slot_idx];
+        let observer = self.cfg.observer_every > 0
+            && slot_idx > 0
+            && slot_idx.is_multiple_of(self.cfg.observer_every);
         let mix = (slot.session.wrapping_mul(1_000_003) ^ slot.ops_done.wrapping_mul(97)) % 1_000;
-        let write = (mix as u32) < self.cfg.write_permille;
+        let write = !observer && (mix as u32) < self.cfg.write_permille;
+        // Observers watch the neighbor's key; its values are monotone (the
+        // neighbor writes them), so the monotonic check stays exact.
+        let key_idx = if observer { slot_idx - 1 } else { slot_idx };
         let (table, key) = match self.cfg.keys_per_table {
-            0 => ("bench".to_string(), slot_idx),
-            kpt => (format!("bench_{}", slot_idx / kpt), slot_idx % kpt),
+            0 => ("bench".to_string(), key_idx),
+            kpt => (format!("bench_{}", key_idx / kpt), key_idx % kpt),
         };
         let slot = &mut self.slots[slot_idx];
         slot.stmt_seq += 1;
@@ -210,8 +234,10 @@ impl SessionFleet {
             slot.session = fresh;
             slot.stmt_seq = 0;
             // The data survives the session; the RYW floor does not (a new
-            // session has no writes of its own yet).
+            // session has no writes of its own yet), and neither does the
+            // monotonic floor — session guarantees are per-session.
             slot.acked_val = 0;
+            slot.last_seen_val = 0;
             slot.pending = None;
         }
         let think = self.cfg.think_time_us.max(1);
@@ -252,6 +278,16 @@ impl SessionFleet {
                                 );
                             }
                         }
+                        if (seen as u64) < slot.last_seen_val {
+                            self.metrics.monotonic_violations += 1;
+                            if std::env::var("REPLIMID_DEBUG").is_ok() {
+                                eprintln!(
+                                    "[fleet] monotonic violation t={now} session={session} key={slot_idx} seen={seen} floor={}",
+                                    slot.last_seen_val
+                                );
+                            }
+                        }
+                        slot.last_seen_val = slot.last_seen_val.max(seen as u64);
                     }
                 }
                 (_, Err(())) => {

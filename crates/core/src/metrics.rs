@@ -240,6 +240,14 @@ pub struct Counters {
     /// Parked reads whose wait deadline expired (served by the primary or
     /// failed as unavailable).
     pub freshness_wait_timeouts: u64,
+    /// Plan-cache lookups that found a prepared template (admission skipped
+    /// the parser; the backend skips it too via `ExecutePlan`).
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that missed (template prepared and inserted) or
+    /// hit an uncacheable statement shape.
+    pub plan_cache_misses: u64,
+    /// Prepared templates evicted by the cache's LRU bound.
+    pub plan_cache_evictions: u64,
 }
 
 /// Tracks time spent in degraded read-only mode (write quorum lost but

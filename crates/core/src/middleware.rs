@@ -31,15 +31,15 @@ use replimid_gcs::{
 };
 use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::ast::Statement;
-use replimid_sql::{parse_statement, Lsn, SqlError, Writeset};
+use replimid_sql::{parse_statement, Lsn, PlanCache, SqlError, Writeset};
 
 use crate::balancer::{Balancer, Granularity, Policy};
 use crate::certifier::{Certifier, Verdict};
 use crate::health::{HealthEvent, HealthTracker, QuarantineConfig};
 use crate::metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};
 use crate::msg::{
-    AdminCmd, ApplySpace, BackendId, ClientReply, ClientRequest, DbOp, DbResp, Msg, ReplEvent,
-    ReplyBody, ReplyError, SessionId,
+    AdminCmd, ApplySpace, BackendId, ClientReply, ClientRequest, DbOp, DbResp, Msg, PlanExec,
+    ReplEvent, ReplyBody, ReplyError, SessionId,
 };
 use crate::partition::{Partitioner, Route};
 use crate::recovery::{RecoveryLog, ReplayMode};
@@ -111,6 +111,13 @@ pub enum ReadPolicy {
     /// consistency/performance dial the paper's §3.3 taxonomy only samples
     /// at its endpoints.
     BoundedStaleness(u64),
+    /// Monotonic reads (the §3.3 session guarantee [`ReadPolicy::Fresh`]
+    /// does not give to read-only sessions): a session's reads never go
+    /// backwards in replication time. The freshness stamp is the max of the
+    /// session's last committed write AND the highest replica position any
+    /// of its reads has already observed, so two successive reads with no
+    /// write in between cannot land on a replica older than the first one.
+    MonotonicReads,
 }
 
 impl ReadPolicy {
@@ -120,7 +127,7 @@ impl ReadPolicy {
     /// off entirely.
     pub fn freshness_slack(&self) -> Option<u64> {
         match self {
-            ReadPolicy::Fresh => Some(0),
+            ReadPolicy::Fresh | ReadPolicy::MonotonicReads => Some(0),
             ReadPolicy::BoundedStaleness(k) => Some(*k),
             ReadPolicy::Any | ReadPolicy::SessionSticky => None,
         }
@@ -186,6 +193,13 @@ pub struct MwConfig {
     /// most caught-up candidate). Bounds read latency under replication
     /// lag without giving up freshness in the common case.
     pub freshness_wait_max_us: u64,
+    /// Middleware-side prepared-statement cache capacity (templates). With
+    /// a non-zero capacity each client statement is normalized (literals →
+    /// params), repeat shapes reuse the cached parse, and backends receive
+    /// the parsed template + params (`DbOp::ExecutePlan`) instead of SQL
+    /// text, skipping their parser. 0 disables the cache entirely — the
+    /// statement path is byte-identical to the pre-cache implementation.
+    pub plan_cache: usize,
 }
 
 impl MwConfig {
@@ -210,6 +224,7 @@ impl MwConfig {
             batch_max: 1,
             batch_deadline_us: 200,
             freshness_wait_max_us: 20_000,
+            plan_cache: 0,
         }
     }
 }
@@ -347,6 +362,10 @@ struct Sess {
     /// master binlog LSN for master-slave). A replica is fresh for this
     /// session iff its applied position has reached the stamp.
     last_commit_stamp: u64,
+    /// Highest replica position any of this session's reads has observed
+    /// ([`ReadPolicy::MonotonicReads`] only): the monotonic-reads floor for
+    /// its next read.
+    last_read_pos: u64,
     /// Open per-statement admission records (was the middleware-global
     /// `request_started` map, which `SessionEnd` leaked): (stmt_seq, meta).
     /// At most a handful in flight per session; dropped with the session.
@@ -373,6 +392,7 @@ impl Sess {
             last_write_us: 0,
             last_write_backend: None,
             last_commit_stamp: 0,
+            last_read_pos: 0,
             open_reqs: Vec::new(),
             two_safe_body: None,
         }
@@ -527,6 +547,9 @@ pub struct Middleware {
     publish_batch: Vec<ReplEvent>,
     /// A `TIMER_BATCH` deadline is outstanding.
     batch_timer_armed: bool,
+    /// Prepared-statement templates keyed by normalized SQL (capacity
+    /// `cfg.plan_cache`; disabled at 0).
+    plan_cache: PlanCache,
 }
 
 /// Why a group-commit batch left the buffer.
@@ -543,6 +566,9 @@ struct FreshWaiter {
     session: SessionId,
     stmt_seq: u64,
     sql: String,
+    /// Admission-time plan (plan cache on): dispatched as `ExecutePlan`
+    /// when the read finally routes.
+    plan: Option<PlanExec>,
     stamp: u64,
     ms_mode: bool,
 }
@@ -554,6 +580,7 @@ impl Middleware {
         let n = backends.len();
         let balancer = Balancer::new(cfg.granularity, cfg.policy.clone(), n);
         let qcfg = cfg.quarantine.unwrap_or_default();
+        let plan_cache = PlanCache::new(cfg.plan_cache);
         let pong_adaptive = match cfg.adaptive_detection {
             Some(ad) => (0..n).map(|_| AdaptiveThreshold::new(ad)).collect(),
             None => Vec::new(),
@@ -600,6 +627,7 @@ impl Middleware {
             pong_adaptive,
             publish_batch: Vec::new(),
             batch_timer_armed: false,
+            plan_cache,
         }
     }
 
@@ -900,8 +928,13 @@ impl Middleware {
             self.metrics.trace.begin(TraceId(req.trace), now);
         }
 
-        let stmt = match parse_statement(&req.sql) {
-            Ok(s) => s,
+        // Parse exactly once, at admission. Every later consumer — read/
+        // write classification, temp-table detection, rewrite, delivery-time
+        // table extraction, backend fan-out — works from this parse (or the
+        // cached template behind it); the statement text is never parsed
+        // again anywhere in the pipeline.
+        let (stmt, plan) = match self.admit_statement(&req.sql) {
+            Ok(pair) => pair,
             Err(e) => {
                 self.reply(ctx, req.session, req.stmt_seq, Err(ReplyError::Sql(e)));
                 return;
@@ -935,11 +968,48 @@ impl Middleware {
         match &self.cfg.mode {
             Mode::MultiMasterStatement { nondet } => {
                 let nondet = *nondet;
-                self.mm_statement_request(ctx, req, stmt, nondet)
+                self.mm_statement_request(ctx, req, stmt, plan, nondet)
             }
-            Mode::MultiMasterWriteset => self.mm_writeset_request(ctx, req, stmt),
-            Mode::MasterSlave { .. } => self.ms_request(ctx, req, stmt),
+            Mode::MultiMasterWriteset => self.mm_writeset_request(ctx, req, stmt, plan),
+            Mode::MasterSlave { .. } => self.ms_request(ctx, req, stmt, plan),
             Mode::PartitionedStatement { .. } => self.part_request(ctx, req, stmt),
+        }
+    }
+
+    /// The single parse of the statement pipeline. With the plan cache off
+    /// (`cfg.plan_cache == 0`) this is exactly the pre-cache
+    /// `parse_statement` call. With it on, the text is normalized (literals
+    /// → params) and the template parse is reused across every statement
+    /// sharing the shape; the returned [`PlanExec`] is the wire form
+    /// backends execute without parsing.
+    fn admit_statement(&mut self, sql: &str) -> Result<(Statement, Option<PlanExec>), SqlError> {
+        if self.cfg.plan_cache == 0 {
+            return Ok((parse_statement(sql)?, None));
+        }
+        let Some(nf) = replimid_sql::normalize(sql) else {
+            // Uncacheable shape (non-DML, or a raw `?` in the client text).
+            self.metrics.counters.plan_cache_misses += 1;
+            return Ok((parse_statement(sql)?, None));
+        };
+        if let Some(cached) = self.plan_cache.get(&nf.key) {
+            self.metrics.counters.plan_cache_hits += 1;
+            let stmt = replimid_sql::bind(&cached.template, &nf.params)?;
+            return Ok((stmt, Some(PlanExec { template: cached.template, params: nf.params })));
+        }
+        self.metrics.counters.plan_cache_misses += 1;
+        match replimid_sql::CachedPlan::prepare(&nf) {
+            Ok(cached) => {
+                let stmt = replimid_sql::bind(&cached.template, &nf.params)?;
+                let plan = PlanExec { template: cached.template.clone(), params: nf.params };
+                self.plan_cache.insert(nf.key, cached);
+                self.metrics.counters.plan_cache_evictions = self.plan_cache.evictions;
+                Ok((stmt, Some(plan)))
+            }
+            // The normalized template did not parse (pathological literal
+            // placement): fall back to the original text, uncached. A
+            // genuinely invalid statement fails here exactly as it would
+            // have pre-cache.
+            Err(_) => Ok((parse_statement(sql)?, None)),
         }
     }
 
@@ -1006,9 +1076,16 @@ impl Middleware {
     // Multi-master, statement-based
     // ------------------------------------------------------------------
 
-    fn mm_statement_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement, nondet: NondetPolicy) {
+    fn mm_statement_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: ClientRequest,
+        stmt: Statement,
+        plan: Option<PlanExec>,
+        nondet: NondetPolicy,
+    ) {
         if stmt.is_read_only() && !matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback) {
-            self.route_read(ctx, req, false);
+            self.route_read(ctx, req, false, plan);
             return;
         }
         if !self.have_quorum() {
@@ -1035,12 +1112,19 @@ impl Middleware {
         self.metrics.counters.writes += 1;
         let rand_value = ctx.rng().gen::<f64>();
         let prepared = prepare_for_broadcast(&stmt, nondet, ctx.now().micros() as i64, rand_value);
-        let sql = match prepared {
+        let (sql, ast) = match prepared {
             Ok(p) => {
                 if p.substitutions > 0 {
                     self.metrics.counters.rewritten_statements += 1;
+                    // The rewrite changed the statement: the admission-time
+                    // plan no longer describes what ships. Carry the
+                    // rewritten parse whole instead.
+                    (p.sql, PlanExec::whole(std::sync::Arc::new(p.stmt)))
+                } else {
+                    let ast = plan
+                        .unwrap_or_else(|| PlanExec::whole(std::sync::Arc::new(p.stmt)));
+                    (p.sql, ast)
                 }
-                p.sql
             }
             Err(rej) => {
                 self.metrics.counters.rejected_statements += 1;
@@ -1065,13 +1149,13 @@ impl Middleware {
                 }
             }
         }
-        self.publish_write(ctx, ReplEvent::Statement { session: req.session, stmt_seq: req.stmt_seq, sql });
+        self.publish_write(ctx, ReplEvent::Statement { session: req.session, stmt_seq: req.stmt_seq, sql, ast });
     }
 
-    fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
+    fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool, plan: Option<PlanExec>) {
         self.metrics.counters.reads += 1;
         if self.cfg.read_policy.freshness_slack().is_some() {
-            self.route_read_fresh(ctx, req, ms_mode);
+            self.route_read_fresh(ctx, req, ms_mode, plan);
             return;
         }
         let picked = self.pick_read_backend(req.session, ms_mode);
@@ -1090,7 +1174,10 @@ impl Middleware {
         let session = req.session;
         let sql = req.sql;
         let op = self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
-            DbOp::Execute { op, conn: session.0, sql, seq: None }
+            match plan {
+                Some(plan) => DbOp::ExecutePlan { op, conn: session.0, plan, seq: None },
+                None => DbOp::Execute { op, conn: session.0, sql, seq: None },
+            }
         });
         if is_probe {
             let now = ctx.now().micros();
@@ -1221,8 +1308,24 @@ impl Middleware {
     /// to replicas that have applied the session's last committed write;
     /// when none qualify the read parks until the freshness vector
     /// catches up (bounded by `freshness_wait_max_us`).
-    fn route_read_fresh(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool) {
-        let stamp = self.sessions.get(req.session.0).map(|s| s.last_commit_stamp).unwrap_or(0);
+    fn route_read_fresh(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: ClientRequest,
+        ms_mode: bool,
+        plan: Option<PlanExec>,
+    ) {
+        // MonotonicReads folds the highest position this session has ever
+        // *read from* into the stamp: a later read may not see an earlier
+        // state, even one the session never wrote.
+        let stamp = self
+            .sessions
+            .get(req.session.0)
+            .map(|s| match self.cfg.read_policy {
+                ReadPolicy::MonotonicReads => s.last_commit_stamp.max(s.last_read_pos),
+                _ => s.last_commit_stamp,
+            })
+            .unwrap_or(0);
         // Half-open probes keep working under Fresh, but only a probe
         // target that is also fresh may carry this session's read — a
         // stale probe would itself violate read-your-writes.
@@ -1232,7 +1335,7 @@ impl Middleware {
                     && self.health[i].wants_probe()
                     && self.backend_fresh(BackendId(i), stamp, ms_mode)
                 {
-                    self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, BackendId(i), true);
+                    self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, plan, BackendId(i), true);
                     return;
                 }
             }
@@ -1246,7 +1349,7 @@ impl Middleware {
         };
         if let Some(b) = sticky {
             if self.read_ok(b) && self.backend_fresh(b, stamp, ms_mode) {
-                self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, b, false);
+                self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, plan, b, false);
                 return;
             }
         }
@@ -1269,7 +1372,7 @@ impl Middleware {
                     _ => {}
                 }
             }
-            self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, b, false);
+            self.dispatch_fresh_read(ctx, req.session, req.stmt_seq, req.sql, plan, b, false);
             return;
         }
         // No fresh replica right now: park until one catches up, with the
@@ -1283,19 +1386,21 @@ impl Middleware {
         }
         self.fresh_waiters.insert(
             id,
-            FreshWaiter { session: req.session, stmt_seq: req.stmt_seq, sql: req.sql, stamp, ms_mode },
+            FreshWaiter { session: req.session, stmt_seq: req.stmt_seq, sql: req.sql, plan, stamp, ms_mode },
         );
         ctx.set_timer(self.cfg.freshness_wait_max_us, TIMER_FRESH_BASE + id);
     }
 
     /// Common dispatch tail for freshness-routed reads — the same
     /// bookkeeping `route_read` does after its pick.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_fresh_read(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
         session: SessionId,
         stmt_seq: u64,
         sql: String,
+        plan: Option<PlanExec>,
         backend: BackendId,
         is_probe: bool,
     ) {
@@ -1311,15 +1416,38 @@ impl Middleware {
                 self.fresh_pos(backend, ms),
             );
         }
+        // Monotonic reads: the position this read observes becomes the
+        // floor for the session's next read. Recorded at dispatch — the
+        // backend cannot regress below it by reply time.
+        let observed = if self.cfg.read_policy == ReadPolicy::MonotonicReads {
+            let ms = matches!(self.cfg.mode, Mode::MasterSlave { .. });
+            Some(self.fresh_pos(backend, ms))
+        } else {
+            None
+        };
         {
             let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current { stmt_seq, kind: CurrentKind::Read { backend } });
             if self.balancer.granularity == Granularity::Connection && s.sticky.is_none() && !is_probe {
                 s.sticky = Some(backend);
             }
+            if let Some(pos) = observed {
+                // The master reports the sentinel position (always fresh):
+                // folding it in pins the session to the master from here
+                // on. That is deliberate — the middleware cannot bound the
+                // position a master read observed, so any slave might be
+                // behind it; serving the master forever is the only sound
+                // floor. (The wait-or-primary deadline keeps such sessions
+                // live if the master blips.) Sessions that only ever read
+                // slaves keep balancing across every caught-up slave.
+                s.last_read_pos = s.last_read_pos.max(pos);
+            }
         }
         let op = self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
-            DbOp::Execute { op, conn: session.0, sql, seq: None }
+            match plan {
+                Some(plan) => DbOp::ExecutePlan { op, conn: session.0, plan, seq: None },
+                None => DbOp::Execute { op, conn: session.0, sql, seq: None },
+            }
         });
         if is_probe {
             let now = ctx.now().micros();
@@ -1370,7 +1498,7 @@ impl Middleware {
             // below records its (zero-width) BalancerPick after it, so the
             // E17 stage tiling stays exact.
             self.mw_span(w.session, w.stmt_seq, Stage::FreshnessWait, ctx.now().micros());
-            self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, b, false);
+            self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, w.plan, b, false);
         }
     }
 
@@ -1420,7 +1548,7 @@ impl Middleware {
         match fallback {
             Some(b) => {
                 self.metrics.counters.fresh_fallback_primary += 1;
-                self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, b, false);
+                self.dispatch_fresh_read(ctx, w.session, w.stmt_seq, w.sql, w.plan, b, false);
             }
             None => {
                 self.reply_read(
@@ -1458,8 +1586,8 @@ impl Middleware {
 
     fn apply_delivery(&mut self, ctx: &mut Ctx<'_, Msg>, ev: ReplEvent) {
         match ev {
-            ReplEvent::Statement { session, stmt_seq, sql } => {
-                self.deliver_statement(ctx, session, stmt_seq, sql)
+            ReplEvent::Statement { session, stmt_seq, sql, ast } => {
+                self.deliver_statement(ctx, session, stmt_seq, sql, ast)
             }
             ReplEvent::Certify { session, stmt_seq, start_pos, ws } => {
                 self.deliver_certify(ctx, session, stmt_seq, start_pos, ws)
@@ -1476,12 +1604,12 @@ impl Middleware {
     /// requests go to the certifier in one call. Both preserve the
     /// admission order recorded in the event vector.
     fn deliver_batch(&mut self, ctx: &mut Ctx<'_, Msg>, events: Vec<ReplEvent>) {
-        let mut stmts: Vec<(SessionId, u64, String)> = Vec::new();
+        let mut stmts: Vec<(SessionId, u64, String, PlanExec)> = Vec::new();
         let mut certs: Vec<(SessionId, u64, u64, Writeset)> = Vec::new();
         for ev in events {
             match ev {
-                ReplEvent::Statement { session, stmt_seq, sql } => {
-                    stmts.push((session, stmt_seq, sql))
+                ReplEvent::Statement { session, stmt_seq, sql, ast } => {
+                    stmts.push((session, stmt_seq, sql, ast))
                 }
                 ReplEvent::Certify { session, stmt_seq, start_pos, ws } => {
                     certs.push((session, stmt_seq, start_pos, ws))
@@ -1509,15 +1637,18 @@ impl Middleware {
     fn deliver_statement_batch(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
-        stmts: Vec<(SessionId, u64, String)>,
+        stmts: Vec<(SessionId, u64, String, PlanExec)>,
     ) {
         let now = ctx.now().micros();
         // Append the whole batch first: seqs are dense ([head+1 ..= head+n]).
-        let mut entries: Vec<(SessionId, u64, String, u64, bool)> = Vec::with_capacity(stmts.len());
-        for (session, stmt_seq, sql) in stmts {
-            let tables: Vec<String> = parse_statement(&sql)
-                .map(|s| s.written_tables().into_iter().map(|t| t.name).collect())
-                .unwrap_or_default();
+        let mut entries: Vec<(SessionId, u64, String, PlanExec, u64, bool)> =
+            Vec::with_capacity(stmts.len());
+        for (session, stmt_seq, sql, ast) in stmts {
+            // The event carries the admission-time parse: table extraction
+            // reads it directly instead of re-parsing the statement text
+            // (the old second parse per delivered statement).
+            let tables: Vec<String> =
+                ast.template.written_tables().into_iter().map(|t| t.name).collect();
             let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
             let origin = {
                 let s = self.session(session, None);
@@ -1527,11 +1658,11 @@ impl Middleware {
                 // Flush → self-delivery through the total order.
                 self.mw_span(session, stmt_seq, Stage::Order, now);
             }
-            entries.push((session, stmt_seq, sql, log_seq, origin));
+            entries.push((session, stmt_seq, sql, ast, log_seq, origin));
         }
         let targets = self.healthy();
         if targets.is_empty() {
-            for (session, stmt_seq, _, log_seq, origin) in entries {
+            for (session, stmt_seq, _, _, log_seq, origin) in entries {
                 self.log.void(log_seq);
                 if origin {
                     self.reply(ctx, session, stmt_seq, Err(ReplyError::Unavailable("no backend".into())));
@@ -1542,7 +1673,7 @@ impl Middleware {
         // One exec group per statement — the reply/divergence bookkeeping is
         // untouched; only the transport is grouped.
         let mut groups: Vec<u64> = Vec::with_capacity(entries.len());
-        for &(session, stmt_seq, _, log_seq, origin) in &entries {
+        for &(session, stmt_seq, _, _, log_seq, origin) in &entries {
             let group_id = self.next_group;
             self.next_group += 1;
             self.exec_groups.insert(
@@ -1562,19 +1693,36 @@ impl Middleware {
             }
             groups.push(group_id);
         }
+        let plan_wire = self.cfg.plan_cache > 0;
         for backend in targets {
-            let batch: Vec<crate::msg::BatchStmt> = entries
-                .iter()
-                .map(|(session, _, sql, log_seq, _)| crate::msg::BatchStmt {
-                    conn: session.0,
-                    sql: sql.clone(),
-                    seq: Some(*log_seq),
-                })
-                .collect();
             let groups = groups.clone();
-            self.send_db(ctx, backend, Pending::GroupExecBatch { groups, backend }, move |op| {
-                DbOp::ExecuteBatch { op, stmts: batch }
-            });
+            if plan_wire {
+                // Plan-cache arm: ship the parsed template + params; the
+                // backend binds and executes without touching its parser.
+                let batch: Vec<crate::msg::PlanBatchStmt> = entries
+                    .iter()
+                    .map(|(session, _, _, ast, log_seq, _)| crate::msg::PlanBatchStmt {
+                        conn: session.0,
+                        plan: ast.clone(),
+                        seq: Some(*log_seq),
+                    })
+                    .collect();
+                self.send_db(ctx, backend, Pending::GroupExecBatch { groups, backend }, move |op| {
+                    DbOp::ExecuteBatchPlan { op, stmts: batch }
+                });
+            } else {
+                let batch: Vec<crate::msg::BatchStmt> = entries
+                    .iter()
+                    .map(|(session, _, sql, _, log_seq, _)| crate::msg::BatchStmt {
+                        conn: session.0,
+                        sql: sql.clone(),
+                        seq: Some(*log_seq),
+                    })
+                    .collect();
+                self.send_db(ctx, backend, Pending::GroupExecBatch { groups, backend }, move |op| {
+                    DbOp::ExecuteBatch { op, stmts: batch }
+                });
+            }
         }
     }
 
@@ -1599,16 +1747,19 @@ impl Middleware {
         }
     }
 
-    fn deliver_statement(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, sql: String) {
-        // Log it (every peer logs identically: positions agree).
-        let tables: Vec<String> = parse_statement(&sql)
-            .map(|s| {
-                s.written_tables()
-                    .into_iter()
-                    .map(|t| t.name)
-                    .collect()
-            })
-            .unwrap_or_default();
+    fn deliver_statement(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: SessionId,
+        stmt_seq: u64,
+        sql: String,
+        ast: PlanExec,
+    ) {
+        // Log it (every peer logs identically: positions agree). Tables
+        // come from the event's admission-time parse — this used to be the
+        // pipeline's second parse of the same text.
+        let tables: Vec<String> =
+            ast.template.written_tables().into_iter().map(|t| t.name).collect();
         let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
 
         // Shadow session for non-origin peers.
@@ -1648,14 +1799,22 @@ impl Middleware {
             let s = self.sessions.get_mut(session.0).unwrap();
             s.current = Some(Current { stmt_seq, kind: CurrentKind::ExecGroup { group: group_id } });
         }
+        let plan_wire = self.cfg.plan_cache > 0;
         for backend in targets {
-            let sql = sql.clone();
             if std::env::var("REPLIMID_DEBUG2").is_ok() {
                 eprintln!("[{}] send exec seq {log_seq} -> b{}", ctx.now().micros(), backend.0);
             }
-            self.send_db(ctx, backend, Pending::GroupExec { group: group_id, backend }, move |op| {
-                DbOp::Execute { op, conn: session.0, sql, seq: Some(log_seq) }
-            });
+            if plan_wire {
+                let plan = ast.clone();
+                self.send_db(ctx, backend, Pending::GroupExec { group: group_id, backend }, move |op| {
+                    DbOp::ExecutePlan { op, conn: session.0, plan, seq: Some(log_seq) }
+                });
+            } else {
+                let sql = sql.clone();
+                self.send_db(ctx, backend, Pending::GroupExec { group: group_id, backend }, move |op| {
+                    DbOp::Execute { op, conn: session.0, sql, seq: Some(log_seq) }
+                });
+            }
         }
     }
 
@@ -1663,7 +1822,13 @@ impl Middleware {
     // Multi-master, writeset-based
     // ------------------------------------------------------------------
 
-    fn mm_writeset_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement) {
+    fn mm_writeset_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: ClientRequest,
+        stmt: Statement,
+        plan: Option<PlanExec>,
+    ) {
         let session = req.session;
         if !stmt.is_read_only() && !self.have_quorum() {
             self.reply(
@@ -1763,7 +1928,7 @@ impl Middleware {
                 }
             }
             _ if stmt.is_read_only() && !in_tx => {
-                self.route_read(ctx, req, false);
+                self.route_read(ctx, req, false, plan);
             }
             _ => {
                 // Any other statement executes at the delegate, opening an
@@ -1943,13 +2108,19 @@ impl Middleware {
     // Master-slave
     // ------------------------------------------------------------------
 
-    fn ms_request(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: Statement) {
+    fn ms_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: ClientRequest,
+        stmt: Statement,
+        plan: Option<PlanExec>,
+    ) {
         let session = req.session;
         let write_path = !stmt.is_read_only()
             || matches!(stmt, Statement::Begin { .. } | Statement::Commit | Statement::Rollback)
             || self.sessions.get(session.0).map(|s| s.in_tx).unwrap_or(false);
         if !write_path {
-            self.route_read(ctx, req, true);
+            self.route_read(ctx, req, true, plan);
             return;
         }
         if !self.write_quorum_ok() {

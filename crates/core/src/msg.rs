@@ -1,8 +1,11 @@
 //! Wire protocol of the simulated cluster: client ↔ middleware ↔ database
 //! nodes, plus the replication traffic between middleware peers.
 
+use std::sync::Arc;
+
 use replimid_gcs::GcsMsg;
-use replimid_sql::{BinlogEntry, Dump, Lsn, ResultSet, SqlError, Writeset};
+use replimid_sql::ast::Statement;
+use replimid_sql::{keycode, BinlogEntry, Dump, Lsn, ResultSet, SqlError, Value, Writeset};
 
 /// A client session, globally unique across the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -83,6 +86,112 @@ pub enum ApplySpace {
     Ordered,
 }
 
+/// The prepared-statement wire format: a parsed template plus extracted
+/// parameters. The middleware parses (or cache-hits) once at admission and
+/// fans this out instead of SQL text, so backends skip their parser
+/// entirely (`Engine::execute_prepared`). The template is shared by `Arc`:
+/// one parse serves every backend of every fan-out.
+#[derive(Debug, Clone)]
+pub struct PlanExec {
+    pub template: Arc<Statement>,
+    /// Literals extracted by normalization, positionally matching the
+    /// template's `Expr::Param` nodes. Empty when the template carries its
+    /// literals inline (uncached / rewritten statements).
+    pub params: Vec<Value>,
+}
+
+impl PlanExec {
+    /// Wrap an already-complete statement (no parameters to bind).
+    pub fn whole(stmt: Arc<Statement>) -> PlanExec {
+        PlanExec { template: stmt, params: Vec::new() }
+    }
+
+    /// Reconstruct the executable statement.
+    pub fn bind(&self) -> Result<Statement, SqlError> {
+        if self.params.is_empty() {
+            Ok((*self.template).clone())
+        } else {
+            replimid_sql::bind(&self.template, &self.params)
+        }
+    }
+
+    /// Compact wire encoding: the template's canonical text (parameters
+    /// render as `?`) plus keycode-encoded params. This is what would cross
+    /// a real network — far smaller than a serialized AST, and the receiver
+    /// still skips per-statement parsing by caching templates keyed on the
+    /// template text (which IS the normalization key).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        keycode::encode_str(&mut out, &self.template.to_string());
+        keycode::encode_u64(&mut out, self.params.len() as u64);
+        for v in &self.params {
+            match v {
+                Value::Null => out.push(0),
+                Value::Int(i) => {
+                    out.push(1);
+                    keycode::encode_i64(&mut out, *i);
+                }
+                Value::Float(f) => {
+                    out.push(2);
+                    keycode::encode_u64(&mut out, f.to_bits());
+                }
+                Value::Text(s) => {
+                    out.push(3);
+                    keycode::encode_str(&mut out, s);
+                }
+                Value::Bool(b) => out.push(4 + *b as u8),
+                Value::Timestamp(t) => {
+                    out.push(6);
+                    keycode::encode_i64(&mut out, *t);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<PlanExec, String> {
+        let e = |e: keycode::KeycodeError| format!("{e:?}");
+        let (text, mut rest) = keycode::decode_str(bytes).map_err(e)?;
+        let template =
+            replimid_sql::parse_statement(&text).map_err(|err| format!("template: {err}"))?;
+        let (n, r) = keycode::decode_u64(rest).map_err(e)?;
+        rest = r;
+        let mut params = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let (&tag, r) = rest.split_first().ok_or("truncated param tag")?;
+            rest = r;
+            let v = match tag {
+                0 => Value::Null,
+                1 => {
+                    let (i, r) = keycode::decode_i64(rest).map_err(e)?;
+                    rest = r;
+                    Value::Int(i)
+                }
+                2 => {
+                    let (b, r) = keycode::decode_u64(rest).map_err(e)?;
+                    rest = r;
+                    Value::Float(f64::from_bits(b))
+                }
+                3 => {
+                    let (s, r) = keycode::decode_str(rest).map_err(e)?;
+                    rest = r;
+                    Value::Text(s)
+                }
+                4 => Value::Bool(false),
+                5 => Value::Bool(true),
+                6 => {
+                    let (i, r) = keycode::decode_i64(rest).map_err(e)?;
+                    rest = r;
+                    Value::Timestamp(i)
+                }
+                t => return Err(format!("bad param tag {t}")),
+            };
+            params.push(v);
+        }
+        Ok(PlanExec { template: Arc::new(template), params })
+    }
+}
+
 /// Operations the middleware sends to a database node. `op` is a
 /// correlation id echoed in the response.
 #[derive(Debug, Clone)]
@@ -95,12 +204,20 @@ pub enum DbOp {
     /// has often no information on which transactions committed prior to
     /// the failure; this information is only known to the database").
     Execute { op: u64, conn: u64, sql: String, seq: Option<u64> },
+    /// Prepared-statement variant of `Execute`: the middleware already
+    /// parsed (or cache-hit) the statement; the node binds params and runs
+    /// `Engine::execute_prepared`, skipping its parser. Same idempotence
+    /// contract (`seq`) and the same responses (`ExecOk`/`ExecErr`).
+    ExecutePlan { op: u64, conn: u64, plan: PlanExec, seq: Option<u64> },
     /// Execute a group-committed batch of ordered statements as one message.
     /// Statements run in batch order on their own connections; the node
     /// skips already-applied `seq`s individually (same idempotence contract
     /// as `Execute`) and charges the batch's cost via the parallel-replay
     /// grouping over written tables, which is where grouped apply wins.
     ExecuteBatch { op: u64, stmts: Vec<BatchStmt> },
+    /// Prepared-statement variant of `ExecuteBatch` (plan-cache fan-out).
+    /// Answered by the same `ExecBatchOut`.
+    ExecuteBatchPlan { op: u64, stmts: Vec<PlanBatchStmt> },
     /// Extract the open transaction's writeset (certification path).
     PrepareWriteset { op: u64, conn: u64 },
     /// Apply a certified writeset as one transaction.
@@ -142,6 +259,15 @@ pub enum DbOp {
 pub struct BatchStmt {
     pub conn: u64,
     pub sql: String,
+    /// Replication-log position (see [`DbOp::Execute`]'s `seq`).
+    pub seq: Option<u64>,
+}
+
+/// One statement of a grouped [`DbOp::ExecuteBatchPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanBatchStmt {
+    pub conn: u64,
+    pub plan: PlanExec,
     /// Replication-log position (see [`DbOp::Execute`]'s `seq`).
     pub seq: Option<u64>,
 }
@@ -228,6 +354,12 @@ pub enum ReplEvent {
         session: SessionId,
         stmt_seq: u64,
         sql: String,
+        /// The admission-time parse of `sql`, threaded through delivery so
+        /// table extraction and fan-out never re-parse the text (the
+        /// admission/delivery double-parse bug: under concurrent schema
+        /// change the two parses could disagree). `sql` stays the canonical
+        /// replicated form; `ast` always binds to the same statement.
+        ast: PlanExec,
     },
     /// Certification request for a transaction's writeset.
     Certify {
@@ -288,6 +420,32 @@ mod tests {
         assert!(ReplyError::Degraded("x".into()).is_retryable());
         assert!(ReplyError::Sql(SqlError::SerializationFailure("r".into())).is_retryable());
         assert!(!ReplyError::Sql(SqlError::DuplicateKey("k".into())).is_retryable());
+    }
+
+    #[test]
+    fn plan_exec_codec_round_trip() {
+        let form = replimid_sql::normalize("UPDATE t SET v = -2.5, s = 'o''brien' WHERE k = 7")
+            .unwrap();
+        let cached = replimid_sql::CachedPlan::prepare(&form).unwrap();
+        let plan = PlanExec { template: cached.template.clone(), params: form.params };
+        let decoded = PlanExec::decode(&plan.encode()).unwrap();
+        assert_eq!(*decoded.template, *plan.template);
+        assert_eq!(decoded.params, plan.params);
+        assert_eq!(decoded.bind().unwrap(), plan.bind().unwrap());
+        // The wire image is the compact form: template text + params, far
+        // smaller than the rendered-per-literal SQL would be for large text.
+        let all_params = [
+            Value::Null,
+            Value::Int(-5),
+            Value::Float(2.5),
+            Value::Text("x?y".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Timestamp(42),
+        ];
+        let p2 = PlanExec { template: plan.template.clone(), params: all_params.to_vec() };
+        let d2 = PlanExec::decode(&p2.encode()).unwrap();
+        assert_eq!(d2.params, p2.params);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum NondetPolicy {
 #[derive(Debug, Clone)]
 pub struct Prepared {
     pub sql: String,
+    /// The broadcast statement itself (`sql` is its rendering). Carried so
+    /// the middleware can thread the admission-time parse through delivery
+    /// and fan-out instead of re-parsing the text it just produced.
+    pub stmt: Statement,
     pub report: TaintReport,
     pub substitutions: usize,
 }
@@ -43,11 +47,11 @@ pub fn prepare_for_broadcast(
 ) -> Result<Prepared, Rejected> {
     let report = analyze(stmt);
     if report.is_deterministic() {
-        return Ok(Prepared { sql: stmt.to_string(), report, substitutions: 0 });
+        return Ok(Prepared { sql: stmt.to_string(), stmt: stmt.clone(), report, substitutions: 0 });
     }
     match policy {
         NondetPolicy::Ignore => {
-            Ok(Prepared { sql: stmt.to_string(), report, substitutions: 0 })
+            Ok(Prepared { sql: stmt.to_string(), stmt: stmt.clone(), report, substitutions: 0 })
         }
         NondetPolicy::RewriteBestEffort | NondetPolicy::RewriteAndReject => {
             let mut rewritten = stmt.clone();
@@ -68,7 +72,7 @@ pub fn prepare_for_broadcast(
                 };
                 return Err(Rejected { reason });
             }
-            Ok(Prepared { sql: rewritten.to_string(), report, substitutions: n })
+            Ok(Prepared { sql: rewritten.to_string(), stmt: rewritten, report, substitutions: n })
         }
     }
 }

@@ -301,6 +301,10 @@ pub enum Expr {
     Exists { select: Box<Select>, negated: bool },
     /// Function call: NOW(), RAND(), NEXTVAL('seq'), LENGTH(x), ...
     Function { name: String, args: Vec<Expr> },
+    /// `?` positional parameter (0-based, textual order). Produced when
+    /// parsing a normalized prepared-statement template; must be bound to a
+    /// literal before execution.
+    Param(usize),
 }
 
 impl Expr {
@@ -316,7 +320,7 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Literal(_) | Expr::Column(_) => {}
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.walk(f),
             Expr::Binary { left, right, .. } => {
                 left.walk(f);
@@ -354,7 +358,7 @@ impl Expr {
     pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
         f(self);
         match self {
-            Expr::Literal(_) | Expr::Column(_) => {}
+            Expr::Literal(_) | Expr::Column(_) | Expr::Param(_) => {}
             Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.walk_mut(f),
             Expr::Binary { left, right, .. } => {
                 left.walk_mut(f);

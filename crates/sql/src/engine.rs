@@ -234,6 +234,19 @@ impl Engine {
         self.execute_parsed(conn, stmt, None)
     }
 
+    /// Execute a pre-parsed plan shipped by the middleware's plan cache. The
+    /// backend never sees SQL text, so the lex+parse share of the fixed
+    /// per-statement cost is not charged.
+    pub fn execute_prepared(
+        &mut self,
+        conn: ConnId,
+        stmt: &Statement,
+    ) -> Result<ExecResult, SqlError> {
+        let mut res = self.execute_parsed(conn, stmt, None)?;
+        res.cost.cpu_us = res.cost.cpu_us.saturating_sub(crate::result::cost_model::PARSE_US);
+        Ok(res)
+    }
+
     fn execute_parsed(
         &mut self,
         conn: ConnId,
@@ -946,9 +959,11 @@ impl Engine {
     /// durability.
     pub fn wal_maintain(&mut self, applied_lsn: u64, ordered_applied: u64) -> WalMaintain {
         let mut out = WalMaintain::default();
-        let Some(store) = self.durable.as_mut() else {
+        if self.durable.is_none() {
             return out;
-        };
+        }
+        let counters = self.current_counters();
+        let store = self.durable.as_mut().expect("checked above");
         let head = self.binlog.head().0;
         if head > store.logged_head {
             match self.binlog.read_after(Lsn(store.logged_head)) {
@@ -964,6 +979,14 @@ impl Engine {
             }
         } else if store.meta_changed(applied_lsn, ordered_applied) {
             store.append_meta(applied_lsn, ordered_applied);
+            out.appended += 1;
+        }
+        // §4.2.3: sequence/AUTO_INCREMENT bumps are non-transactional, so
+        // commit records alone cannot recover them. Mirror them whenever
+        // they moved — after the commits of this round, so replay applies
+        // data first, then the counter positions that followed it.
+        if store.counters_changed(&counters) {
+            store.append_counters(&counters);
             out.appended += 1;
         }
         store.maybe_fsync();
@@ -988,10 +1011,33 @@ impl Engine {
             ordered_applied,
             binlog_head: self.binlog.head().0,
         };
+        let counters = self.current_counters();
         if let Some(store) = self.durable.as_mut() {
             store.install_checkpoint(&c);
+            // The checkpoint's dump carries the counters; the WAL no longer
+            // needs a record until they move again.
+            store.note_counters(counters);
         }
         rows
+    }
+
+    /// Snapshot of the non-transactional counters recovery must preserve:
+    /// every sequence, plus the AUTO_INCREMENT position of every table that
+    /// declares an auto-increment column. Empty for schemas using neither,
+    /// so counter-free workloads write no extra WAL records.
+    pub fn current_counters(&self) -> CounterSync {
+        let mut cs = CounterSync::default();
+        for (key, v) in self.seqs.iter() {
+            cs.sequences.push((key.clone(), v));
+        }
+        for (db_name, db) in &self.catalog.databases {
+            for (t_name, t) in &db.tables {
+                if t.schema.columns.iter().any(|c| c.auto_increment) {
+                    cs.auto_increments.push(((db_name.clone(), t_name.clone()), t.auto_inc));
+                }
+            }
+        }
+        cs
     }
 
     /// Drain IO work performed since the last drain (node actors convert
@@ -1083,6 +1129,12 @@ impl Engine {
                     report.applied_lsn = report.applied_lsn.max(*applied_lsn);
                     report.ordered_applied = report.ordered_applied.max(*ordered_applied);
                 }
+                // Counter records are a local redo of non-transactional
+                // state; unconditional, unlike the writeset-carried
+                // `CounterSync` which is gated on `apply_counter_sync`.
+                crate::wal::WalRecord::Counters(cs) => {
+                    self.apply_counter_sync(cs).expect("counter replay");
+                }
             }
         }
         if let Some(c) = replay_conn {
@@ -1090,6 +1142,7 @@ impl Engine {
         }
         self.config.binlog = binlog_was;
         store.rearm(self.binlog.head().0, report.applied_lsn, report.ordered_applied);
+        store.note_counters(self.current_counters());
         self.durable = Some(store);
         report
     }

@@ -276,6 +276,9 @@ pub fn eval(expr: &Expr, env: &mut EvalEnv<'_>, row: &RowScope<'_>) -> Result<Va
             Ok(Value::Bool(rs.rows.is_empty() == *negated))
         }
         Expr::Function { name, args } => eval_function(name, args, env, row),
+        // Parameters are bound to literals by the plan cache before any
+        // statement reaches the executor; hitting one here is a logic error.
+        Expr::Param(i) => Err(SqlError::Internal(format!("unbound parameter ?{i}"))),
     }
 }
 

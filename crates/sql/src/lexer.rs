@@ -39,6 +39,8 @@ pub enum TokenKind {
     Ge,
     /// `||` string concatenation
     Concat,
+    /// `?` positional parameter placeholder (prepared statements).
+    Question,
 }
 
 impl TokenKind {
@@ -141,6 +143,10 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
             '|' if bytes.get(i + 1) == Some(&b'|') => {
                 tokens.push(Token { kind: TokenKind::Concat, pos });
                 i += 2;
+            }
+            '?' => {
+                tokens.push(Token { kind: TokenKind::Question, pos });
+                i += 1;
             }
             '\'' => {
                 let mut s = String::new();
@@ -319,5 +325,12 @@ mod tests {
     #[test]
     fn concat_operator() {
         assert_eq!(kinds("a || b")[1], TokenKind::Concat);
+    }
+
+    #[test]
+    fn question_parameter() {
+        assert_eq!(kinds("k = ?")[2], TokenKind::Question);
+        // A `?` inside a string literal is text, not a placeholder.
+        assert_eq!(kinds("'a ? b'"), vec![TokenKind::Str("a ? b".into())]);
     }
 }

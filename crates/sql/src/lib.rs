@@ -53,6 +53,7 @@ pub mod lexer;
 pub mod mvcc;
 pub mod nondeterminism;
 pub mod parser;
+pub mod plan;
 mod render;
 pub mod result;
 pub mod sequence;
@@ -70,6 +71,7 @@ pub use error::SqlError;
 pub use mvcc::CommitTs;
 pub use nondeterminism::{analyze, rewrite_scalar_rand, rewrite_time_macros, TaintReport};
 pub use parser::{parse_statement, parse_statements};
+pub use plan::{bind, normalize, CachedPlan, NormalForm, PlanCache};
 pub use result::{Cost, ExecResult, Outcome, ResultSet};
 pub use value::{DataType, Value};
 pub use wal::{

@@ -46,11 +46,15 @@ const RESERVED: &[&str] = &[
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Count of `?` placeholders consumed so far. Recursive descent consumes
+    /// tokens strictly left to right, so assigning the next index at
+    /// consumption time numbers parameters in textual order.
+    params: usize,
 }
 
 impl Parser {
     fn new(sql: &str) -> Result<Self, SqlError> {
-        Ok(Parser { tokens: tokenize(sql)?, pos: 0 })
+        Ok(Parser { tokens: tokenize(sql)?, pos: 0, params: 0 })
     }
 
     fn peek(&self) -> Option<&TokenKind> {
@@ -785,6 +789,12 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Literal(Value::Text(s)))
             }
+            Some(TokenKind::Question) => {
+                self.bump();
+                let i = self.params;
+                self.params += 1;
+                Ok(Expr::Param(i))
+            }
             Some(TokenKind::LParen) => {
                 self.bump();
                 if self.peek_kw("select") {
@@ -885,6 +895,24 @@ mod tests {
             }
             other => panic!("expected select, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn params_numbered_in_textual_order() {
+        let stmt =
+            parse_statement("UPDATE t SET a = ?, b = ? WHERE k = ? AND v IN (?, ?)").unwrap();
+        let mut seen = Vec::new();
+        stmt.walk_exprs(&mut |e| {
+            if let Expr::Param(i) = e {
+                seen.push(*i);
+            }
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // First textual `?` is the first assignment's value.
+        let Statement::Update { assignments, .. } = &stmt else { panic!() };
+        assert_eq!(assignments[0].1, Expr::Param(0));
+        assert_eq!(assignments[1].1, Expr::Param(1));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl fmt::Display for Expr {
                 write_comma_sep(f, args)?;
                 f.write_str(")")
             }
+            Expr::Param(_) => f.write_str("?"),
         }
     }
 }

@@ -60,6 +60,9 @@ impl Outcome {
 pub mod cost_model {
     /// Fixed per-statement overhead (parse, plan, dispatch).
     pub const STATEMENT_BASE_US: u64 = 40;
+    /// The lex+parse share of [`STATEMENT_BASE_US`]. A backend executing a
+    /// pre-parsed plan (prepared-statement fan-out) skips exactly this much.
+    pub const PARSE_US: u64 = 18;
     /// Per row materialized by a scan.
     pub const ROW_READ_US: u64 = 1;
     /// Per row inserted/updated/deleted (index + version maintenance).

@@ -460,6 +460,12 @@ pub enum WalRecord {
     /// Replication positions advanced without a local commit (idempotent
     /// skips, applied no-ops).
     Meta { applied_lsn: u64, ordered_applied: u64 },
+    /// Non-transactional counter state (sequences, AUTO_INCREMENT) at append
+    /// time. These advance outside commit records (§4.2.3: a NEXTVAL in an
+    /// aborted transaction still bumps the sequence), so without this record
+    /// a crash between checkpoints would recover stale counters and hand out
+    /// duplicate keys.
+    Counters(CounterSync),
 }
 
 impl WalRecord {
@@ -480,6 +486,10 @@ impl WalRecord {
                 keycode::encode_u64(&mut out, *applied_lsn);
                 keycode::encode_u64(&mut out, *ordered_applied);
             }
+            WalRecord::Counters(cs) => {
+                keycode::encode_u64(&mut out, 3);
+                put_counter_sync(&mut out, cs);
+            }
         }
         out
     }
@@ -495,6 +505,7 @@ impl WalRecord {
                 WalRecord::Commit { entry, applied_lsn, ordered_applied }
             }
             2 => WalRecord::Meta { applied_lsn: rd.u64()?, ordered_applied: rd.u64()? },
+            3 => WalRecord::Counters(get_counter_sync(&mut rd)?),
             t => return Err(format!("bad record tag {t}")),
         };
         rd.done()?;
@@ -764,6 +775,8 @@ pub struct DurableStore {
     pub logged_head: u64,
     /// Positions as of the last record written (change detection).
     last_meta: (u64, u64),
+    /// Counter state as of the last `Counters` record (change detection).
+    last_counters: CounterSync,
 }
 
 impl DurableStore {
@@ -779,6 +792,7 @@ impl DurableStore {
             checkpoints_taken: 0,
             logged_head: 0,
             last_meta: (0, 0),
+            last_counters: CounterSync::default(),
         }
     }
 
@@ -805,6 +819,23 @@ impl DurableStore {
     pub fn append_meta(&mut self, applied_lsn: u64, ordered_applied: u64) {
         self.append_record(&WalRecord::Meta { applied_lsn, ordered_applied });
         self.last_meta = (applied_lsn, ordered_applied);
+    }
+
+    /// Log non-transactional counter state (§4.2.3). Called by the engine
+    /// whenever sequences/AUTO_INCREMENT counters moved since the last log.
+    pub fn append_counters(&mut self, cs: &CounterSync) {
+        self.append_record(&WalRecord::Counters(cs.clone()));
+        self.last_counters = cs.clone();
+    }
+
+    pub fn counters_changed(&self, cs: &CounterSync) -> bool {
+        self.last_counters != *cs
+    }
+
+    /// Record counter state covered by other means (a fresh checkpoint, a
+    /// completed recovery) without writing a record.
+    pub fn note_counters(&mut self, cs: CounterSync) {
+        self.last_counters = cs;
     }
 
     pub fn meta_changed(&self, applied_lsn: u64, ordered_applied: u64) -> bool {
@@ -956,6 +987,10 @@ mod tests {
         for rec in [
             WalRecord::Commit { entry: entry(3, 4), applied_lsn: 7, ordered_applied: 9 },
             WalRecord::Meta { applied_lsn: 1, ordered_applied: 2 },
+            WalRecord::Counters(CounterSync {
+                sequences: vec![(("shop".into(), "s".into()), 42)],
+                auto_increments: vec![(("shop".into(), "t".into()), 7)],
+            }),
         ] {
             let enc = rec.encode();
             assert_eq!(WalRecord::decode(&enc).unwrap(), rec);

@@ -100,6 +100,52 @@ fn snapshot_roundtrip_restores_full_catalog() {
     assert_eq!(f.checksum_data(), e.checksum_data(), "restored side behaves like the original");
 }
 
+#[test]
+fn crash_mid_sequence_recovers_counters_no_duplicate_keys() {
+    // §4.2.3 regression: sequences and AUTO_INCREMENT advance outside the
+    // transactional store, so commit records alone replay inserts against a
+    // stale counter and the next NEXTVAL hands out an already-used key.
+    // Counter WAL records close the gap.
+    let (mut e, c) = durable_engine(DurabilityConfig { checkpoint_every: 0, fsync_every: 1 });
+    e.execute(c, "CREATE SEQUENCE ids START 100").unwrap();
+    e.execute(c, "CREATE TABLE seq_t (k INT PRIMARY KEY, v INT)").unwrap();
+    e.execute(c, "CREATE TABLE auto_t (k INT PRIMARY KEY AUTO_INCREMENT, v INT)").unwrap();
+    e.wal_maintain(0, 0);
+    for i in 0..10i64 {
+        e.execute(c, &format!("INSERT INTO seq_t VALUES (NEXTVAL('ids'), {i})")).unwrap();
+        e.execute(c, &format!("INSERT INTO auto_t (v) VALUES ({i})")).unwrap();
+        e.wal_maintain(0, (i + 1) as u64);
+    }
+    // A rolled-back NEXTVAL still burns a number (non-transactional): the
+    // counter record must cover it even though no commit record exists.
+    e.execute(c, "BEGIN").unwrap();
+    e.execute(c, "INSERT INTO seq_t VALUES (NEXTVAL('ids'), 99)").unwrap();
+    e.execute(c, "ROLLBACK").unwrap();
+    e.wal_maintain(0, 10);
+
+    let report = e.crash_recover(CrashKind::LostTail, 0xC0FFEE);
+    assert!(report.entries_replayed > 0, "commits should replay from the WAL");
+
+    // The recovered counters must sit past every recovered row: fresh
+    // NEXTVAL/AUTO_INCREMENT inserts may not collide with replayed keys.
+    let c = e.connect(ADMIN_USER, ADMIN_PASSWORD).unwrap();
+    e.execute(c, "USE bench").unwrap();
+    for i in 0..10i64 {
+        e.execute(c, &format!("INSERT INTO seq_t VALUES (NEXTVAL('ids'), {})", 100 + i))
+            .unwrap_or_else(|err| panic!("duplicate sequence key after recovery: {err}"));
+        e.execute(c, &format!("INSERT INTO auto_t (v) VALUES ({})", 100 + i))
+            .unwrap_or_else(|err| panic!("duplicate auto-increment key after recovery: {err}"));
+    }
+    // The burned (rolled-back) number stays burned across the crash.
+    let r = e.execute(c, "SELECT COUNT(*) FROM seq_t WHERE k = 110").unwrap();
+    let rows = r.outcome.rows().unwrap();
+    assert_eq!(
+        rows.rows[0][0],
+        replimid_sql::Value::Int(0),
+        "rolled-back NEXTVAL number must not be reissued after recovery"
+    );
+}
+
 /// One full crash-recovery scenario, fully determined by `seed`. Returns
 /// the recovered (report, checksum) pair so the caller can assert rerun
 /// bit-identity.

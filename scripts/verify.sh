@@ -15,6 +15,10 @@
 #      torn-tail x checkpoint interval) and write BENCH_pr7.json (MTTR
 #      p50/p99 + replay entries/sec per interval; the bin asserts zero
 #      committed-transaction loss in every episode)
+#   9. statement-pipeline trajectory: re-measure the plan-cache stage
+#      attribution and the E18 corner points with the cache off/on and
+#      write BENCH_pr8.json (the bin asserts hit rate > 0 and that the
+#      cache-off compatibility arm is bit-identical across reruns)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -115,5 +119,14 @@ echo "verify: freshness trajectory OK (BENCH_pr6.json written)"
 # time. Fails loudly if any episode diverges.
 cargo run --release -q --offline -p replimid-bench --bin bench_pr7
 echo "verify: durability trajectory OK (BENCH_pr7.json written)"
+
+# --- 9. Statement-pipeline trajectory ------------------------------------
+# The PR 8 fast path: plan-cache stage attribution (Admission + Execute
+# µs, cache off vs on) and write tps at the E18 corner points, written to
+# BENCH_pr8.json. The bin asserts the cache hits on the microbench mix and
+# that the cache-off arm — the compatibility path — is bit-identical
+# across same-seed reruns.
+cargo run --release -q --offline -p replimid-bench --bin bench_pr8
+echo "verify: statement-pipeline trajectory OK (BENCH_pr8.json written)"
 
 echo "verify: OK"

@@ -660,3 +660,206 @@ fn filtered_pick_fairness_bounded() {
         }
     });
 }
+
+/// Point-statement workload for the plan-cache comparison: every statement
+/// is one of two shapes (point INSERT, point SELECT), so a warm cache hits
+/// on nearly everything while the literals differ on every request.
+struct PointMix {
+    next: i64,
+}
+
+impl TxSource for PointMix {
+    fn next_tx(&mut self, _rng: &mut DetRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        if k % 3 == 0 {
+            vec![format!("SELECT v FROM bench WHERE k = {}", k % 100)]
+        } else {
+            vec![format!("INSERT INTO bench VALUES ({k}, 1)")]
+        }
+    }
+}
+
+/// One run of the plan-cache comparison harness: statement-based
+/// multi-master, disjoint-key point statements, `plan_cache` templates of
+/// middleware cache (0 = off, the pre-cache byte path).
+fn run_plan_cache_case(
+    seed: u64,
+    clients: usize,
+    plan_cache: usize,
+) -> (Vec<ClientMetrics>, MwMetrics, Vec<Vec<u64>>) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        micro::schema("bench", 100),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = 3;
+    cfg.mw.plan_cache = plan_cache;
+    let mut cluster = Cluster::build(cfg);
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        handles.push(cluster.add_client(PointMix { next: 20_000 * (i as i64 + 1) }, |cc| {
+            cc.think_time_us = 500;
+            cc.tx_limit = 60;
+        }));
+    }
+    cluster.run_for(dur::secs(4));
+    cluster.run_for(dur::secs(1)); // drain
+    let cms: Vec<ClientMetrics> = handles.iter().map(|&h| cluster.client_metrics(h)).collect();
+    let sums = cluster.backend_checksums();
+    (cms, cluster.mw_metrics(0), sums)
+}
+
+/// The plan cache (and the parsed-statement wire format it turns on) is an
+/// optimization, not a semantic change: for the same seed, cache-off and
+/// cache-on commit the same transactions, expose identical abort sets, and
+/// converge every backend to the same final state as each other AND as the
+/// uncached arm. The cache-on arm actually hits (the workload is two
+/// templates), the cache-off arm never consults the cache, trace tiling
+/// stays exact in both arms, and each arm reruns bit-identically.
+#[test]
+fn plan_cache_preserves_outcomes() {
+    detcheck::check("plan_cache_preserves_outcomes", 4, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let clients = rng.gen_range(2usize..5);
+        let cache = rng.gen_range(2usize..65);
+        let (c0, m0, s0) = run_plan_cache_case(seed, clients, 0);
+        let (cc, mc, sc) = run_plan_cache_case(seed, clients, cache);
+
+        // Both arms complete the whole workload identically.
+        for (a, b) in c0.iter().zip(&cc) {
+            assert_eq!(a.committed, b.committed, "cache changed commit count");
+            assert_eq!(a.aborted, b.aborted, "cache changed abort count");
+            assert_eq!(a.failed, b.failed, "cache changed failure count");
+            assert_eq!(a.committed, 60, "incomplete allotment");
+        }
+
+        // Convergence within each arm, and the same state across arms.
+        let flat0: Vec<u64> = s0.iter().flatten().copied().collect();
+        let flatc: Vec<u64> = sc.iter().flatten().copied().collect();
+        assert!(flat0.windows(2).all(|w| w[0] == w[1]), "cache-off diverged: {s0:?}");
+        assert!(flatc.windows(2).all(|w| w[0] == w[1]), "cache-on diverged: {sc:?}");
+        assert_eq!(flat0[0], flatc[0], "cache-on arm reached a different final state");
+
+        // The cache is observable exactly when enabled.
+        assert_eq!(m0.counters.plan_cache_hits, 0, "cache-off arm recorded hits");
+        assert_eq!(m0.counters.plan_cache_misses, 0, "cache-off arm recorded misses");
+        assert!(mc.counters.plan_cache_hits > 0, "cache-on arm never hit");
+        assert!(
+            mc.counters.plan_cache_hits > mc.counters.plan_cache_misses,
+            "two-template workload must be hit-dominated: {} hits / {} misses",
+            mc.counters.plan_cache_hits,
+            mc.counters.plan_cache_misses
+        );
+
+        // Trace tiling stays exact in both arms.
+        let other = Stage::Other.idx();
+        for (mw, label) in [(&m0, "cache-off"), (&mc, "cache-on")] {
+            assert_eq!(mw.trace.open_count(), 0, "{label}: trace left open");
+            for t in mw.trace.completed() {
+                assert_eq!(t.stage_us.iter().sum::<u64>(), t.duration_us(), "{label}: spans must tile");
+                assert_eq!(t.stage_us[other], 0, "{label}: unattributed time");
+            }
+        }
+
+        // Each arm reruns bit-identically.
+        let (c0r, m0r, s0r) = run_plan_cache_case(seed, clients, 0);
+        let (ccr, mcr, scr) = run_plan_cache_case(seed, clients, cache);
+        assert_eq!(s0, s0r, "cache-off rerun diverged");
+        assert_eq!(sc, scr, "cache-on rerun diverged");
+        assert_eq!(m0.counters, m0r.counters, "cache-off rerun counters differ");
+        assert_eq!(mc.counters, mcr.counters, "cache-on rerun counters differ");
+        let t0: Vec<_> = m0.trace.completed().cloned().collect();
+        let t0r: Vec<_> = m0r.trace.completed().cloned().collect();
+        let tc: Vec<_> = mc.trace.completed().cloned().collect();
+        let tcr: Vec<_> = mcr.trace.completed().cloned().collect();
+        assert_eq!(t0, t0r, "cache-off rerun traces differ");
+        assert_eq!(tc, tcr, "cache-on rerun traces differ");
+        for (x, y) in c0.iter().zip(&c0r).chain(cc.iter().zip(&ccr)) {
+            assert_eq!(x.committed, y.committed);
+            assert_eq!(x.aborted, y.aborted);
+        }
+    });
+}
+
+/// One monotonic-reads run: like [`run_ryw_case`] but with the master in
+/// the read rotation (`read_master: true`). That is the configuration
+/// where going backwards actually happens: lockstep shipping keeps the
+/// slaves within network jitter of each other, but the master runs up to a
+/// full ship interval ahead, so `Any` routing alternating master/slave
+/// serves a session fresh state and then an older one. No fault injection
+/// — the anomaly is pure routing, no failure required.
+fn run_monotonic_case(
+    seed: u64,
+    sessions: usize,
+    policy: ReadPolicy,
+    ship_ms: u64,
+) -> (replimid_core::FleetMetrics, MwMetrics) {
+    let mut cfg = ClusterConfig::new(
+        Mode::MasterSlave {
+            two_safe: false,
+            ship_interval_us: ship_ms * 1_000,
+            use_writesets: false,
+            parallel_apply: false,
+            read_master: true,
+        },
+        micro::schema("bench", sessions),
+        "bench",
+    );
+    cfg.seed = seed;
+    cfg.backends_per_mw = 3;
+    cfg.mw.policy = Policy::RoundRobin;
+    cfg.mw.read_policy = policy;
+    let mut cluster = Cluster::build(cfg);
+    let fleet = cluster.add_session_fleet(0, sessions, |fc| {
+        fc.think_time_us = 150_000;
+        fc.write_permille = 300;
+        fc.ramp_us = 300_000;
+        // Half the slots are pure observers of their neighbor's key: no
+        // writes of their own, so the RYW stamp never constrains them and
+        // only the session read floor can keep their view monotone. This
+        // is what separates MonotonicReads from Fresh (Fresh is vacuous
+        // for a session that never writes).
+        fc.observer_every = 2;
+    });
+    cluster.run_for(dur::secs(5));
+    (cluster.fleet_metrics(fleet), cluster.mw_metrics(0))
+}
+
+/// Monotonic reads as a session guarantee: under
+/// `ReadPolicy::MonotonicReads` a session's reads never go backwards in
+/// time, for any seed and fleet size, with the master mixed into the read
+/// rotation (the configuration where `Any` observably goes backwards —
+/// the control below proves the checker has teeth). The session read floor
+/// also covers the RYW stamp, so RYW holds too.
+#[test]
+fn monotonic_reads_never_go_backwards() {
+    detcheck::check("monotonic_reads_never_go_backwards", 3, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let sessions = rng.gen_range(40usize..120);
+        let (f, m) = run_monotonic_case(seed, sessions, ReadPolicy::MonotonicReads, 500);
+        assert!(f.reads > 0, "fleet read nothing");
+        assert!(f.writes > 0, "fleet wrote nothing");
+        assert_eq!(f.monotonic_violations, 0, "read went backwards under MonotonicReads");
+        assert_eq!(f.ryw_violations, 0, "MonotonicReads also folds in the RYW stamp");
+        // Same seed => bit-identical history.
+        let (f2, m2) = run_monotonic_case(seed, sessions, ReadPolicy::MonotonicReads, 500);
+        assert_eq!(f.reads, f2.reads);
+        assert_eq!(f.monotonic_violations, f2.monotonic_violations);
+        assert_eq!(m.counters, m2.counters, "same seed, different counters");
+    });
+}
+
+/// Control arm for the monotonic checker: `Any` routing over a rotation
+/// mixing the master with 500ms-lagged slaves serves a session state older
+/// than what it already saw.
+#[test]
+fn any_policy_allows_non_monotonic_reads() {
+    let (f, _) = run_monotonic_case(7, 60, ReadPolicy::Any, 500);
+    assert!(f.reads > 0 && f.writes > 0);
+    assert!(
+        f.monotonic_violations > 0,
+        "Any-policy master/slave rotation should go backwards"
+    );
+}
