@@ -1,0 +1,119 @@
+//! PR9 perf trajectory: partial replication with per-group sequencers,
+//! emitted as `BENCH_pr9.json` so successive PRs can track the write
+//! scaling instead of eyeballing the E22 tables.
+//!
+//! Two gates, both asserted on every run:
+//!
+//! * scaling — the E22 disjoint-insert workload at 2/4/8 backends with
+//!   apply-limited backends (4x CPU cost), global full replication vs a
+//!   striped one-replica placement. At 8 backends the partial arm must
+//!   beat the global arm by more than 2x: that is the headline claim
+//!   (per-backend apply load constant vs proportional to total load);
+//! * compatibility — a trivial placement (one group hosted everywhere)
+//!   must be normalized away and run the global single-sequencer path
+//!   byte-for-byte: identical counters, certifier stats, and full data
+//!   checksums vs no placement at all, and the no-placement arm itself
+//!   must be bit-identical across reruns. This is the E1-E21 guarantee:
+//!   with no (or a trivial) placement, none of the partial-replication
+//!   machinery perturbs one message, cost, or decision.
+//!
+//! Usage:
+//!   cargo run --release -p replimid-bench --bin bench_pr9
+//!
+//! With `--test` every simulated arm runs 1s and no JSON is written,
+//! matching the other timing benches.
+
+use replimid_bench::{aggregate, partial_ws_cfg, run_and_drain, striped_placement, tps};
+use replimid_core::{Cluster, Placement, Policy};
+use replimid_simnet::NodeId;
+use replimid_workload::micro::DisjointInsert;
+
+/// One E22 scaling cell: `b` disjoint table groups on `b` backends costed
+/// at 4x CPU, six closed-loop fresh-key insert clients per group.
+fn scaling_arm(b: usize, placement: Option<Placement>, secs: u64) -> f64 {
+    let mut cfg = partial_ws_cfg(b, b, placement);
+    cfg.mw.policy = Policy::RoundRobin;
+    cfg.backend_speed = vec![4.0];
+    let mut cluster = Cluster::build(cfg);
+    let clients: Vec<NodeId> = (0..6 * b)
+        .map(|i| {
+            cluster.add_client(DisjointInsert::new(1_000_000 * (i as i64 + 1), i % b), |cc| {
+                cc.think_time_us = 200;
+                cc.request_timeout_us = 2_000_000;
+            })
+        })
+        .collect();
+    run_and_drain(&mut cluster, secs);
+    tps(aggregate(&mut cluster, &clients).committed, secs)
+}
+
+/// The compatibility arm: 3 groups on 3 backends, one client per group.
+fn identity_arm(
+    placement: Option<Placement>,
+    secs: u64,
+) -> (replimid_core::MwMetrics, Vec<Vec<u64>>, usize) {
+    let mut cfg = partial_ws_cfg(3, 3, placement);
+    cfg.seed = 21;
+    let mut cluster = Cluster::build(cfg);
+    for g in 0..3usize {
+        cluster.add_client(DisjointInsert::new(1_000_000 * (g as i64 + 1), g), |cc| {
+            cc.think_time_us = 800;
+        });
+    }
+    run_and_drain(&mut cluster, secs);
+    let sums = cluster.backend_full_checksums();
+    let groups = cluster.with_middleware(0, |m| m.partial_groups());
+    (cluster.mw_metrics(0), sums, groups)
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let secs: u64 = if test_mode { 1 } else { 5 };
+
+    // -- write scaling, global vs striped partial ----------------------
+    let mut rows = Vec::new();
+    let mut ratio_at_8 = 0.0f64;
+    for b in [2usize, 4, 8] {
+        let global = scaling_arm(b, None, secs);
+        let partial = scaling_arm(b, Some(striped_placement(b, b, 1)), secs);
+        let ratio = partial / global.max(1e-9);
+        println!("backends {b}: global {global:.0} tps, partial {partial:.0} tps ({ratio:.2}x)");
+        if b == 8 {
+            ratio_at_8 = ratio;
+        }
+        rows.push(format!(
+            "    {{\"backends\": {b}, \"global_tps\": {global:.0}, \
+             \"partial_tps\": {partial:.0}, \"ratio\": {ratio:.2}}}"
+        ));
+    }
+    assert!(
+        ratio_at_8 > 2.0,
+        "partial replication no longer scales: {ratio_at_8:.2}x at 8 backends (need > 2x)"
+    );
+
+    // -- trivial-placement byte-identity -------------------------------
+    let (mw_none, sums_none, groups_none) = identity_arm(None, secs);
+    let (mw_none2, sums_none2, _) = identity_arm(None, secs);
+    assert_eq!(mw_none.counters, mw_none2.counters, "no-placement arm not bit-identical");
+    assert_eq!(sums_none, sums_none2, "no-placement checksums not bit-identical");
+    let trivial = Placement::new(vec![vec![0, 1, 2]]).assign("t0", 0).assign("t1", 0);
+    let (mw_triv, sums_triv, groups_triv) = identity_arm(Some(trivial), secs);
+    assert_eq!(groups_none, 1);
+    assert_eq!(groups_triv, 1, "trivial placement was not normalized away");
+    assert_eq!(mw_none.counters, mw_triv.counters, "trivial placement perturbs counters");
+    assert_eq!(mw_none.certifier, mw_triv.certifier, "trivial placement perturbs certifier");
+    assert_eq!(sums_none, sums_triv, "trivial placement perturbs backend contents");
+    println!("trivial-placement identity: counters, certifier stats, and checksums all equal");
+
+    if !test_mode {
+        let json = format!(
+            "{{\n  \"bench\": \"pr9_partial_replication\",\n  \
+             \"scaling\": [\n{}\n  ],\n  \
+             \"ratio_at_8_backends\": {ratio_at_8:.2},\n  \
+             \"trivial_placement_identity\": true\n}}\n",
+            rows.join(",\n"),
+        );
+        std::fs::write("BENCH_pr9.json", &json).expect("write BENCH_pr9.json");
+        println!("wrote BENCH_pr9.json");
+    }
+}

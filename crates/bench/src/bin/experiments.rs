@@ -9,12 +9,12 @@
 //!   cargo run -p replimid-bench --bin experiments --release -- E3 E9  # some
 
 use replimid_bench::{
-    aggregate, group_commit_cfg, mm_statement_cfg, run_and_drain, tps, SeqInsert, ShardedInsert,
-    Table,
+    aggregate, group_commit_cfg, mm_statement_cfg, partial_ws_cfg, run_and_drain, striped_placement,
+    tps, SeqInsert, ShardedInsert, Table,
 };
 use replimid_core::{
     AdminCmd, BackendId, Cluster, ClusterConfig, FleetMetrics, HealthEvent, Mode, MwMetrics,
-    NondetPolicy, PartitionScheme, Partitioner, Policy, QuarantineConfig, ReadPolicy,
+    NondetPolicy, PartitionScheme, Partitioner, Placement, Policy, QuarantineConfig, ReadPolicy,
     ReplayMode, ScriptSource, Stage, TraceSink,
 };
 use replimid_gcs::{
@@ -28,7 +28,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-        "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21",
+        "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -58,6 +58,7 @@ fn main() {
             "E19" => e19_freshness_routing(),
             "E20" => e20_durability(),
             "E21" => e21_plan_cache(),
+            "E22" => e22_partial_replication(),
             _ => unreachable!(),
         }
     }
@@ -2160,5 +2161,177 @@ fn e21_plan_cache() {
     t.print();
     println!(
         "  (A miss still ships the parsed form — the parse happens once at the\n   middleware instead of once per replica — so even the thrashing cells\n   beat `off`, and the virtual-time columns are flat in hit rate:\n   middleware-side parse CPU is outside the simulator's cost model\n   (admission is a zero-width stage). What a hit buys over a miss is\n   wall-clock middleware CPU, and bench_pr8 measures it honestly: for\n   statements this small a hit (normalize+bind) costs about half a miss\n   but about the SAME as one plain parse (binding clones the template),\n   so admission CPU is roughly unchanged and the pipeline's real win is\n   the three downstream parses it removes on hit and miss alike. The\n   off arm is the pre-cache code path byte-for-byte: plan_cache = 0\n   changes no message, cost, or decision in E1-E20.)\n"
+    );
+}
+
+// ---------------------------------------------------------------------
+// E22 — partial replication: write scaling on disjoint groups + the
+// cross-group commit tax
+// ---------------------------------------------------------------------
+
+/// One E22 cell: writeset-mode cluster with `per_group` closed-loop
+/// insert clients per table group (client i homed on group i % groups),
+/// an optional placement, an optional fraction of paired cross-group
+/// transactions, and a backend CPU cost multiplier (the scaling arm
+/// slows the backends so replicated apply work — not client count — is
+/// what limits write throughput).
+fn e22_arm(
+    groups: usize,
+    backends: usize,
+    placement: Option<Placement>,
+    per_group: usize,
+    multi_fraction: f64,
+    speed_factor: f64,
+    secs: u64,
+) -> (replimid_bench::Agg, MwMetrics) {
+    let cfg = {
+        let mut cfg = partial_ws_cfg(groups, backends, placement);
+        cfg.mw.policy = Policy::RoundRobin;
+        cfg.backend_speed = vec![speed_factor];
+        cfg
+    };
+    let mut cluster = Cluster::build(cfg);
+    let clients: Vec<NodeId> = (0..per_group * groups)
+        .map(|i| {
+            let src = micro::DisjointInsert::new(1_000_000 * (i as i64 + 1), i % groups)
+                .with_multi(multi_fraction);
+            cluster.add_client(src, |cc| {
+                cc.think_time_us = 200;
+                cc.request_timeout_us = 2_000_000;
+            })
+        })
+        .collect();
+    run_and_drain(&mut cluster, secs);
+    (aggregate(&mut cluster, &clients), cluster.mw_metrics(0))
+}
+
+fn e22_partial_replication() {
+    banner("E22", "partial replication: per-group sequencers vs the global total order");
+    let secs = 5u64;
+    println!(
+        "  Fresh-key inserts over B disjoint tables (one table group each, six\n  closed-loop clients per group, backends costed at 4x CPU so apply\n  work is the bottleneck, {secs}s per cell). `global` is full\n  replication — one sequencer, every write applied at every backend, so\n  adding backends adds apply work as fast as it adds capacity and write\n  throughput saturates at ONE backend's apply rate. `partial` stripes\n  group g onto backend g % B (one replica): disjoint groups get their\n  own sequencer, certifier shard, and recovery-log stream, and a write\n  is applied only where its group lives — per-backend apply load stays\n  constant as B grows.\n"
+    );
+    let mut t = Table::new(&[
+        "backends",
+        "global tps",
+        "partial tps",
+        "speedup",
+        "global p99 µs",
+        "partial p99 µs",
+    ]);
+    let mut partial_by_b = Vec::new();
+    for b in [2usize, 4, 8] {
+        let (ga, _) = e22_arm(b, b, None, 6, 0.0, 4.0, secs);
+        let (pa, _) = e22_arm(b, b, Some(striped_placement(b, b, 1)), 6, 0.0, 4.0, secs);
+        let gtps = tps(ga.committed, secs);
+        let ptps = tps(pa.committed, secs);
+        partial_by_b.push((b, ptps, gtps));
+        t.row(&[
+            b.to_string(),
+            format!("{gtps:.0}"),
+            format!("{ptps:.0}"),
+            format!("{:.2}x", ptps / gtps.max(1e-9)),
+            ga.p99_tx_us.to_string(),
+            pa.p99_tx_us.to_string(),
+        ]);
+    }
+    t.print();
+    let (b0, p0, g0) = partial_by_b[0];
+    let (bn, pn, gn) = partial_by_b[partial_by_b.len() - 1];
+    println!(
+        "  write scaling {b0} -> {bn} backends: partial {:.2}x, global {:.2}x\n",
+        pn / p0.max(1e-9),
+        gn / g0.max(1e-9)
+    );
+
+    // The tax knob: 4 backends, paired host sets ({0,1} for groups 0+1,
+    // {2,3} for groups 2+3), and a rising fraction of transactions that
+    // write both partner tables — each one needs a prepare slot in both
+    // groups' streams and commits only when every involved group votes
+    // yes (the 2PC-ish path, Stage::CrossGroupWait).
+    println!(
+        "  cross-group commit tax: same cluster shape (4 backends, 4 groups,\n  partner pairs co-hosted), sweeping the fraction of transactions that\n  write both partner tables in one atomic commit:\n"
+    );
+    let paired = || {
+        Placement::new(vec![vec![0, 1], vec![0, 1], vec![2, 3], vec![2, 3]])
+            .assign("t0", 0)
+            .assign("t1", 1)
+            .assign("t2", 2)
+            .assign("t3", 3)
+    };
+    let mut t = Table::new(&[
+        "multi %",
+        "tps",
+        "vs 0%",
+        "xgroup commits",
+        "xgroup aborts",
+        "mean tx µs",
+        "p99 tx µs",
+    ]);
+    let mut base_tps = 0.0f64;
+    for f in [0.0f64, 0.1, 0.2, 0.3] {
+        let (agg, mw) = e22_arm(4, 4, Some(paired()), 2, f, 1.0, secs);
+        let wtps = tps(agg.committed, secs);
+        if f == 0.0 {
+            base_tps = wtps;
+        }
+        t.row(&[
+            format!("{:.0}", f * 100.0),
+            format!("{wtps:.0}"),
+            format!("{:.2}x", wtps / base_tps.max(1e-9)),
+            mw.counters.xgroup_commits.to_string(),
+            mw.counters.xgroup_aborts.to_string(),
+            format!("{:.0}", agg.mean_tx_us),
+            agg.p99_tx_us.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Appendix (satellite to E17's attribution work): the conflict-class
+    // cache. At statement delivery the middleware extracts each
+    // statement's written tables (its conflict classes) from the plan
+    // template for the recovery log; with the plan cache on, templates
+    // are shared `Arc`s, so the extraction can be cached per template
+    // instead of re-run per statement (class_cost_us models the walk).
+    println!(
+        "  appendix — conflict-class cache (statement mode, plan cache 256,\n  class derivation costed at 5 µs/stmt, 8-template sharded insert\n  stream): caching the per-template written-table extraction removes\n  the walk from every delivery after the first sight of a template:\n"
+    );
+    let class_arm = |class_cache: usize| {
+        let mut cfg = group_commit_cfg(1, 0);
+        cfg.mw.plan_cache = 256;
+        cfg.mw.class_cost_us = 5;
+        cfg.mw.class_cache = class_cache;
+        let mut cluster = Cluster::build(cfg);
+        let clients: Vec<NodeId> = (0..8)
+            .map(|i| {
+                cluster.add_client(ShardedInsert::new(10_000_000 * (i as i64 + 1)), |cc| {
+                    cc.think_time_us = 200;
+                    cc.request_timeout_us = 2_000_000;
+                })
+            })
+            .collect();
+        run_and_drain(&mut cluster, secs);
+        (aggregate(&mut cluster, &clients), cluster.mw_metrics(0))
+    };
+    let mut t = Table::new(&["class cache", "hit %", "hits", "misses", "write tps", "p99 w µs"]);
+    for cache in [0usize, 256] {
+        let (agg, mw) = class_arm(cache);
+        let lookups = mw.counters.cert_class_hits + mw.counters.cert_class_misses;
+        t.row(&[
+            if cache == 0 { "off".into() } else { cache.to_string() },
+            if lookups == 0 {
+                "-".into()
+            } else {
+                format!("{:.1}", 100.0 * mw.counters.cert_class_hits as f64 / lookups as f64)
+            },
+            mw.counters.cert_class_hits.to_string(),
+            mw.counters.cert_class_misses.to_string(),
+            format!("{:.0}", tps(agg.committed, secs)),
+            mw.write_latency.quantile_us(0.99).to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "  (A trivial placement — one group hosted everywhere — is normalized\n   away at build time and runs the global single-sequencer path\n   byte-for-byte, so E1-E21 are unchanged by any of this; bench_pr9\n   asserts that identity on every run.)\n"
     );
 }

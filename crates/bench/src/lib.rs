@@ -6,7 +6,7 @@
 
 pub mod timing;
 
-use replimid_core::{ClientMetrics, Cluster, ClusterConfig, Mode, NondetPolicy, TxSource};
+use replimid_core::{ClientMetrics, Cluster, ClusterConfig, Mode, NondetPolicy, Placement, TxSource};
 use replimid_simnet::dur;
 use replimid_workload::micro;
 
@@ -78,6 +78,34 @@ pub fn group_commit_cfg(batch_max: usize, deadline_us: u64) -> ClusterConfig {
     cfg.mw.policy = replimid_core::Policy::RoundRobin;
     cfg.mw.batch_max = batch_max;
     cfg.mw.batch_deadline_us = deadline_us;
+    cfg
+}
+
+/// Striped placement with the table map filled in: `tables` disjoint
+/// tables `t0..`, table `t{g}` in group `g`, group `g` hosted by
+/// `replicas` backends starting at `g % backends` (round-robin).
+pub fn striped_placement(tables: usize, backends: usize, replicas: usize) -> Placement {
+    let mut p = Placement::striped(tables, backends, replicas);
+    for g in 0..tables {
+        p = p.assign(&format!("t{g}"), g);
+    }
+    p
+}
+
+/// Writeset-mode cluster over `tables` disjoint single-row tables with an
+/// optional table-group placement. `None` is full replication — the exact
+/// global single-sequencer path (as is any trivial placement, which the
+/// middleware normalizes away). Round-robin routing so scaling numbers
+/// are not shaped by latency-aware placement.
+pub fn partial_ws_cfg(tables: usize, backends: usize, placement: Option<Placement>) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterWriteset,
+        micro::disjoint_schema("bench", tables, 0),
+        "bench",
+    );
+    cfg.backends_per_mw = backends;
+    cfg.mw.policy = replimid_core::Policy::RoundRobin;
+    cfg.mw.placement = placement;
     cfg
 }
 

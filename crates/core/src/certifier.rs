@@ -17,8 +17,8 @@ use replimid_sql::{Writeset, WsKey};
 struct Certified {
     /// Position in the certification sequence (1-based).
     pos: u64,
-    /// Keys written (retained for diagnostics and future window audits).
-    #[allow(dead_code)]
+    /// Keys written (released again if the certification is retracted by a
+    /// cross-group abort).
     key_hashes: Vec<u64>,
 }
 
@@ -135,6 +135,42 @@ impl Certifier {
             .iter()
             .map(|&(start_pos, ws)| self.certify(start_pos, ws, &pk_of))
             .collect()
+    }
+
+    /// Undo the certification recorded at `pos` (cross-group 2PC abort:
+    /// this group voted yes — optimistically inserting its keys — but
+    /// another involved group voted no, so the reservation is released).
+    /// The position itself stays consumed; only the conflict entries go.
+    /// Deterministic: every replica retracts at the same point in its
+    /// group-local stream because the decision is a pure function of the
+    /// involved streams.
+    pub fn retract(&mut self, pos: u64) {
+        let Some(idx) = self.window.iter().position(|c| c.pos == pos) else {
+            return; // already pruned past it — nothing left to release
+        };
+        let removed = self.window.remove(idx);
+        for h in &removed.key_hashes {
+            if self.last_writer.get(h) == Some(&pos) {
+                // Roll the key back to the newest surviving writer, if any
+                // (a later transaction may already have re-certified it).
+                let prev = self
+                    .window
+                    .iter()
+                    .filter(|c| c.key_hashes.contains(h))
+                    .map(|c| c.pos)
+                    .max();
+                match prev {
+                    Some(p) => {
+                        self.last_writer.insert(*h, p);
+                    }
+                    None => {
+                        self.last_writer.remove(h);
+                    }
+                }
+            }
+        }
+        self.stats.commits -= 1;
+        self.stats.aborts += 1;
     }
 
     /// Drop window entries older than `pos` (no active transaction started
@@ -270,6 +306,23 @@ mod tests {
         assert_eq!(bat.position(), seq.position());
         assert_eq!(bat.stats(), seq.stats());
         assert_eq!(bat.window_len(), seq.window_len());
+    }
+
+    #[test]
+    fn retract_releases_reserved_keys() {
+        let mut c = Certifier::new();
+        let s = c.position();
+        assert_eq!(c.certify(s, &ws(&[1]), pk), Verdict::Commit);
+        let reserved = c.position();
+        // A concurrent writer of key 1 aborts against the reservation...
+        assert_eq!(c.certify(s, &ws(&[1]), pk), Verdict::Abort);
+        // ...until the cross-group decision retracts it.
+        c.retract(reserved);
+        assert_eq!(c.certify(s, &ws(&[1]), pk), Verdict::Commit);
+        // Retracting a pos whose key was since re-certified keeps the newer
+        // writer authoritative.
+        c.retract(reserved);
+        assert_eq!(c.certify(s, &ws(&[1]), pk), Verdict::Abort);
     }
 
     #[test]

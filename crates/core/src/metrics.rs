@@ -248,6 +248,24 @@ pub struct Counters {
     pub plan_cache_misses: u64,
     /// Prepared templates evicted by the cache's LRU bound.
     pub plan_cache_evictions: u64,
+    /// Multi-group transactions committed by the cross-group 2PC (every
+    /// involved group voted yes).
+    pub xgroup_commits: u64,
+    /// Multi-group transactions aborted because at least one involved
+    /// group voted no (reservations in yes-voting groups retracted).
+    pub xgroup_aborts: u64,
+    /// Conflict-class cache: delivery-time table-class lookups answered
+    /// from the per-template cache (the threaded AST was not re-walked).
+    pub cert_class_hits: u64,
+    /// Conflict-class cache misses (class derived by walking the AST and,
+    /// when cacheable, inserted).
+    pub cert_class_misses: u64,
+    /// LPRF picks where folding replication lag into the score demoted the
+    /// backend that plain least-pending would have chosen.
+    pub lprf_lag_demotions: u64,
+    /// Writeset-mode fan-out flushes sent as one `ApplyWritesetBatch`
+    /// message per backend instead of one `ApplyWriteset` per transaction.
+    pub ws_apply_batch_flushes: u64,
 }
 
 /// Tracks time spent in degraded read-only mode (write quorum lost but

@@ -27,21 +27,21 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use replimid_gcs::{
     Action as GAction, AdaptiveConfig, AdaptiveThreshold, GcsConfig, GroupMember,
-    HeartbeatConfig, MemberId,
+    HeartbeatConfig, MemberId, ShardedMember,
 };
 use replimid_simnet::{Actor, Ctx, NodeId};
 use replimid_sql::ast::Statement;
 use replimid_sql::{parse_statement, Lsn, PlanCache, SqlError, Writeset};
 
 use crate::balancer::{Balancer, Granularity, Policy};
-use crate::certifier::{Certifier, Verdict};
+use crate::certifier::{Certifier, CertifierStats, Verdict};
 use crate::health::{HealthEvent, HealthTracker, QuarantineConfig};
 use crate::metrics::{AvailabilityTracker, Counters, DegradedTracker, Histogram};
 use crate::msg::{
     AdminCmd, ApplySpace, BackendId, ClientReply, ClientRequest, DbOp, DbResp, Msg, PlanExec,
     ReplEvent, ReplyBody, ReplyError, SessionId,
 };
-use crate::partition::{Partitioner, Route};
+use crate::partition::{Partitioner, Placement, Route};
 use crate::recovery::{RecoveryLog, ReplayMode};
 use crate::rewrite::{prepare_for_broadcast, NondetPolicy};
 use crate::session::SessionTable;
@@ -63,6 +63,16 @@ const TIMER_FRESH_BASE: u64 = 500_000_000;
 const TIMER_RETRY_BASE: u64 = 1_000;
 const APPLY_RETRY_DELAY_US: u64 = 5_000;
 const APPLY_RETRY_MAX: u32 = 100;
+/// Partial replication: per-group sequencer heartbeat ticks, tagged
+/// `SHARD_TICK_BASE + group` so `on_timer` can route each tick back to its
+/// shard (the embedded `GroupMember`s all arm the same `TICK_TAG`).
+const SHARD_TICK_BASE: u64 = 100;
+/// Partial replication: per-group group-commit flush deadlines, tagged
+/// `SHARD_BATCH_BASE + group`.
+const SHARD_BATCH_BASE: u64 = 500;
+/// Hard cap on table groups — keeps the shard timer-tag ranges disjoint
+/// from each other and from the global tags above.
+pub(crate) const MAX_GROUPS: usize = 64;
 
 /// Replication strategy.
 #[derive(Debug, Clone)]
@@ -200,6 +210,39 @@ pub struct MwConfig {
     /// text, skipping their parser. 0 disables the cache entirely — the
     /// statement path is byte-identical to the pre-cache implementation.
     pub plan_cache: usize,
+    /// Partial replication (the scale-past-full-replication gap): a
+    /// table-group placement map. Each group gets its own sequencer (an
+    /// independent total-order stream with a dense per-group position
+    /// space), its own certifier shard, its own recovery-log stream, and
+    /// its own group-commit buffer; writesets fan out only to the backends
+    /// hosting their group. Placement restricts *replication and read
+    /// routing*, not schema — every backend keeps the full schema, only
+    /// row flow is partial. `None`, and any trivial placement (one group
+    /// hosted everywhere — normalized away at construction), is full
+    /// replication: the single-sequencer path runs byte-for-byte.
+    /// Writeset mode only.
+    pub placement: Option<Placement>,
+    /// Freshness-aware LPRF: fold each backend's replication lag
+    /// (certified head − applied watermark) into its routing score as an
+    /// additive penalty, so a replica drowning in unapplied writesets
+    /// stops looking idle to the balancer. Off by default (scores are
+    /// byte-identical when off).
+    pub lag_aware_lprf: bool,
+    /// Batch remote writeset applications into ONE `ApplyWritesetBatch`
+    /// message per backend per group-commit flush (the writeset-mode
+    /// sibling of the statement path's `ExecuteBatch` fan-out).
+    /// Per-statement outcomes, retries, and watermark advancement are
+    /// unchanged — only the transport is grouped. Off by default.
+    pub ws_apply_batch: bool,
+    /// Conflict-class cache capacity: written-table sets keyed by plan
+    /// template identity, so repeated statement shapes skip the
+    /// delivery-time AST walk. Effective with the plan cache on (shared
+    /// templates give stable identities); 0 disables.
+    pub class_cache: usize,
+    /// Modeled CPU cost (virtual µs) of one conflict-class extraction
+    /// walk, charged on every cache miss (or per delivery with the cache
+    /// off). 0 = extraction is free, as in the pre-cache implementation.
+    pub class_cost_us: u64,
 }
 
 impl MwConfig {
@@ -225,6 +268,11 @@ impl MwConfig {
             batch_deadline_us: 200,
             freshness_wait_max_us: 20_000,
             plan_cache: 0,
+            placement: None,
+            lag_aware_lprf: false,
+            ws_apply_batch: false,
+            class_cache: 0,
+            class_cost_us: 0,
         }
     }
 }
@@ -236,21 +284,21 @@ impl MwConfig {
 /// writeset certified-but-not-yet-applied is invisible to the new snapshot
 /// yet excluded from its conflict window (a lost update).
 #[derive(Debug, Clone, Default)]
-struct Watermark {
+pub(crate) struct Watermark {
     next: u64,
     done: std::collections::BTreeSet<u64>,
 }
 
 impl Watermark {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Watermark { next: 1, done: std::collections::BTreeSet::new() }
     }
 
-    fn at(pos: u64) -> Self {
+    pub(crate) fn at(pos: u64) -> Self {
         Watermark { next: pos + 1, done: std::collections::BTreeSet::new() }
     }
 
-    fn mark(&mut self, pos: u64) {
+    pub(crate) fn mark(&mut self, pos: u64) {
         if pos < self.next {
             return;
         }
@@ -260,7 +308,7 @@ impl Watermark {
         }
     }
 
-    fn value(&self) -> u64 {
+    pub(crate) fn value(&self) -> u64 {
         self.next - 1
     }
 }
@@ -354,6 +402,14 @@ struct Sess {
     temp_pinned: bool,
     temp_tables: HashSet<String>,
     start_cert_pos: u64,
+    /// Partial replication: per-group certification start positions,
+    /// sampled from the delegate's per-group watermarks when its BEGIN
+    /// executes (indexed by group; the whole vector is sampled at once).
+    gstart: Vec<u64>,
+    /// Partial replication: the session's per-group freshness stamps —
+    /// the position of its last committed write in each group's certified
+    /// stream (grown on demand; groups the session never wrote stay 0).
+    gstamps: Vec<u64>,
     last_write_us: u64,
     last_write_backend: Option<BackendId>,
     /// The session's freshness stamp: position of its last acknowledged
@@ -389,6 +445,8 @@ impl Sess {
             temp_pinned: false,
             temp_tables: HashSet::new(),
             start_cert_pos: 0,
+            gstart: Vec::new(),
+            gstamps: Vec::new(),
             last_write_us: 0,
             last_write_backend: None,
             last_commit_stamp: 0,
@@ -421,6 +479,23 @@ enum Pending {
     Prepare { session: SessionId, backend: BackendId },
     DelegateCommit { session: SessionId, backend: BackendId, pos: u64 },
     ApplyWs { session: Option<SessionId>, backend: BackendId, ws: Writeset, attempts: u32, pos: u64 },
+    /// Partial replication: the delegate's single COMMIT for a (possibly
+    /// multi-group) transaction; `marks` are the (group, position) pairs
+    /// its ack credits to the backend's per-group watermarks.
+    PwCommit { session: SessionId, backend: BackendId, marks: Vec<(u32, u64)> },
+    /// Partial replication: one group's writeset slice applied at one
+    /// hosting backend.
+    PwApply { session: Option<SessionId>, backend: BackendId, group: u32, ws: Writeset, attempts: u32, pos: u64 },
+    /// One grouped `ApplyWritesetBatch` covering a flush's remote applies
+    /// at one backend (`cfg.ws_apply_batch`).
+    ApplyWsBatch { backend: BackendId, parts: Vec<WsBatchPart> },
+    /// Partial resync: dump request at the donor for `target`; `heads` are
+    /// the per-group log heads snapshotted when the dump was requested.
+    PwResyncDump { target: BackendId, donor: BackendId, heads: Vec<u64> },
+    /// Partial resync: restore at the rejoining backend.
+    PwResyncRestore { backend: BackendId, heads: Vec<u64> },
+    /// Partial recovery: one per-group catch-up replay batch.
+    PwRecoveryBatch { backend: BackendId, group: usize, upto: u64 },
     Ping { backend: BackendId },
     ShipFetch,
     TwoSafeFetch { session: SessionId },
@@ -430,6 +505,16 @@ enum Pending {
     BackupDump { backend: BackendId, hot: bool, started_us: u64 },
     ResyncRestore { backend: BackendId, baseline: Lsn, log_pos: u64 },
     FireAndForget,
+}
+
+/// One remote apply inside a grouped `ApplyWritesetBatch` flush: enough to
+/// resolve the per-statement outcome (origin countdown, watermark mark,
+/// retry fallback) exactly as an individual `ApplyWs` reply would.
+#[derive(Debug, Clone)]
+struct WsBatchPart {
+    session: Option<SessionId>,
+    ws: Writeset,
+    pos: u64,
 }
 
 /// Aggregated metrics exposed to the harness.
@@ -550,6 +635,16 @@ pub struct Middleware {
     /// Prepared-statement templates keyed by normalized SQL (capacity
     /// `cfg.plan_cache`; disabled at 0).
     plan_cache: PlanCache,
+    /// Partial-replication state (placement, per-group sequencers,
+    /// certifier shards, log streams, cross-group transactions). `None` =
+    /// full replication — every partial branch below is skipped.
+    parts: Option<Partial>,
+    /// Conflict-class cache: plan-template pointer -> (pinned template,
+    /// written tables). Holding the `Arc` in the value pins the allocation
+    /// so the pointer key can never be reused by a different template
+    /// while the entry lives. Capacity `cfg.class_cache`; cleared
+    /// wholesale when full.
+    class_cache: HashMap<usize, (std::sync::Arc<Statement>, Vec<String>)>,
 }
 
 /// Why a group-commit batch left the buffer.
@@ -558,6 +653,14 @@ enum FlushReason {
     Size,
     Deadline,
 }
+
+/// Partial-replication freshness demand for a parked read: the read's
+/// group set plus the per-group positions a candidate must have applied.
+type PartialNeeds = (Vec<usize>, Vec<(usize, u64)>);
+
+/// Retry payload for a partial-mode apply:
+/// (backend, group, writeset, origin session, attempt count, position).
+type PwRetry = (BackendId, u32, Writeset, Option<SessionId>, u32, u64);
 
 /// One read parked until a replica catches up to `stamp` (or the wait
 /// deadline fires).
@@ -571,6 +674,102 @@ struct FreshWaiter {
     plan: Option<PlanExec>,
     stamp: u64,
     ms_mode: bool,
+    /// Partial replication: (read's group set, per-group freshness needs).
+    /// `Some` means the waiter drains on the per-(backend, group)
+    /// watermarks instead of the global freshness vector.
+    pneeds: Option<PartialNeeds>,
+}
+
+/// Per-group replication state for partial replication. Group `g` has its
+/// own sequencer (`member` shard `g`), certifier shard, recovery-log
+/// stream, and group-commit buffer; backends advance one watermark per
+/// group. All of it is deterministic from the per-group ordered streams,
+/// so every middleware peer's copy agrees.
+struct Partial {
+    placement: Placement,
+    member: ShardedMember<ReplEvent>,
+    certs: Vec<Certifier>,
+    logs: Vec<RecoveryLog>,
+    /// `marks[backend][group]`: contiguous prefix of the group's certified
+    /// positions the backend has durably applied.
+    marks: Vec<Vec<Watermark>>,
+    /// Per-group group-commit buffers and armed deadline-timer flags.
+    batches: Vec<Vec<ReplEvent>>,
+    batch_armed: Vec<bool>,
+    /// In-flight cross-group transactions keyed by (session, stmt_seq):
+    /// votes collected between the first involved delivery and the
+    /// decision.
+    xtx: HashMap<(u64, u64), XTx>,
+    /// Shard deliveries buffered behind a recovery barrier (the partial
+    /// sibling of `buffered_deliveries`).
+    buffered: VecDeque<(usize, ReplEvent)>,
+    /// Apply retries on the partial path (timer id -> work).
+    retries: HashMap<u64, PwRetry>,
+    /// Rejoining backends in per-group catch-up replay.
+    resync: HashMap<usize, PwCatchup>,
+}
+
+impl Partial {
+    fn groups(&self) -> usize {
+        self.placement.groups()
+    }
+
+    /// Groups a backend hosts, ascending.
+    fn hosted(&self, backend: usize) -> Vec<usize> {
+        (0..self.groups())
+            .filter(|&g| self.placement.hosts(g).contains(&backend))
+            .collect()
+    }
+
+    /// Certification statistics summed across every shard (max_window is
+    /// the max — windows are per-shard structures).
+    fn agg_stats(&self) -> CertifierStats {
+        let mut agg = CertifierStats::default();
+        for c in &self.certs {
+            let s = c.stats();
+            agg.checks += s.checks;
+            agg.commits += s.commits;
+            agg.aborts += s.aborts;
+            agg.keys_checked += s.keys_checked;
+            agg.max_window = agg.max_window.max(s.max_window);
+        }
+        agg
+    }
+}
+
+/// One multi-group transaction between its first prepare delivery and the
+/// decision. The vote for each involved group is that group's local
+/// certification verdict at delivery time; yes-votes reserve their keys
+/// and log slot immediately (in delivery order — reserving at decision
+/// time would order the log by decision arrival, which differs across
+/// peers). The decision is the AND of the votes, reached when the last
+/// involved stream delivers locally: deterministic at every peer with no
+/// extra wire round.
+struct XTx {
+    groups: Vec<u32>,
+    votes: Vec<Option<bool>>,
+    /// Log/certifier position reserved per involved group (0 = no vote yet
+    /// or a no-vote).
+    pos: Vec<u64>,
+    parts: Vec<Option<Writeset>>,
+    /// Local arrival time of the first involved prepare (origin's Certify
+    /// span start; first → decision is the CrossGroupWait window).
+    first_us: u64,
+}
+
+/// Per-group catch-up replay after a partial-resync restore: replay each
+/// hosted group's stream from the position the dump was consistent with.
+struct PwCatchup {
+    /// (group, position replayed through) per hosted group.
+    next: Vec<(usize, u64)>,
+    inflight: bool,
+}
+
+/// Grow a per-group vector to cover group `g` (zero-filled).
+fn grow(v: &mut Vec<u64>, g: usize) {
+    if v.len() <= g {
+        v.resize(g + 1, 0);
+    }
 }
 
 impl Middleware {
@@ -585,6 +784,42 @@ impl Middleware {
             Some(ad) => (0..n).map(|_| AdaptiveThreshold::new(ad)).collect(),
             None => Vec::new(),
         };
+        let mut placement = cfg.placement.clone();
+        if let Some(p) = &placement {
+            assert!(
+                matches!(cfg.mode, Mode::MultiMasterWriteset),
+                "partial replication requires writeset mode"
+            );
+            if let Err(e) = p.validate(n) {
+                panic!("invalid placement: {e}");
+            }
+            assert!(p.groups() <= MAX_GROUPS, "at most {MAX_GROUPS} table groups");
+            // A trivial placement (one group hosted by every backend) IS
+            // full replication: normalize it away so the single-sequencer
+            // path runs byte-for-byte.
+            if p.is_trivial(n) {
+                placement = None;
+            }
+        }
+        let parts = placement.map(|placement| {
+            let groups = placement.groups();
+            let members: Vec<MemberId> = (0..peers.len()).map(MemberId).collect();
+            Partial {
+                member: ShardedMember::new(MemberId(me_idx), members, cfg.gcs, 0, groups),
+                certs: (0..groups).map(|_| Certifier::new()).collect(),
+                logs: (0..groups).map(|_| RecoveryLog::new()).collect(),
+                marks: (0..n)
+                    .map(|_| (0..groups).map(|_| Watermark::new()).collect())
+                    .collect(),
+                batches: (0..groups).map(|_| Vec::new()).collect(),
+                batch_armed: vec![false; groups],
+                xtx: HashMap::new(),
+                buffered: VecDeque::new(),
+                retries: HashMap::new(),
+                resync: HashMap::new(),
+                placement,
+            }
+        });
         Middleware {
             cfg,
             peers,
@@ -628,6 +863,8 @@ impl Middleware {
             publish_batch: Vec::new(),
             batch_timer_armed: false,
             plan_cache,
+            parts,
+            class_cache: HashMap::new(),
         }
     }
 
@@ -808,6 +1045,124 @@ impl Middleware {
         self.publish(ctx, ReplEvent::Batch { events });
     }
 
+    // ------------------------------------------------------------------
+    // Partial replication: per-group sequencer plumbing
+    // ------------------------------------------------------------------
+
+    fn run_shard_actions(&mut self, ctx: &mut Ctx<'_, Msg>, actions: Vec<(usize, GAction<ReplEvent>)>) {
+        for (g, a) in actions {
+            match a {
+                GAction::Send { to, msg } => {
+                    let node = self.peers[to.0];
+                    ctx.send(node, Msg::GroupShard { group: g as u32, msg });
+                }
+                // The only timer a shard arms is its heartbeat tick: re-tag
+                // it into the shard range so `on_timer` can route it back.
+                GAction::SetTimer { delay_us, .. } => {
+                    ctx.set_timer(delay_us, SHARD_TICK_BASE + g as u64)
+                }
+                GAction::Deliver { payload, .. } => self.on_shard_delivery(ctx, g, payload),
+                GAction::ViewInstalled { .. } | GAction::Suspected { .. } => {}
+            }
+        }
+    }
+
+    fn shard_publish(&mut self, ctx: &mut Ctx<'_, Msg>, g: usize, ev: ReplEvent) {
+        let now = ctx.now().micros();
+        let actions = self.parts.as_mut().expect("partial mode").member.publish(g, ev, now);
+        self.run_shard_actions(ctx, actions);
+    }
+
+    /// Group-commit batching per group stream (mirrors [`publish_write`]:
+    /// `batch_max <= 1` publishes directly, byte-identical to unbatched).
+    fn shard_publish_write(&mut self, ctx: &mut Ctx<'_, Msg>, g: usize, ev: ReplEvent) {
+        if self.cfg.batch_max <= 1 {
+            self.shard_publish(ctx, g, ev);
+            return;
+        }
+        let full = {
+            let parts = self.parts.as_mut().unwrap();
+            parts.batches[g].push(ev);
+            parts.batches[g].len() >= self.cfg.batch_max
+        };
+        if full {
+            self.flush_shard_batch(ctx, g, FlushReason::Size);
+        } else {
+            let parts = self.parts.as_mut().unwrap();
+            if !parts.batch_armed[g] {
+                parts.batch_armed[g] = true;
+                ctx.set_timer(self.cfg.batch_deadline_us, SHARD_BATCH_BASE + g as u64);
+            }
+        }
+    }
+
+    fn flush_shard_batch(&mut self, ctx: &mut Ctx<'_, Msg>, g: usize, reason: FlushReason) {
+        let events = {
+            let parts = self.parts.as_mut().unwrap();
+            parts.batch_armed[g] = false;
+            if parts.batches[g].is_empty() {
+                return;
+            }
+            std::mem::take(&mut parts.batches[g])
+        };
+        self.metrics.batch_sizes.record(events.len() as u64);
+        match reason {
+            FlushReason::Size => self.metrics.counters.batch_flush_size += 1,
+            FlushReason::Deadline => self.metrics.counters.batch_flush_deadline += 1,
+        }
+        let now = ctx.now().micros();
+        for ev in &events {
+            let (session, stmt_seq) = match ev {
+                ReplEvent::Certify { session, stmt_seq, .. }
+                | ReplEvent::XPrepare { session, stmt_seq, .. } => (*session, *stmt_seq),
+                _ => continue,
+            };
+            self.mw_span(session, stmt_seq, Stage::BatchWait, now);
+        }
+        self.shard_publish(ctx, g, ReplEvent::Batch { events });
+    }
+
+    /// A shard's totally-ordered event arrives. The recovery barrier
+    /// buffers shard deliveries exactly as it buffers global ones.
+    fn on_shard_delivery(&mut self, ctx: &mut Ctx<'_, Msg>, g: usize, ev: ReplEvent) {
+        if self.barrier_for.is_some() {
+            self.parts.as_mut().unwrap().buffered.push_back((g, ev));
+            return;
+        }
+        self.apply_shard_delivery(ctx, g, ev);
+    }
+
+    fn apply_shard_delivery(&mut self, ctx: &mut Ctx<'_, Msg>, g: usize, ev: ReplEvent) {
+        match ev {
+            ReplEvent::Certify { session, stmt_seq, start_pos, ws } => {
+                self.deliver_shard_certify(ctx, g, session, stmt_seq, start_pos, ws)
+            }
+            ReplEvent::XPrepare { session, stmt_seq, groups, start_pos, part } => {
+                self.deliver_xprepare(ctx, g, session, stmt_seq, groups, start_pos, part)
+            }
+            ReplEvent::SessionEnd { session } => self.end_session(session),
+            ReplEvent::Batch { events } => {
+                for ev in events {
+                    self.apply_shard_delivery(ctx, g, ev);
+                }
+            }
+            ReplEvent::Statement { .. } => {}
+        }
+    }
+
+    /// Drain shard deliveries buffered behind a (now released) barrier.
+    fn drain_shard_buffer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        loop {
+            if self.barrier_for.is_some() {
+                break;
+            }
+            let Some((g, ev)) = self.parts.as_mut().and_then(|p| p.buffered.pop_front()) else {
+                break;
+            };
+            self.apply_shard_delivery(ctx, g, ev);
+        }
+    }
+
     /// §4.3.4.3: are we on the majority side of a (possible) partition?
     fn have_quorum(&self) -> bool {
         if !self.cfg.require_majority {
@@ -874,6 +1229,9 @@ impl Middleware {
             if meta.trace != 0 {
                 self.metrics.trace.end(TraceId(meta.trace), now);
             }
+        }
+        if self.cfg.lag_aware_lprf {
+            self.metrics.counters.lprf_lag_demotions = self.balancer.lag_demotions;
         }
     }
 
@@ -1154,6 +1512,7 @@ impl Middleware {
 
     fn route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, ms_mode: bool, plan: Option<PlanExec>) {
         self.metrics.counters.reads += 1;
+        self.apply_lag_penalties();
         if self.cfg.read_policy.freshness_slack().is_some() {
             self.route_read_fresh(ctx, req, ms_mode, plan);
             return;
@@ -1386,7 +1745,7 @@ impl Middleware {
         }
         self.fresh_waiters.insert(
             id,
-            FreshWaiter { session: req.session, stmt_seq: req.stmt_seq, sql: req.sql, plan, stamp, ms_mode },
+            FreshWaiter { session: req.session, stmt_seq: req.stmt_seq, sql: req.sql, plan, stamp, ms_mode, pneeds: None },
         );
         ctx.set_timer(self.cfg.freshness_wait_max_us, TIMER_FRESH_BASE + id);
     }
@@ -1489,6 +1848,26 @@ impl Middleware {
                 self.fresh_waiters.remove(&id);
                 continue;
             }
+            if let Some((gset, needs)) = w.pneeds.clone() {
+                // Partial-replication waiter: candidates are restricted to
+                // backends hosting every involved group, freshness is the
+                // per-(backend, group) mark vector.
+                let candidates: Vec<BackendId> = {
+                    let hosts = self
+                        .parts
+                        .as_ref()
+                        .map(|p| p.placement.hosts_of_all(&gset))
+                        .unwrap_or_default();
+                    self.routable().into_iter().filter(|b| hosts.contains(&b.0)).collect()
+                };
+                let fresh_mask: Vec<bool> =
+                    candidates.iter().map(|&b| self.pw_backend_fresh(b, &needs)).collect();
+                let Some(b) = self.balancer.pick_fresh(&candidates, &fresh_mask) else { continue };
+                let w = self.fresh_waiters.remove(&id).unwrap();
+                self.mw_span(w.session, w.stmt_seq, Stage::FreshnessWait, ctx.now().micros());
+                self.pw_dispatch_read(ctx, w.session, w.stmt_seq, w.sql, w.plan, b);
+                continue;
+            }
             let candidates = self.read_candidates(w.ms_mode);
             let fresh_mask: Vec<bool> =
                 candidates.iter().map(|&b| self.backend_fresh(b, w.stamp, w.ms_mode)).collect();
@@ -1520,6 +1899,44 @@ impl Middleware {
             return;
         }
         self.metrics.counters.freshness_wait_timeouts += 1;
+        if let Some((gset, needs)) = w.pneeds.clone() {
+            let _ = needs;
+            // Liveness escape hatch, partial flavor: the most caught-up
+            // hosting backend, summed over the involved groups.
+            let hosts = self
+                .parts
+                .as_ref()
+                .map(|p| p.placement.hosts_of_all(&gset))
+                .unwrap_or_default();
+            let fallback = self
+                .routable()
+                .into_iter()
+                .filter(|b| hosts.contains(&b.0))
+                .max_by_key(|&b| {
+                    let sum: u64 = self
+                        .parts
+                        .as_ref()
+                        .map(|p| gset.iter().map(|&g| p.marks[b.0][g].value()).sum())
+                        .unwrap_or(0);
+                    (sum, std::cmp::Reverse(b.0))
+                });
+            self.mw_span(w.session, w.stmt_seq, Stage::FreshnessWait, ctx.now().micros());
+            match fallback {
+                Some(b) => {
+                    self.metrics.counters.fresh_fallback_primary += 1;
+                    self.pw_dispatch_read(ctx, w.session, w.stmt_seq, w.sql, w.plan, b);
+                }
+                None => {
+                    self.reply_read(
+                        ctx,
+                        w.session,
+                        w.stmt_seq,
+                        Err(ReplyError::Unavailable("no fresh backend for read".into())),
+                    );
+                }
+            }
+            return;
+        }
         let fallback = if w.ms_mode {
             if self.read_ok(self.master) {
                 Some(self.master)
@@ -1596,6 +2013,9 @@ impl Middleware {
                 self.end_session(session);
             }
             ReplEvent::Batch { events } => self.deliver_batch(ctx, events),
+            // Cross-group prepares only travel per-group streams; the
+            // global stream never carries one.
+            ReplEvent::XPrepare { .. } => {}
         }
     }
 
@@ -1619,6 +2039,8 @@ impl Middleware {
                 }
                 // Batches never nest (publish_write only buffers leaves).
                 ReplEvent::Batch { .. } => {}
+                // Never on the global stream (per-group only).
+                ReplEvent::XPrepare { .. } => {}
             }
         }
         if !stmts.is_empty() {
@@ -1647,8 +2069,7 @@ impl Middleware {
             // The event carries the admission-time parse: table extraction
             // reads it directly instead of re-parsing the statement text
             // (the old second parse per delivered statement).
-            let tables: Vec<String> =
-                ast.template.written_tables().into_iter().map(|t| t.name).collect();
+            let tables: Vec<String> = self.written_tables_of(ctx, &ast);
             let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
             let origin = {
                 let s = self.session(session, None);
@@ -1742,9 +2163,73 @@ impl Middleware {
             pk_map.get(&(db.to_string(), t.to_string())).copied()
         });
         self.metrics.certifier = self.certifier.stats();
-        for ((session, stmt_seq, _, ws), verdict) in certs.into_iter().zip(verdicts) {
-            self.finish_certify(ctx, session, stmt_seq, ws, verdict);
+        if !self.cfg.ws_apply_batch {
+            for ((session, stmt_seq, _, ws), verdict) in certs.into_iter().zip(verdicts) {
+                self.finish_certify(ctx, session, stmt_seq, ws, verdict, None);
+            }
+            return;
         }
+        // Satellite: batched apply fan-out. Collect every non-delegate
+        // apply this flush produces, then send ONE message per backend
+        // carrying all of its parts — N certified writesets cost each
+        // backend one wire round-trip instead of N.
+        let mut sink: Vec<(BackendId, WsBatchPart)> = Vec::new();
+        for ((session, stmt_seq, _, ws), verdict) in certs.into_iter().zip(verdicts) {
+            self.finish_certify(ctx, session, stmt_seq, ws, verdict, Some(&mut sink));
+        }
+        for i in 0..self.backends.len() {
+            let backend = BackendId(i);
+            let metas: Vec<WsBatchPart> = sink
+                .iter()
+                .filter(|(b, _)| *b == backend)
+                .map(|(_, m)| m.clone())
+                .collect();
+            if metas.is_empty() {
+                continue;
+            }
+            let wire: Vec<Writeset> = metas.iter().map(|m| m.ws.clone()).collect();
+            self.metrics.counters.ws_apply_batch_flushes += 1;
+            self.send_db(
+                ctx,
+                backend,
+                Pending::ApplyWsBatch { backend, parts: metas },
+                move |op| DbOp::ApplyWritesetBatch { op, parts: wire },
+            );
+        }
+    }
+
+    /// Satellite: conflict-class extraction with a plan-template cache.
+    /// The written-table walk is pure in the template, and the plan cache
+    /// already dedups templates behind `Arc`s — so the pointer is a sound
+    /// cache key (the `Arc` stored in the value pins the address). With
+    /// the cache off (`class_cache == 0`) the walk runs every time and,
+    /// when `class_cost_us > 0`, charges its modeled cost; defaults keep
+    /// both at zero so the byte path is untouched.
+    fn written_tables_of(&mut self, ctx: &mut Ctx<'_, Msg>, ast: &PlanExec) -> Vec<String> {
+        let walk = |ast: &PlanExec| -> Vec<String> {
+            ast.template.written_tables().into_iter().map(|t| t.name).collect()
+        };
+        if self.cfg.class_cache == 0 {
+            if self.cfg.class_cost_us > 0 {
+                ctx.consume(self.cfg.class_cost_us);
+            }
+            return walk(ast);
+        }
+        let key = std::sync::Arc::as_ptr(&ast.template) as usize;
+        if let Some((_, tables)) = self.class_cache.get(&key) {
+            self.metrics.counters.cert_class_hits += 1;
+            return tables.clone();
+        }
+        self.metrics.counters.cert_class_misses += 1;
+        if self.cfg.class_cost_us > 0 {
+            ctx.consume(self.cfg.class_cost_us);
+        }
+        let tables = walk(ast);
+        if self.class_cache.len() >= self.cfg.class_cache {
+            self.class_cache.clear();
+        }
+        self.class_cache.insert(key, (ast.template.clone(), tables.clone()));
+        tables
     }
 
     fn deliver_statement(
@@ -1758,8 +2243,7 @@ impl Middleware {
         // Log it (every peer logs identically: positions agree). Tables
         // come from the event's admission-time parse — this used to be the
         // pipeline's second parse of the same text.
-        let tables: Vec<String> =
-            ast.template.written_tables().into_iter().map(|t| t.name).collect();
+        let tables: Vec<String> = self.written_tables_of(ctx, &ast);
         let log_seq = self.log.append_sql(self.cfg.default_db.clone(), sql.clone(), tables);
 
         // Shadow session for non-origin peers.
@@ -1829,6 +2313,10 @@ impl Middleware {
         stmt: Statement,
         plan: Option<PlanExec>,
     ) {
+        if self.parts.is_some() {
+            self.pw_request(ctx, req, stmt, plan);
+            return;
+        }
         let session = req.session;
         if !stmt.is_read_only() && !self.have_quorum() {
             self.reply(
@@ -1988,19 +2476,762 @@ impl Middleware {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Partial replication: request path, cross-group commit, read routing
+    // ------------------------------------------------------------------
+
+    /// Table groups a statement touches (reads and writes), per the
+    /// placement map. Unknown tables fall into the default group.
+    fn stmt_groups(&self, stmt: &Statement) -> Vec<usize> {
+        let placement = &self.parts.as_ref().expect("partial mode").placement;
+        let mut names: Vec<String> =
+            stmt.read_tables().into_iter().map(|t| t.name).collect();
+        names.extend(stmt.written_tables().into_iter().map(|t| t.name));
+        placement.groups_of_tables(names.iter().map(|n| n.as_str()))
+    }
+
+    /// Delegate candidates must host *every* group the transaction touches
+    /// (the delegate executes all its statements locally).
+    fn pw_pick_delegate(&mut self, gset: &[usize]) -> Option<BackendId> {
+        let hosts = self.parts.as_ref().unwrap().placement.hosts_of_all(gset);
+        let candidates: Vec<BackendId> =
+            self.routable().into_iter().filter(|b| hosts.contains(&b.0)).collect();
+        self.apply_lag_penalties();
+        self.balancer.pick(&candidates)
+    }
+
+    /// Client request entry point under a non-trivial placement. Mirrors
+    /// [`mm_writeset_request`] except: the delegate is picked lazily at the
+    /// first statement (BEGIN does not yet know which groups the
+    /// transaction will touch), and certification goes through the
+    /// per-group sequencers.
+    fn pw_request(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        req: ClientRequest,
+        stmt: Statement,
+        plan: Option<PlanExec>,
+    ) {
+        let session = req.session;
+        if !stmt.is_read_only() && !self.have_quorum() {
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Unavailable("minority partition: writes suspended".into())),
+            );
+            return;
+        }
+        if !stmt.is_read_only() && !self.write_quorum_ok() {
+            self.metrics.counters.degraded_write_rejects += 1;
+            self.reply(
+                ctx,
+                session,
+                req.stmt_seq,
+                Err(ReplyError::Degraded("write quorum lost: cluster is read-only".into())),
+            );
+            return;
+        }
+        let (in_tx, delegate) = {
+            let s = self.sessions.get(session.0).unwrap();
+            (s.in_tx, s.sticky)
+        };
+        match &stmt {
+            Statement::Begin { .. } => {
+                // Delegate choice is deferred to the first statement, which
+                // reveals the table groups the transaction touches. BEGIN
+                // itself is a pure middleware-side state change.
+                {
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    s.in_tx = true;
+                    s.wrote_in_tx = false;
+                    s.sticky = None;
+                    s.gstart.clear();
+                }
+                self.reply(ctx, session, req.stmt_seq, Ok(ReplyBody::Ack));
+            }
+            Statement::Commit => {
+                if !in_tx || delegate.is_none() {
+                    // Also covers BEGIN; COMMIT with no statement between:
+                    // nothing executed anywhere, nothing to certify.
+                    if in_tx {
+                        let s = self.sessions.get_mut(session.0).unwrap();
+                        s.in_tx = false;
+                        s.wrote_in_tx = false;
+                    }
+                    self.reply(ctx, session, req.stmt_seq, Ok(ReplyBody::Ack));
+                    return;
+                }
+                let backend = delegate.unwrap();
+                let wrote = self.sessions.get(session.0).unwrap().wrote_in_tx;
+                if !wrote {
+                    {
+                        let s = self.sessions.get_mut(session.0).unwrap();
+                        s.in_tx = false;
+                        s.current = Some(Current {
+                            stmt_seq: req.stmt_seq,
+                            kind: CurrentKind::WsStmt { autocommit: false },
+                        });
+                    }
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None }
+                    });
+                    return;
+                }
+                {
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::WsPrepare });
+                }
+                self.send_db(ctx, backend, Pending::Prepare { session, backend }, move |op| {
+                    DbOp::PrepareWriteset { op, conn: session.0 }
+                });
+            }
+            Statement::Rollback => {
+                let backend = delegate;
+                {
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    s.in_tx = false;
+                    s.wrote_in_tx = false;
+                    s.current = Some(Current {
+                        stmt_seq: req.stmt_seq,
+                        kind: CurrentKind::WsStmt { autocommit: false },
+                    });
+                }
+                match backend {
+                    Some(backend) if self.backends[backend.0].online() => {
+                        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                            DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                        });
+                    }
+                    _ => self.reply(ctx, session, req.stmt_seq, Ok(ReplyBody::Ack)),
+                }
+            }
+            _ if stmt.is_read_only() && !in_tx => {
+                self.pw_route_read(ctx, req, &stmt, plan);
+            }
+            _ => {
+                let write = !stmt.is_read_only();
+                if write {
+                    self.metrics.counters.writes += 1;
+                }
+                let gset = self.stmt_groups(&stmt);
+                if in_tx {
+                    if let Some(backend) = delegate {
+                        let hosts_all = {
+                            let p = self.parts.as_ref().unwrap();
+                            gset.iter().all(|&g| p.placement.hosts(g).contains(&backend.0))
+                        };
+                        if !hosts_all {
+                            // Documented limitation: the delegate was picked
+                            // from the transaction's first statement; a later
+                            // statement cannot widen the group set beyond
+                            // what it hosts.
+                            self.metrics.counters.rejected_statements += 1;
+                            self.reply(
+                                ctx,
+                                session,
+                                req.stmt_seq,
+                                Err(ReplyError::Rejected(
+                                    "statement touches a table group the transaction's delegate does not host".into(),
+                                )),
+                            );
+                            return;
+                        }
+                        {
+                            let s = self.sessions.get_mut(session.0).unwrap();
+                            if write {
+                                s.wrote_in_tx = true;
+                                s.last_write_us = ctx.now().micros();
+                                s.last_write_backend = Some(backend);
+                            }
+                            s.current = Some(Current {
+                                stmt_seq: req.stmt_seq,
+                                kind: CurrentKind::WsStmt { autocommit: false },
+                            });
+                        }
+                        let sql = req.sql.clone();
+                        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                            DbOp::Execute { op, conn: session.0, sql, seq: None }
+                        });
+                    } else {
+                        // First statement of an explicit transaction: pick
+                        // the delegate now that the group set is visible and
+                        // run the deferred BEGIN there.
+                        let Some(backend) = self.pw_pick_delegate(&gset) else {
+                            self.reply(
+                                ctx,
+                                session,
+                                req.stmt_seq,
+                                Err(ReplyError::Unavailable("no delegate hosts all involved groups".into())),
+                            );
+                            return;
+                        };
+                        {
+                            let s = self.sessions.get_mut(session.0).unwrap();
+                            s.sticky = Some(backend);
+                            if write {
+                                s.wrote_in_tx = true;
+                                s.last_write_us = ctx.now().micros();
+                                s.last_write_backend = Some(backend);
+                            }
+                            s.current = Some(Current {
+                                stmt_seq: req.stmt_seq,
+                                kind: CurrentKind::WsBegin {
+                                    then_sql: Some(req.sql.clone()),
+                                    then_autocommit: false,
+                                },
+                            });
+                        }
+                        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                            DbOp::Execute { op, conn: session.0, sql: "BEGIN ISOLATION LEVEL SNAPSHOT".into(), seq: None }
+                        });
+                    }
+                } else {
+                    // Autocommit write: BEGIN; stmt; then certify+commit.
+                    let Some(backend) = self.pw_pick_delegate(&gset) else {
+                        self.reply(
+                            ctx,
+                            session,
+                            req.stmt_seq,
+                            Err(ReplyError::Unavailable("no delegate hosts all involved groups".into())),
+                        );
+                        return;
+                    };
+                    {
+                        let s = self.sessions.get_mut(session.0).unwrap();
+                        s.in_tx = true;
+                        s.wrote_in_tx = true;
+                        s.sticky = Some(backend);
+                        s.gstart.clear();
+                        s.last_write_us = ctx.now().micros();
+                        s.last_write_backend = Some(backend);
+                        s.current = Some(Current {
+                            stmt_seq: req.stmt_seq,
+                            kind: CurrentKind::WsBegin {
+                                then_sql: Some(req.sql.clone()),
+                                then_autocommit: true,
+                            },
+                        });
+                    }
+                    self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+                        DbOp::Execute { op, conn: session.0, sql: "BEGIN ISOLATION LEVEL SNAPSHOT".into(), seq: None }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Split the prepared writeset along group boundaries and publish:
+    /// one group → a plain per-group Certify; several → an XPrepare slot in
+    /// every involved group's stream (cross-group 2PC, deterministic votes).
+    fn pw_publish_prepare(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, ws: Writeset) {
+        let gstart = self.sessions.get(session.0).map(|s| s.gstart.clone()).unwrap_or_default();
+        {
+            let s = self.sessions.get_mut(session.0).unwrap();
+            s.current = Some(Current { stmt_seq, kind: CurrentKind::WsCertifyWait });
+        }
+        let (mut slices, default_group) = {
+            let placement = &self.parts.as_ref().unwrap().placement;
+            (
+                ws.split_by(|_db, t| placement.group_of(t)),
+                placement.default_group(),
+            )
+        };
+        if slices.is_empty() {
+            // Read-only-looking writeset (e.g. all writes rolled back):
+            // still certify through one stream so the commit acks in order.
+            slices.push((default_group, Writeset::default()));
+        }
+        let start = |g: usize| gstart.get(g).copied().unwrap_or(0);
+        if slices.len() == 1 {
+            let (g, part) = slices.pop().unwrap();
+            let start_pos = start(g);
+            self.shard_publish_write(
+                ctx,
+                g,
+                ReplEvent::Certify { session, stmt_seq, start_pos, ws: part },
+            );
+            return;
+        }
+        let groups: Vec<u32> = slices.iter().map(|(g, _)| *g as u32).collect();
+        for (g, part) in slices {
+            let start_pos = start(g);
+            self.shard_publish_write(
+                ctx,
+                g,
+                ReplEvent::XPrepare { session, stmt_seq, groups: groups.clone(), start_pos, part },
+            );
+        }
+    }
+
+    /// Single-group certification request delivered on group `g`'s stream.
+    /// The group-local mirror of [`deliver_certify`] + [`finish_certify`]:
+    /// same verdict logic, but log position, conflict window and apply
+    /// fan-out are all group-scoped.
+    fn deliver_shard_certify(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        g: usize,
+        session: SessionId,
+        stmt_seq: u64,
+        start_pos: u64,
+        ws: Writeset,
+    ) {
+        let (verdict, cert_pos) = {
+            let pk_map = &self.cfg.pk_map;
+            let parts = self.parts.as_mut().unwrap();
+            let verdict = parts.certs[g].certify(start_pos, &ws, |db, t| {
+                pk_map.get(&(db.to_string(), t.to_string())).copied()
+            });
+            let cert_pos = if verdict == Verdict::Commit {
+                parts.logs[g].append_ws(ws.clone())
+            } else {
+                0
+            };
+            self.metrics.certifier = parts.agg_stats();
+            (verdict, cert_pos)
+        };
+        let origin = {
+            let s = self.session(session, None);
+            matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq && matches!(c.kind, CurrentKind::WsCertifyWait))
+        };
+        if origin {
+            self.mw_span(session, stmt_seq, Stage::Certify, ctx.now().micros());
+        }
+        match verdict {
+            Verdict::Abort => {
+                self.metrics.counters.certification_failures += 1;
+                if origin {
+                    let delegate = self.sessions.get(session.0).and_then(|s| s.sticky);
+                    if let Some(backend) = delegate {
+                        if self.backends[backend.0].online() {
+                            self.send_db(ctx, backend, Pending::FireAndForget, move |op| {
+                                DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                            });
+                        }
+                    }
+                    {
+                        let s = self.sessions.get_mut(session.0).unwrap();
+                        s.in_tx = false;
+                        s.wrote_in_tx = false;
+                    }
+                    self.metrics.counters.aborts += 1;
+                    self.reply(
+                        ctx,
+                        session,
+                        stmt_seq,
+                        Err(ReplyError::Sql(SqlError::WriteConflict {
+                            table: "certification".into(),
+                            detail: "first committer won".into(),
+                        })),
+                    );
+                }
+            }
+            Verdict::Commit => {
+                {
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    grow(&mut s.gstamps, g);
+                    s.gstamps[g] = s.gstamps[g].max(cert_pos);
+                }
+                let delegate =
+                    if origin { self.sessions.get(session.0).and_then(|s| s.sticky) } else { None };
+                let hosts: Vec<usize> =
+                    self.parts.as_ref().unwrap().placement.hosts(g).to_vec();
+                let targets: Vec<BackendId> =
+                    self.healthy().into_iter().filter(|b| hosts.contains(&b.0)).collect();
+                let mut remaining = 0;
+                for backend in targets {
+                    if Some(backend) == delegate {
+                        remaining += 1;
+                        self.send_db(
+                            ctx,
+                            backend,
+                            Pending::PwCommit { session, backend, marks: vec![(g as u32, cert_pos)] },
+                            move |op| DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None },
+                        );
+                    } else {
+                        let ws_wire = ws.clone();
+                        let ws_keep = ws.clone();
+                        let sess = if origin { Some(session) } else { None };
+                        if origin {
+                            remaining += 1;
+                        }
+                        self.send_db(
+                            ctx,
+                            backend,
+                            Pending::PwApply {
+                                session: sess,
+                                backend,
+                                group: g as u32,
+                                ws: ws_keep,
+                                attempts: 0,
+                                pos: cert_pos,
+                            },
+                            move |op| DbOp::ApplyWriteset { op, ws: ws_wire },
+                        );
+                    }
+                }
+                if origin {
+                    {
+                        let s = self.sessions.get_mut(session.0).unwrap();
+                        s.in_tx = false;
+                        s.current = Some(Current {
+                            stmt_seq,
+                            kind: CurrentKind::WsFinalize { remaining, failed: false },
+                        });
+                    }
+                    if remaining == 0 {
+                        self.metrics.counters.commits += 1;
+                        self.reply(ctx, session, stmt_seq, Ok(ReplyBody::Ack));
+                    }
+                }
+            }
+        }
+    }
+
+    /// A cross-group prepare slot delivered on group `g`'s stream. The vote
+    /// is the group-local certification verdict, computed AT DELIVERY — a
+    /// pure function of the group's ordered stream, so every middleware
+    /// votes identically and no vote messages need exchanging. A yes vote
+    /// optimistically reserves a log position; the decision (AND of all
+    /// votes) fires when the last involved stream delivers locally.
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_xprepare(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        g: usize,
+        session: SessionId,
+        stmt_seq: u64,
+        groups: Vec<u32>,
+        start_pos: u64,
+        part: Writeset,
+    ) {
+        let now = ctx.now().micros();
+        let done = {
+            let pk_map = &self.cfg.pk_map;
+            let parts = self.parts.as_mut().unwrap();
+            let verdict = parts.certs[g].certify(start_pos, &part, |db, t| {
+                pk_map.get(&(db.to_string(), t.to_string())).copied()
+            });
+            let vote = verdict == Verdict::Commit;
+            let rpos = if vote { parts.logs[g].append_ws(part.clone()) } else { 0 };
+            let entry = parts.xtx.entry((session.0, stmt_seq)).or_insert_with(|| XTx {
+                votes: vec![None; groups.len()],
+                pos: vec![0; groups.len()],
+                parts: vec![None; groups.len()],
+                first_us: now,
+                groups: groups.clone(),
+            });
+            let idx = entry
+                .groups
+                .iter()
+                .position(|&eg| eg as usize == g)
+                .expect("group not involved in its own XPrepare");
+            entry.votes[idx] = Some(vote);
+            entry.pos[idx] = rpos;
+            entry.parts[idx] = Some(part);
+            entry.votes.iter().all(Option::is_some)
+        };
+        {
+            let parts = self.parts.as_mut().unwrap();
+            self.metrics.certifier = parts.agg_stats();
+        }
+        if done {
+            let xtx = self
+                .parts
+                .as_mut()
+                .unwrap()
+                .xtx
+                .remove(&(session.0, stmt_seq))
+                .unwrap();
+            self.finish_xgroup(ctx, session, stmt_seq, xtx);
+            // The decision may unblock a recovering backend whose catch-up
+            // was capped below the (previously undecided) reserved slot.
+            let recovering: Vec<BackendId> = (0..self.backends.len())
+                .filter(|&i| matches!(self.backends[i].state, BackendState::Recovering { .. }))
+                .map(BackendId)
+                .collect();
+            for b in recovering {
+                self.pump_pw_recovery(ctx, b);
+            }
+        }
+    }
+
+    /// All involved groups have voted locally: commit iff every vote is
+    /// yes. On abort, yes-voting groups retract their optimistic
+    /// reservation (certifier entry out, log slot voided, watermark marked
+    /// everywhere so apply tracking never stalls on the hole).
+    fn finish_xgroup(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, xtx: XTx) {
+        let commit = xtx.votes.iter().all(|v| *v == Some(true));
+        let origin = {
+            let s = self.session(session, None);
+            matches!(&s.current, Some(c) if c.stmt_seq == stmt_seq && matches!(c.kind, CurrentKind::WsCertifyWait))
+        };
+        let now = ctx.now().micros();
+        if origin {
+            // Publish → first local vote is the certify window; first vote
+            // → decision is the cross-group wait (the 2PC tax E22 measures).
+            self.mw_span(session, stmt_seq, Stage::Certify, xtx.first_us);
+            self.mw_span(session, stmt_seq, Stage::CrossGroupWait, now);
+        }
+        if !commit {
+            self.metrics.counters.xgroup_aborts += 1;
+            self.metrics.counters.certification_failures += 1;
+            {
+                let parts = self.parts.as_mut().unwrap();
+                for (idx, vote) in xtx.votes.iter().enumerate() {
+                    if *vote != Some(true) {
+                        continue;
+                    }
+                    let g = xtx.groups[idx] as usize;
+                    let pos = xtx.pos[idx];
+                    parts.certs[g].retract(pos);
+                    parts.logs[g].void(pos);
+                    // A voided position never gets an apply ack: mark it
+                    // applied everywhere or per-group watermarks stall.
+                    for marks in parts.marks.iter_mut() {
+                        marks[g].mark(pos);
+                    }
+                }
+                self.metrics.certifier = parts.agg_stats();
+            }
+            if origin {
+                let delegate = self.sessions.get(session.0).and_then(|s| s.sticky);
+                if let Some(backend) = delegate {
+                    if self.backends[backend.0].online() {
+                        self.send_db(ctx, backend, Pending::FireAndForget, move |op| {
+                            DbOp::Execute { op, conn: session.0, sql: "ROLLBACK".into(), seq: None }
+                        });
+                    }
+                }
+                {
+                    let s = self.sessions.get_mut(session.0).unwrap();
+                    s.in_tx = false;
+                    s.wrote_in_tx = false;
+                }
+                self.metrics.counters.aborts += 1;
+                self.reply(
+                    ctx,
+                    session,
+                    stmt_seq,
+                    Err(ReplyError::Sql(SqlError::WriteConflict {
+                        table: "certification".into(),
+                        detail: "cross-group certification lost".into(),
+                    })),
+                );
+            }
+            return;
+        }
+        self.metrics.counters.xgroup_commits += 1;
+        {
+            let s = self.sessions.get_mut(session.0).unwrap();
+            for (idx, &gg) in xtx.groups.iter().enumerate() {
+                let g = gg as usize;
+                grow(&mut s.gstamps, g);
+                s.gstamps[g] = s.gstamps[g].max(xtx.pos[idx]);
+            }
+        }
+        let delegate = if origin { self.sessions.get(session.0).and_then(|s| s.sticky) } else { None };
+        let healthy = self.healthy();
+        let mut remaining = 0;
+        // The delegate hosts every involved group (enforced at pick time):
+        // one COMMIT there marks all its group positions at once.
+        if let Some(backend) = delegate {
+            if healthy.contains(&backend) {
+                remaining += 1;
+                let marks: Vec<(u32, u64)> =
+                    xtx.groups.iter().copied().zip(xtx.pos.iter().copied()).collect();
+                self.send_db(
+                    ctx,
+                    backend,
+                    Pending::PwCommit { session, backend, marks },
+                    move |op| DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None },
+                );
+            }
+        }
+        for (idx, &gg) in xtx.groups.iter().enumerate() {
+            let g = gg as usize;
+            let part = xtx.parts[idx].clone().expect("yes vote recorded its part");
+            let pos = xtx.pos[idx];
+            let hosts: Vec<usize> = self.parts.as_ref().unwrap().placement.hosts(g).to_vec();
+            for &backend in healthy.iter().filter(|b| hosts.contains(&b.0)) {
+                if Some(backend) == delegate {
+                    continue;
+                }
+                let ws_wire = part.clone();
+                let ws_keep = part.clone();
+                let sess = if origin { Some(session) } else { None };
+                if origin {
+                    remaining += 1;
+                }
+                self.send_db(
+                    ctx,
+                    backend,
+                    Pending::PwApply { session: sess, backend, group: gg, ws: ws_keep, attempts: 0, pos },
+                    move |op| DbOp::ApplyWriteset { op, ws: ws_wire },
+                );
+            }
+        }
+        if origin {
+            {
+                let s = self.sessions.get_mut(session.0).unwrap();
+                s.in_tx = false;
+                s.current = Some(Current {
+                    stmt_seq,
+                    kind: CurrentKind::WsFinalize { remaining, failed: false },
+                });
+            }
+            if remaining == 0 {
+                self.metrics.counters.commits += 1;
+                self.reply(ctx, session, stmt_seq, Ok(ReplyBody::Ack));
+            }
+        }
+    }
+
+    /// Is backend `b` caught up to `needs` = per-group required positions?
+    fn pw_backend_fresh(&self, b: BackendId, needs: &[(usize, u64)]) -> bool {
+        let Some(p) = self.parts.as_ref() else { return true };
+        needs.iter().all(|&(g, need)| p.marks[b.0][g].value() >= need)
+    }
+
+    /// Read routing under partial replication: candidates are the backends
+    /// hosting every group the statement reads, freshness is checked per
+    /// (backend, group) against the session's group stamps.
+    fn pw_route_read(&mut self, ctx: &mut Ctx<'_, Msg>, req: ClientRequest, stmt: &Statement, plan: Option<PlanExec>) {
+        self.metrics.counters.reads += 1;
+        let gset = self.stmt_groups(stmt);
+        let hosts = self.parts.as_ref().unwrap().placement.hosts_of_all(&gset);
+        let candidates: Vec<BackendId> =
+            self.routable().into_iter().filter(|b| hosts.contains(&b.0)).collect();
+        if candidates.is_empty() {
+            self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend hosts all read groups".into())));
+            return;
+        }
+        self.apply_lag_penalties();
+        let Some(slack) = self.cfg.read_policy.freshness_slack() else {
+            let Some(b) = self.balancer.pick(&candidates) else {
+                self.reply_read(ctx, req.session, req.stmt_seq, Err(ReplyError::Unavailable("no backend for read".into())));
+                return;
+            };
+            self.mw_span(req.session, req.stmt_seq, Stage::BalancerPick, ctx.now().micros());
+            self.pw_dispatch_read(ctx, req.session, req.stmt_seq, req.sql, plan, b);
+            return;
+        };
+        let needs: Vec<(usize, u64)> = {
+            let s = self.sessions.get(req.session.0).unwrap();
+            gset.iter()
+                .map(|&g| {
+                    (g, s.gstamps.get(g).copied().unwrap_or(0).saturating_sub(slack))
+                })
+                .filter(|&(_, need)| need > 0)
+                .collect()
+        };
+        let fresh_mask: Vec<bool> =
+            candidates.iter().map(|&b| self.pw_backend_fresh(b, &needs)).collect();
+        if fresh_mask.iter().any(|f| !f) {
+            self.metrics.counters.fresh_filtered_stale += 1;
+        }
+        if let Some(b) = self.balancer.pick_fresh(&candidates, &fresh_mask) {
+            self.mw_span(req.session, req.stmt_seq, Stage::BalancerPick, ctx.now().micros());
+            self.pw_dispatch_read(ctx, req.session, req.stmt_seq, req.sql, plan, b);
+            return;
+        }
+        self.metrics.counters.freshness_waits += 1;
+        let id = self.next_fresh;
+        self.next_fresh += 1;
+        {
+            let s = self.sessions.get_mut(req.session.0).unwrap();
+            s.current = Some(Current { stmt_seq: req.stmt_seq, kind: CurrentKind::FreshWait });
+        }
+        self.fresh_waiters.insert(
+            id,
+            FreshWaiter {
+                session: req.session,
+                stmt_seq: req.stmt_seq,
+                sql: req.sql,
+                plan,
+                stamp: 0,
+                ms_mode: false,
+                pneeds: Some((gset, needs)),
+            },
+        );
+        ctx.set_timer(self.cfg.freshness_wait_max_us, TIMER_FRESH_BASE + id);
+    }
+
+    /// Dispatch tail for partial-mode reads (skips the quarantine-probe
+    /// piggyback and connection stickiness: placement already constrains
+    /// the candidate set).
+    fn pw_dispatch_read(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: SessionId,
+        stmt_seq: u64,
+        sql: String,
+        plan: Option<PlanExec>,
+        backend: BackendId,
+    ) {
+        {
+            let s = self.sessions.get_mut(session.0).unwrap();
+            s.current = Some(Current { stmt_seq, kind: CurrentKind::Read { backend } });
+        }
+        self.send_db(ctx, backend, Pending::ClientExec { session, backend }, move |op| {
+            match plan {
+                Some(plan) => DbOp::ExecutePlan { op, conn: session.0, plan, seq: None },
+                None => DbOp::Execute { op, conn: session.0, sql, seq: None },
+            }
+        });
+    }
+
+    /// Satellite: freshness-aware LPRF. Fold each backend's replication
+    /// lag (certified-but-unapplied positions) into its balancer score so
+    /// laggards shed read load while they catch up. Off by default —
+    /// `set_lag_penalty(_, 0)` everywhere keeps scores byte-identical.
+    fn apply_lag_penalties(&mut self) {
+        if !self.cfg.lag_aware_lprf {
+            return;
+        }
+        for i in 0..self.backends.len() {
+            let lag = if let Some(p) = self.parts.as_ref() {
+                p.hosted(i)
+                    .into_iter()
+                    .map(|g| p.certs[g].position().saturating_sub(p.marks[i][g].value()))
+                    .sum()
+            } else {
+                match self.cfg.mode {
+                    Mode::MultiMasterWriteset => {
+                        self.certifier.position().saturating_sub(self.backends[i].cert_mark.value())
+                    }
+                    _ => self.log.head().saturating_sub(self.backends[i].applied_seq),
+                }
+            };
+            self.balancer.set_lag_penalty(BackendId(i), lag);
+        }
+    }
+
     fn deliver_certify(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, start_pos: u64, ws: Writeset) {
         let pk_map = &self.cfg.pk_map;
         let verdict = self.certifier.certify(start_pos, &ws, |db, t| {
             pk_map.get(&(db.to_string(), t.to_string())).copied()
         });
         self.metrics.certifier = self.certifier.stats();
-        self.finish_certify(ctx, session, stmt_seq, ws, verdict);
+        self.finish_certify(ctx, session, stmt_seq, ws, verdict, None);
     }
 
     /// Everything after the certification verdict: log the writeset, reply
     /// to the origin on abort, or fan the commit out. Shared between the
-    /// single-event and batched delivery paths.
-    fn finish_certify(&mut self, ctx: &mut Ctx<'_, Msg>, session: SessionId, stmt_seq: u64, ws: Writeset, verdict: Verdict) {
+    /// single-event and batched delivery paths. With a `sink`, non-delegate
+    /// applies are collected into it (one wire message per backend per
+    /// flush, sent by the caller) instead of dispatched individually; the
+    /// per-statement accounting is identical either way.
+    fn finish_certify(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: SessionId,
+        stmt_seq: u64,
+        ws: Writeset,
+        verdict: Verdict,
+        mut sink: Option<&mut Vec<(BackendId, WsBatchPart)>>,
+    ) {
         // Log certified writesets for recovery. In writeset mode the log
         // holds exactly the certified stream, so the log seq IS the
         // certification position.
@@ -2066,24 +3297,31 @@ impl Middleware {
                             move |op| DbOp::Execute { op, conn: session.0, sql: "COMMIT".into(), seq: None },
                         );
                     } else {
-                        let ws_wire = ws.clone();
-                        let ws_keep = ws.clone();
                         let sess = if origin { Some(session) } else { None };
                         if origin {
                             remaining += 1;
                         }
-                        self.send_db(
-                            ctx,
-                            backend,
-                            Pending::ApplyWs {
-                                session: sess,
+                        if let Some(sink) = sink.as_deref_mut() {
+                            sink.push((
                                 backend,
-                                ws: ws_keep,
-                                attempts: 0,
-                                pos: cert_pos,
-                            },
-                            move |op| DbOp::ApplyWriteset { op, ws: ws_wire },
-                        );
+                                WsBatchPart { session: sess, ws: ws.clone(), pos: cert_pos },
+                            ));
+                        } else {
+                            let ws_wire = ws.clone();
+                            let ws_keep = ws.clone();
+                            self.send_db(
+                                ctx,
+                                backend,
+                                Pending::ApplyWs {
+                                    session: sess,
+                                    backend,
+                                    ws: ws_keep,
+                                    attempts: 0,
+                                    pos: cert_pos,
+                                },
+                                move |op| DbOp::ApplyWriteset { op, ws: ws_wire },
+                            );
+                        }
                     }
                 }
                 if origin {
@@ -2355,6 +3593,73 @@ impl Middleware {
                 }
                 self.finish_apply_ws(ctx, session, backend, ws, attempts, pos, resp);
             }
+            Pending::PwCommit { session, backend, marks } => {
+                self.balancer.completed(backend);
+                if matches!(resp, DbResp::ExecOk { .. }) {
+                    let p = self.parts.as_mut().unwrap();
+                    for &(g, pos) in &marks {
+                        p.marks[backend.0][g as usize].mark(pos);
+                    }
+                }
+                self.finish_ws_part(ctx, Some(session), resp);
+            }
+            Pending::PwApply { session, backend, group, ws, attempts, pos } => {
+                self.balancer.completed(backend);
+                if matches!(resp, DbResp::ApplyOk { .. }) {
+                    self.parts.as_mut().unwrap().marks[backend.0][group as usize].mark(pos);
+                }
+                self.finish_pw_apply(ctx, session, backend, group, ws, attempts, pos, resp);
+            }
+            Pending::ApplyWsBatch { backend, parts } => {
+                self.balancer.completed(backend);
+                let now = ctx.now().micros();
+                self.touch_liveness(backend, now);
+                self.score_completion(now, backend, started, op);
+                if let DbResp::ApplyBatchOut { results, .. } = resp {
+                    // One batched response resolves every member exactly as
+                    // N individual ApplyWriteset replies would have.
+                    for (meta, r) in parts.into_iter().zip(results) {
+                        match r {
+                            None => {
+                                self.backends[backend.0].cert_mark.mark(meta.pos);
+                                self.finish_ws_part(
+                                    ctx,
+                                    meta.session,
+                                    DbResp::ApplyOk { op: 0, applied_lsn: Lsn(0) },
+                                );
+                            }
+                            Some(err) => {
+                                self.finish_apply_ws(
+                                    ctx,
+                                    meta.session,
+                                    backend,
+                                    meta.ws,
+                                    0,
+                                    meta.pos,
+                                    DbResp::ApplyErr { op: 0, err },
+                                );
+                            }
+                        }
+                    }
+                } else {
+                    for meta in parts {
+                        self.finish_ws_part(
+                            ctx,
+                            meta.session,
+                            DbResp::ApplyErr { op: 0, err: SqlError::Internal("batch apply failed".into()) },
+                        );
+                    }
+                }
+            }
+            Pending::PwResyncDump { target, donor, heads } => {
+                self.finish_pw_resync_dump(ctx, target, donor, heads, resp);
+            }
+            Pending::PwResyncRestore { backend, heads } => {
+                self.finish_pw_resync_restore(ctx, backend, heads, resp);
+            }
+            Pending::PwRecoveryBatch { backend, group, upto } => {
+                self.finish_pw_recovery_batch(ctx, backend, group, upto, resp);
+            }
             Pending::Ping { backend } => {
                 self.balancer.completed(backend);
                 if let DbResp::Pong { applied_lsn, head, ordered_applied, .. } = resp {
@@ -2456,9 +3761,17 @@ impl Middleware {
                 DbResp::ExecOk { .. } => {
                     // The delegate's snapshot now exists: every certified
                     // writeset at or below its watermark is visible to it.
-                    let mark = self.backends[backend.0].cert_mark.value();
-                    if let Some(s) = self.sessions.get_mut(session.0) {
-                        s.start_cert_pos = mark;
+                    if let Some(p) = self.parts.as_ref() {
+                        let gstart: Vec<u64> =
+                            p.marks[backend.0].iter().map(|w| w.value()).collect();
+                        if let Some(s) = self.sessions.get_mut(session.0) {
+                            s.gstart = gstart;
+                        }
+                    } else {
+                        let mark = self.backends[backend.0].cert_mark.value();
+                        if let Some(s) = self.sessions.get_mut(session.0) {
+                            s.start_cert_pos = mark;
+                        }
                     }
                     let Some(sql) = then_sql else {
                         self.reply(ctx, session, stmt_seq, Ok(ReplyBody::Ack));
@@ -2600,6 +3913,10 @@ impl Middleware {
         self.mw_span(session, current.stmt_seq, Stage::Execute, ctx.now().micros());
         match resp {
             DbResp::WritesetOut { ws, .. } => {
+                if self.parts.is_some() {
+                    self.pw_publish_prepare(ctx, session, current.stmt_seq, *ws);
+                    return;
+                }
                 let start_pos = self.sessions.get(session.0).map(|s| s.start_cert_pos).unwrap_or(0);
                 {
                     let s = self.sessions.get_mut(session.0).unwrap();
@@ -2665,7 +3982,66 @@ impl Middleware {
         self.finish_ws_part(ctx, session, resp);
     }
 
+    /// Partial-mode twin of [`finish_apply_ws`]: same retry/divergence
+    /// policy, but the retry re-targets the (backend, group) pair.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pw_apply(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        session: Option<SessionId>,
+        backend: BackendId,
+        group: u32,
+        ws: Writeset,
+        attempts: u32,
+        pos: u64,
+        resp: DbResp,
+    ) {
+        if let DbResp::ApplyErr { err, .. } = &resp {
+            if err.is_retryable()
+                && attempts < APPLY_RETRY_MAX
+                && self.backends[backend.0].online()
+            {
+                self.next_retry += 1;
+                let id = self.next_retry;
+                self.parts
+                    .as_mut()
+                    .unwrap()
+                    .retries
+                    .insert(id, (backend, group, ws, session, attempts + 1, pos));
+                ctx.set_timer(APPLY_RETRY_DELAY_US, TIMER_RETRY_BASE + id);
+                return;
+            }
+            self.metrics.counters.divergence_detected += 1;
+            if self.backends[backend.0].online() {
+                self.backend_failed(ctx, backend);
+                let lsn = self.backends[backend.0].applied_lsn;
+                self.note_pong(ctx, backend, lsn, lsn, u64::MAX);
+            }
+        }
+        self.finish_ws_part(ctx, session, resp);
+    }
+
     fn fire_apply_retry(&mut self, ctx: &mut Ctx<'_, Msg>, id: u64) {
+        if let Some((backend, group, ws, session, attempts, pos)) =
+            self.parts.as_mut().and_then(|p| p.retries.remove(&id))
+        {
+            if !self.backends[backend.0].online() {
+                self.finish_ws_part(
+                    ctx,
+                    session,
+                    DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend lost".into()) },
+                );
+                return;
+            }
+            let ws2 = ws.clone();
+            self.send_db(
+                ctx,
+                backend,
+                Pending::PwApply { session, backend, group, ws, attempts, pos },
+                move |op| DbOp::ApplyWriteset { op, ws: ws2 },
+            );
+            return;
+        }
         let Some((backend, ws, session, attempts, pos)) = self.apply_retries.remove(&id) else {
             return;
         };
@@ -2942,6 +4318,7 @@ impl Middleware {
             self.recovery_started.insert(backend, now);
             match self.cfg.mode {
                 Mode::MasterSlave { .. } => self.start_full_resync(ctx, backend),
+                _ if self.parts.is_some() => self.start_pw_resync(ctx, backend),
                 _ => self.start_log_recovery(ctx, backend, ordered_applied),
             }
         }
@@ -2990,6 +4367,10 @@ impl Middleware {
             for ev in buffered {
                 self.apply_delivery(ctx, ev);
             }
+            self.drain_shard_buffer(ctx);
+        }
+        if let Some(p) = self.parts.as_mut() {
+            p.resync.remove(&backend.0);
         }
         self.recovery_started.remove(&backend);
         let applied = self.backends[backend.0].applied_seq;
@@ -3063,8 +4444,16 @@ impl Middleware {
                         self.finish_group_exec(ctx, group, backend, DbResp::RestoreOk { op: 0 }, true);
                     }
                 }
-                Pending::DelegateCommit { session, .. } | Pending::ApplyWs { session: Some(session), .. } => {
+                Pending::DelegateCommit { session, .. }
+                | Pending::ApplyWs { session: Some(session), .. }
+                | Pending::PwCommit { session, .. }
+                | Pending::PwApply { session: Some(session), .. } => {
                     self.finish_ws_part(ctx, Some(session), DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend failed".into()) });
+                }
+                Pending::ApplyWsBatch { parts, .. } => {
+                    for meta in parts {
+                        self.finish_ws_part(ctx, meta.session, DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend failed".into()) });
+                    }
                 }
                 Pending::ShipApply { session: Some(session), .. } => {
                     self.finish_two_safe_part(ctx, session);
@@ -3312,6 +4701,252 @@ impl Middleware {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Partial replication: rejoin (dump + per-group log catch-up)
+    // ------------------------------------------------------------------
+
+    /// A returned backend rebuilds from a donor that hosts a superset of
+    /// its groups (one dump covers every table it replays), then catches
+    /// up per-group from the dump-time log heads. There is no per-group
+    /// incremental path from the node's own durable state: group streams
+    /// share a dense seq space per group, so positions are only comparable
+    /// within a group, and the dump baseline is the one point all hosted
+    /// groups agree on.
+    fn start_pw_resync(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        let (target_hosted, heads) = {
+            let p = self.parts.as_ref().unwrap();
+            (p.hosted(backend.0), p.logs.iter().map(|l| l.head()).collect::<Vec<u64>>())
+        };
+        let donor = self.healthy().into_iter().find(|&b| {
+            b != backend && {
+                let p = self.parts.as_ref().unwrap();
+                let dh = p.hosted(b.0);
+                target_hosted.iter().all(|g| dh.contains(g))
+            }
+        });
+        let Some(donor) = donor else {
+            // No donor hosts all our groups: stay Down; the next pong
+            // retries (a replicated group regains its host the moment a
+            // peer comes back).
+            self.backends[backend.0].state = BackendState::Down;
+            return;
+        };
+        // The FIFO argument that makes `heads` a sound catch-up baseline —
+        // every apply at or below it was *sent to the donor before the dump
+        // request* — breaks for positions whose fan-out is deferred: a
+        // prepared-but-undecided cross-group slot (fan-out happens at
+        // decision time) or a failed apply awaiting its retry timer. Such a
+        // position reaches the donor after the dump is taken, yet catch-up
+        // skips everything at or below `heads` — a silent hole at the
+        // rejoiner. Defer instead; the next pong retries once the window
+        // clears.
+        if self.pw_resync_blocked(&target_hosted, donor, &heads) {
+            self.backends[backend.0].state = BackendState::Down;
+            return;
+        }
+        self.backends[backend.0].state = BackendState::Resyncing;
+        self.send_db(ctx, donor, Pending::PwResyncDump { target: backend, donor, heads }, move |op| {
+            DbOp::Dump { op, include_programs: true, include_principals: true }
+        });
+    }
+
+    /// Would a dump from `donor` be unsafe as a catch-up baseline of
+    /// `heads` for a rejoiner hosting `hosted`? True while any
+    /// prepared-but-undecided cross-group slot, queued apply retry to the
+    /// donor, or refired retry still in flight to the donor sits at or
+    /// below the baseline in a hosted group — those applies land at the
+    /// donor *after* the dump, and catch-up would skip them.
+    fn pw_resync_blocked(&self, hosted: &[usize], donor: BackendId, heads: &[u64]) -> bool {
+        let p = self.parts.as_ref().unwrap();
+        let below = |g: u32, pos: u64| {
+            let g = g as usize;
+            hosted.contains(&g) && pos <= heads.get(g).copied().unwrap_or(u64::MAX)
+        };
+        p.xtx.values().any(|x| {
+            x.groups.iter().zip(&x.pos).any(|(&g, &pos)| pos != 0 && below(g, pos))
+        }) || p.retries.values().any(|r| r.0 == donor && below(r.1, r.5))
+            || self.pending.values().any(|pd| {
+                matches!(pd, Pending::PwApply { backend, group, attempts, pos, .. }
+                    if *backend == donor && *attempts > 0 && below(*group, *pos))
+            })
+    }
+
+    /// Lowest log position in group `g` reserved by a still-undecided
+    /// cross-group transaction. `None` when every reserved slot is decided.
+    fn pw_undecided_floor(&self, g: usize) -> Option<u64> {
+        let p = self.parts.as_ref()?;
+        p.xtx
+            .values()
+            .flat_map(|x| x.groups.iter().zip(&x.pos))
+            .filter(|&(&gg, &pos)| gg as usize == g && pos != 0)
+            .map(|(_, &pos)| pos)
+            .min()
+    }
+
+    fn finish_pw_resync_dump(&mut self, ctx: &mut Ctx<'_, Msg>, target: BackendId, donor: BackendId, heads: Vec<u64>, resp: DbResp) {
+        let DbResp::DumpOut { dump, head, .. } = resp else { return };
+        if self.backends[target.0].state != BackendState::Resyncing {
+            return;
+        }
+        // An apply at or below the baseline can fail at the donor *after*
+        // the resync started but *before* the dump was served (its retry
+        // registers here before the dump response arrives, FIFO). The dump
+        // then misses that position: abandon this attempt and let the next
+        // pong start over.
+        let hosted = self.parts.as_ref().unwrap().hosted(target.0);
+        if self.pw_resync_blocked(&hosted, donor, &heads) {
+            self.backends[target.0].state = BackendState::Down;
+            return;
+        }
+        self.send_db(
+            ctx,
+            target,
+            Pending::PwResyncRestore { backend: target, heads },
+            move |op| DbOp::Restore { op, dump, baseline: head, ordered_baseline: 0 },
+        );
+    }
+
+    fn finish_pw_resync_restore(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId, heads: Vec<u64>, resp: DbResp) {
+        if !matches!(resp, DbResp::RestoreOk { .. }) {
+            return;
+        }
+        let next: Vec<(usize, u64)> = {
+            let p = self.parts.as_ref().unwrap();
+            p.hosted(backend.0)
+                .into_iter()
+                .map(|g| (g, heads.get(g).copied().unwrap_or(0)))
+                .collect()
+        };
+        self.parts.as_mut().unwrap().resync.insert(backend.0, PwCatchup { next, inflight: false });
+        // The real cursor lives in `Partial::resync`; the state enum only
+        // gates liveness/visibility decisions.
+        self.backends[backend.0].state = BackendState::Recovering { next: 0, inflight: false };
+        self.pump_pw_recovery(ctx, backend);
+    }
+
+    /// Per-group catch-up: replay each hosted group's log tail from the
+    /// dump-time head, one batch in flight at a time, groups in index
+    /// order. Mirrors [`pump_recovery`]'s barrier handling.
+    fn pump_pw_recovery(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if !matches!(self.backends[backend.0].state, BackendState::Recovering { .. }) {
+            return;
+        }
+        let next = {
+            let Some(cu) = self.parts.as_ref().and_then(|p| p.resync.get(&backend.0)) else {
+                return;
+            };
+            if cu.inflight {
+                return;
+            }
+            cu.next.clone()
+        };
+        let total_remaining: u64 = {
+            let p = self.parts.as_ref().unwrap();
+            next.iter().map(|&(g, n)| p.logs[g].head().saturating_sub(n)).sum()
+        };
+        if total_remaining == 0 {
+            {
+                let p = self.parts.as_mut().unwrap();
+                for &(g, _) in &next {
+                    p.marks[backend.0][g] = Watermark::at(p.logs[g].head());
+                }
+                p.resync.remove(&backend.0);
+            }
+            self.backends[backend.0].state = BackendState::Online;
+            if let Some(start) = self.recovery_started.remove(&backend) {
+                self.metrics.recoveries.push((backend.0, start, ctx.now().micros()));
+            }
+            self.update_degraded(ctx);
+            if self.barrier_for == Some(backend) {
+                self.barrier_for = None;
+                while let Some(ev) = self.buffered_deliveries.pop_front() {
+                    self.apply_delivery(ctx, ev);
+                    if self.barrier_for.is_some() {
+                        break;
+                    }
+                }
+                self.drain_shard_buffer(ctx);
+            }
+            return;
+        }
+        // The final-hop barrier buffers shard deliveries — but an undecided
+        // cross-group transaction needs further deliveries to decide, and
+        // replay cannot cross its reserved slot. Arming the barrier then
+        // would deadlock; wait for the decision first.
+        if total_remaining <= self.cfg.barrier_threshold
+            && self.barrier_for.is_none()
+            && next.iter().all(|&(g, _)| self.pw_undecided_floor(g).is_none())
+        {
+            self.barrier_for = Some(backend);
+        }
+        // Replay must not cross a prepared-but-undecided cross-group slot:
+        // its logged payload may still be voided by an abort decision.
+        // Cap each group's replay just below its lowest undecided position;
+        // the decision re-pumps (see `deliver_xprepare`).
+        let Some((g, n, cap)) = next.iter().find_map(|&(g, n)| {
+            let head = self.parts.as_ref().unwrap().logs[g].head();
+            let cap = self.pw_undecided_floor(g).map(|f| f - 1).unwrap_or(head).min(head);
+            (cap > n).then_some((g, n, cap))
+        }) else {
+            return;
+        };
+        let batch = match self.parts.as_ref().unwrap().logs[g].read_after(n, self.cfg.recovery_batch)
+        {
+            Ok(entries) => {
+                entries.iter().take_while(|e| e.seq <= cap).cloned().collect::<Vec<_>>()
+            }
+            Err(_) => {
+                // Group log truncated past the dump baseline: rebuild from
+                // a fresh dump.
+                self.parts.as_mut().unwrap().resync.remove(&backend.0);
+                self.start_pw_resync(ctx, backend);
+                return;
+            }
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let upto = batch.last().unwrap().seq;
+        let entries = crate::recovery::to_binlog_entries(&batch);
+        let parallel_apply = self.cfg.replay_mode == ReplayMode::Parallel;
+        self.parts.as_mut().unwrap().resync.get_mut(&backend.0).unwrap().inflight = true;
+        self.send_db(ctx, backend, Pending::PwRecoveryBatch { backend, group: g, upto }, move |op| {
+            // The restore wiped the node, so replay is exactly-once. Group
+            // streams reuse overlapping dense seq spaces, so the ordered-
+            // space dedup must NOT apply across groups: ApplySpace::None.
+            DbOp::ApplyBinlog { op, entries, use_writesets: true, parallel_apply, space: ApplySpace::None }
+        });
+    }
+
+    fn finish_pw_recovery_batch(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        backend: BackendId,
+        group: usize,
+        upto: u64,
+        resp: DbResp,
+    ) {
+        if !matches!(self.backends[backend.0].state, BackendState::Recovering { .. }) {
+            return;
+        }
+        match resp {
+            DbResp::ApplyOk { .. } => {
+                if let Some(cu) = self.parts.as_mut().unwrap().resync.get_mut(&backend.0) {
+                    cu.inflight = false;
+                    if let Some(slot) = cu.next.iter_mut().find(|(g, _)| *g == group) {
+                        slot.1 = upto;
+                    }
+                }
+                self.pump_pw_recovery(ctx, backend);
+            }
+            _ => {
+                self.metrics.counters.divergence_detected += 1;
+                self.parts.as_mut().unwrap().resync.remove(&backend.0);
+                self.start_pw_resync(ctx, backend);
+            }
+        }
+    }
+
     /// Management operations (§4.4.1/§4.4.2).
     fn on_admin(&mut self, ctx: &mut Ctx<'_, Msg>, cmd: AdminCmd) {
         if std::env::var("REPLIMID_DEBUG").is_ok() {
@@ -3339,7 +4974,13 @@ impl Middleware {
             AdminCmd::EndSession { session } => {
                 // Teardown rides the total order so every peer drops its
                 // replicated copy of the session state at the same point.
-                self.publish_write(ctx, ReplEvent::SessionEnd { session });
+                // Under partial replication any one stream works (teardown
+                // is group-agnostic); group 0 keeps it deterministic.
+                if self.parts.is_some() {
+                    self.shard_publish_write(ctx, 0, ReplEvent::SessionEnd { session });
+                } else {
+                    self.publish_write(ctx, ReplEvent::SessionEnd { session });
+                }
             }
         }
     }
@@ -3370,6 +5011,16 @@ impl Middleware {
             Pending::GroupExecBatch { groups, backend } => {
                 for &group in groups {
                     self.finish_group_exec(ctx, group, *backend, DbResp::RestoreOk { op: 0 }, true);
+                }
+            }
+            // Same already-out-of-`pending` reasoning as GroupExecBatch.
+            Pending::ApplyWsBatch { parts, .. } => {
+                for meta in parts.clone() {
+                    self.finish_ws_part(
+                        ctx,
+                        meta.session,
+                        DbResp::ApplyErr { op: 0, err: SqlError::Internal("backend failed".into()) },
+                    );
                 }
             }
             _ => {}
@@ -3461,6 +5112,20 @@ impl Middleware {
         )
     }
 
+    /// Number of table groups under the active placement (1 = global).
+    pub fn partial_groups(&self) -> usize {
+        self.parts.as_ref().map(|p| p.groups()).unwrap_or(1)
+    }
+
+    /// Per-(backend, group) applied watermark (partial mode only).
+    pub fn pw_mark(&self, b: BackendId, g: usize) -> u64 {
+        self.parts.as_ref().map(|p| p.marks[b.0][g].value()).unwrap_or(0)
+    }
+
+    /// Cross-group transactions with at least one vote still outstanding.
+    pub fn xtx_inflight(&self) -> usize {
+        self.parts.as_ref().map(|p| p.xtx.len()).unwrap_or(0)
+    }
 }
 
 fn pending_backend(p: &Pending) -> Option<BackendId> {
@@ -3475,15 +5140,27 @@ fn pending_backend(p: &Pending) -> Option<BackendId> {
         | Pending::ShipApply { backend, .. }
         | Pending::RecoveryBatch { backend, .. }
         | Pending::BackupDump { backend, .. }
-        | Pending::ResyncRestore { backend, .. } => Some(*backend),
+        | Pending::ResyncRestore { backend, .. }
+        | Pending::PwCommit { backend, .. }
+        | Pending::PwApply { backend, .. }
+        | Pending::ApplyWsBatch { backend, .. }
+        | Pending::PwResyncRestore { backend, .. }
+        | Pending::PwRecoveryBatch { backend, .. } => Some(*backend),
+        // PwResyncDump targets the donor, which is not `target`; like
+        // ResyncDumpReq, a timeout fails the donor via the generic path.
         _ => None,
     }
 }
 
 impl Actor<Msg> for Middleware {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let actions = self.group.start(ctx.now().micros());
-        self.run_gcs_actions(ctx, actions);
+        if self.parts.is_some() {
+            let actions = self.parts.as_mut().unwrap().member.start(ctx.now().micros());
+            self.run_shard_actions(ctx, actions);
+        } else {
+            let actions = self.group.start(ctx.now().micros());
+            self.run_gcs_actions(ctx, actions);
+        }
         ctx.set_timer(self.cfg.heartbeat.interval_us, TIMER_PING);
         if let Mode::MasterSlave { ship_interval_us, .. } = self.cfg.mode {
             ctx.set_timer(ship_interval_us, TIMER_SHIP);
@@ -3505,6 +5182,17 @@ impl Actor<Msg> for Middleware {
                 let actions = self.group.on_message(member, gmsg, ctx.now().micros());
                 self.run_gcs_actions(ctx, actions);
             }
+            Msg::GroupShard { group, msg } => {
+                let member = self
+                    .peers
+                    .iter()
+                    .position(|&n| n == from)
+                    .map(MemberId)
+                    .unwrap_or(MemberId(usize::MAX));
+                let Some(parts) = self.parts.as_mut() else { return };
+                let actions = parts.member.on_message(group as usize, member, msg, ctx.now().micros());
+                self.run_shard_actions(ctx, actions);
+            }
             _ => {}
         }
     }
@@ -3520,6 +5208,16 @@ impl Actor<Msg> for Middleware {
             TIMER_BATCH => {
                 self.batch_timer_armed = false;
                 self.flush_batch(ctx, FlushReason::Deadline);
+            }
+            t if (SHARD_TICK_BASE..SHARD_TICK_BASE + MAX_GROUPS as u64).contains(&t) => {
+                let g = (t - SHARD_TICK_BASE) as usize;
+                let Some(parts) = self.parts.as_mut() else { return };
+                let actions = parts.member.on_timer(g, replimid_gcs::TICK_TAG, ctx.now().micros());
+                self.run_shard_actions(ctx, actions);
+            }
+            t if (SHARD_BATCH_BASE..SHARD_BATCH_BASE + MAX_GROUPS as u64).contains(&t) => {
+                let g = (t - SHARD_BATCH_BASE) as usize;
+                self.flush_shard_batch(ctx, g, FlushReason::Deadline);
             }
             t if t >= TIMER_OP_BASE => {
                 let op = t - TIMER_OP_BASE;

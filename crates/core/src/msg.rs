@@ -222,6 +222,12 @@ pub enum DbOp {
     PrepareWriteset { op: u64, conn: u64 },
     /// Apply a certified writeset as one transaction.
     ApplyWriteset { op: u64, ws: Writeset },
+    /// Apply several certified writesets in one message (the writeset-mode
+    /// twin of `ExecuteBatch`): one fan-out message per backend per
+    /// group-commit flush instead of one per transaction. Each part is
+    /// still its own transaction with its own outcome; disjoint-table parts
+    /// are charged the grouped parallel cost like batched statement apply.
+    ApplyWritesetBatch { op: u64, parts: Vec<Writeset> },
     /// Apply shipped binlog entries (slave side). `parallel_apply` groups
     /// entries touching disjoint tables and charges only the longest group
     /// (the §4.4.2 "extraction of parallelism from the log").
@@ -316,6 +322,8 @@ pub enum DbResp {
     },
     ApplyOk { op: u64, applied_lsn: Lsn },
     ApplyErr { op: u64, err: SqlError },
+    /// Per-part outcomes of an `ApplyWritesetBatch` (None = applied).
+    ApplyBatchOut { op: u64, results: Vec<Option<SqlError>> },
 }
 
 impl DbResp {
@@ -331,7 +339,8 @@ impl DbResp {
             | DbResp::ChecksumOut { op, .. }
             | DbResp::Pong { op, .. }
             | DbResp::ApplyOk { op, .. }
-            | DbResp::ApplyErr { op, .. } => *op,
+            | DbResp::ApplyErr { op, .. }
+            | DbResp::ApplyBatchOut { op, .. } => *op,
         }
     }
 }
@@ -369,6 +378,25 @@ pub enum ReplEvent {
         start_pos: u64,
         ws: Writeset,
     },
+    /// Cross-group prepare (partial replication): one multi-group
+    /// transaction's writeset slice for this group's stream. Published into
+    /// *every* involved group's total order; each peer certifies the slice
+    /// in that group's certifier shard at delivery (the vote is a pure
+    /// function of the group-local stream, so every replica computes the
+    /// same vote without extra wire messages) and the global decision is
+    /// the AND over all involved groups' votes, reached when the last
+    /// involved stream delivers its slice.
+    XPrepare {
+        session: SessionId,
+        stmt_seq: u64,
+        /// Every group the transaction touches (sorted; identifies the
+        /// decision quorum).
+        groups: Vec<u32>,
+        /// This group's certifier position when the transaction began.
+        start_pos: u64,
+        /// The writeset slice touching this group's tables only.
+        part: Writeset,
+    },
     /// Session teardown (propagated so peers drop replicated session state).
     SessionEnd { session: SessionId },
     /// A group-committed batch: the contained events occupy ONE total-order
@@ -404,6 +432,10 @@ pub enum Msg {
     Db(DbOp),
     DbR(DbResp),
     Group(GcsMsg<ReplEvent>),
+    /// Partial replication: GCS traffic for one per-group sequencer. Each
+    /// table group runs its own independent `GroupMember` stream; the tag
+    /// routes the message to the right shard.
+    GroupShard { group: u32, msg: GcsMsg<ReplEvent> },
     /// Master→slave binlog shipping (master-slave mode, no GCS involved).
     Ship { entries: Vec<BinlogEntry>, seq: u64 },
     ShipAck { upto: Lsn, seq: u64 },

@@ -164,6 +164,133 @@ impl Partitioner {
     }
 }
 
+/// Per-table-group placement for partial replication (Sutra–Shapiro): each
+/// table belongs to exactly one *group*, each group lives on a declared
+/// subset of backends, and writes are ordered/certified/applied only among
+/// the replicas that host the groups a transaction touches. Tables not
+/// listed fall into `default_group` (conservative: the unlisted-table
+/// escape hatch, like [`Partitioner`]'s global tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `hosts[g]` = sorted backend indices hosting group `g`.
+    hosts: Vec<Vec<usize>>,
+    /// table name -> group index.
+    tables: Vec<(String, usize)>,
+    default_group: usize,
+}
+
+impl Placement {
+    /// One group per `hosts` entry; tables are assigned with
+    /// [`assign`](Self::assign). Host lists are deduplicated and sorted so
+    /// fan-out order is deterministic.
+    pub fn new(hosts: Vec<Vec<usize>>) -> Self {
+        assert!(!hosts.is_empty(), "placement needs at least one group");
+        let hosts = hosts
+            .into_iter()
+            .map(|mut h| {
+                h.sort_unstable();
+                h.dedup();
+                assert!(!h.is_empty(), "every group needs at least one host");
+                h
+            })
+            .collect();
+        Placement { hosts, tables: Vec::new(), default_group: 0 }
+    }
+
+    /// The canonical scale-out layout: `groups` groups over `backends`
+    /// replicas, group `g` hosted by backends `{g % backends, ...}` spread
+    /// round-robin with `replicas` copies each.
+    pub fn striped(groups: usize, backends: usize, replicas: usize) -> Self {
+        let replicas = replicas.clamp(1, backends.max(1));
+        let hosts = (0..groups)
+            .map(|g| (0..replicas).map(|r| (g + r) % backends).collect())
+            .collect();
+        Placement::new(hosts)
+    }
+
+    pub fn assign(mut self, table: &str, group: usize) -> Self {
+        assert!(group < self.hosts.len(), "group {group} out of range");
+        self.tables.push((table.to_string(), group));
+        self
+    }
+
+    pub fn with_default_group(mut self, group: usize) -> Self {
+        assert!(group < self.hosts.len(), "group {group} out of range");
+        self.default_group = group;
+        self
+    }
+
+    pub fn groups(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Group that unlisted tables (and empty writesets) fall into.
+    pub fn default_group(&self) -> usize {
+        self.default_group
+    }
+
+    pub fn group_of(&self, table: &str) -> usize {
+        self.tables
+            .iter()
+            .find(|(t, _)| t == table)
+            .map(|&(_, g)| g)
+            .unwrap_or(self.default_group)
+    }
+
+    pub fn hosts(&self, group: usize) -> &[usize] {
+        &self.hosts[group]
+    }
+
+    pub fn hosts_table(&self, backend: usize, table: &str) -> bool {
+        self.hosts[self.group_of(table)].contains(&backend)
+    }
+
+    /// Sorted, deduplicated group set a list of table names touches. An
+    /// empty table list (e.g. a writeset with no entries) maps to the
+    /// default group so every transaction has at least one sequencer.
+    pub fn groups_of_tables<'a>(&self, tables: impl Iterator<Item = &'a str>) -> Vec<usize> {
+        let mut gs: Vec<usize> = tables.map(|t| self.group_of(t)).collect();
+        gs.sort_unstable();
+        gs.dedup();
+        if gs.is_empty() {
+            gs.push(self.default_group);
+        }
+        gs
+    }
+
+    /// Backends hosting *every* group in `groups` (intersection, sorted).
+    pub fn hosts_of_all(&self, groups: &[usize]) -> Vec<usize> {
+        let mut it = groups.iter();
+        let Some(&first) = it.next() else { return Vec::new() };
+        let mut acc: Vec<usize> = self.hosts[first].clone();
+        for &g in it {
+            acc.retain(|b| self.hosts[g].contains(b));
+        }
+        acc
+    }
+
+    /// Trivial placements — one group hosted by every backend — carry no
+    /// partial-replication information: the middleware normalizes them away
+    /// and runs the exact global single-sequencer path, byte-for-byte.
+    pub fn is_trivial(&self, backends: usize) -> bool {
+        self.hosts.len() == 1 && self.hosts[0].len() == backends
+    }
+
+    /// Sanity-check against the actual backend count.
+    pub fn validate(&self, backends: usize) -> Result<(), String> {
+        for (g, hs) in self.hosts.iter().enumerate() {
+            for &b in hs {
+                if b >= backends {
+                    return Err(format!(
+                        "group {g} host {b} out of range (cluster has {backends} backends)"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Find a top-level (AND-combined) `column = literal` predicate.
 fn extract_eq(filter: &Expr, column: &str) -> Option<Value> {
     match filter {
@@ -232,6 +359,34 @@ mod tests {
         };
         assert_eq!(s.locate(&Value::Text("eu".into())), 0);
         assert_eq!(s.locate(&Value::Text("jp".into())), 1);
+    }
+
+    #[test]
+    fn placement_groups_and_hosts() {
+        let p = Placement::new(vec![vec![0, 1], vec![2, 3], vec![1, 2]])
+            .assign("a", 0)
+            .assign("b", 1)
+            .assign("c", 2);
+        assert_eq!(p.groups(), 3);
+        assert_eq!(p.group_of("a"), 0);
+        assert_eq!(p.group_of("unlisted"), 0, "default group");
+        assert_eq!(p.groups_of_tables(["b", "a", "b"].into_iter()), vec![0, 1]);
+        assert_eq!(p.groups_of_tables(std::iter::empty()), vec![0]);
+        assert_eq!(p.hosts_of_all(&[0, 2]), vec![1]);
+        assert_eq!(p.hosts_of_all(&[0, 1]), Vec::<usize>::new());
+        assert!(p.hosts_table(3, "b") && !p.hosts_table(3, "a"));
+        assert!(p.validate(4).is_ok());
+        assert!(p.validate(3).is_err());
+        assert!(!p.is_trivial(4));
+        assert!(Placement::new(vec![vec![0, 1, 2]]).is_trivial(3));
+    }
+
+    #[test]
+    fn striped_placement_spreads_hosts() {
+        let p = Placement::striped(4, 4, 2);
+        assert_eq!(p.hosts(0), &[0, 1]);
+        assert_eq!(p.hosts(3), &[0, 3]);
+        assert!(p.validate(4).is_ok());
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub enum Stage {
     Execute,
     /// Certification wait: Certify publish → ordered verdict at the origin.
     Certify,
+    /// Cross-group commit wait (partial replication): first involved
+    /// group's prepare delivery → the last involved group's vote arriving,
+    /// i.e. the 2PC decision point. Zero-width for single-group
+    /// transactions and absent entirely without a placement.
+    CrossGroupWait,
     /// Replication fan-out: commit/apply fan-out → last peer ack.
     Fanout,
     /// Client-side: statement sent → timeout fired, and the backed-off
@@ -70,7 +75,7 @@ pub enum Stage {
     Other,
 }
 
-pub const N_STAGES: usize = 15;
+pub const N_STAGES: usize = 16;
 
 impl Stage {
     pub const ALL: [Stage; N_STAGES] = [
@@ -81,6 +86,7 @@ impl Stage {
         Stage::Order,
         Stage::Execute,
         Stage::Certify,
+        Stage::CrossGroupWait,
         Stage::Fanout,
         Stage::Retry,
         Stage::Backoff,
@@ -100,14 +106,15 @@ impl Stage {
             Stage::Order => 4,
             Stage::Execute => 5,
             Stage::Certify => 6,
-            Stage::Fanout => 7,
-            Stage::Retry => 8,
-            Stage::Backoff => 9,
-            Stage::Rollback => 10,
-            Stage::ClientRtt => 11,
-            Stage::DbService => 12,
-            Stage::Replay => 13,
-            Stage::Other => 14,
+            Stage::CrossGroupWait => 7,
+            Stage::Fanout => 8,
+            Stage::Retry => 9,
+            Stage::Backoff => 10,
+            Stage::Rollback => 11,
+            Stage::ClientRtt => 12,
+            Stage::DbService => 13,
+            Stage::Replay => 14,
+            Stage::Other => 15,
         }
     }
 
@@ -120,6 +127,7 @@ impl Stage {
             Stage::Order => "order",
             Stage::Execute => "execute",
             Stage::Certify => "certify",
+            Stage::CrossGroupWait => "xgroup-wait",
             Stage::Fanout => "fanout",
             Stage::Retry => "retry",
             Stage::Backoff => "backoff",

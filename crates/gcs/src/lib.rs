@@ -14,9 +14,11 @@
 pub mod buffer;
 pub mod detector;
 pub mod member;
+pub mod sharded;
 pub mod types;
 
 pub use buffer::DeliveryBuffer;
 pub use detector::{AdaptiveConfig, AdaptiveThreshold, FailureDetector, FdEvent, HeartbeatConfig};
 pub use member::{GcsConfig, GroupMember, TICK_TAG};
+pub use sharded::ShardedMember;
 pub use types::{Action, GcsMsg, MemberId, MsgId, OrderProtocol, OrderedRecord, View, ViewId};

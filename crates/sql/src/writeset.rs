@@ -98,6 +98,30 @@ impl Writeset {
             .collect()
     }
 
+    /// Split the writeset by a table classifier (partial replication: one
+    /// slice per table group). Returns `(class, slice)` pairs sorted by
+    /// class; entry order within each slice is preserved. Counter syncs
+    /// ride with the lowest class (they are global by nature — the
+    /// limitation the paper's §4.2.3 gap already documents).
+    pub fn split_by(&self, class_of: impl Fn(&str, &str) -> usize) -> Vec<(usize, Writeset)> {
+        let mut out: Vec<(usize, Writeset)> = Vec::new();
+        for e in &self.entries {
+            let c = class_of(&e.database, &e.table);
+            match out.iter_mut().find(|(cc, _)| *cc == c) {
+                Some((_, ws)) => ws.entries.push(e.clone()),
+                None => out.push((
+                    c,
+                    Writeset { entries: vec![e.clone()], counters: None },
+                )),
+            }
+        }
+        out.sort_by_key(|&(c, _)| c);
+        if let (Some(counters), Some((_, first))) = (self.counters.clone(), out.first_mut()) {
+            first.counters = Some(counters);
+        }
+        out
+    }
+
     /// Approximate wire size in bytes (for network cost modelling).
     pub fn wire_size(&self) -> u64 {
         let mut sz = 16u64;
@@ -164,6 +188,25 @@ mod tests {
         let a = WsKey { database: "d".into(), table: "t".into(), key: vec![Value::Int(1)] };
         let b = WsKey { database: "d".into(), table: "t".into(), key: vec![Value::Int(2)] };
         assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn split_by_partitions_entries_and_keeps_order() {
+        let mut r1 = rec(WriteKind::Insert, None, Some(vec![Value::Int(1)]));
+        r1.table = "a".into();
+        let mut r2 = rec(WriteKind::Insert, None, Some(vec![Value::Int(2)]));
+        r2.table = "b".into();
+        let mut r3 = rec(WriteKind::Insert, None, Some(vec![Value::Int(3)]));
+        r3.table = "a".into();
+        let ws = Writeset { entries: vec![r1, r2, r3], counters: Some(CounterSync::default()) };
+        let parts = ws.split_by(|_, t| if t == "a" { 0 } else { 1 });
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[0].1.entries.len(), 2);
+        assert_eq!(parts[0].1.entries[1].new, Some(vec![Value::Int(3)]));
+        assert!(parts[0].1.counters.is_some(), "counters ride the lowest class");
+        assert_eq!(parts[1].1.entries.len(), 1);
+        assert!(parts[1].1.counters.is_none());
     }
 
     #[test]

@@ -41,6 +41,67 @@ pub fn sharded_schema(db: &str, sessions: usize, keys_per_table: usize) -> Vec<S
     out
 }
 
+/// Schema for the partial-replication experiments: `groups` disjoint
+/// tables `t0..t{groups-1}` (one per table group), each preloaded with
+/// `rows` rows. With a placement assigning `t{g}` to group `g`, clients
+/// pinned to one table generate traffic that never leaves that group's
+/// host set.
+pub fn disjoint_schema(db: &str, groups: usize, rows: usize) -> Vec<String> {
+    let mut out = vec![format!("CREATE DATABASE {db}"), format!("USE {db}")];
+    for g in 0..groups {
+        out.push(format!("CREATE TABLE t{g} (k INT PRIMARY KEY, v INT)"));
+        for chunk in (0..rows).collect::<Vec<_>>().chunks(100) {
+            let values: Vec<String> = chunk.iter().map(|k| format!("({k}, 0)")).collect();
+            out.push(format!("INSERT INTO t{g} VALUES {}", values.join(", ")));
+        }
+    }
+    out
+}
+
+/// Fresh-key inserts pinned to one table group, with an optional fraction
+/// of *paired-group* transactions that write the group's partner table
+/// too (groups 2k and 2k+1 are partners): `BEGIN; INSERT t_{2k};
+/// INSERT t_{2k+1}; COMMIT`. The single-group stream is the disjoint
+/// write workload partial replication scales on; the paired stream is the
+/// cross-group tax knob (every paired transaction needs a 2PC-style
+/// commit across both groups' sequencers).
+pub struct DisjointInsert {
+    next: i64,
+    pub group: usize,
+    /// Fraction of transactions that touch the partner group as well.
+    pub multi_fraction: f64,
+}
+
+impl DisjointInsert {
+    pub fn new(base: i64, group: usize) -> Self {
+        DisjointInsert { next: base, group, multi_fraction: 0.0 }
+    }
+
+    pub fn with_multi(mut self, fraction: f64) -> Self {
+        self.multi_fraction = fraction;
+        self
+    }
+}
+
+impl TxSource for DisjointInsert {
+    fn next_tx(&mut self, rng: &mut DetRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        if self.multi_fraction > 0.0 && rng.gen::<f64>() < self.multi_fraction {
+            let a = self.group & !1;
+            let b = a + 1;
+            vec![
+                "BEGIN ISOLATION LEVEL SNAPSHOT".to_string(),
+                format!("INSERT INTO t{a} VALUES ({k}, 1)"),
+                format!("INSERT INTO t{b} VALUES ({k}, 1)"),
+                "COMMIT".to_string(),
+            ]
+        } else {
+            vec![format!("INSERT INTO t{} VALUES ({k}, 1)", self.group)]
+        }
+    }
+}
+
 /// Transactions updating `writes_per_tx` keys drawn from a hot set of
 /// `hot_keys` out of `total_keys`: the smaller the hot set, the higher the
 /// conflict rate — the knob for the consistency-spectrum experiment (E10).
@@ -148,6 +209,19 @@ mod tests {
         let last_inserts =
             s.iter().filter(|x| x.starts_with("INSERT INTO bench_2")).count();
         assert_eq!(last_inserts, 5);
+    }
+
+    #[test]
+    fn disjoint_insert_pairs_partner_groups() {
+        let s = disjoint_schema("d", 4, 0);
+        assert_eq!(s.iter().filter(|x| x.starts_with("CREATE TABLE")).count(), 4);
+        let mut w = DisjointInsert::new(0, 3).with_multi(1.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        let tx = w.next_tx(&mut rng);
+        assert_eq!(tx.len(), 4);
+        assert!(tx[1].contains("INTO t2") && tx[2].contains("INTO t3"), "{tx:?}");
+        let mut single = DisjointInsert::new(5, 1);
+        assert_eq!(single.next_tx(&mut rng), vec!["INSERT INTO t1 VALUES (5, 1)"]);
     }
 
     #[test]

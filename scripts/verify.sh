@@ -19,6 +19,11 @@
 #      attribution and the E18 corner points with the cache off/on and
 #      write BENCH_pr8.json (the bin asserts hit rate > 0 and that the
 #      cache-off compatibility arm is bit-identical across reruns)
+#  10. partial-replication trajectory: re-measure the E22 write-scaling
+#      curve (global vs striped partial at 2/4/8 backends) and write
+#      BENCH_pr9.json (the bin asserts partial beats global by > 2x at 8
+#      backends and that a trivial placement runs the global path
+#      byte-for-byte — counters, certifier stats, and data checksums)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -128,5 +133,15 @@ echo "verify: durability trajectory OK (BENCH_pr7.json written)"
 # across same-seed reruns.
 cargo run --release -q --offline -p replimid-bench --bin bench_pr8
 echo "verify: statement-pipeline trajectory OK (BENCH_pr8.json written)"
+
+# --- 10. Partial-replication trajectory ----------------------------------
+# The PR 9 headline: disjoint write workloads scale near-linearly under a
+# striped one-replica placement while full replication saturates at one
+# backend's apply rate, written to BENCH_pr9.json. The bin asserts the
+# 8-backend partial/global ratio stays above 2x and that a trivial
+# placement is normalized away into the exact global single-sequencer
+# path (byte-identical counters, certifier stats, and checksums).
+cargo run --release -q --offline -p replimid-bench --bin bench_pr9
+echo "verify: partial-replication trajectory OK (BENCH_pr9.json written)"
 
 echo "verify: OK"
