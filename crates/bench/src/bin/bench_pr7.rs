@@ -57,7 +57,7 @@ fn episode(checkpoint_every: u64, kind: CrashKind, seed: u64) -> Episode {
     );
     cfg.seed = seed;
     cfg.mw.recovery_batch = 256;
-    cfg.engine.durability = Some(DurabilityConfig { checkpoint_every, fsync_every: 8 });
+    cfg.engine.durability = Some(DurabilityConfig { checkpoint_every, fsync_every: 8, ..Default::default() });
     let mut cluster = Cluster::build(cfg);
     for i in 0..3 {
         cluster.add_client(SeqInsert4 { next: 10_000_000 * (i + 1) }, |cc| {

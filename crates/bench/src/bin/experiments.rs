@@ -28,7 +28,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-        "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+        "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
     ];
     let selected: Vec<&str> = if args.is_empty() {
         all.to_vec()
@@ -59,6 +59,7 @@ fn main() {
             "E20" => e20_durability(),
             "E21" => e21_plan_cache(),
             "E22" => e22_partial_replication(),
+            "E23" => e23_elasticity(),
             _ => unreachable!(),
         }
     }
@@ -1711,7 +1712,14 @@ fn e19_freshness_routing() {
         "p50 r µs",
         "p99 r µs",
     ]);
-    for sessions in [1_000usize, 10_000, 100_000] {
+    // The 10^6-session row multiplies the run cost by ~10x, so it is
+    // opt-in: REPLIMID_HEAVY=1 adds it (and nothing else changes — the
+    // default output stays byte-identical for the determinism gate).
+    let mut fleet_sizes = vec![1_000usize, 10_000, 100_000];
+    if std::env::var("REPLIMID_HEAVY").as_deref() == Ok("1") {
+        fleet_sizes.push(1_000_000);
+    }
+    for sessions in fleet_sizes {
         let think_us = sessions as u64 * 30;
         let mut base_tps = 0.0f64;
         for backends in [2usize, 4, 8] {
@@ -1919,7 +1927,7 @@ fn e20_episode(
     // fsync every 8 records (so lossy crash kinds have an unsynced tail to
     // destroy), checkpoints every `checkpoint_every` commits (0 = never:
     // recovery replays the whole log from the schema image).
-    cfg.engine.durability = Some(DurabilityConfig { checkpoint_every, fsync_every: 8 });
+    cfg.engine.durability = Some(DurabilityConfig { checkpoint_every, fsync_every: 8, ..Default::default() });
     let mut cluster = Cluster::build(cfg);
     for i in 0..4 {
         cluster.add_client(E20Source { next: 10_000_000 * (i + 1) }, |cc| {
@@ -2334,4 +2342,294 @@ fn e22_partial_replication() {
     println!(
         "  (A trivial placement — one group hosted everywhere — is normalized\n   away at build time and runs the global single-sequencer path\n   byte-for-byte, so E1-E21 are unchanged by any of this; bench_pr9\n   asserts that identity on every run.)\n"
     );
+}
+
+// ---------------------------------------------------------------------
+// E23 — elasticity under open-loop load: what a management operation
+// costs while traffic keeps arriving (§5.1's "cost of management
+// operations", measured instead of asserted)
+// ---------------------------------------------------------------------
+
+/// Windowed cost of one management operation, extracted from the driver's
+/// per-second series. All times are virtual seconds.
+struct OpCost {
+    /// Completions/s over the pre-op baseline window.
+    baseline_tps: f64,
+    /// Worst single-second throughput dip after the op, as a fraction of
+    /// baseline (0 = no dip).
+    dip_depth: f64,
+    /// Seconds spent below 90% of baseline after the op.
+    dip_secs: usize,
+    /// Sojourn p99 over the baseline window / over the op window.
+    p99_base_us: u64,
+    p99_op_us: u64,
+    /// Seconds from the op until throughput sustains >= 95% of baseline
+    /// for two consecutive seconds (-1 = never inside the window).
+    recover_s: i64,
+    /// Arrivals shed from the op onward: overload made visible.
+    shed: u64,
+}
+
+fn op_cost(m: &replimid_workload::OpenLoopMetrics, base: (usize, usize), op_s: usize, end_s: usize) -> OpCost {
+    let sec = |s: usize| *m.per_sec_completed.get(s).unwrap_or(&0) as f64;
+    let (b0, b1) = base;
+    let baseline_tps = m.completed_in(b0, b1) as f64 / (b1 - b0).max(1) as f64;
+    let mut min_tps = f64::MAX;
+    for s in op_s..end_s {
+        min_tps = min_tps.min(sec(s));
+    }
+    let dip_depth = ((baseline_tps - min_tps) / baseline_tps.max(1e-9)).max(0.0);
+    let dip_secs = (op_s..end_s).filter(|&s| sec(s) < 0.9 * baseline_tps).count();
+    let p99_base_us = m.window_quantile_us(b0, b1, 0.99);
+    let p99_op_us = m.window_quantile_us(op_s, (op_s + 6).min(end_s), 0.99);
+    // Recovery = time until throughput is *permanently* back above 95% of
+    // baseline within the window (the last bad second, plus one).
+    let recover_s = match (op_s..end_s).rev().find(|&s| sec(s) < 0.95 * baseline_tps) {
+        None => 0,
+        Some(s) if s + 1 >= end_s => -1,
+        Some(s) => (s + 1 - op_s) as i64,
+    };
+    let shed = m.per_sec_shed.iter().skip(op_s).take(end_s - op_s).sum();
+    OpCost { baseline_tps, dip_depth, dip_secs, p99_base_us, p99_op_us, recover_s, shed }
+}
+
+fn cost_row(t: &mut Table, label: &str, c: &OpCost) {
+    t.row(&[
+        label.to_string(),
+        format!("{:.0}", c.baseline_tps),
+        format!("{:.0}%", c.dip_depth * 100.0),
+        c.dip_secs.to_string(),
+        c.p99_base_us.to_string(),
+        c.p99_op_us.to_string(),
+        format!("{:.2}x", c.p99_op_us as f64 / c.p99_base_us.max(1) as f64),
+        if c.recover_s < 0 { "never".into() } else { format!("{}s", c.recover_s) },
+        c.shed.to_string(),
+    ]);
+}
+
+/// One elasticity arm: a 3-backend statement-replicated cluster under an
+/// open-loop Poisson load, with admin operations injected mid-run and an
+/// optional gray-fault (brownout) window on backend 2.
+fn e23_arm(
+    rate: f64,
+    initial_removed: Vec<usize>,
+    ops: Vec<(u64, AdminCmd)>,
+    gray: Option<(u64, u64)>,
+    secs: u64,
+    stop_s: u64,
+) -> (replimid_workload::OpenLoopMetrics, MwMetrics) {
+    let mut schema = micro::schema("bench", 100);
+    // Writes land in their own table: point reads are scans in this
+    // engine, so a shared table would make read cost climb with every
+    // insert and confound the management-op dips with table growth.
+    schema.push("CREATE TABLE olw (k INT PRIMARY KEY, v INT NOT NULL)".to_string());
+    let mut cfg = ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema,
+        "bench",
+    );
+    cfg.backends_per_mw = 3;
+    cfg.mw.policy = Policy::RoundRobin;
+    cfg.mw.quarantine = Some(QuarantineConfig::default());
+    cfg.mw.initial_removed = initial_removed;
+    // Backends costed at 8x CPU (the E22 idiom): capacity sits near the
+    // arrival rate, so losing or gaining a replica moves the needle.
+    cfg.backend_speed = vec![8.0];
+    let mut cluster = Cluster::build(cfg);
+    let mut olc = replimid_workload::OpenLoopConfig::new(
+        replimid_workload::ArrivalProcess::Poisson { rate_per_sec: rate },
+    );
+    olc.seed = 23;
+    olc.write_permille = 100;
+    olc.read_keys = 100;
+    olc.write_table = "olw".to_string();
+    olc.max_inflight = 64;
+    olc.queue_max = 512;
+    olc.stop_at_us = stop_s * 1_000_000;
+    let driver = replimid_workload::add_open_loop(&mut cluster, 0, olc);
+    for (at_us, cmd) in ops {
+        cluster.admin_at(SimTime(at_us), 0, cmd);
+    }
+    if let Some((from_us, to_us)) = gray {
+        cluster.brownout_backend_at(SimTime(from_us), 0, 2, 10.0);
+        cluster.clear_brownout_at(SimTime(to_us), 0, 2);
+    }
+    cluster.run_for(dur::secs(secs));
+    let m = replimid_workload::open_loop_metrics(&mut cluster, driver);
+    if std::env::var("E23_DEBUG").is_ok() {
+        eprintln!("completed/s {:?}", m.per_sec_completed);
+        eprintln!("shed/s      {:?}", m.per_sec_shed);
+    }
+    (m, cluster.mw_metrics(0))
+}
+
+fn e23_elasticity() {
+    banner("E23", "elasticity: management operations under open-loop load");
+    let secs = 26u64;
+    let stop_s = 24u64;
+    let base = (4usize, 8usize);
+    let op_s = 10usize;
+    let end_s = stop_s as usize;
+
+    // -- (a) management-operation cost table ----------------------------
+    println!(
+        "  Open-loop Poisson arrivals (the driver never waits: arrivals keep\n  coming at the configured rate, a 64-deep admission stage plus a\n  512-slot queue buffer bursts, and anything beyond that is SHED and\n  counted). 3 statement-replicated backends, 10% writes, op at t=10s,\n  baseline window 4..8s (before the
+  gray arm's brownout onset). Dip depth is the worst one-second throughput\n  drop vs baseline; recovery is the first sustained return to 95%.\n"
+    );
+    let mut t = Table::new(&[
+        "operation",
+        "base tps",
+        "dip",
+        "dip s",
+        "p99 base µs",
+        "p99 op µs",
+        "infl",
+        "recover",
+        "shed",
+    ]);
+
+    // Control: no operation at all (dip/shed must be ~0: the yardstick).
+    let (m, _) = e23_arm(1_700.0, vec![], vec![], None, secs, stop_s);
+    cost_row(&mut t, "none (control)", &op_cost(&m, base, op_s, end_s));
+
+    // Scale-out: backend 2 starts Removed (spare), joins under load and
+    // resyncs via the recovery machinery.
+    let (m, mw) = e23_arm(
+        1_700.0,
+        vec![2],
+        vec![(10_000_000, AdminCmd::AddBackend { backend: BackendId(2) })],
+        None,
+        secs,
+        stop_s,
+    );
+    assert_eq!(mw.counters.backends_added, 1, "E23 add arm: join did not happen");
+    cost_row(&mut t, "add backend", &op_cost(&m, base, op_s, end_s));
+
+    // Scale-in: drain backend 1 gracefully (in-flight work completes).
+    let (m, mw) = e23_arm(
+        1_700.0,
+        vec![],
+        vec![(10_000_000, AdminCmd::DrainBackend { backend: BackendId(1) })],
+        None,
+        secs,
+        stop_s,
+    );
+    assert_eq!(mw.counters.drains_completed, 1, "E23 drain arm: drain did not finish");
+    assert_eq!(mw.counters.lost_transactions, 0, "E23 drain arm lost transactions");
+    cost_row(&mut t, "drain backend", &op_cost(&m, base, op_s, end_s));
+
+    // Rolling restart: drain + re-add backends 1 and 2 in sequence, the
+    // way a fleet takes a software upgrade.
+    let (m, mw) = e23_arm(
+        1_700.0,
+        vec![],
+        vec![
+            (10_000_000, AdminCmd::DrainBackend { backend: BackendId(1) }),
+            (13_000_000, AdminCmd::AddBackend { backend: BackendId(1) }),
+            (16_000_000, AdminCmd::DrainBackend { backend: BackendId(2) }),
+            (19_000_000, AdminCmd::AddBackend { backend: BackendId(2) }),
+        ],
+        None,
+        secs,
+        stop_s,
+    );
+    assert_eq!(mw.counters.drains_completed, 2, "E23 rolling arm: a drain did not finish");
+    assert_eq!(mw.counters.backends_added, 2, "E23 rolling arm: a re-add did not happen");
+    cost_row(&mut t, "rolling restart", &op_cost(&m, base, op_s, end_s));
+
+    // Composed with the PR 2 gray scheduler: backend 2 browns out (10x
+    // service time) at 8s and the drain of backend 1 lands at 10s — the
+    // elasticity operation happens DURING the brownout, with the breaker
+    // and the drain machinery working the same rotation. The operator
+    // scales back out (re-adds backend 1) at 16s, after the brownout
+    // clears.
+    let (m, mw) = e23_arm(
+        1_700.0,
+        vec![],
+        vec![
+            (10_000_000, AdminCmd::DrainBackend { backend: BackendId(1) }),
+            (16_000_000, AdminCmd::AddBackend { backend: BackendId(1) }),
+        ],
+        Some((8_000_000, 14_000_000)),
+        secs,
+        stop_s,
+    );
+    assert_eq!(mw.counters.drains_completed, 1, "E23 gray arm: drain did not finish");
+    cost_row(&mut t, "drain + gray b2", &op_cost(&m, base, op_s, end_s));
+    t.print();
+
+    // -- (b) overload is visible, not absorbed --------------------------
+    println!(
+        "\n  (b) the same cluster at ~2x the sustainable arrival rate: a closed\n  loop would slow its own offered load to match capacity and report a\n  modest latency bump; the open loop keeps arriving, fills the queue,\n  and sheds the excess — the overload signal operators actually see.\n"
+    );
+    let mut t = Table::new(&["rate/s", "arrivals", "completed", "shed", "p99 µs"]);
+    for rate in [1_700.0f64, 5_000.0] {
+        let (m, _) = e23_arm(rate, vec![], vec![], None, 14, 12);
+        t.row(&[
+            format!("{rate:.0}"),
+            m.arrivals.to_string(),
+            m.completed_ok.to_string(),
+            m.shed.to_string(),
+            m.sojourn.quantile_us(0.99).to_string(),
+        ]);
+    }
+    t.print();
+
+    // -- (c) WAN multi-site arm: examples/wan_sites.rs as data ----------
+    println!(
+        "\n  (c) three sites (EU/US/Asia), one backend per middleware, synchronous\n  statement ordering across sites; the open-loop driver is colocated\n  with the site-1 middleware, so every write (30% of arrivals) pays the\n  cross-ocean trip to the ordering site. At 600/s the LAN cluster\n  answers in microseconds while the WAN cluster's p50 passes 100ms —\n  every in-flight slot tied up in ~160ms ordering round trips; at 900/s\n  both saturate, and the WAN arm sheds twice as hard. (Fig. 4's\n  '1-copy-serializability is unlikely to be successful in the WAN',\n  measured under load that does not politely slow down.)\n"
+    );
+    let mut t = Table::new(&["net", "rate/s", "completed tps", "p50 µs", "p99 µs", "shed"]);
+    for wan in [false, true] {
+        for rate in [150.0f64, 600.0, 900.0] {
+            let mut cfg = mm_statement_cfg(100);
+            cfg.backends_per_mw = 1;
+            cfg.middlewares = 3;
+            let mut cluster = Cluster::build(cfg);
+            let mut olc = replimid_workload::OpenLoopConfig::new(
+                replimid_workload::ArrivalProcess::Poisson { rate_per_sec: rate },
+            );
+            olc.seed = 4;
+            olc.write_permille = 300;
+            olc.read_keys = 100;
+            olc.max_inflight = 32;
+            olc.queue_max = 256;
+            olc.stop_at_us = 10_000_000;
+            // The driver lives at site 1, not the ordering site: its
+            // writes cross the ocean to get their total-order slot.
+            let driver = replimid_workload::add_open_loop(&mut cluster, 1, olc);
+            if wan {
+                // Sites: db i + mw i = site i; the driver shares site 1.
+                let site_of = move |n: NodeId| -> usize {
+                    if n == driver {
+                        1
+                    } else if n.0 < 3 {
+                        n.0
+                    } else {
+                        n.0 - 3
+                    }
+                };
+                let all: Vec<NodeId> =
+                    (0..cluster.sim.node_count()).map(NodeId).collect();
+                for &a in &all {
+                    for &b in &all {
+                        if a != b && site_of(a) != site_of(b) {
+                            cluster.sim.net.set_link(a, b, LinkSpec::wan());
+                        }
+                    }
+                }
+            }
+            cluster.run_for(dur::secs(13));
+            let m = replimid_workload::open_loop_metrics(&mut cluster, driver);
+            t.row(&[
+                if wan { "WAN" } else { "LAN" }.to_string(),
+                format!("{rate:.0}"),
+                format!("{:.0}", tps(m.completed_ok, 10)),
+                m.sojourn.quantile_us(0.5).to_string(),
+                m.sojourn.quantile_us(0.99).to_string(),
+                m.shed.to_string(),
+            ]);
+        }
+    }
+    t.print();
 }

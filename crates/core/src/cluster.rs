@@ -129,6 +129,15 @@ impl Cluster {
         node
     }
 
+    /// Reserve `n` consecutive session ids for an externally built driver
+    /// (e.g. the open-loop driver in `replimid-workload`), so its sessions
+    /// never collide with later `add_client`/`add_session_fleet` calls.
+    pub fn alloc_sessions(&mut self, n: usize) -> u64 {
+        let first = self.next_session;
+        self.next_session += n as u64;
+        first
+    }
+
     /// Add a [`SessionFleet`]: one actor multiplexing `sessions` closed-loop
     /// sessions against middleware `mw` (the 10⁵–10⁶-session driver for the
     /// freshness experiments). `configure` tweaks the default fleet config;

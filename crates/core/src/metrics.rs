@@ -266,6 +266,14 @@ pub struct Counters {
     /// Writeset-mode fan-out flushes sent as one `ApplyWritesetBatch`
     /// message per backend instead of one `ApplyWriteset` per transaction.
     pub ws_apply_batch_flushes: u64,
+    /// Graceful drains started (`AdminCmd::DrainBackend` accepted).
+    pub drains_started: u64,
+    /// Drains that reached `Removed` — gracefully (in-flight work allowed
+    /// to complete) or forcibly (the backend died mid-drain).
+    pub drains_completed: u64,
+    /// Removed backends re-admitted by `AdminCmd::AddBackend`; the next
+    /// pong starts the normal rejoin procedure.
+    pub backends_added: u64,
 }
 
 /// Tracks time spent in degraded read-only mode (write quorum lost but

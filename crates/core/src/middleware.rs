@@ -243,6 +243,10 @@ pub struct MwConfig {
     /// walk, charged on every cache miss (or per delivery with the cache
     /// off). 0 = extraction is free, as in the pre-cache implementation.
     pub class_cost_us: u64,
+    /// Backend indices that start in [`BackendState::Removed`] — spare
+    /// capacity provisioned but not yet admitted, so an elasticity
+    /// experiment can `AddBackend` one under live load. Empty by default.
+    pub initial_removed: Vec<usize>,
 }
 
 impl MwConfig {
@@ -273,6 +277,7 @@ impl MwConfig {
             ws_apply_batch: false,
             class_cache: 0,
             class_cost_us: 0,
+            initial_removed: Vec::new(),
         }
     }
 }
@@ -321,6 +326,14 @@ enum BackendState {
     Recovering { next: u64, inflight: bool },
     /// Full resynchronization via dump + catch-up.
     Resyncing,
+    /// Graceful removal in progress: out of routing and fan-out, but
+    /// in-flight operations are allowed to complete before the backend
+    /// parks in [`BackendState::Removed`].
+    Draining,
+    /// Administratively out of rotation: alive (it still pongs) but not
+    /// serving, replicating, or rejoining. Only `AdminCmd::AddBackend`
+    /// brings it back (via `Down` + the normal rejoin machinery).
+    Removed,
 }
 
 #[derive(Debug)]
@@ -334,6 +347,8 @@ struct Backend {
     applied_lsn: Lsn,
     /// Certified-writeset positions durably applied (writeset mode).
     cert_mark: Watermark,
+    /// Virtual time the current drain started (0 = not draining).
+    drain_started_us: u64,
 }
 
 impl Backend {
@@ -545,6 +560,8 @@ pub struct MwMetrics {
     /// Flushed group-commit batch sizes (events per flush). Empty when
     /// batching is off.
     pub batch_sizes: Histogram,
+    /// Completed graceful drains: (backend index, start µs, removed µs).
+    pub drains: Vec<(usize, u64, u64)>,
 }
 
 impl Default for MwMetrics {
@@ -563,6 +580,7 @@ impl Default for MwMetrics {
             trace: TraceSink::new(),
             certifier: crate::certifier::CertifierStats::default(),
             batch_sizes: Histogram::new(),
+            drains: Vec::new(),
         }
     }
 }
@@ -820,6 +838,7 @@ impl Middleware {
                 placement,
             }
         });
+        let initial_removed = cfg.initial_removed.clone();
         Middleware {
             cfg,
             peers,
@@ -827,13 +846,19 @@ impl Middleware {
             group,
             backends: backends
                 .into_iter()
-                .map(|node| Backend {
+                .enumerate()
+                .map(|(i, node)| Backend {
                     node,
-                    state: BackendState::Online,
+                    state: if initial_removed.contains(&i) {
+                        BackendState::Removed
+                    } else {
+                        BackendState::Online
+                    },
                     last_pong_us: 0,
                     applied_seq: 0,
                     applied_lsn: Lsn(0),
                     cert_mark: Watermark::new(),
+                    drain_started_us: 0,
                 })
                 .collect(),
             balancer,
@@ -4349,6 +4374,9 @@ impl Middleware {
                 self.backend_failed(ctx, b);
             }
         }
+        // Finalize drains whose in-flight work has completed — before the
+        // ping sends below enqueue fresh (ignorable) Ping pendings.
+        self.try_finish_drains(ctx);
         // Ping everyone (including Down nodes: that is how we see them
         // return).
         for i in 0..self.backends.len() {
@@ -4357,10 +4385,111 @@ impl Middleware {
         }
     }
 
-    fn backend_failed(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
-        if self.backends[backend.0].state == BackendState::Down {
+    /// Start a graceful drain (§4.4.1 planned maintenance). The backend
+    /// leaves routing and replication fan-out immediately (`online()` is
+    /// false for `Draining`), sticky sessions are re-routed on their next
+    /// statement exactly as after a failure, but — unlike `backend_failed`
+    /// — in-flight operations are left in `pending` to complete normally.
+    /// Once none remain the backend parks in `Removed`.
+    fn drain_backend(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if !self.backends[backend.0].online() {
+            return; // only an in-rotation backend can be drained
+        }
+        let now = ctx.now().micros();
+        self.metrics.counters.drains_started += 1;
+        self.backends[backend.0].drain_started_us = now;
+        self.backends[backend.0].state = BackendState::Draining;
+        // Master-slave: hand the master role off (a controlled switchover)
+        // so writes keep flowing while the old master drains. The drainee
+        // is already out of `slaves()` here, so the promotion neither
+        // picks it nor schedules a pointless resync of it.
+        if matches!(self.cfg.mode, Mode::MasterSlave { .. }) && backend == self.master {
+            let lost = self.promote_new_master(ctx);
+            self.metrics.counters.lost_transactions += lost;
+        }
+        // No new work will be assigned; outstanding-count history would
+        // otherwise leak back as phantom load if the backend is re-added.
+        self.balancer.reset(backend);
+        // Record the log checkpoint now: if the backend is later re-added,
+        // the recovery log (or its truncation escalation) covers the gap.
+        let applied = self.backends[backend.0].applied_seq;
+        self.log.checkpoint(backend, applied);
+        // Sessions stuck to the draining backend re-route on their next
+        // statement (same semantics as after a failure — an idle in-tx
+        // session keeps its tx and picks a new delegate).
+        for s in self.sessions.values_mut() {
+            if s.sticky == Some(backend) && !s.temp_pinned {
+                s.sticky = None;
+            }
+        }
+        self.update_degraded(ctx);
+        self.drain_fresh_waiters(ctx);
+        self.try_finish_drains(ctx);
+    }
+
+    /// Complete any drain whose backend has no in-flight work left. Pings
+    /// are excluded: they are perpetual (every heartbeat pings everyone)
+    /// and their loss is harmless. Stuck non-ping ops cannot block a drain
+    /// forever — `op_timed_out` fails the backend, which finalizes the
+    /// drain through `backend_failed`'s was-draining path.
+    fn try_finish_drains(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for i in 0..self.backends.len() {
+            if self.backends[i].state != BackendState::Draining {
+                continue;
+            }
+            let b = BackendId(i);
+            let busy = self
+                .pending
+                .values()
+                .any(|p| !matches!(p, Pending::Ping { .. }) && pending_backend(p) == Some(b));
+            if busy {
+                continue;
+            }
+            let now = ctx.now().micros();
+            let started = self.backends[i].drain_started_us;
+            self.backends[i].drain_started_us = 0;
+            self.backends[i].state = BackendState::Removed;
+            self.metrics.counters.drains_completed += 1;
+            self.metrics.drains.push((i, started, now));
+            // Same post-removal hygiene as a failure: stale latency
+            // history and probes are meaningless if it ever returns.
+            self.probe_op.remove(&b);
+            if self.cfg.quarantine.is_some() {
+                self.health[i].reset(now);
+                self.sync_health_events(i);
+            }
+            if std::env::var("REPLIMID_DEBUG").is_ok() {
+                eprintln!("[{now}us] drain of b{i} complete after {}us", now - started);
+            }
+        }
+    }
+
+    /// Re-admit a `Removed` backend: mark it `Down` so its next pong takes
+    /// the normal rejoin path (recovery log catch-up, escalating to a full
+    /// resync when the log has been truncated past its checkpoint).
+    fn add_backend(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if self.backends[backend.0].state != BackendState::Removed {
             return;
         }
+        self.metrics.counters.backends_added += 1;
+        self.backends[backend.0].state = BackendState::Down;
+        if std::env::var("REPLIMID_DEBUG").is_ok() {
+            eprintln!("[{}us] add_backend b{} -> Down (awaiting pong)", ctx.now().micros(), backend.0);
+        }
+    }
+
+    fn backend_failed(&mut self, ctx: &mut Ctx<'_, Msg>, backend: BackendId) {
+        if matches!(
+            self.backends[backend.0].state,
+            BackendState::Down | BackendState::Removed
+        ) {
+            return;
+        }
+        // A backend that dies mid-drain was being decommissioned anyway:
+        // run the full failure drain below (in-flight ops cannot complete
+        // any more), but park it in `Removed` rather than `Down` so it
+        // does not auto-rejoin on its next pong.
+        let was_draining = self.backends[backend.0].state == BackendState::Draining;
         if self.barrier_for == Some(backend) {
             self.barrier_for = None;
             let buffered: Vec<_> = self.buffered_deliveries.drain(..).collect();
@@ -4383,7 +4512,15 @@ impl Middleware {
             );
         }
         self.ship_busy.remove(&backend);
-        self.backends[backend.0].state = BackendState::Down;
+        self.backends[backend.0].state = if was_draining {
+            let started = self.backends[backend.0].drain_started_us;
+            self.backends[backend.0].drain_started_us = 0;
+            self.metrics.counters.drains_completed += 1;
+            self.metrics.drains.push((backend.0, started, ctx.now().micros()));
+            BackendState::Removed
+        } else {
+            BackendState::Down
+        };
         // The drain below fails this backend's in-flight ops without ever
         // calling `balancer.completed`, so its outstanding count would
         // survive the outage as phantom load and starve the replica under
@@ -4971,6 +5108,12 @@ impl Middleware {
             AdminCmd::RemoveBackend { backend } => {
                 self.backend_failed(ctx, backend);
             }
+            AdminCmd::DrainBackend { backend } => {
+                self.drain_backend(ctx, backend);
+            }
+            AdminCmd::AddBackend { backend } => {
+                self.add_backend(ctx, backend);
+            }
             AdminCmd::EndSession { session } => {
                 // Teardown rides the total order so every peer drops its
                 // replicated copy of the session state at the same point.
@@ -5086,6 +5229,14 @@ impl Middleware {
     /// Reads currently parked waiting for a fresh replica.
     pub fn fresh_waiter_count(&self) -> usize {
         self.fresh_waiters.len()
+    }
+
+    /// Drains still waiting on in-flight work (harness introspection).
+    pub fn drains_in_progress(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.state == BackendState::Draining)
+            .count()
     }
 
     /// Debug snapshot: per-backend (state, applied_lsn, applied_seq) plus

@@ -416,6 +416,16 @@ pub enum AdminCmd {
     Backup { backend: BackendId, hot: bool },
     /// Administratively remove a replica (planned maintenance, §4.4.2).
     RemoveBackend { backend: BackendId },
+    /// Gracefully drain a replica out of rotation (planned maintenance,
+    /// §4.4.1): new work stops routing to it immediately, in-flight
+    /// operations are allowed to complete, then the backend parks in
+    /// `Removed` — out of rotation even while alive, unlike the abrupt
+    /// `RemoveBackend` which fails in-flight work. Re-admit it later with
+    /// [`AdminCmd::AddBackend`].
+    DrainBackend { backend: BackendId },
+    /// Re-admit a previously drained/removed replica: it is marked down
+    /// and the next pong starts the normal rejoin procedure (§4.4.2).
+    AddBackend { backend: BackendId },
     /// Tear down a client session (disconnect). The middleware publishes
     /// `ReplEvent::SessionEnd` through the total order so every peer drops
     /// the replicated session state — including latency metadata and

@@ -33,6 +33,10 @@ pub enum Stage {
     Admission,
     /// Load-balancer pick (zero-width marker; the pick itself is free).
     BalancerPick,
+    /// Open-loop driver admission queue: arrival → dispatch, the wait a
+    /// request spends queued because the in-flight bound was saturated.
+    /// Zero for closed-loop clients (they never queue ahead of admission).
+    QueueWait,
     /// Group-commit buffering: admission → batch flush (size or deadline).
     /// Zero-width when batching is off (`batch_max <= 1`).
     BatchWait,
@@ -75,12 +79,13 @@ pub enum Stage {
     Other,
 }
 
-pub const N_STAGES: usize = 16;
+pub const N_STAGES: usize = 17;
 
 impl Stage {
     pub const ALL: [Stage; N_STAGES] = [
         Stage::Admission,
         Stage::BalancerPick,
+        Stage::QueueWait,
         Stage::BatchWait,
         Stage::FreshnessWait,
         Stage::Order,
@@ -101,20 +106,21 @@ impl Stage {
         match self {
             Stage::Admission => 0,
             Stage::BalancerPick => 1,
-            Stage::BatchWait => 2,
-            Stage::FreshnessWait => 3,
-            Stage::Order => 4,
-            Stage::Execute => 5,
-            Stage::Certify => 6,
-            Stage::CrossGroupWait => 7,
-            Stage::Fanout => 8,
-            Stage::Retry => 9,
-            Stage::Backoff => 10,
-            Stage::Rollback => 11,
-            Stage::ClientRtt => 12,
-            Stage::DbService => 13,
-            Stage::Replay => 14,
-            Stage::Other => 15,
+            Stage::QueueWait => 2,
+            Stage::BatchWait => 3,
+            Stage::FreshnessWait => 4,
+            Stage::Order => 5,
+            Stage::Execute => 6,
+            Stage::Certify => 7,
+            Stage::CrossGroupWait => 8,
+            Stage::Fanout => 9,
+            Stage::Retry => 10,
+            Stage::Backoff => 11,
+            Stage::Rollback => 12,
+            Stage::ClientRtt => 13,
+            Stage::DbService => 14,
+            Stage::Replay => 15,
+            Stage::Other => 16,
         }
     }
 
@@ -122,6 +128,7 @@ impl Stage {
         match self {
             Stage::Admission => "admission",
             Stage::BalancerPick => "balancer-pick",
+            Stage::QueueWait => "queue-wait",
             Stage::BatchWait => "batch-wait",
             Stage::FreshnessWait => "freshness-wait",
             Stage::Order => "order",

@@ -1,0 +1,153 @@
+//! Backend lifecycle under live traffic: graceful drain (in-flight work
+//! completes, then the backend parks in `Removed`), re-admission via
+//! `AddBackend` (normal rejoin machinery), crash-during-drain (stays
+//! `Removed`), and spare capacity provisioned with `initial_removed`.
+
+use replimid_core::{
+    AdminCmd, BackendId, Cluster, ClusterConfig, Mode, NondetPolicy, TxSource,
+};
+use replimid_simnet::{dur, SimTime};
+
+struct SeqInsert {
+    next: i64,
+}
+
+impl TxSource for SeqInsert {
+    fn next_tx(&mut self, _rng: &mut replimid_det::DetRng) -> Vec<String> {
+        let k = self.next;
+        self.next += 1;
+        vec![format!("INSERT INTO t VALUES ({k}, 1)")]
+    }
+}
+
+fn schema() -> Vec<String> {
+    vec![
+        "CREATE DATABASE bench".to_string(),
+        "USE bench".to_string(),
+        "CREATE TABLE t (k INT PRIMARY KEY, v INT)".to_string(),
+    ]
+}
+
+fn mm_cluster() -> ClusterConfig {
+    ClusterConfig::new(
+        Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+        schema(),
+        "bench",
+    )
+}
+
+#[test]
+fn drain_removes_backend_without_losing_transactions() {
+    let mut cfg = mm_cluster();
+    cfg.backends_per_mw = 3;
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..4 {
+        // Bounded so traffic quiesces before the final checksum snapshot
+        // (an unbounded closed loop always has a statement in flight).
+        cluster.add_client(SeqInsert { next: i * 1_000_000 }, |c| c.tx_limit = 1_500);
+    }
+    cluster.admin_at(SimTime::from_secs(2), 0, AdminCmd::DrainBackend { backend: BackendId(1) });
+    cluster.run_for(dur::secs(6));
+    cluster.run_for(dur::secs(1));
+
+    let m = cluster.mw_metrics(0);
+    assert_eq!(m.counters.drains_started, 1);
+    assert_eq!(m.counters.drains_completed, 1);
+    assert_eq!(m.counters.failovers, 0, "a graceful drain is not a failover");
+    assert_eq!(
+        m.counters.lost_transactions, 0,
+        "drain lets in-flight work complete instead of failing it"
+    );
+    assert_eq!(m.drains.len(), 1);
+    let (b, started, removed) = m.drains[0];
+    assert_eq!(b, 1);
+    assert!(started >= 2_000_000 && removed >= started, "drain window is sane");
+    let state = cluster.with_middleware(0, |mw| mw.recovery_state(BackendId(1)));
+    assert_eq!(state, "Removed");
+    assert_eq!(cluster.with_middleware(0, |mw| mw.online_backends()), 2);
+    assert!(cluster.total_commits() > 0);
+    // The survivors keep identical data; the drainee froze at removal.
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][2], "survivors diverged");
+}
+
+#[test]
+fn add_backend_readmits_a_drained_replica() {
+    let mut cfg = mm_cluster();
+    cfg.backends_per_mw = 3;
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..4 {
+        cluster.add_client(SeqInsert { next: i * 1_000_000 }, |c| c.tx_limit = 2_500);
+    }
+    cluster.admin_at(SimTime::from_secs(2), 0, AdminCmd::DrainBackend { backend: BackendId(1) });
+    cluster.admin_at(SimTime::from_secs(5), 0, AdminCmd::AddBackend { backend: BackendId(1) });
+    cluster.run_for(dur::secs(10));
+    cluster.run_for(dur::secs(1));
+
+    let m = cluster.mw_metrics(0);
+    assert_eq!(m.counters.drains_completed, 1);
+    assert_eq!(m.counters.backends_added, 1);
+    assert!(!m.recoveries.is_empty(), "re-admission goes through the rejoin machinery");
+    let state = cluster.with_middleware(0, |mw| mw.recovery_state(BackendId(1)));
+    assert_eq!(state, "Online");
+    assert_eq!(cluster.with_middleware(0, |mw| mw.online_backends()), 3);
+    // Fully converged again: all three replicas identical.
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][1]);
+    assert_eq!(sums[0][0], sums[0][2]);
+}
+
+#[test]
+fn crash_during_drain_parks_in_removed() {
+    let mut cfg = mm_cluster();
+    cfg.backends_per_mw = 3;
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..4 {
+        cluster.add_client(SeqInsert { next: i * 1_000_000 }, |_| {});
+    }
+    // Crash the drainee an instant after the drain starts: the failure
+    // path must finalize the drain (Removed, not Down) so the node does
+    // not auto-rejoin when it restarts and pongs again.
+    cluster.admin_at(SimTime::from_secs(2), 0, AdminCmd::DrainBackend { backend: BackendId(1) });
+    cluster.crash_backend_at(SimTime(2_000_001), 0, 1);
+    cluster.restart_backend_at(SimTime::from_secs(3), 0, 1);
+    cluster.run_for(dur::secs(6));
+    cluster.run_for(dur::secs(1));
+
+    let m = cluster.mw_metrics(0);
+    assert_eq!(m.counters.drains_started, 1);
+    let state = cluster.with_middleware(0, |mw| mw.recovery_state(BackendId(1)));
+    // Either the drain finished before the crash landed (Removed via the
+    // graceful path) or the crash finalized it (Removed via the failure
+    // path) — never Down, never auto-rejoined.
+    assert_eq!(state, "Removed");
+    assert_eq!(m.counters.drains_completed, 1);
+    assert_eq!(cluster.with_middleware(0, |mw| mw.online_backends()), 2);
+}
+
+#[test]
+fn initial_removed_provisions_spare_capacity() {
+    let mut cfg = mm_cluster();
+    cfg.backends_per_mw = 3;
+    cfg.mw.initial_removed = vec![2];
+    let mut cluster = Cluster::build(cfg);
+    for i in 0..4 {
+        cluster.add_client(SeqInsert { next: i * 1_000_000 }, |c| c.tx_limit = 2_000);
+    }
+    cluster.run_for(dur::secs(2));
+    assert_eq!(cluster.with_middleware(0, |mw| mw.online_backends()), 2);
+    // Scale out under live load.
+    let now = cluster.now();
+    cluster.admin_at(now + dur::millis(1), 0, AdminCmd::AddBackend { backend: BackendId(2) });
+    cluster.run_for(dur::secs(7));
+    cluster.run_for(dur::secs(1));
+
+    let m = cluster.mw_metrics(0);
+    assert_eq!(m.counters.backends_added, 1);
+    assert_eq!(cluster.with_middleware(0, |mw| mw.online_backends()), 3);
+    let state = cluster.with_middleware(0, |mw| mw.recovery_state(BackendId(2)));
+    assert_eq!(state, "Online");
+    // The late joiner caught up to the incumbents.
+    let sums = cluster.backend_checksums();
+    assert_eq!(sums[0][0], sums[0][2], "spare did not converge after joining");
+}

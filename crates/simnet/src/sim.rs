@@ -112,6 +112,16 @@ impl<M> Ctx<'_, M> {
             .push(self.now + delay_us, EventKind::Timer { node: self.me, tag, epoch });
     }
 
+    /// Arm a timer at an absolute virtual time (clamped to now). Arrival
+    /// processes schedule each arrival at its precomputed instant instead
+    /// of chaining relative delays, so interarrival rounding never
+    /// accumulates into rate drift over a long open-loop run.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: u64) {
+        let epoch = self.meta[self.me.0].epoch;
+        let at = at.max(self.now);
+        self.queue.push(at, EventKind::Timer { node: self.me, tag, epoch });
+    }
+
     /// Account `service_us` of serial processing on this node: subsequent
     /// message deliveries queue behind it (single-server queue). Returns the
     /// time at which the node becomes free again.

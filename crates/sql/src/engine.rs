@@ -964,6 +964,11 @@ impl Engine {
         }
         let counters = self.current_counters();
         let store = self.durable.as_mut().expect("checked above");
+        // Phase 2 of a two-phase install staged last round: the staged
+        // image covers everything currently in the WAL, so it must
+        // complete before this round appends anything new. No-op (and no
+        // IO) unless an install is pending.
+        store.complete_checkpoint();
         let head = self.binlog.head().0;
         if head > store.logged_head {
             match self.binlog.read_after(Lsn(store.logged_head)) {
@@ -1062,7 +1067,7 @@ impl Engine {
     ) -> crate::wal::RecoveryReport {
         let mut store = self.durable.take().expect("crash_recover requires durability");
         store.crash(kind, entropy);
-        let (checkpoint, records, torn) = store.load();
+        let (checkpoint, records, torn, ckpt_fallback) = store.load();
 
         // Rebirth: every byte of volatile state is gone; only the two
         // device images survive.
@@ -1070,8 +1075,11 @@ impl Engine {
         *self = Engine::new(EngineConfig { durability: None, ..config.clone() });
         self.config = config;
 
-        let mut report =
-            crate::wal::RecoveryReport { torn_truncated: torn, ..Default::default() };
+        let mut report = crate::wal::RecoveryReport {
+            torn_truncated: torn,
+            checkpoint_fallback: ckpt_fallback,
+            ..Default::default()
+        };
         if let Some(c) = &checkpoint {
             self.restore(&c.dump).expect("checkpoint restore");
             self.binlog.rebase(c.binlog_head);
@@ -1133,7 +1141,19 @@ impl Engine {
                 // state; unconditional, unlike the writeset-carried
                 // `CounterSync` which is gated on `apply_counter_sync`.
                 crate::wal::WalRecord::Counters(cs) => {
-                    self.apply_counter_sync(cs).expect("counter replay");
+                    // Under two-phase checkpoints the surviving WAL can
+                    // hold records the restored snapshot already covers;
+                    // counters only move forward, so a monotonic merge
+                    // ignores the stale ones. (Forward-only replay makes
+                    // the merge an identity in atomic mode.)
+                    let cur = self.current_counters();
+                    let mut merged = cs.clone();
+                    for (key, v) in merged.sequences.iter_mut() {
+                        if let Some((_, c)) = cur.sequences.iter().find(|(k, _)| k == key) {
+                            *v = (*v).max(*c);
+                        }
+                    }
+                    self.apply_counter_sync(&merged).expect("counter replay");
                 }
             }
         }

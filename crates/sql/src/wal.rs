@@ -713,11 +713,20 @@ pub struct DurabilityConfig {
     /// round; larger values leave an unsynced tail that `LostTail` and
     /// `TornTail` crashes actually destroy.
     pub fsync_every: u64,
+    /// Two-phase checkpoint install. Phase 1 stages the new image after
+    /// the current one *unsynced* and leaves the WAL alone; phase 2 — the
+    /// next maintenance round — fsyncs, compacts the device to the new
+    /// image, and cuts the covered WAL prefix. The gap between the phases
+    /// is exactly the window where a crash tears an in-progress
+    /// checkpoint: recovery then falls back to the previous image plus a
+    /// longer WAL replay. Off (the default) keeps the historical atomic
+    /// install, byte-for-byte.
+    pub two_phase_checkpoint: bool,
 }
 
 impl Default for DurabilityConfig {
     fn default() -> Self {
-        DurabilityConfig { checkpoint_every: 64, fsync_every: 1 }
+        DurabilityConfig { checkpoint_every: 64, fsync_every: 1, two_phase_checkpoint: false }
     }
 }
 
@@ -752,6 +761,11 @@ pub struct RecoveryReport {
     pub entries_replayed: u64,
     /// A torn tail was detected and truncated at the first bad checksum.
     pub torn_truncated: bool,
+    /// An in-progress (staged, never completed) checkpoint image was
+    /// damaged by the crash; recovery fell back to the previous image and
+    /// replayed the longer WAL suffix it still covers. Only possible with
+    /// `DurabilityConfig::two_phase_checkpoint`.
+    pub checkpoint_fallback: bool,
     /// Engine CPU consumed replaying the suffix (virtual µs).
     pub replay_cpu_us: u64,
     /// Recovered replication positions (durable metadata).
@@ -777,6 +791,8 @@ pub struct DurableStore {
     last_meta: (u64, u64),
     /// Counter state as of the last `Counters` record (change detection).
     last_counters: CounterSync,
+    /// A phase-1 (staged, unsynced) checkpoint image awaits completion.
+    ckpt_pending: bool,
 }
 
 impl DurableStore {
@@ -793,6 +809,7 @@ impl DurableStore {
             logged_head: 0,
             last_meta: (0, 0),
             last_counters: CounterSync::default(),
+            ckpt_pending: false,
         }
     }
 
@@ -854,43 +871,131 @@ impl DurableStore {
         self.cfg.checkpoint_every > 0 && self.commits_since_ckpt >= self.cfg.checkpoint_every
     }
 
-    /// Write a checkpoint image and truncate the WAL (the classic
-    /// snapshot-then-truncate protocol; the image is written and fsynced
-    /// before the log is cut, so a crash between the two steps only leaves
-    /// a redundant suffix).
+    /// Write a checkpoint image and truncate the WAL. The default mode is
+    /// the classic atomic-in-model install: image cleared, written, and
+    /// fsynced before the log is cut, so a crash between maintenance
+    /// rounds only ever sees a complete image. With
+    /// [`DurabilityConfig::two_phase_checkpoint`] this is only phase 1:
+    /// the new image is *staged* after the current one, unsynced, and the
+    /// WAL is left alone until [`Self::complete_checkpoint`] runs next
+    /// round — so a crash in between exposes an in-progress checkpoint to
+    /// `LostTail`/`TornTail` damage.
     pub fn install_checkpoint(&mut self, c: &Checkpoint) {
         let payload = encode_checkpoint(c);
         let mut framed = Vec::with_capacity(payload.len() + FRAME_HEADER);
         frame(&payload, &mut framed);
-        self.ckpt.clear(&mut self.io);
-        self.ckpt.append(&framed, &mut self.io);
-        self.ckpt.fsync(&mut self.io);
-        self.wal.clear(&mut self.io);
-        self.wal_records = 0;
-        self.records_since_fsync = 0;
-        self.commits_since_ckpt = 0;
-        self.checkpoints_taken += 1;
+        if self.cfg.two_phase_checkpoint {
+            // Degenerate back-to-back installs: finish the staged one
+            // first so the device never carries two pending images.
+            if self.ckpt_pending {
+                self.complete_checkpoint();
+            }
+            self.ckpt.append(&framed, &mut self.io);
+            self.ckpt_pending = true;
+            self.commits_since_ckpt = 0;
+        } else {
+            self.ckpt.clear(&mut self.io);
+            self.ckpt.append(&framed, &mut self.io);
+            self.ckpt.fsync(&mut self.io);
+            self.wal.clear(&mut self.io);
+            self.wal_records = 0;
+            self.records_since_fsync = 0;
+            self.commits_since_ckpt = 0;
+            self.checkpoints_taken += 1;
+        }
         self.logged_head = self.logged_head.max(c.binlog_head);
         self.last_meta = (c.applied_lsn, c.ordered_applied);
     }
 
-    /// Apply crash semantics to both devices. Checkpoint writes are always
-    /// fsynced before the WAL is truncated, so only the WAL has an exposed
-    /// tail; the checkpoint device just drops nothing.
+    /// A staged (phase-1) checkpoint image awaits completion.
+    pub fn checkpoint_pending(&self) -> bool {
+        self.ckpt_pending
+    }
+
+    /// Phase 2 of a two-phase install: fsync the staged image, compact the
+    /// device down to it (write-new-then-rename, modeled as a rewrite),
+    /// and cut the WAL prefix the image covers. The caller runs this at
+    /// the start of the next maintenance round, *before* appending new
+    /// records, so everything in the WAL at this point is covered by the
+    /// staged snapshot.
+    pub fn complete_checkpoint(&mut self) {
+        if !self.ckpt_pending {
+            return;
+        }
+        self.ckpt.fsync(&mut self.io);
+        let bytes = self.ckpt.read_all(&mut self.io).to_vec();
+        let (frames, _, _) = scan_frames(&bytes);
+        if let Some(last) = frames.last() {
+            let payload = last.to_vec();
+            let mut framed = Vec::with_capacity(payload.len() + FRAME_HEADER);
+            frame(&payload, &mut framed);
+            self.ckpt.clear(&mut self.io);
+            self.ckpt.append(&framed, &mut self.io);
+            self.ckpt.fsync(&mut self.io);
+        }
+        self.wal.clear(&mut self.io);
+        self.wal_records = 0;
+        self.records_since_fsync = 0;
+        self.checkpoints_taken += 1;
+        self.ckpt_pending = false;
+    }
+
+    /// Apply crash semantics to both devices. Under atomic installs the
+    /// checkpoint device is always fully synced, so any crash kind is a
+    /// no-op there; under two-phase installs a staged image sits in the
+    /// unsynced region, where `LostTail` vaporizes it and `TornTail`
+    /// leaves a damaged prefix for recovery to detect and skip.
     pub fn crash(&mut self, kind: CrashKind, entropy: u64) {
         self.wal.crash(kind, entropy);
         if kind != CrashKind::Clean {
-            self.ckpt.crash(CrashKind::LostTail, entropy);
+            // Rotate the entropy so the WAL and checkpoint tear offsets
+            // are decorrelated but still seed-deterministic.
+            self.ckpt.crash(kind, entropy.rotate_left(17));
         }
     }
 
-    /// Read both devices back for recovery: the checkpoint (if decodable)
-    /// and the valid WAL record prefix. Truncates torn garbage in place and
-    /// marks the surviving image synced.
-    pub fn load(&mut self) -> (Option<Checkpoint>, Vec<WalRecord>, bool) {
+    /// Read both devices back for recovery: the newest decodable
+    /// checkpoint image and the valid WAL record prefix. Truncates torn
+    /// garbage in place and marks the surviving images synced. The final
+    /// bool reports a checkpoint fallback: a newer (staged) image existed
+    /// but was damaged, so recovery uses the previous one.
+    pub fn load(&mut self) -> (Option<Checkpoint>, Vec<WalRecord>, bool, bool) {
         let ckpt_bytes = self.ckpt.read_all(&mut self.io).to_vec();
-        let (frames, _, _) = scan_frames(&ckpt_bytes);
-        let checkpoint = frames.first().and_then(|p| decode_checkpoint(p).ok());
+        let (ckpt_frames, _, ckpt_torn) = scan_frames(&ckpt_bytes);
+        let mut win: Option<(usize, Checkpoint)> = None;
+        let mut ckpt_fallback = ckpt_torn;
+        for (i, p) in ckpt_frames.iter().enumerate().rev() {
+            match decode_checkpoint(p) {
+                Ok(c) => {
+                    win = Some((i, c));
+                    break;
+                }
+                // A checksum-valid but undecodable image can only be a
+                // torn write that collided with the FNV: fall back.
+                Err(_) => ckpt_fallback = true,
+            }
+        }
+        // The staged image won (two-phase install interrupted by a clean
+        // or harmless crash): it snapshots state as of the last append,
+        // so the entire surviving WAL is covered — complete the install
+        // during recovery exactly as the next round would have.
+        let staged_won =
+            matches!(&win, Some((i, _)) if *i + 1 == ckpt_frames.len() && ckpt_frames.len() > 1);
+        // Compact the device to the winning image when recovery skipped
+        // damaged or superseded frames. Only reachable under two-phase
+        // installs: the atomic path leaves exactly one clean frame.
+        if ckpt_torn || ckpt_frames.len() > 1 {
+            let keep = win.as_ref().map(|(i, _)| ckpt_frames[*i].to_vec());
+            self.ckpt.clear(&mut self.io);
+            if let Some(payload) = keep {
+                let mut framed = Vec::with_capacity(payload.len() + FRAME_HEADER);
+                frame(&payload, &mut framed);
+                self.ckpt.append(&framed, &mut self.io);
+                self.ckpt.fsync(&mut self.io);
+            }
+        }
+        self.ckpt_pending = false;
+        let checkpoint = win.map(|(_, c)| c);
 
         let wal_bytes = self.wal.read_all(&mut self.io).to_vec();
         let (frames, mut valid_len, mut torn) = scan_frames(&wal_bytes);
@@ -910,9 +1015,16 @@ impl DurableStore {
         }
         self.wal.truncate(valid_len);
         self.wal.mark_synced();
+        if staged_won {
+            // Finish the interrupted install: every surviving WAL record
+            // predates the staged snapshot, so the suffix is redundant.
+            self.wal.clear(&mut self.io);
+            records.clear();
+            self.checkpoints_taken += 1;
+        }
         self.wal_records = records.len() as u64;
         self.records_since_fsync = 0;
-        (checkpoint, records, torn)
+        (checkpoint, records, torn, ckpt_fallback)
     }
 
     /// Reset policy cursors after recovery rebuilt the engine.
@@ -974,7 +1086,7 @@ mod tests {
     }
 
     fn store_with(n: u64, fsync_every: u64) -> DurableStore {
-        let mut s = DurableStore::new(DurabilityConfig { checkpoint_every: 0, fsync_every });
+        let mut s = DurableStore::new(DurabilityConfig { checkpoint_every: 0, fsync_every, ..Default::default() });
         for lsn in 1..=n {
             s.append_commit(&entry(lsn, 2), 0, lsn);
             s.maybe_fsync();
@@ -1001,7 +1113,7 @@ mod tests {
     fn clean_crash_loses_nothing() {
         let mut s = store_with(10, 4); // unsynced tail exists
         s.crash(CrashKind::Clean, 0xdead_beef);
-        let (ckpt, records, torn) = s.load();
+        let (ckpt, records, torn, _) = s.load();
         assert!(ckpt.is_none());
         assert_eq!(records.len(), 10);
         assert!(!torn);
@@ -1011,7 +1123,7 @@ mod tests {
     fn lost_tail_drops_exactly_the_unsynced_records() {
         let mut s = store_with(10, 4); // fsyncs after records 4 and 8
         s.crash(CrashKind::LostTail, 0);
-        let (_, records, torn) = s.load();
+        let (_, records, torn, _) = s.load();
         assert_eq!(records.len(), 8);
         assert!(!torn);
     }
@@ -1024,7 +1136,7 @@ mod tests {
         for entropy in 0..200u64 {
             let mut s = store_with(10, 4);
             s.crash(CrashKind::TornTail, entropy);
-            let (_, records, _) = s.load();
+            let (_, records, _, _) = s.load();
             assert!(
                 (8..=10).contains(&records.len()),
                 "entropy {entropy}: {} records",
@@ -1040,7 +1152,7 @@ mod tests {
                 }
             }
             // The device was repaired: a second load sees the same prefix.
-            let (_, again, torn2) = s.load();
+            let (_, again, torn2, _) = s.load();
             assert_eq!(again.len(), records.len());
             assert!(!torn2, "repair left garbage behind");
         }
@@ -1050,7 +1162,7 @@ mod tests {
     fn torn_tail_with_synced_everything_is_noop() {
         let mut s = store_with(9, 1); // fsync_every=1: no unsynced tail
         s.crash(CrashKind::TornTail, 12345);
-        let (_, records, torn) = s.load();
+        let (_, records, torn, _) = s.load();
         assert_eq!(records.len(), 9);
         assert!(!torn);
     }
@@ -1068,7 +1180,7 @@ mod tests {
         s.append_commit(&entry(7, 1), 0, 7);
         s.maybe_fsync();
         s.crash(CrashKind::LostTail, 0);
-        let (ckpt, records, _) = s.load();
+        let (ckpt, records, _, _) = s.load();
         assert_eq!(ckpt.unwrap(), c);
         assert_eq!(records.len(), 1);
         match &records[0] {
@@ -1086,5 +1198,113 @@ mod tests {
         assert!(io.bytes_written > 0);
         assert_eq!(io.fsyncs, 1);
         assert!(s.take_io().is_zero());
+    }
+
+    fn ckpt_at(n: u64) -> Checkpoint {
+        Checkpoint {
+            dump: Dump { at_ts: CommitTs(n * 10), databases: Vec::new(), users: None, checksum: n },
+            applied_lsn: 0,
+            ordered_applied: n,
+            binlog_head: n,
+        }
+    }
+
+    /// A store mid two-phase install: checkpoint at lsn 4 completed,
+    /// records 5..=8 in the WAL, checkpoint at lsn 8 staged but not yet
+    /// completed — the crash-vulnerable window.
+    fn staged_store() -> DurableStore {
+        let mut s = DurableStore::new(DurabilityConfig {
+            checkpoint_every: 0,
+            fsync_every: 1,
+            two_phase_checkpoint: true,
+        });
+        for lsn in 1..=4 {
+            s.append_commit(&entry(lsn, 1), 0, lsn);
+            s.maybe_fsync();
+        }
+        s.install_checkpoint(&ckpt_at(4));
+        s.complete_checkpoint();
+        assert!(!s.checkpoint_pending());
+        for lsn in 5..=8 {
+            s.append_commit(&entry(lsn, 1), 0, lsn);
+            s.maybe_fsync();
+        }
+        s.install_checkpoint(&ckpt_at(8));
+        assert!(s.checkpoint_pending());
+        s
+    }
+
+    #[test]
+    fn two_phase_completion_compacts_and_truncates() {
+        let mut s = staged_store();
+        s.complete_checkpoint();
+        let (ckpt, records, torn, fallback) = s.load();
+        assert_eq!(ckpt.unwrap(), ckpt_at(8));
+        assert!(records.is_empty());
+        assert!(!torn);
+        assert!(!fallback);
+        assert_eq!(s.stats().checkpoints_taken, 2);
+    }
+
+    #[test]
+    fn torn_in_progress_checkpoint_falls_back_to_previous() {
+        // Sweep the tear across the staged image: recovery must always
+        // come back consistent — either the staged image survived whole
+        // (clean equivalent) or the previous checkpoint plus the full
+        // 5..=8 WAL suffix is used, never a half image, never lost data.
+        let mut fallbacks = 0u32;
+        for entropy in 0..200u64 {
+            let mut s = staged_store();
+            s.crash(CrashKind::TornTail, entropy);
+            let (ckpt, records, _, fallback) = s.load();
+            let ckpt = ckpt.expect("a checkpoint always survives");
+            if ckpt == ckpt_at(8) {
+                // Tear happened to spare the staged frame: the install is
+                // completed during recovery, WAL suffix redundant.
+                assert!(records.is_empty());
+            } else {
+                assert_eq!(ckpt, ckpt_at(4), "unexpected checkpoint {ckpt:?}");
+                let lsns: Vec<u64> = records
+                    .iter()
+                    .filter_map(|r| match r {
+                        WalRecord::Commit { entry, .. } => Some(entry.lsn.0),
+                        _ => None,
+                    })
+                    .collect();
+                assert_eq!(lsns, vec![5, 6, 7, 8], "longer replay must cover the gap");
+                if fallback {
+                    fallbacks += 1;
+                }
+            }
+            // The device was repaired: a second load agrees and reports
+            // no damage.
+            let (again, _, _, fb2) = s.load();
+            assert_eq!(again.unwrap().ordered_applied, ckpt.ordered_applied);
+            assert!(!fb2);
+        }
+        assert!(fallbacks > 0, "entropy sweep never tore the staged image");
+    }
+
+    #[test]
+    fn lost_tail_drops_staged_checkpoint_entirely() {
+        let mut s = staged_store();
+        s.crash(CrashKind::LostTail, 0);
+        let (ckpt, records, torn, fallback) = s.load();
+        assert_eq!(ckpt.unwrap(), ckpt_at(4));
+        assert_eq!(records.len(), 4, "full suffix 5..=8 replays");
+        assert!(!torn);
+        // The unsynced staged frame vanished without a trace.
+        assert!(!fallback);
+    }
+
+    #[test]
+    fn clean_crash_keeps_staged_checkpoint() {
+        let mut s = staged_store();
+        s.crash(CrashKind::Clean, 0);
+        let (ckpt, records, torn, fallback) = s.load();
+        assert_eq!(ckpt.unwrap(), ckpt_at(8));
+        assert!(records.is_empty(), "staged image covers the whole WAL");
+        assert!(!torn);
+        assert!(!fallback);
     }
 }

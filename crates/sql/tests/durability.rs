@@ -31,7 +31,11 @@ fn durable_engine(cfg: DurabilityConfig) -> (Engine, replimid_sql::ConnId) {
 
 #[test]
 fn clean_crash_recovers_exact_state() {
-    let (mut e, c) = durable_engine(DurabilityConfig { checkpoint_every: 16, fsync_every: 8 });
+    let (mut e, c) = durable_engine(DurabilityConfig {
+        checkpoint_every: 16,
+        fsync_every: 8,
+        ..Default::default()
+    });
     for i in 0..100i64 {
         e.execute(c, &format!("INSERT INTO t{} VALUES ({}, 1)", i % 4, 10_000_000 + i)).unwrap();
         e.wal_maintain(0, (i + 1) as u64);
@@ -48,7 +52,11 @@ fn clean_crash_recovers_exact_state() {
 fn lossy_crash_never_recovers_past_fsync_horizon() {
     // fsync_every=4 with no periodic checkpoints: positions 4, 8, ... are
     // durable; a lost tail lands exactly on the last fsynced position.
-    let (mut e, c) = durable_engine(DurabilityConfig { checkpoint_every: 0, fsync_every: 4 });
+    let (mut e, c) = durable_engine(DurabilityConfig {
+        checkpoint_every: 0,
+        fsync_every: 4,
+        ..Default::default()
+    });
     let mut sums = vec![e.checksum_data()];
     for i in 0..10i64 {
         e.execute(c, &format!("INSERT INTO t{} VALUES ({}, 1)", i % 4, 10_000_000 + i)).unwrap();
@@ -106,7 +114,11 @@ fn crash_mid_sequence_recovers_counters_no_duplicate_keys() {
     // transactional store, so commit records alone replay inserts against a
     // stale counter and the next NEXTVAL hands out an already-used key.
     // Counter WAL records close the gap.
-    let (mut e, c) = durable_engine(DurabilityConfig { checkpoint_every: 0, fsync_every: 1 });
+    let (mut e, c) = durable_engine(DurabilityConfig {
+        checkpoint_every: 0,
+        fsync_every: 1,
+        ..Default::default()
+    });
     e.execute(c, "CREATE SEQUENCE ids START 100").unwrap();
     e.execute(c, "CREATE TABLE seq_t (k INT PRIMARY KEY, v INT)").unwrap();
     e.execute(c, "CREATE TABLE auto_t (k INT PRIMARY KEY AUTO_INCREMENT, v INT)").unwrap();
@@ -146,6 +158,45 @@ fn crash_mid_sequence_recovers_counters_no_duplicate_keys() {
     );
 }
 
+#[test]
+fn torn_in_progress_checkpoint_falls_back_and_replays() {
+    // Two-phase checkpoints: round 8's maintenance stages a new image but
+    // the crash hits before the next round completes it. Recovery must
+    // detect the damaged in-progress image, fall back to the previous
+    // checkpoint, and replay the longer WAL suffix — with zero committed
+    // loss, because the WAL itself is fully fsynced here.
+    let run = |entropy: u64| {
+        let cfg =
+            DurabilityConfig { checkpoint_every: 4, fsync_every: 1, two_phase_checkpoint: true };
+        let (mut e, c) = durable_engine(cfg);
+        e.wal_maintain(0, 0); // completes the staged setup checkpoint
+        let mut pos = 0u64;
+        loop {
+            let i = pos as i64;
+            e.execute(c, &format!("INSERT INTO t{} VALUES ({}, 1)", i % 4, 10_000_000 + i))
+                .unwrap();
+            pos += 1;
+            let out = e.wal_maintain(0, pos);
+            if pos >= 8 {
+                assert!(out.checkpoint_rows.is_some(), "round 8 must stage a checkpoint");
+                break;
+            }
+        }
+        let before = e.checksum_data();
+        let report = e.crash_recover(CrashKind::TornTail, entropy);
+        assert_eq!(e.checksum_data(), before, "fully-fsynced WAL must lose nothing");
+        assert_eq!(report.ordered_applied, 8, "replay reaches the end of history");
+        report
+    };
+    let reports: Vec<_> = (0..32u64).map(run).collect();
+    let torn = reports
+        .iter()
+        .find(|r| r.checkpoint_fallback)
+        .expect("no entropy tore the staged image");
+    assert!(torn.checkpoint_loaded, "fallback still loads the previous checkpoint");
+    assert_eq!(torn.entries_replayed, 4, "the suffix past the old checkpoint replays");
+}
+
 /// One full crash-recovery scenario, fully determined by `seed`. Returns
 /// the recovered (report, checksum) pair so the caller can assert rerun
 /// bit-identity.
@@ -154,6 +205,9 @@ fn crash_scenario(seed: u64) -> (replimid_sql::RecoveryReport, u64) {
     let cfg = DurabilityConfig {
         checkpoint_every: *detcheck::pick(&mut rng, &[0u64, 4, 16]),
         fsync_every: *detcheck::pick(&mut rng, &[1u64, 4, 8]),
+        // Half the scenarios run the two-phase install, so the crash
+        // matrix also covers torn in-progress checkpoints.
+        two_phase_checkpoint: rng.gen::<bool>(),
     };
     let (mut e, c) = durable_engine(cfg);
 

@@ -18,6 +18,10 @@
 //!   no parallelism: the case replicated databases serve worst).
 //! * [`faults`] — Poisson fault schedules at the paper's observed rate of
 //!   one fatal failure per day per 200 processors (§2.2).
+//! * [`openloop`] — an open-loop heavy-traffic driver (Poisson/diurnal
+//!   arrivals, bounded admission, explicit shed counter) for the
+//!   elasticity experiments: arrivals do not wait for completions, so
+//!   overload during a management operation is observable.
 
 pub mod auction;
 pub mod batch;
@@ -25,6 +29,7 @@ pub mod bookstore;
 pub mod broker;
 pub mod faults;
 pub mod micro;
+pub mod openloop;
 
 pub use auction::Auction;
 pub use batch::BatchUpdate;
@@ -32,3 +37,7 @@ pub use bookstore::Bookstore;
 pub use broker::Broker;
 pub use faults::{FaultSchedule, GrayFault, GrayFaultSchedule, GrayKind, GraySpec};
 pub use micro::{KeyedUpdates, PointReads, ReadWriteMix};
+pub use openloop::{
+    add_open_loop, end_open_loop_sessions, open_loop_metrics, ArrivalProcess, OpenLoopConfig,
+    OpenLoopDriver, OpenLoopMetrics,
+};

@@ -24,6 +24,11 @@
 #      BENCH_pr9.json (the bin asserts partial beats global by > 2x at 8
 #      backends and that a trivial placement runs the global path
 #      byte-for-byte — counters, certifier stats, and data checksums)
+#  11. elasticity trajectory: run the E23 management operations (add /
+#      drain / rolling restart) under open-loop load and write
+#      BENCH_pr10.json (the bin asserts zero committed-write loss, full
+#      arrival accounting, and that a classic closed-loop arm is
+#      bit-identical across reruns — the driver-off guarantee)
 #
 # The guard exists because this workspace is built in environments with no
 # registry access: a single external crate in a Cargo.toml breaks the build
@@ -143,5 +148,16 @@ echo "verify: statement-pipeline trajectory OK (BENCH_pr8.json written)"
 # path (byte-identical counters, certifier stats, and checksums).
 cargo run --release -q --offline -p replimid-bench --bin bench_pr9
 echo "verify: partial-replication trajectory OK (BENCH_pr9.json written)"
+
+# --- 11. Elasticity trajectory -------------------------------------------
+# The PR 10 campaign: management operations (scale-out, graceful drain,
+# rolling restart) measured under open-loop Poisson load that does not
+# slow down when the cluster does. The bin asserts zero committed-write
+# loss (acked ⊆ present on every Online backend), full arrival accounting
+# (ok + err + shed == arrivals), and that a classic closed-loop arm —
+# no open-loop driver anywhere — is bit-identical across same-seed
+# reruns, so E1..E22 stay untouched by the new machinery.
+cargo run --release -q --offline -p replimid-bench --bin bench_pr10
+echo "verify: elasticity trajectory OK (BENCH_pr10.json written)"
 
 echo "verify: OK"

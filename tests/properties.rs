@@ -863,3 +863,76 @@ fn any_policy_allows_non_monotonic_reads() {
         "Any-policy master/slave rotation should go backwards"
     );
 }
+
+/// The open-loop driver is deterministic end to end: for any seed, rate,
+/// mix, and admission bounds, two same-seed runs produce a bit-identical
+/// arrival stream, outcome accounting, per-second series, acknowledged
+/// write set, and middleware counters — the property the E23 elasticity
+/// tables (and verify.sh's byte-identity gate) stand on.
+#[test]
+fn open_loop_driver_is_deterministic() {
+    use replimid_workload::openloop::{
+        add_open_loop, open_loop_metrics, ArrivalProcess, OpenLoopConfig, OpenLoopMetrics,
+    };
+    fn run_case(
+        seed: u64,
+        arrivals: ArrivalProcess,
+        inflight: usize,
+        queue: usize,
+        permille: u32,
+    ) -> (OpenLoopMetrics, MwMetrics) {
+        let mut cfg = ClusterConfig::new(
+            Mode::MultiMasterStatement { nondet: NondetPolicy::RewriteAndReject },
+            micro::schema("bench", 50),
+            "bench",
+        );
+        cfg.backends_per_mw = 3;
+        let mut cluster = Cluster::build(cfg);
+        let mut olc = OpenLoopConfig::new(arrivals);
+        olc.seed = seed;
+        olc.max_inflight = inflight;
+        olc.queue_max = queue;
+        olc.write_permille = permille;
+        olc.read_keys = 50;
+        olc.stop_at_us = 3_000_000;
+        let driver = add_open_loop(&mut cluster, 0, olc);
+        cluster.run_for(dur::secs(5));
+        (open_loop_metrics(&mut cluster, driver), cluster.mw_metrics(0))
+    }
+    detcheck::check("open_loop_driver_is_deterministic", 4, |rng| {
+        let seed = rng.gen_range(0u64..1000);
+        let rate = 100.0 + rng.gen::<f64>() * 700.0;
+        let arrivals = if rng.gen_bool(0.5) {
+            ArrivalProcess::Poisson { rate_per_sec: rate }
+        } else {
+            ArrivalProcess::Diurnal {
+                base_per_sec: rate * 0.2,
+                peak_per_sec: rate,
+                period_us: rng.gen_range(1_000_000u64..4_000_000),
+            }
+        };
+        let inflight = rng.gen_range(4usize..64);
+        let queue = rng.gen_range(4usize..128);
+        let permille = rng.gen_range(0u32..500);
+        let (a, ma) = run_case(seed, arrivals, inflight, queue, permille);
+        let (b, mb) = run_case(seed, arrivals, inflight, queue, permille);
+        assert!(a.arrivals > 0, "arrival clock never ticked");
+        assert_eq!(
+            a.completed_ok + a.completed_err + a.shed,
+            a.arrivals,
+            "an arrival has no terminal outcome"
+        );
+        assert_eq!(a.arrivals, b.arrivals);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.dispatched, b.dispatched);
+        assert_eq!(a.completed_ok, b.completed_ok);
+        assert_eq!(a.completed_err, b.completed_err);
+        assert_eq!(a.retries_enqueued, b.retries_enqueued);
+        assert_eq!(a.per_sec_arrivals, b.per_sec_arrivals);
+        assert_eq!(a.per_sec_completed, b.per_sec_completed);
+        assert_eq!(a.per_sec_shed, b.per_sec_shed);
+        assert_eq!(a.acked_insert_keys, b.acked_insert_keys);
+        assert_eq!(a.sojourn.quantile_us(0.99), b.sojourn.quantile_us(0.99));
+        assert_eq!(ma.counters, mb.counters, "same seed, different middleware history");
+    });
+}
